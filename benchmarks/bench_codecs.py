@@ -1,0 +1,95 @@
+"""E1 — codec suitability per content class (section 4.2).
+
+The draft's claim: lossless PNG is "more suitable for computer
+generated images", a JPEG-class lossy codec for photographic ones.
+Rows report compressed size, ratio, and codec speed per (codec,
+content) pair, plus the per-row adaptive-filter ablation the PNG
+encoder exposes.
+"""
+
+import pytest
+
+from repro.apps.photo import synthetic_photo, ui_screenshot
+from repro.codecs import LossyDctCodec, PngCodec, RawCodec, ZlibCodec
+
+SIZE = (480, 640)  # height, width
+
+CONTENT = {
+    "ui-screenshot": ui_screenshot(SIZE[1], SIZE[0], seed=1),
+    "photo": synthetic_photo(SIZE[1], SIZE[0], seed=1),
+}
+
+CODECS = {
+    "raw": RawCodec(),
+    "zlib": ZlibCodec(),
+    "png": PngCodec(),
+    "lossy-dct-q75": LossyDctCodec(quality=75),
+}
+
+
+@pytest.mark.parametrize("content_name", sorted(CONTENT))
+@pytest.mark.parametrize("codec_name", sorted(CODECS))
+def test_encode(benchmark, experiment, codec_name, content_name):
+    recorder = experiment("E1", "codec suitability per content class")
+    codec = CODECS[codec_name]
+    pixels = CONTENT[content_name]
+    encoded = benchmark(codec.encode, pixels)
+    ratio = pixels.nbytes / len(encoded)
+    row = dict(
+        codec=codec_name,
+        content=content_name,
+        raw_kib=pixels.nbytes / 1024,
+        encoded_kib=len(encoded) / 1024,
+        ratio=ratio,
+        lossless=codec.lossless,
+    )
+    if not codec.lossless:
+        row["psnr_db"] = codec.psnr(pixels, codec.decode(encoded))
+    recorder.row(**row)
+
+
+@pytest.mark.parametrize("content_name", sorted(CONTENT))
+def test_decode_png(benchmark, content_name):
+    codec = PngCodec()
+    encoded = codec.encode(CONTENT[content_name])
+    benchmark(codec.decode, encoded)
+
+
+@pytest.mark.parametrize(
+    "mode", ["adaptive", "fixed-none", "fixed-up", "fixed-paeth"]
+)
+def test_png_filter_ablation(benchmark, experiment, mode):
+    """DESIGN.md ablation: per-row MSAD heuristic vs fixed filters."""
+    from repro.codecs.png import FILTER_NONE, FILTER_PAETH, FILTER_UP
+
+    recorder = experiment("E1a", "PNG filter-selection ablation (UI frame)")
+    fixed = {
+        "fixed-none": FILTER_NONE,
+        "fixed-up": FILTER_UP,
+        "fixed-paeth": FILTER_PAETH,
+    }
+    if mode == "adaptive":
+        codec = PngCodec(adaptive_filter=True)
+    else:
+        codec = PngCodec(adaptive_filter=False, fixed_filter=fixed[mode])
+    pixels = CONTENT["ui-screenshot"]
+    encoded = benchmark(codec.encode, pixels)
+    recorder.row(
+        filter_mode=mode,
+        encoded_kib=len(encoded) / 1024,
+        ratio=pixels.nbytes / len(encoded),
+    )
+
+
+@pytest.mark.parametrize("quality", [20, 50, 75, 95])
+def test_lossy_quality_sweep(benchmark, experiment, quality):
+    recorder = experiment("E1b", "lossy quality/rate sweep (photo frame)")
+    codec = LossyDctCodec(quality=quality)
+    pixels = CONTENT["photo"]
+    encoded = benchmark(codec.encode, pixels)
+    recorder.row(
+        quality=quality,
+        encoded_kib=len(encoded) / 1024,
+        ratio=pixels.nbytes / len(encoded),
+        psnr_db=codec.psnr(pixels, codec.decode(encoded)),
+    )

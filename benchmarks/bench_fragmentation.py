@@ -1,0 +1,52 @@
+"""E7 — fragmentation across MTUs (section 5.2.2, Table 2).
+
+Updates from 4 KiB to 1 MiB are fragmented for 576/1500/9000-byte
+payload budgets.  Rows report packet counts, header overhead, and the
+reassembly round-trip time; correctness of every combination is
+asserted inline.
+"""
+
+import pytest
+
+from repro.core.fragmentation import UpdateReassembler, fragment_update
+from repro.core.registry import MSG_REGION_UPDATE
+
+SIZES = {
+    "4KiB": 4 * 1024,
+    "64KiB": 64 * 1024,
+    "1MiB": 1024 * 1024,
+}
+MTUS = [576, 1500, 9000]
+
+
+def _payload_budget(mtu: int) -> int:
+    """RTP payload budget for a given IP MTU (IP+UDP+RTP = 40 bytes)."""
+    return mtu - 40
+
+
+@pytest.mark.parametrize("mtu", MTUS)
+@pytest.mark.parametrize("size_name", sorted(SIZES))
+def test_fragment_and_reassemble(benchmark, experiment, mtu, size_name):
+    recorder = experiment("E7", "fragmentation across update sizes and MTUs")
+    data = bytes(range(256)) * (SIZES[size_name] // 256)
+    budget = _payload_budget(mtu)
+
+    def roundtrip():
+        fragments = fragment_update(
+            MSG_REGION_UPDATE, 1, 96, 0, 0, data, budget
+        )
+        reassembler = UpdateReassembler()
+        result = None
+        for fragment in fragments:
+            result = reassembler.push(fragment.payload, fragment.marker, 7)
+        return fragments, result
+
+    fragments, result = benchmark(roundtrip)
+    assert result is not None and result.data == data
+    wire = sum(f.size for f in fragments)
+    recorder.row(
+        update=size_name,
+        mtu=mtu,
+        packets=len(fragments),
+        overhead_pct=100 * (wire - len(data)) / len(data),
+    )

@@ -1,0 +1,91 @@
+"""E12 — RTP/RTCP substrate micro-costs.
+
+Per-packet costs on the hot path: RTP header encode/decode, RFC 4571
+stream deframing, Generic NACK BLP packing, and jitter-buffer insertion
+— the fixed overheads every experiment above pays per packet.
+"""
+
+import random
+
+import pytest
+
+from repro.rtp.clock import SimulatedClock
+from repro.rtp.feedback import pack_nack_entries
+from repro.rtp.framing import StreamDeframer, frame_many
+from repro.rtp.jitter_buffer import JitterBuffer
+from repro.rtp.packet import RtpPacket
+from repro.rtp.session import RtpSender
+
+PAYLOAD = bytes(range(256)) * 4  # a typical 1 KiB fragment
+
+
+def test_rtp_encode(benchmark, experiment):
+    recorder = experiment("E12", "RTP/RTCP substrate micro-costs")
+    packet = RtpPacket(99, 1000, 123456, 42, PAYLOAD, marker=True)
+    encoded = benchmark(packet.encode)
+    recorder.row(operation="rtp-encode-1KiB", wire_bytes=len(encoded))
+
+
+def test_rtp_decode(benchmark, experiment):
+    recorder = experiment("E12", "RTP/RTCP substrate micro-costs")
+    data = RtpPacket(99, 1000, 123456, 42, PAYLOAD, marker=True).encode()
+    decoded = benchmark(RtpPacket.decode, data)
+    assert decoded.payload == PAYLOAD
+    recorder.row(operation="rtp-decode-1KiB", wire_bytes=len(data))
+
+
+def test_stream_deframe(benchmark, experiment):
+    recorder = experiment("E12", "RTP/RTCP substrate micro-costs")
+    packets = [
+        RtpPacket(99, seq, seq, 42, PAYLOAD).encode() for seq in range(64)
+    ]
+    stream = frame_many(packets)
+
+    def deframe():
+        deframer = StreamDeframer()
+        return deframer.feed(stream)
+
+    out = benchmark(deframe)
+    assert len(out) == 64
+    recorder.row(operation="rfc4571-deframe-64pkt", wire_bytes=len(stream))
+
+
+def test_nack_packing(benchmark, experiment):
+    recorder = experiment("E12", "RTP/RTCP substrate micro-costs")
+    rng = random.Random(5)
+    missing = sorted(rng.sample(range(4096), 200))
+
+    entries = benchmark(pack_nack_entries, missing)
+    covered = set()
+    for entry in entries:
+        covered.update(entry.sequence_numbers())
+    assert set(missing) <= covered
+    recorder.row(
+        operation="nack-blp-pack-200-losses",
+        wire_bytes=4 * len(entries) + 12,
+    )
+
+
+def test_jitter_buffer_churn(benchmark, experiment):
+    recorder = experiment("E12", "RTP/RTCP substrate micro-costs")
+    clock = SimulatedClock()
+    sender = RtpSender(99, now=clock.now, rng=random.Random(1))
+    packets = [sender.next_packet(b"x" * 64) for _ in range(256)]
+    # Lightly shuffled arrival order.
+    order = list(range(256))
+    rng = random.Random(2)
+    for i in range(0, 250, 5):
+        j = i + rng.randrange(5)
+        order[i], order[j] = order[j], order[i]
+
+    def churn():
+        buf = JitterBuffer(now=clock.now, max_wait=1.0)
+        released = 0
+        for index in order:
+            buf.insert(packets[index])
+            released += len(buf.pop_ready())
+        return released
+
+    released = benchmark(churn)
+    assert released == 256
+    recorder.row(operation="jitter-buffer-256pkt-reordered", wire_bytes="-")

@@ -1,0 +1,81 @@
+"""Benchmark harness plumbing.
+
+Experiments record result rows through the ``experiment`` fixture; a
+terminal-summary hook prints one table per experiment id at the end of
+the run (so ``pytest benchmarks/ --benchmark-only`` shows the
+paper-style rows even with output capture on).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import pytest
+
+_ROWS: "OrderedDict[str, list[dict]]" = OrderedDict()
+
+
+class ExperimentRecorder:
+    """Accumulates labelled result rows for one experiment id."""
+
+    def __init__(self, experiment_id: str, title: str) -> None:
+        self.experiment_id = experiment_id
+        self.title = title
+        key = f"{experiment_id} — {title}"
+        self._rows = _ROWS.setdefault(key, [])
+
+    def row(self, **fields) -> None:
+        self._rows.append(fields)
+
+
+@pytest.fixture
+def experiment():
+    """Factory: ``experiment("E3", "MoveRectangle vs re-encode")``."""
+    return ExperimentRecorder
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _ROWS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("EXPERIMENT RESULTS (paper-style rows; see EXPERIMENTS.md)")
+    write("=" * 78)
+    for key, rows in _ROWS.items():
+        if not rows:
+            continue
+        write("")
+        write(f"--- {key} ---")
+        columns: list[str] = []
+        for row in rows:
+            for column in row:
+                if column not in columns:
+                    columns.append(column)
+        widths = {
+            c: max(len(c), *(len(_format_value(r.get(c, ""))) for r in rows))
+            for c in columns
+        }
+        header = "  ".join(c.ljust(widths[c]) for c in columns)
+        write(header)
+        write("-" * len(header))
+        for row in rows:
+            write(
+                "  ".join(
+                    _format_value(row.get(c, "")).ljust(widths[c])
+                    for c in columns
+                )
+            )
+    write("")

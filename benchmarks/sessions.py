@@ -1,0 +1,123 @@
+"""Shared session builders for the benchmark experiments."""
+
+from __future__ import annotations
+
+from repro.net.channel import ChannelConfig, duplex_lossy, duplex_reliable
+from repro.rtp.clock import SimulatedClock
+from repro.sharing.ah import ApplicationHost
+from repro.sharing.config import SharingConfig
+from repro.sharing.participant import Participant
+from repro.sharing.transport import DatagramTransport, StreamTransport
+
+
+def tcp_session(
+    config: SharingConfig | None = None,
+    delay: float = 0.01,
+    bandwidth_bps: int = 0,
+    send_buffer: int = 256 * 1024,
+    screen=(1280, 1024),
+):
+    """(clock, ah, participant) over one simulated TCP link."""
+    clock = SimulatedClock()
+    cfg = config or SharingConfig()
+    ah = ApplicationHost(
+        screen_width=screen[0], screen_height=screen[1], config=cfg,
+        now=clock.now,
+    )
+    link = duplex_reliable(
+        ChannelConfig(delay=delay, bandwidth_bps=bandwidth_bps),
+        clock.now,
+        send_buffer=send_buffer,
+    )
+    ah.add_participant("p1", StreamTransport(link.forward, link.backward))
+    participant = Participant(
+        "p1",
+        StreamTransport(link.backward, link.forward),
+        now=clock.now,
+        config=cfg,
+    )
+    participant.join()
+    return clock, ah, participant
+
+
+def udp_session(
+    config: SharingConfig | None = None,
+    delay: float = 0.02,
+    loss_rate: float = 0.0,
+    seed: int = 0,
+    rate_bps: int | None = None,
+    reorder_wait: float = 0.25,
+):
+    """(clock, ah, participant) over one simulated UDP path."""
+    clock = SimulatedClock()
+    cfg = config or SharingConfig()
+    ah = ApplicationHost(config=cfg, now=clock.now)
+    link = duplex_lossy(
+        ChannelConfig(delay=delay, loss_rate=loss_rate, seed=seed), clock.now
+    )
+    ah.add_participant(
+        "p1", DatagramTransport(link.forward, link.backward), rate_bps=rate_bps
+    )
+    participant = Participant(
+        "p1",
+        DatagramTransport(link.backward, link.forward),
+        now=clock.now,
+        config=cfg,
+        ah_supports_retransmissions=cfg.retransmissions,
+        reorder_wait=reorder_wait,
+    )
+    participant.join()
+    return clock, ah, participant
+
+
+def add_udp_participant(
+    clock,
+    ah,
+    name: str,
+    loss_rate: float = 0.0,
+    delay: float = 0.02,
+    seed: int = 0,
+    rate_bps: int | None = None,
+):
+    link = duplex_lossy(
+        ChannelConfig(delay=delay, loss_rate=loss_rate, seed=seed), clock.now
+    )
+    ah.add_participant(
+        name, DatagramTransport(link.forward, link.backward), rate_bps=rate_bps
+    )
+    participant = Participant(
+        name,
+        DatagramTransport(link.backward, link.forward),
+        now=clock.now,
+        config=ah.config,
+        ah_supports_retransmissions=ah.config.retransmissions,
+    )
+    participant.join()
+    return participant
+
+
+def add_tcp_participant(clock, ah, name: str, delay: float = 0.01,
+                        bandwidth_bps: int = 0):
+    link = duplex_reliable(
+        ChannelConfig(delay=delay, bandwidth_bps=bandwidth_bps), clock.now
+    )
+    ah.add_participant(name, StreamTransport(link.forward, link.backward))
+    participant = Participant(
+        name,
+        StreamTransport(link.backward, link.forward),
+        now=clock.now,
+        config=ah.config,
+    )
+    participant.join()
+    return participant
+
+
+def run_rounds(clock, ah, participants, rounds: int, dt: float = 0.02,
+               per_round=None):
+    for i in range(rounds):
+        if per_round is not None:
+            per_round(i)
+        ah.advance(dt)
+        clock.advance(dt)
+        for participant in participants:
+            participant.process_incoming()

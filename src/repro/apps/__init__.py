@@ -1,0 +1,21 @@
+"""Synthetic workload applications for the simulated AH."""
+
+from .animation import AnimationApp
+from .base import AppHost, SyntheticApp
+from .photo import synthetic_photo, ui_screenshot
+from .photo_viewer import PhotoViewerApp
+from .terminal import TerminalApp
+from .text_editor import TextEditorApp
+from .whiteboard import WhiteboardApp
+
+__all__ = [
+    "AnimationApp",
+    "AppHost",
+    "PhotoViewerApp",
+    "SyntheticApp",
+    "TerminalApp",
+    "TextEditorApp",
+    "WhiteboardApp",
+    "synthetic_photo",
+    "ui_screenshot",
+]

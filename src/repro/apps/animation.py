@@ -1,0 +1,107 @@
+"""An animation app: the rapidly-changing-content workload.
+
+Bounces balls over a gradient background at a fixed frame rate,
+changing a large screen area every frame — the case the section 7
+implementation note targets ("prevent screen latency for rapidly-
+changing images, when a viewer usually only needs to see the final
+state").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..surface.geometry import Rect
+from ..surface.window import Window
+from .base import SyntheticApp
+
+
+@dataclass(slots=True)
+class _Ball:
+    x: float
+    y: float
+    vx: float
+    vy: float
+    radius: int
+    color: tuple[int, int, int, int]
+
+
+class AnimationApp(SyntheticApp):
+    """Fixed-fps bouncing-ball animation over a static gradient."""
+
+    def __init__(self, window: Window, fps: float = 30.0, balls: int = 3,
+                 seed: int = 7) -> None:
+        super().__init__(window)
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        self.fps = fps
+        self.frame_interval = 1.0 / fps
+        self._accumulated = 0.0
+        self.frames_rendered = 0
+        rng = np.random.default_rng(seed)
+        w, h = window.rect.width, window.rect.height
+        self._background = self._make_background(w, h)
+        self._balls = [
+            _Ball(
+                x=float(rng.uniform(20, max(21, w - 20))),
+                y=float(rng.uniform(20, max(21, h - 20))),
+                vx=float(rng.uniform(40, 160)) * (1 if rng.random() < 0.5 else -1),
+                vy=float(rng.uniform(40, 160)) * (1 if rng.random() < 0.5 else -1),
+                radius=int(rng.integers(8, 18)),
+                color=(
+                    int(rng.integers(64, 256)),
+                    int(rng.integers(64, 256)),
+                    int(rng.integers(64, 256)),
+                    255,
+                ),
+            )
+            for _ in range(balls)
+        ]
+        self._render()
+
+    @staticmethod
+    def _make_background(w: int, h: int) -> np.ndarray:
+        yy, xx = np.mgrid[0:h, 0:w]
+        bg = np.empty((h, w, 4), dtype=np.uint8)
+        bg[:, :, 0] = (xx * 160 // max(w, 1)).astype(np.uint8)
+        bg[:, :, 1] = (yy * 120 // max(h, 1)).astype(np.uint8)
+        bg[:, :, 2] = 90
+        bg[:, :, 3] = 255
+        return bg
+
+    def tick(self, dt: float) -> None:
+        """Advance time; renders once per elapsed frame interval."""
+        self._accumulated += dt
+        while self._accumulated >= self.frame_interval:
+            self._accumulated -= self.frame_interval
+            self._step_physics(self.frame_interval)
+            self._render()
+
+    def _step_physics(self, dt: float) -> None:
+        w, h = self.window.rect.width, self.window.rect.height
+        for ball in self._balls:
+            ball.x += ball.vx * dt
+            ball.y += ball.vy * dt
+            if ball.x - ball.radius < 0 or ball.x + ball.radius >= w:
+                ball.vx = -ball.vx
+                ball.x = min(max(ball.x, ball.radius), w - 1 - ball.radius)
+            if ball.y - ball.radius < 0 or ball.y + ball.radius >= h:
+                ball.vy = -ball.vy
+                ball.y = min(max(ball.y, ball.radius), h - 1 - ball.radius)
+
+    def _render(self) -> None:
+        frame = self._background.copy()
+        h, w = frame.shape[:2]
+        for ball in self._balls:
+            r = ball.radius
+            cx, cy = int(ball.x), int(ball.y)
+            y0, y1 = max(0, cy - r), min(h, cy + r + 1)
+            x0, x1 = max(0, cx - r), min(w, cx + r + 1)
+            yy, xx = np.mgrid[y0:y1, x0:x1]
+            mask = (yy - cy) ** 2 + (xx - cx) ** 2 <= r * r
+            frame[y0:y1, x0:x1][mask] = ball.color
+        self.window.draw_pixels(0, 0, frame)
+        self.window.add_damage(Rect(0, 0, w, h))
+        self.frames_rendered += 1

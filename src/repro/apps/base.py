@@ -1,0 +1,89 @@
+"""Synthetic application framework.
+
+The AH shares *real applications*; our substitute applications draw
+deterministic but realistic pixel content into their windows and react
+observably to regenerated HID events — exactly the surface the sharing
+pipeline needs.  Each app owns one :class:`~repro.surface.Window` and
+implements the event hooks the AH's event injector calls.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..surface.window import Window, WindowManager
+
+
+class SyntheticApp(abc.ABC):
+    """One shared application bound to a window.
+
+    Subclasses override the ``on_*`` hooks they care about (coordinates
+    are window-local) and :meth:`tick` when they animate with time.
+    """
+
+    def __init__(self, window: Window) -> None:
+        self.window = window
+        self.events_handled = 0
+
+    @property
+    def window_id(self) -> int:
+        return self.window.window_id
+
+    # -- Time ----------------------------------------------------------
+
+    def tick(self, dt: float) -> None:
+        """Advance app time by ``dt`` seconds (default: static app)."""
+
+    # -- HID hooks (window-local coordinates) ---------------------------
+
+    def on_mouse_pressed(self, x: int, y: int, button: int) -> None:
+        self.events_handled += 1
+
+    def on_mouse_released(self, x: int, y: int, button: int) -> None:
+        self.events_handled += 1
+
+    def on_mouse_moved(self, x: int, y: int) -> None:
+        self.events_handled += 1
+
+    def on_mouse_wheel(self, x: int, y: int, distance: int) -> None:
+        self.events_handled += 1
+
+    def on_key_pressed(self, keycode: int) -> None:
+        self.events_handled += 1
+
+    def on_key_released(self, keycode: int) -> None:
+        self.events_handled += 1
+
+    def on_key_typed(self, text: str) -> None:
+        self.events_handled += 1
+
+
+class AppHost:
+    """Binds apps to windows and routes events/ticks to them.
+
+    The minimal 'operating system' of the simulated AH: the sharing
+    layer asks it to deliver a regenerated event to whatever app owns
+    the target window.
+    """
+
+    def __init__(self, window_manager: WindowManager) -> None:
+        self.window_manager = window_manager
+        self._apps: dict[int, SyntheticApp] = {}
+
+    def attach(self, app: SyntheticApp) -> None:
+        if app.window_id in self._apps:
+            raise ValueError(f"window {app.window_id} already has an app")
+        self._apps[app.window_id] = app
+
+    def detach(self, window_id: int) -> None:
+        self._apps.pop(window_id, None)
+
+    def app_for(self, window_id: int) -> SyntheticApp | None:
+        return self._apps.get(window_id)
+
+    def apps(self) -> list[SyntheticApp]:
+        return list(self._apps.values())
+
+    def tick_all(self, dt: float) -> None:
+        for app in self._apps.values():
+            app.tick(dt)

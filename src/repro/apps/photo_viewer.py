@@ -1,0 +1,56 @@
+"""A photo viewer app: the photographic-content workload.
+
+Displays synthetic photographs; wheel/arrow events page through the
+album, replacing the whole window contents — the large-lossy-update
+case for codec selection.
+"""
+
+from __future__ import annotations
+
+from ..core import keycodes
+from ..surface.geometry import Rect
+from ..surface.window import Window
+from .base import SyntheticApp
+from .photo import synthetic_photo
+
+
+class PhotoViewerApp(SyntheticApp):
+    """Pages through deterministic synthetic photos."""
+
+    def __init__(self, window: Window, album_seed: int = 100) -> None:
+        super().__init__(window)
+        self.album_seed = album_seed
+        self.index = 0
+        self._show_current()
+
+    def _show_current(self) -> None:
+        rect = self.window.rect
+        photo = synthetic_photo(rect.width, rect.height,
+                                seed=self.album_seed + self.index)
+        self.window.draw_pixels(0, 0, photo)
+        self.window.add_damage(Rect(0, 0, rect.width, rect.height))
+
+    def next_photo(self) -> None:
+        self.index += 1
+        self._show_current()
+
+    def previous_photo(self) -> None:
+        if self.index > 0:
+            self.index -= 1
+            self._show_current()
+
+    # -- HID hooks ---------------------------------------------------------
+
+    def on_key_pressed(self, keycode: int) -> None:
+        super().on_key_pressed(keycode)
+        if keycode in (keycodes.VK_RIGHT, keycodes.VK_DOWN, keycodes.VK_PAGE_DOWN):
+            self.next_photo()
+        elif keycode in (keycodes.VK_LEFT, keycodes.VK_UP, keycodes.VK_PAGE_UP):
+            self.previous_photo()
+
+    def on_mouse_wheel(self, x: int, y: int, distance: int) -> None:
+        super().on_mouse_wheel(x, y, distance)
+        if distance < 0:
+            self.next_photo()
+        elif distance > 0:
+            self.previous_photo()

@@ -1,0 +1,74 @@
+"""A scrolling terminal app: the MoveRectangle (scroll) workload.
+
+Every appended line shifts the content up by one text row via the
+window's scroll primitive and repaints only the fresh bottom line —
+precisely the drawing pattern section 5.2.3 calls out as the case where
+MoveRectangle beats re-encoding.
+"""
+
+from __future__ import annotations
+
+from ..surface.framebuffer import Color
+from ..surface.geometry import Rect
+from ..surface.text import char_cell_size, draw_text
+from ..surface.window import Window
+from .base import SyntheticApp
+
+_BG: Color = (18, 18, 24, 255)
+_FG: Color = (120, 220, 120, 255)
+_MARGIN = 4
+
+
+class TerminalApp(SyntheticApp):
+    """Appends output lines, scrolling the viewport like a real console."""
+
+    def __init__(self, window: Window, scale: int = 1) -> None:
+        super().__init__(window)
+        self.scale = scale
+        self.cell_w, self.cell_h = char_cell_size(scale)
+        window.fill(_BG)
+        self._row = 0  # next row to write
+        self.lines_emitted = 0
+
+    @property
+    def columns(self) -> int:
+        return max(1, (self.window.rect.width - 2 * _MARGIN) // self.cell_w)
+
+    @property
+    def rows(self) -> int:
+        return max(1, (self.window.rect.height - 2 * _MARGIN) // self.cell_h)
+
+    def _content_rect(self) -> Rect:
+        return Rect(
+            _MARGIN,
+            _MARGIN,
+            self.window.rect.width - 2 * _MARGIN,
+            self.rows * self.cell_h,
+        )
+
+    def append_line(self, text: str) -> None:
+        """Print one line, scrolling when the viewport is full."""
+        text = text[: self.columns]
+        if self._row >= self.rows:
+            # Shift the whole content area up one text row.
+            self.window.scroll(self._content_rect(), -self.cell_h)
+            self._row = self.rows - 1
+            # Clear the vacated bottom row before drawing into it.
+            y = _MARGIN + self._row * self.cell_h
+            self.window.fill(
+                _BG, Rect(_MARGIN, y, self._content_rect().width, self.cell_h)
+            )
+        y = _MARGIN + self._row * self.cell_h
+        if text:
+            self.window.add_damage(
+                draw_text(self.window.surface, _MARGIN, y, text, _FG, _BG, self.scale)
+            )
+        self._row += 1
+        self.lines_emitted += 1
+
+    def run_build_output(self, count: int, start: int = 0) -> None:
+        """Emit ``count`` deterministic compiler-ish lines (workload)."""
+        for i in range(start, start + count):
+            self.append_line(
+                f"[{i:04d}] CC module_{i % 17:02d}.c -> obj/module_{i % 17:02d}.o"
+            )

@@ -1,0 +1,154 @@
+"""A text editor app: the canonical 'computer-generated content' workload.
+
+Renders typed characters with the bitmap font, maintains a blinking-free
+cursor block, wraps lines, and reacts to KeyTyped/KeyPressed events from
+participants — making HIP round-trips observable (text appears because a
+remote participant typed it).
+"""
+
+from __future__ import annotations
+
+from ..core import keycodes
+from ..surface.framebuffer import Color
+from ..surface.geometry import Rect
+from ..surface.text import char_cell_size, draw_text
+from ..surface.window import Window
+from .base import SyntheticApp
+
+_BG: Color = (248, 248, 242, 255)
+_FG: Color = (40, 42, 54, 255)
+_CURSOR: Color = (80, 120, 220, 255)
+_MARGIN = 6
+
+
+class TextEditorApp(SyntheticApp):
+    """Line-wrapped text entry with a block cursor."""
+
+    def __init__(self, window: Window, scale: int = 1) -> None:
+        super().__init__(window)
+        self.scale = scale
+        self.cell_w, self.cell_h = char_cell_size(scale)
+        self.lines: list[str] = [""]
+        self._shift_down = False
+        window.fill(_BG)
+        self._draw_cursor()
+
+    # -- Geometry helpers ------------------------------------------------
+
+    @property
+    def columns(self) -> int:
+        return max(1, (self.window.rect.width - 2 * _MARGIN) // self.cell_w)
+
+    @property
+    def visible_rows(self) -> int:
+        return max(1, (self.window.rect.height - 2 * _MARGIN) // self.cell_h)
+
+    def _cell_origin(self, row: int, col: int) -> tuple[int, int]:
+        return (_MARGIN + col * self.cell_w, _MARGIN + row * self.cell_h)
+
+    def _cursor_cell(self) -> tuple[int, int]:
+        row = len(self.lines) - 1
+        col = len(self.lines[-1])
+        return row, col
+
+    # -- Editing operations ------------------------------------------------
+
+    def type_text(self, text: str) -> None:
+        """Append text; the scripted-workload entry point."""
+        for ch in text:
+            if ch == "\n":
+                self._newline()
+            elif ch == "\b":
+                self._backspace()
+            else:
+                self._insert_char(ch)
+
+    def _insert_char(self, ch: str) -> None:
+        self._erase_cursor()
+        if len(self.lines[-1]) >= self.columns:
+            self._wrap_line()
+        row, col = self._cursor_cell()
+        self.lines[-1] += ch
+        x, y = self._cell_origin(row, col)
+        self.window.add_damage(
+            draw_text(self.window.surface, x, y, ch, _FG, _BG, self.scale)
+        )
+        self._draw_cursor()
+
+    def _newline(self) -> None:
+        self._erase_cursor()
+        self.lines.append("")
+        self._scroll_if_needed()
+        self._draw_cursor()
+
+    def _wrap_line(self) -> None:
+        self.lines.append("")
+        self._scroll_if_needed()
+
+    def _backspace(self) -> None:
+        self._erase_cursor()
+        if self.lines[-1]:
+            row = len(self.lines) - 1
+            col = len(self.lines[-1]) - 1
+            self.lines[-1] = self.lines[-1][:-1]
+            x, y = self._cell_origin(row, col)
+            self.window.fill(_BG, Rect(x, y, self.cell_w, self.cell_h))
+        elif len(self.lines) > 1:
+            self.lines.pop()
+        self._draw_cursor()
+
+    def _scroll_if_needed(self) -> None:
+        if len(self.lines) <= self.visible_rows:
+            return
+        # Drop the top line and repaint everything shifted up one row.
+        self.lines.pop(0)
+        self.window.fill(_BG)
+        for row, line in enumerate(self.lines):
+            x, y = self._cell_origin(row, 0)
+            if line:
+                draw_text(self.window.surface, x, y, line, _FG, _BG, self.scale)
+        self.window.add_damage(self.window.local_bounds)
+
+    # -- Cursor ------------------------------------------------------------
+
+    def _cursor_rect(self) -> Rect:
+        row, col = self._cursor_cell()
+        x, y = self._cell_origin(row, col)
+        return Rect(x, y, self.cell_w, self.cell_h)
+
+    def _draw_cursor(self) -> None:
+        self.window.fill(_CURSOR, self._cursor_rect())
+
+    def _erase_cursor(self) -> None:
+        self.window.fill(_BG, self._cursor_rect())
+
+    # -- HID hooks -----------------------------------------------------------
+
+    def on_key_typed(self, text: str) -> None:
+        super().on_key_typed(text)
+        self.type_text(text)
+
+    def on_key_pressed(self, keycode: int) -> None:
+        super().on_key_pressed(keycode)
+        if keycode == keycodes.VK_SHIFT:
+            self._shift_down = True
+            return
+        if keycode == keycodes.VK_ENTER:
+            self._newline()
+        elif keycode == keycodes.VK_BACK_SPACE:
+            self._backspace()
+        elif not keycodes.is_modifier(keycode):
+            ch = keycodes.char_for_keycode(keycode, shift=self._shift_down)
+            if ch and ch not in ("\n", "\b"):
+                self._insert_char(ch)
+
+    def on_key_released(self, keycode: int) -> None:
+        super().on_key_released(keycode)
+        if keycode == keycodes.VK_SHIFT:
+            self._shift_down = False
+
+    # -- Introspection ---------------------------------------------------------
+
+    def text(self) -> str:
+        """Current document text (for asserting end-to-end delivery)."""
+        return "\n".join(self.lines)

@@ -1,0 +1,84 @@
+"""A whiteboard app: the mouse-interaction workload.
+
+Participants draw by dragging: MousePressed starts a stroke, MouseMoved
+extends it, MouseReleased ends it — exercising the full HIP mouse
+vocabulary with observable pixel effects.
+"""
+
+from __future__ import annotations
+
+from ..core.hip import BUTTON_LEFT
+from ..surface.framebuffer import Color
+from ..surface.geometry import Rect
+from ..surface.window import Window
+from .base import SyntheticApp
+
+_BG: Color = (255, 255, 255, 255)
+_INK: Color = (20, 20, 160, 255)
+_PEN = 2
+
+
+class WhiteboardApp(SyntheticApp):
+    """Freehand drawing surface driven by mouse events."""
+
+    def __init__(self, window: Window) -> None:
+        super().__init__(window)
+        window.fill(_BG)
+        self._drawing = False
+        self._last: tuple[int, int] | None = None
+        self.strokes_completed = 0
+        self.points_drawn = 0
+
+    # -- Drawing primitives ---------------------------------------------
+
+    def _plot(self, x: int, y: int) -> None:
+        rect = Rect(
+            max(0, x - _PEN), max(0, y - _PEN), 2 * _PEN + 1, 2 * _PEN + 1
+        ).intersection(self.window.local_bounds)
+        if not rect.is_empty():
+            self.window.fill(_INK, rect)
+            self.points_drawn += 1
+
+    def _line(self, x0: int, y0: int, x1: int, y1: int) -> None:
+        """Bresenham between stroke samples."""
+        dx = abs(x1 - x0)
+        dy = -abs(y1 - y0)
+        sx = 1 if x0 < x1 else -1
+        sy = 1 if y0 < y1 else -1
+        err = dx + dy
+        while True:
+            self._plot(x0, y0)
+            if x0 == x1 and y0 == y1:
+                return
+            e2 = 2 * err
+            if e2 >= dy:
+                err += dy
+                x0 += sx
+            if e2 <= dx:
+                err += dx
+                y0 += sy
+
+    # -- HID hooks -----------------------------------------------------------
+
+    def on_mouse_pressed(self, x: int, y: int, button: int) -> None:
+        super().on_mouse_pressed(x, y, button)
+        if button == BUTTON_LEFT:
+            self._drawing = True
+            self._last = (x, y)
+            self._plot(x, y)
+
+    def on_mouse_moved(self, x: int, y: int) -> None:
+        super().on_mouse_moved(x, y)
+        if self._drawing and self._last is not None:
+            self._line(self._last[0], self._last[1], x, y)
+            self._last = (x, y)
+
+    def on_mouse_released(self, x: int, y: int, button: int) -> None:
+        super().on_mouse_released(x, y, button)
+        if button == BUTTON_LEFT and self._drawing:
+            self._drawing = False
+            self._last = None
+            self.strokes_completed += 1
+
+    def clear(self) -> None:
+        self.window.fill(_BG)

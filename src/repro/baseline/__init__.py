@@ -1,0 +1,13 @@
+"""Client-pull remote-framebuffer baseline (the VNC-style comparator)."""
+
+from .rfb import ENC_RAW, ENC_ZLIB, RfbClient, RfbError, RfbServer
+from .session import BaselineSession
+
+__all__ = [
+    "BaselineSession",
+    "ENC_RAW",
+    "ENC_ZLIB",
+    "RfbClient",
+    "RfbError",
+    "RfbServer",
+]

@@ -1,0 +1,148 @@
+"""A minimal client-pull remote-framebuffer baseline (VNC-style).
+
+The paper positions its RTP push model against the incumbent remote-
+framebuffer tools ("protocols for sharing applications are largely
+proprietary or based on the aging T.120 suite"; its CoNEXT evaluation
+compares against VNC).  This module implements the essential RFB
+mechanics so experiments can compare the two architectures on the same
+virtual desktop:
+
+* **client-pull**: the viewer sends FramebufferUpdateRequest; the
+  server answers with the rectangles that changed since that client's
+  previous update (classic RFB flow control);
+* **whole-screen capture**: the server polls the composited screen and
+  tile-diffs it — it has no window-level damage knowledge;
+* **rect encodings**: RAW and ZRLE-ish (zlib) rectangles.
+
+Wire format (big-endian, over a reliable byte stream):
+
+* client → server: ``b"R"`` — update request (incremental).
+* server → client: ``b"U"`` + u16 rect count, then per rect
+  u32 x, y, w, h + u8 encoding (0 raw, 1 zlib) + u32 length + payload.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from ..surface.damage import TileDiffer
+from ..surface.framebuffer import Framebuffer
+from ..surface.window import WindowManager
+
+ENC_RAW = 0
+ENC_ZLIB = 1
+
+_RECT_HEADER = struct.Struct("!IIIIBI")
+_UPDATE_HEADER = struct.Struct("!cH")
+REQUEST = b"R"
+UPDATE = b"U"
+
+
+class RfbError(Exception):
+    """Raised on malformed baseline-protocol data."""
+
+
+def encode_rect(pixels: np.ndarray, encoding: int = ENC_ZLIB) -> bytes:
+    if encoding == ENC_RAW:
+        return pixels.tobytes()
+    if encoding == ENC_ZLIB:
+        return zlib.compress(pixels.tobytes(), 6)
+    raise RfbError(f"unknown encoding: {encoding}")
+
+
+def decode_rect(data: bytes, width: int, height: int, encoding: int) -> np.ndarray:
+    if encoding == ENC_ZLIB:
+        try:
+            data = zlib.decompress(data)
+        except zlib.error as exc:
+            raise RfbError(f"rect inflate failed: {exc}") from exc
+    elif encoding != ENC_RAW:
+        raise RfbError(f"unknown encoding: {encoding}")
+    expected = width * height * 4
+    if len(data) != expected:
+        raise RfbError(f"rect payload {len(data)} != {expected}")
+    return np.frombuffer(data, dtype=np.uint8).reshape(height, width, 4).copy()
+
+
+class RfbServer:
+    """Serves the composited desktop to pull-based viewers."""
+
+    def __init__(self, manager: WindowManager, tile: int = 32,
+                 encoding: int = ENC_ZLIB) -> None:
+        self.manager = manager
+        self.tile = tile
+        self.encoding = encoding
+        #: client id → per-client differ (each client pulls at its own pace).
+        self._differs: dict[str, TileDiffer] = {}
+        self.updates_served = 0
+        self.bytes_sent = 0
+
+    def handle_request(self, client_id: str) -> bytes:
+        """Build the update message for one client's pull."""
+        screen = self.manager.composite()
+        differ = self._differs.get(client_id)
+        if differ is None:
+            differ = TileDiffer(screen.width, screen.height, tile=self.tile)
+            self._differs[client_id] = differ
+        damage = differ.diff(screen)
+        rects = list(damage)
+        parts = [_UPDATE_HEADER.pack(UPDATE, len(rects))]
+        for rect in rects:
+            payload = encode_rect(screen.read_rect(rect), self.encoding)
+            parts.append(
+                _RECT_HEADER.pack(
+                    rect.left, rect.top, rect.width, rect.height,
+                    self.encoding, len(payload),
+                )
+            )
+            parts.append(payload)
+        message = b"".join(parts)
+        self.updates_served += 1
+        self.bytes_sent += len(message)
+        return message
+
+
+class RfbClient:
+    """A pull-based viewer keeping a local screen copy."""
+
+    def __init__(self, width: int, height: int) -> None:
+        self.screen = Framebuffer(width, height)
+        self.updates_applied = 0
+        self.rects_applied = 0
+
+    @staticmethod
+    def request() -> bytes:
+        return REQUEST
+
+    def apply_update(self, message: bytes) -> int:
+        """Apply one server update; returns rectangles applied."""
+        if len(message) < _UPDATE_HEADER.size:
+            raise RfbError("truncated update header")
+        kind, count = _UPDATE_HEADER.unpack_from(message)
+        if kind != UPDATE:
+            raise RfbError(f"unexpected message kind: {kind!r}")
+        offset = _UPDATE_HEADER.size
+        for _ in range(count):
+            if len(message) < offset + _RECT_HEADER.size:
+                raise RfbError("truncated rect header")
+            x, y, w, h, encoding, length = _RECT_HEADER.unpack_from(
+                message, offset
+            )
+            offset += _RECT_HEADER.size
+            if len(message) < offset + length:
+                raise RfbError("truncated rect payload")
+            pixels = decode_rect(
+                message[offset : offset + length], w, h, encoding
+            )
+            offset += length
+            self.screen.write_rect(x, y, pixels)
+            self.rects_applied += 1
+        self.updates_applied += 1
+        return count
+
+    def matches(self, manager: WindowManager) -> bool:
+        """Pixel-exact comparison against the server's composite."""
+        return self.screen.identical_to(manager.composite())

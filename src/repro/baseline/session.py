@@ -1,0 +1,101 @@
+"""A pull-based baseline session over the simulated reliable channel.
+
+Glues :class:`RfbServer`/:class:`RfbClient` to the same
+:class:`~repro.net.channel.ReliableChannel` pair the RTP system uses,
+with the classic RFB pacing: the client issues the next update request
+only after the previous update fully arrived.
+
+Messages use a 32-bit length prefix (full-screen updates can exceed the
+16-bit RFC 4571 frame limit the RTP side uses).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..net.channel import DuplexChannel
+from ..surface.window import WindowManager
+from .rfb import RfbClient, RfbServer
+
+_LEN = struct.Struct("!I")
+
+
+class _MessageReader:
+    """Incremental u32-length-prefixed message extractor."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        self._buffer.extend(data)
+        out: list[bytes] = []
+        while len(self._buffer) >= _LEN.size:
+            (length,) = _LEN.unpack_from(self._buffer)
+            if len(self._buffer) < _LEN.size + length:
+                break
+            out.append(bytes(self._buffer[_LEN.size : _LEN.size + length]))
+            del self._buffer[: _LEN.size + length]
+        return out
+
+
+def _frame(message: bytes) -> bytes:
+    return _LEN.pack(len(message)) + message
+
+
+class BaselineSession:
+    """One server + one viewer, request/response over a stream pair."""
+
+    def __init__(
+        self,
+        manager: WindowManager,
+        link: DuplexChannel,
+        now,
+        client_id: str = "viewer",
+        tile: int = 32,
+    ) -> None:
+        self.server = RfbServer(manager, tile=tile)
+        self.client = RfbClient(manager.screen.width, manager.screen.height)
+        self.client_id = client_id
+        self._now = now
+        self._to_client = link.forward
+        self._to_server = link.backward
+        self._client_reader = _MessageReader()
+        self._server_reader = _MessageReader()
+        self._awaiting_update = False
+        self._request_sent_at = 0.0
+        #: Time each applied update spent from request to apply.
+        self.update_round_trips: list[float] = []
+        self.requests_sent = 0
+
+    # -- Client side ------------------------------------------------------
+
+    def client_tick(self) -> None:
+        """Pull when idle; apply whatever arrived."""
+        if not self._awaiting_update:
+            self._to_server.send(_frame(RfbClient.request()))
+            self._awaiting_update = True
+            self._request_sent_at = self._now()
+            self.requests_sent += 1
+        data = self._to_client.receive_ready()
+        if data:
+            for message in self._client_reader.feed(data):
+                self.client.apply_update(message)
+                self.update_round_trips.append(
+                    self._now() - self._request_sent_at
+                )
+                self._awaiting_update = False
+
+    # -- Server side ---------------------------------------------------------
+
+    def server_tick(self) -> None:
+        data = self._to_server.receive_ready()
+        if not data:
+            return
+        for message in self._server_reader.feed(data):
+            if message == RfbClient.request():
+                update = self.server.handle_request(self.client_id)
+                self._to_client.send(_frame(update))
+
+    def tick(self) -> None:
+        self.server_tick()
+        self.client_tick()

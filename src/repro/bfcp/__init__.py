@@ -1,0 +1,49 @@
+"""Binary Floor Control Protocol subset (RFC 4582 / Appendix A)."""
+
+from .client import FloorControlClient, FloorState
+from .hid_status import HidStatus
+from .messages import (
+    ATTR_FLOOR_ID,
+    ATTR_FLOOR_REQUEST_ID,
+    ATTR_REQUEST_STATUS,
+    ATTR_STATUS_INFO,
+    BfcpError,
+    BfcpMessage,
+    PRIMITIVE_FLOOR_RELEASE,
+    PRIMITIVE_FLOOR_REQUEST,
+    PRIMITIVE_FLOOR_REQUEST_STATUS,
+    STATUS_ACCEPTED,
+    STATUS_GRANTED,
+    STATUS_NAMES,
+    STATUS_RELEASED,
+    STATUS_REVOKED,
+    floor_release,
+    floor_request,
+    floor_request_status,
+)
+from .server import FloorControlServer, FloorRequestRecord
+
+__all__ = [
+    "ATTR_FLOOR_ID",
+    "ATTR_FLOOR_REQUEST_ID",
+    "ATTR_REQUEST_STATUS",
+    "ATTR_STATUS_INFO",
+    "BfcpError",
+    "BfcpMessage",
+    "FloorControlClient",
+    "FloorControlServer",
+    "FloorRequestRecord",
+    "FloorState",
+    "HidStatus",
+    "PRIMITIVE_FLOOR_RELEASE",
+    "PRIMITIVE_FLOOR_REQUEST",
+    "PRIMITIVE_FLOOR_REQUEST_STATUS",
+    "STATUS_ACCEPTED",
+    "STATUS_GRANTED",
+    "STATUS_NAMES",
+    "STATUS_RELEASED",
+    "STATUS_REVOKED",
+    "floor_release",
+    "floor_request",
+    "floor_request_status",
+]

@@ -1,0 +1,120 @@
+"""Participant-side BFCP client state machine."""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from .hid_status import HidStatus
+from .messages import (
+    ATTR_FLOOR_REQUEST_ID,
+    ATTR_REQUEST_STATUS,
+    ATTR_STATUS_INFO,
+    BfcpMessage,
+    PRIMITIVE_FLOOR_REQUEST_STATUS,
+    STATUS_ACCEPTED,
+    STATUS_GRANTED,
+    STATUS_RELEASED,
+    STATUS_REVOKED,
+    floor_release,
+    floor_request,
+    read_request_status,
+    read_u16,
+)
+
+
+class FloorState(enum.Enum):
+    IDLE = "idle"
+    REQUESTED = "requested"
+    QUEUED = "queued"
+    HOLDING = "holding"
+
+
+class FloorControlClient:
+    """Requests/releases the AH HID floor and tracks grant state."""
+
+    def __init__(
+        self,
+        user_id: int,
+        conference_id: int = 1,
+        floor_id: int = 0,
+        send: Callable[[bytes], None] | None = None,
+    ) -> None:
+        self.user_id = user_id
+        self.conference_id = conference_id
+        self.floor_id = floor_id
+        self._send = send or (lambda _data: None)
+        self._next_transaction = 1
+        self.state = FloorState.IDLE
+        self.request_id: int | None = None
+        self.queue_position: int | None = None
+        self.hid_status = HidStatus.STATE_NOT_ALLOWED
+        self.grants_received = 0
+
+    # -- Actions ---------------------------------------------------------
+
+    def request(self) -> None:
+        """Send a Floor Request (no-op while already requesting/holding)."""
+        if self.state is not FloorState.IDLE:
+            return
+        message = floor_request(
+            self.conference_id, self._transaction(), self.user_id, self.floor_id
+        )
+        self.state = FloorState.REQUESTED
+        self._send(message.encode())
+
+    def release(self) -> None:
+        """Send a Floor Release for our outstanding request."""
+        if self.request_id is None:
+            return
+        message = floor_release(
+            self.conference_id, self._transaction(), self.user_id, self.request_id
+        )
+        self._send(message.encode())
+
+    # -- Inbound -----------------------------------------------------------
+
+    def handle_message(self, data: bytes) -> None:
+        message = BfcpMessage.decode(data)
+        if message.primitive != PRIMITIVE_FLOOR_REQUEST_STATUS:
+            return
+        if message.user_id != self.user_id:
+            return
+        request_attr = message.find(ATTR_FLOOR_REQUEST_ID)
+        status_attr = message.find(ATTR_REQUEST_STATUS)
+        if request_attr is None or status_attr is None:
+            return
+        self.request_id = read_u16(request_attr)
+        status, position = read_request_status(status_attr)
+        if status == STATUS_GRANTED:
+            self.state = FloorState.HOLDING
+            self.queue_position = None
+            self.grants_received += 1
+            info = message.find(ATTR_STATUS_INFO)
+            if info is not None:
+                self.hid_status = HidStatus(read_u16(info))
+            else:
+                self.hid_status = HidStatus.STATE_ALL_ALLOWED
+        elif status == STATUS_ACCEPTED:
+            self.state = FloorState.QUEUED
+            self.queue_position = position
+        elif status in (STATUS_RELEASED, STATUS_REVOKED):
+            self.state = FloorState.IDLE
+            self.request_id = None
+            self.queue_position = None
+            self.hid_status = HidStatus.STATE_NOT_ALLOWED
+
+    # -- Queries -----------------------------------------------------------
+
+    @property
+    def holding(self) -> bool:
+        return self.state is FloorState.HOLDING
+
+    def may_send(self, kind: str) -> bool:
+        """Whether sending ``kind`` ("keyboard"/"mouse") events is useful."""
+        return self.holding and self.hid_status.allows(kind)
+
+    def _transaction(self) -> int:
+        value = self._next_transaction
+        self._next_transaction = (self._next_transaction % 0xFFFF) + 1
+        return value

@@ -1,0 +1,35 @@
+"""HID Status values (Appendix A, Figure 20).
+
+"the AH MAY temporarily block HID events without revoking the floor
+control" — the current holder learns the live keyboard/mouse
+availability through these 16-bit values in STATUS-INFO.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class HidStatus(enum.IntEnum):
+    """Figure 20: what the floor holder may currently do."""
+
+    STATE_NOT_ALLOWED = 0
+    STATE_KEYBOARD_ALLOWED = 1
+    STATE_MOUSE_ALLOWED = 2
+    STATE_ALL_ALLOWED = 3
+
+    @property
+    def keyboard_allowed(self) -> bool:
+        return self in (HidStatus.STATE_KEYBOARD_ALLOWED, HidStatus.STATE_ALL_ALLOWED)
+
+    @property
+    def mouse_allowed(self) -> bool:
+        return self in (HidStatus.STATE_MOUSE_ALLOWED, HidStatus.STATE_ALL_ALLOWED)
+
+    def allows(self, kind: str) -> bool:
+        """``kind`` is "keyboard" or "mouse" (the EventInjector classes)."""
+        if kind == "keyboard":
+            return self.keyboard_allowed
+        if kind == "mouse":
+            return self.mouse_allowed
+        raise ValueError(f"unknown HID kind: {kind!r}")

@@ -1,0 +1,217 @@
+"""BFCP message encoding (RFC 4582 subset for Appendix A).
+
+The appendix requires five messages: Floor Request, Floor Release,
+Floor Granted, Floor Released and Floor Request Queued.  On the wire
+the last three are FloorRequestStatus messages whose REQUEST-STATUS
+attribute carries Granted/Released/Accepted; the HID availability of
+Figure 20 rides in STATUS-INFO.
+
+Wire format follows RFC 4582: a 12-byte common header (version 1,
+primitive, payload length in 4-byte words, conference/transaction/user
+IDs) followed by TLV attributes padded to 32-bit boundaries.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+BFCP_VERSION = 1
+
+# Primitives (RFC 4582 section 5.1).
+PRIMITIVE_FLOOR_REQUEST = 1
+PRIMITIVE_FLOOR_RELEASE = 2
+PRIMITIVE_FLOOR_REQUEST_STATUS = 4
+
+# Attribute types (RFC 4582 section 5.2).
+ATTR_FLOOR_ID = 2
+ATTR_FLOOR_REQUEST_ID = 3
+ATTR_REQUEST_STATUS = 5
+ATTR_STATUS_INFO = 10
+
+# Request status values (RFC 4582 section 5.2.5).
+STATUS_PENDING = 1
+STATUS_ACCEPTED = 2  # "Floor Request Queued"
+STATUS_GRANTED = 3
+STATUS_DENIED = 4
+STATUS_CANCELLED = 5
+STATUS_RELEASED = 6
+STATUS_REVOKED = 7
+
+STATUS_NAMES = {
+    STATUS_PENDING: "Pending",
+    STATUS_ACCEPTED: "Accepted",
+    STATUS_GRANTED: "Granted",
+    STATUS_DENIED: "Denied",
+    STATUS_CANCELLED: "Cancelled",
+    STATUS_RELEASED: "Released",
+    STATUS_REVOKED: "Revoked",
+}
+
+_COMMON = struct.Struct("!BBHIHH")
+
+
+class BfcpError(Exception):
+    """Raised when a BFCP message cannot be parsed or built."""
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """One TLV attribute; ``data`` excludes the 2-byte TLV header."""
+
+    attr_type: int
+    data: bytes
+    mandatory: bool = True
+
+    def encode(self) -> bytes:
+        if not 0 <= self.attr_type <= 0x7F:
+            raise BfcpError(f"attribute type out of range: {self.attr_type}")
+        length = 2 + len(self.data)
+        if length > 0xFF:
+            raise BfcpError("attribute too long")
+        first = (self.attr_type << 1) | (1 if self.mandatory else 0)
+        out = struct.pack("!BB", first, length) + self.data
+        while len(out) % 4 != 0:
+            out += b"\x00"
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class BfcpMessage:
+    """A decoded BFCP message: header fields plus attribute list."""
+
+    primitive: int
+    conference_id: int
+    transaction_id: int
+    user_id: int
+    attributes: tuple[Attribute, ...] = field(default=())
+
+    def encode(self) -> bytes:
+        body = b"".join(a.encode() for a in self.attributes)
+        if len(body) % 4 != 0:
+            raise BfcpError("attribute block must be 32-bit aligned")
+        header = _COMMON.pack(
+            (BFCP_VERSION << 5),
+            self.primitive,
+            len(body) // 4,
+            self.conference_id,
+            self.transaction_id,
+            self.user_id,
+        )
+        return header + body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BfcpMessage":
+        if len(data) < _COMMON.size:
+            raise BfcpError(f"message too short: {len(data)} bytes")
+        first, primitive, length_words, conf, trans, user = _COMMON.unpack_from(data)
+        if first >> 5 != BFCP_VERSION:
+            raise BfcpError(f"unsupported BFCP version: {first >> 5}")
+        end = _COMMON.size + length_words * 4
+        if len(data) < end:
+            raise BfcpError("message shorter than its payload length")
+        attributes: list[Attribute] = []
+        offset = _COMMON.size
+        while offset < end:
+            if end - offset < 2:
+                raise BfcpError("truncated attribute header")
+            attr_first = data[offset]
+            length = data[offset + 1]
+            if length < 2 or offset + length > end:
+                raise BfcpError(f"bad attribute length: {length}")
+            attributes.append(
+                Attribute(
+                    attr_type=attr_first >> 1,
+                    data=data[offset + 2 : offset + length],
+                    mandatory=bool(attr_first & 1),
+                )
+            )
+            offset += length
+            while offset % 4 != 0:  # skip padding
+                offset += 1
+        return cls(primitive, conf, trans, user, tuple(attributes))
+
+    def find(self, attr_type: int) -> Attribute | None:
+        for attribute in self.attributes:
+            if attribute.attr_type == attr_type:
+                return attribute
+        return None
+
+
+# -- Attribute constructors / readers --------------------------------------
+
+
+def floor_id_attr(floor_id: int) -> Attribute:
+    return Attribute(ATTR_FLOOR_ID, struct.pack("!H", floor_id))
+
+
+def floor_request_id_attr(request_id: int) -> Attribute:
+    return Attribute(ATTR_FLOOR_REQUEST_ID, struct.pack("!H", request_id))
+
+
+def request_status_attr(status: int, queue_position: int = 0) -> Attribute:
+    if status not in STATUS_NAMES:
+        raise BfcpError(f"unknown request status: {status}")
+    if not 0 <= queue_position <= 0xFF:
+        raise BfcpError(f"queue position out of range: {queue_position}")
+    return Attribute(ATTR_REQUEST_STATUS, struct.pack("!BB", status, queue_position))
+
+
+def status_info_attr(hid_status: int) -> Attribute:
+    """Appendix A: STATUS-INFO carries the 16-bit HID Status value."""
+    return Attribute(ATTR_STATUS_INFO, struct.pack("!H", hid_status))
+
+
+def read_u16(attribute: Attribute) -> int:
+    if len(attribute.data) != 2:
+        raise BfcpError("expected 2-byte attribute value")
+    return struct.unpack("!H", attribute.data)[0]
+
+
+def read_request_status(attribute: Attribute) -> tuple[int, int]:
+    if len(attribute.data) != 2:
+        raise BfcpError("REQUEST-STATUS must be 2 bytes")
+    return attribute.data[0], attribute.data[1]
+
+
+# -- Message constructors -----------------------------------------------------
+
+
+def floor_request(conference_id: int, transaction_id: int, user_id: int,
+                  floor_id: int) -> BfcpMessage:
+    return BfcpMessage(
+        PRIMITIVE_FLOOR_REQUEST, conference_id, transaction_id, user_id,
+        (floor_id_attr(floor_id),),
+    )
+
+
+def floor_release(conference_id: int, transaction_id: int, user_id: int,
+                  request_id: int) -> BfcpMessage:
+    return BfcpMessage(
+        PRIMITIVE_FLOOR_RELEASE, conference_id, transaction_id, user_id,
+        (floor_request_id_attr(request_id),),
+    )
+
+
+def floor_request_status(
+    conference_id: int,
+    transaction_id: int,
+    user_id: int,
+    request_id: int,
+    status: int,
+    queue_position: int = 0,
+    hid_status: int | None = None,
+) -> BfcpMessage:
+    attributes: list[Attribute] = [
+        floor_request_id_attr(request_id),
+        request_status_attr(status, queue_position),
+    ]
+    if hid_status is not None:
+        attributes.append(status_info_attr(hid_status))
+    return BfcpMessage(
+        PRIMITIVE_FLOOR_REQUEST_STATUS,
+        conference_id,
+        transaction_id,
+        user_id,
+        tuple(attributes),
+    )

@@ -1,0 +1,223 @@
+"""The AH-side BFCP floor control server (Appendix A).
+
+"BFCP receives floor request and floor release messages from
+participants; and then it grants the floor to the appropriate
+participant for a period of time while keeping the requests from other
+participants in a FIFO queue." (section 4.2)
+
+The floor is the AH's human interface devices.  The server produces
+wire messages (FloorRequestStatus) in response to requests, and exposes
+:meth:`floor_check` in exactly the shape the
+:class:`~repro.sharing.events.EventInjector` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .hid_status import HidStatus
+from .messages import (
+    STATUS_ACCEPTED,
+    STATUS_GRANTED,
+    STATUS_RELEASED,
+    BfcpMessage,
+    PRIMITIVE_FLOOR_RELEASE,
+    PRIMITIVE_FLOOR_REQUEST,
+    floor_request_status,
+    read_u16,
+    ATTR_FLOOR_REQUEST_ID,
+)
+
+
+@dataclass(slots=True)
+class FloorRequestRecord:
+    request_id: int
+    user_id: int
+    participant_id: str
+
+
+@dataclass(slots=True)
+class _Outbound:
+    """A server-generated message addressed to one participant."""
+
+    participant_id: str
+    message: BfcpMessage
+
+
+class FloorControlServer:
+    """Single-floor FIFO floor control for the AH's HIDs."""
+
+    def __init__(
+        self,
+        conference_id: int = 1,
+        floor_id: int = 0,
+        grant_duration: float | None = None,
+        now: Callable[[], float] | None = None,
+    ) -> None:
+        self.conference_id = conference_id
+        self.floor_id = floor_id
+        self.grant_duration = grant_duration
+        self._now = now or (lambda: 0.0)
+        self._next_request_id = 1
+        self._next_transaction = 1
+        self.holder: FloorRequestRecord | None = None
+        self.queue: list[FloorRequestRecord] = []
+        self.hid_status = HidStatus.STATE_ALL_ALLOWED
+        self._granted_at = 0.0
+        self.outbound: list[_Outbound] = []
+        #: user_id → participant_id as learned from requests.
+        self._participants: dict[int, str] = {}
+
+    # -- Wire entry point ------------------------------------------------------
+
+    def handle_message(self, participant_id: str, data: bytes) -> None:
+        message = BfcpMessage.decode(data)
+        self._participants[message.user_id] = participant_id
+        if message.primitive == PRIMITIVE_FLOOR_REQUEST:
+            self.request_floor(participant_id, message.user_id,
+                               message.transaction_id)
+        elif message.primitive == PRIMITIVE_FLOOR_RELEASE:
+            attr = message.find(ATTR_FLOOR_REQUEST_ID)
+            if attr is not None:
+                self.release_floor(read_u16(attr))
+
+    # -- Operations ---------------------------------------------------------------
+
+    def request_floor(self, participant_id: str, user_id: int,
+                      transaction_id: int = 0) -> int:
+        """Enqueue a request; grants immediately when the floor is free.
+
+        Returns the FloorRequestID.
+        """
+        record = FloorRequestRecord(self._next_request_id, user_id, participant_id)
+        self._next_request_id += 1
+        if self.holder is None:
+            self._grant(record, transaction_id)
+        else:
+            self.queue.append(record)
+            # "Floor Request Queued"
+            self._emit(
+                record.participant_id,
+                floor_request_status(
+                    self.conference_id,
+                    transaction_id,
+                    record.user_id,
+                    record.request_id,
+                    STATUS_ACCEPTED,
+                    queue_position=len(self.queue),
+                ),
+            )
+        return record.request_id
+
+    def release_floor(self, request_id: int) -> bool:
+        """Handle Floor Release for the holder or a queued request."""
+        if self.holder is not None and self.holder.request_id == request_id:
+            released = self.holder
+            self.holder = None
+            self._emit(
+                released.participant_id,
+                floor_request_status(
+                    self.conference_id,
+                    self._transaction(),
+                    released.user_id,
+                    released.request_id,
+                    STATUS_RELEASED,
+                ),
+            )
+            self._grant_next()
+            return True
+        for index, record in enumerate(self.queue):
+            if record.request_id == request_id:
+                del self.queue[index]
+                self._emit(
+                    record.participant_id,
+                    floor_request_status(
+                        self.conference_id,
+                        self._transaction(),
+                        record.user_id,
+                        record.request_id,
+                        STATUS_RELEASED,
+                    ),
+                )
+                return True
+        return False
+
+    def tick(self) -> None:
+        """Expire a timed grant ("for a period of time") and rotate."""
+        if (
+            self.holder is not None
+            and self.grant_duration is not None
+            and self._now() - self._granted_at >= self.grant_duration
+        ):
+            self.release_floor(self.holder.request_id)
+
+    def set_hid_status(self, status: HidStatus) -> None:
+        """Change HID availability; re-announces to the current holder.
+
+        "The participant MAY receive several 'Floor Granted' messages
+        with different 'HID Status' values."
+        """
+        self.hid_status = status
+        if self.holder is not None:
+            self._emit(
+                self.holder.participant_id,
+                floor_request_status(
+                    self.conference_id,
+                    self._transaction(),
+                    self.holder.user_id,
+                    self.holder.request_id,
+                    STATUS_GRANTED,
+                    hid_status=int(status),
+                ),
+            )
+
+    # -- EventInjector integration ------------------------------------------------
+
+    def floor_check(self, participant_id: str, kind: str) -> bool:
+        """The gate the AH's HIP injector consults per event."""
+        if self.holder is None or self.holder.participant_id != participant_id:
+            return False
+        return self.hid_status.allows(kind)
+
+    # -- Internals -------------------------------------------------------------------
+
+    def _grant(self, record: FloorRequestRecord, transaction_id: int = 0) -> None:
+        self.holder = record
+        self._granted_at = self._now()
+        self._emit(
+            record.participant_id,
+            floor_request_status(
+                self.conference_id,
+                transaction_id or self._transaction(),
+                record.user_id,
+                record.request_id,
+                STATUS_GRANTED,
+                hid_status=int(self.hid_status),
+            ),
+        )
+
+    def _grant_next(self) -> None:
+        if self.queue:
+            self._grant(self.queue.pop(0))
+
+    def _emit(self, participant_id: str, message: BfcpMessage) -> None:
+        self.outbound.append(_Outbound(participant_id, message))
+
+    def _transaction(self) -> int:
+        value = self._next_transaction
+        self._next_transaction = (self._next_transaction % 0xFFFF) + 1
+        return value
+
+    def drain_outbound(self) -> list[tuple[str, bytes]]:
+        """Encoded (participant_id, message) pairs awaiting delivery."""
+        out = [(o.participant_id, o.message.encode()) for o in self.outbound]
+        self.outbound.clear()
+        return out
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    def holder_participant(self) -> str | None:
+        return self.holder.participant_id if self.holder else None

@@ -1,0 +1,46 @@
+"""Image codecs for RegionUpdate payloads.
+
+PNG (mandatory, lossless, from scratch), a DCT-based lossy codec (the
+JPEG stand-in), raw and zlib baselines, plus the content-adaptive
+selector of section 4.2.
+"""
+
+from .base import (
+    MAX_PAYLOAD_TYPE,
+    PT_LOSSY_DCT,
+    PT_PNG,
+    PT_RAW,
+    PT_ZLIB,
+    CodecError,
+    CodecRegistry,
+    EncodedImage,
+    ImageCodec,
+    default_registry,
+)
+from .lossy import LossyDctCodec
+from .png import PngCodec, decode_png, encode_png
+from .raw import RawCodec
+from .selector import CodecSelector, ContentClassifier, ContentStats
+from .zlib_codec import ZlibCodec
+
+__all__ = [
+    "CodecError",
+    "CodecRegistry",
+    "CodecSelector",
+    "ContentClassifier",
+    "ContentStats",
+    "EncodedImage",
+    "ImageCodec",
+    "LossyDctCodec",
+    "MAX_PAYLOAD_TYPE",
+    "PT_LOSSY_DCT",
+    "PT_PNG",
+    "PT_RAW",
+    "PT_ZLIB",
+    "PngCodec",
+    "RawCodec",
+    "ZlibCodec",
+    "decode_png",
+    "default_registry",
+    "encode_png",
+]

@@ -1,0 +1,220 @@
+"""Lossy DCT block codec — the JPEG-class stand-in.
+
+Section 4.2: "JPEG is lossy, but more suitable for photographic
+images."  This codec reproduces the JPEG pipeline shape with pure
+numpy: RGB→YCbCr, 8×8 block DCT, quality-scaled quantisation with the
+standard JPEG tables, zigzag ordering, and a zlib entropy stage standing
+in for Huffman coding.  Alpha is not carried (decodes opaque), matching
+how screen-sharing codecs treat the desktop as an opaque surface.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from .base import PT_LOSSY_DCT, CodecError, ImageCodec, _check_pixels
+
+_HEADER = struct.Struct("!IIB")  # width, height, quality
+BLOCK = 8
+
+#: Standard JPEG (Annex K) luminance and chrominance quantisation tables.
+_LUMA_Q = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+_CHROMA_Q = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def _dct_matrix() -> np.ndarray:
+    """Orthonormal 8-point DCT-II basis matrix."""
+    t = np.zeros((BLOCK, BLOCK))
+    for k in range(BLOCK):
+        scale = np.sqrt(1.0 / BLOCK) if k == 0 else np.sqrt(2.0 / BLOCK)
+        for n in range(BLOCK):
+            t[k, n] = scale * np.cos(np.pi * (2 * n + 1) * k / (2 * BLOCK))
+    return t
+
+
+_DCT = _dct_matrix()
+_IDCT = _DCT.T
+
+
+def _zigzag_order() -> np.ndarray:
+    """Flat indices of an 8×8 block in JPEG zigzag scan order."""
+    order = sorted(
+        ((y, x) for y in range(BLOCK) for x in range(BLOCK)),
+        key=lambda p: (p[0] + p[1], p[1] if (p[0] + p[1]) % 2 else p[0]),
+    )
+    return np.array([y * BLOCK + x for y, x in order], dtype=np.int64)
+
+
+_ZIGZAG = _zigzag_order()
+_UNZIGZAG = np.argsort(_ZIGZAG)
+
+
+def _quality_scale(quality: int) -> float:
+    """IJG quality→scale mapping (quality 50 = tables as published)."""
+    q = min(max(quality, 1), 100)
+    if q < 50:
+        return 50.0 / q
+    return 2.0 - q / 50.0
+
+
+def _scaled_tables(quality: int) -> tuple[np.ndarray, np.ndarray]:
+    scale = _quality_scale(quality)
+    luma = np.clip(np.round(_LUMA_Q * scale), 1, 255)
+    chroma = np.clip(np.round(_CHROMA_Q * scale), 1, 255)
+    return luma, chroma
+
+
+def _rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """ITU-R BT.601 full-range conversion; output float64, 0-centred Y."""
+    r = rgb[:, :, 0].astype(np.float64)
+    g = rgb[:, :, 1].astype(np.float64)
+    b = rgb[:, :, 2].astype(np.float64)
+    y = 0.299 * r + 0.587 * g + 0.114 * b - 128.0
+    cb = -0.168736 * r - 0.331264 * g + 0.5 * b
+    cr = 0.5 * r - 0.418688 * g - 0.081312 * b
+    return np.stack([y, cb, cr], axis=2)
+
+
+def _ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
+    y = ycc[:, :, 0] + 128.0
+    cb = ycc[:, :, 1]
+    cr = ycc[:, :, 2]
+    r = y + 1.402 * cr
+    g = y - 0.344136 * cb - 0.714136 * cr
+    b = y + 1.772 * cb
+    rgb = np.stack([r, g, b], axis=2)
+    return np.clip(np.round(rgb), 0, 255).astype(np.uint8)
+
+
+def _pad_to_blocks(plane: np.ndarray) -> np.ndarray:
+    """Edge-pad a 2-D plane so both dimensions are multiples of 8."""
+    h, w = plane.shape
+    ph = (BLOCK - h % BLOCK) % BLOCK
+    pw = (BLOCK - w % BLOCK) % BLOCK
+    if ph or pw:
+        plane = np.pad(plane, ((0, ph), (0, pw)), mode="edge")
+    return plane
+
+
+def _blockify(plane: np.ndarray) -> np.ndarray:
+    """(H, W) → (n_blocks, 8, 8) in raster block order."""
+    h, w = plane.shape
+    return (
+        plane.reshape(h // BLOCK, BLOCK, w // BLOCK, BLOCK)
+        .transpose(0, 2, 1, 3)
+        .reshape(-1, BLOCK, BLOCK)
+    )
+
+
+def _unblockify(blocks: np.ndarray, h: int, w: int) -> np.ndarray:
+    return (
+        blocks.reshape(h // BLOCK, w // BLOCK, BLOCK, BLOCK)
+        .transpose(0, 2, 1, 3)
+        .reshape(h, w)
+    )
+
+
+class LossyDctCodec(ImageCodec):
+    """JPEG-shaped lossy codec: block DCT + quantisation + zlib entropy."""
+
+    payload_type = PT_LOSSY_DCT
+    name = "lossy-dct"
+    lossless = False
+
+    def __init__(self, quality: int = 75) -> None:
+        if not 1 <= quality <= 100:
+            raise CodecError(f"quality out of range: {quality}")
+        self.quality = quality
+
+    def encode(self, pixels: np.ndarray) -> bytes:
+        _check_pixels(pixels)
+        h, w = pixels.shape[:2]
+        luma_q, chroma_q = _scaled_tables(self.quality)
+        ycc = _rgb_to_ycbcr(pixels[:, :, :3])
+        planes_out: list[bytes] = []
+        for channel in range(3):
+            table = luma_q if channel == 0 else chroma_q
+            plane = _pad_to_blocks(ycc[:, :, channel])
+            blocks = _blockify(plane)
+            # Batched 2-D DCT: T @ block @ T'  for every block at once.
+            coeffs = np.einsum("ij,njk,lk->nil", _DCT, blocks, _DCT)
+            quantised = np.round(coeffs / table).astype(np.int16)
+            flat = quantised.reshape(-1, BLOCK * BLOCK)[:, _ZIGZAG]
+            planes_out.append(flat.astype("<i2").tobytes())
+        body = zlib.compress(b"".join(planes_out), 6)
+        return _HEADER.pack(w, h, self.quality) + body
+
+    def decode(self, data: bytes) -> np.ndarray:
+        if len(data) < _HEADER.size:
+            raise CodecError("lossy payload too short for header")
+        w, h, quality = _HEADER.unpack_from(data)
+        if w == 0 or h == 0:
+            raise CodecError("lossy payload has empty dimensions")
+        if not 1 <= quality <= 100:
+            raise CodecError(f"corrupt quality field: {quality}")
+        try:
+            raw = zlib.decompress(data[_HEADER.size :])
+        except zlib.error as exc:
+            raise CodecError(f"entropy stage inflate failed: {exc}") from exc
+
+        padded_h = h + (BLOCK - h % BLOCK) % BLOCK
+        padded_w = w + (BLOCK - w % BLOCK) % BLOCK
+        n_blocks = (padded_h // BLOCK) * (padded_w // BLOCK)
+        plane_bytes = n_blocks * BLOCK * BLOCK * 2
+        if len(raw) != plane_bytes * 3:
+            raise CodecError(
+                f"coefficient payload {len(raw)} != expected {plane_bytes * 3}"
+            )
+        luma_q, chroma_q = _scaled_tables(quality)
+        planes = []
+        for channel in range(3):
+            table = luma_q if channel == 0 else chroma_q
+            flat = np.frombuffer(
+                raw, dtype="<i2", count=n_blocks * 64, offset=channel * plane_bytes
+            ).reshape(n_blocks, 64)
+            blocks = flat[:, _UNZIGZAG].reshape(n_blocks, BLOCK, BLOCK)
+            coeffs = blocks.astype(np.float64) * table
+            spatial = np.einsum("ji,njk,kl->nil", _DCT, coeffs, _DCT)
+            planes.append(_unblockify(spatial, padded_h, padded_w)[:h, :w])
+        ycc = np.stack(planes, axis=2)
+        rgb = _ycbcr_to_rgb(ycc)
+        out = np.empty((h, w, 4), dtype=np.uint8)
+        out[:, :, :3] = rgb
+        out[:, :, 3] = 255
+        return out
+
+    def psnr(self, original: np.ndarray, decoded: np.ndarray) -> float:
+        """Peak signal-to-noise ratio over RGB, in dB (inf when equal)."""
+        a = original[:, :, :3].astype(np.float64)
+        b = decoded[:, :, :3].astype(np.float64)
+        mse = float(((a - b) ** 2).mean())
+        if mse == 0.0:
+            return float("inf")
+        return 10.0 * np.log10(255.0**2 / mse)

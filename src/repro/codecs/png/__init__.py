@@ -1,0 +1,83 @@
+"""From-scratch PNG codec (the draft's mandatory image format).
+
+Implements the subset draft-boyaci-avt-png needs: 8-bit RGBA, zlib
+IDAT, per-row adaptive filtering, no interlace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import PT_PNG, CodecError, ImageCodec, _check_pixels
+from .chunks import Chunk, ImageHeader, PngFormatError, iter_chunks
+from .decoder import decode_png
+from .encoder import encode_png
+from .filters import (
+    ALL_FILTERS,
+    FILTER_AVERAGE,
+    FILTER_NONE,
+    FILTER_PAETH,
+    FILTER_SUB,
+    FILTER_UP,
+    apply_filter,
+    choose_filter,
+    undo_filter,
+)
+
+
+class PngCodec(ImageCodec):
+    """The mandatory lossless codec for RegionUpdate payloads."""
+
+    payload_type = PT_PNG
+    name = "png"
+    lossless = True
+
+    def __init__(
+        self,
+        compression_level: int = 6,
+        adaptive_filter: bool = True,
+        fixed_filter: int = FILTER_NONE,
+    ) -> None:
+        if not 0 <= compression_level <= 9:
+            raise CodecError(f"compression level out of range: {compression_level}")
+        self.compression_level = compression_level
+        self.adaptive_filter = adaptive_filter
+        self.fixed_filter = fixed_filter
+
+    def encode(self, pixels: np.ndarray) -> bytes:
+        _check_pixels(pixels)
+        try:
+            return encode_png(
+                pixels,
+                compression_level=self.compression_level,
+                adaptive_filter=self.adaptive_filter,
+                fixed_filter=self.fixed_filter,
+            )
+        except PngFormatError as exc:
+            raise CodecError(str(exc)) from exc
+
+    def decode(self, data: bytes) -> np.ndarray:
+        try:
+            return decode_png(data)
+        except PngFormatError as exc:
+            raise CodecError(str(exc)) from exc
+
+
+__all__ = [
+    "ALL_FILTERS",
+    "Chunk",
+    "FILTER_AVERAGE",
+    "FILTER_NONE",
+    "FILTER_PAETH",
+    "FILTER_SUB",
+    "FILTER_UP",
+    "ImageHeader",
+    "PngCodec",
+    "PngFormatError",
+    "apply_filter",
+    "choose_filter",
+    "decode_png",
+    "encode_png",
+    "iter_chunks",
+    "undo_filter",
+]

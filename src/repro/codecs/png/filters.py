@@ -1,0 +1,123 @@
+"""PNG scanline filters (types 0-4) with vectorised apply/undo.
+
+PNG's pre-compression filters are why it beats plain DEFLATE on screen
+content: rows of UI pixels are self-similar, so Sub/Up/Average/Paeth
+residuals are near-zero and compress extremely well.  Filtering is the
+per-row design choice ablated in ``bench_codecs.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FILTER_NONE = 0
+FILTER_SUB = 1
+FILTER_UP = 2
+FILTER_AVERAGE = 3
+FILTER_PAETH = 4
+
+ALL_FILTERS = (FILTER_NONE, FILTER_SUB, FILTER_UP, FILTER_AVERAGE, FILTER_PAETH)
+
+#: Bytes per pixel for 8-bit RGBA.
+BPP = 4
+
+
+def _shift_left(row: np.ndarray) -> np.ndarray:
+    """The 'a' predictor: the pixel ``BPP`` bytes to the left (0 padded)."""
+    out = np.zeros_like(row)
+    out[BPP:] = row[:-BPP]
+    return out
+
+
+def _paeth_predictor(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Vectorised Paeth predictor over int16 inputs."""
+    p = a.astype(np.int16) + b.astype(np.int16) - c.astype(np.int16)
+    pa = np.abs(p - a)
+    pb = np.abs(p - b)
+    pc = np.abs(p - c)
+    out = np.where((pa <= pb) & (pa <= pc), a, np.where(pb <= pc, b, c))
+    return out.astype(np.uint8)
+
+
+def apply_filter(filter_type: int, row: np.ndarray, prev: np.ndarray) -> np.ndarray:
+    """Filter one scanline; ``prev`` is the prior *raw* scanline (zeros for row 0)."""
+    if filter_type == FILTER_NONE:
+        return row.copy()
+    a = _shift_left(row)
+    if filter_type == FILTER_SUB:
+        return (row.astype(np.int16) - a).astype(np.uint8)
+    if filter_type == FILTER_UP:
+        return (row.astype(np.int16) - prev).astype(np.uint8)
+    if filter_type == FILTER_AVERAGE:
+        avg = (a.astype(np.int16) + prev.astype(np.int16)) // 2
+        return (row.astype(np.int16) - avg).astype(np.uint8)
+    if filter_type == FILTER_PAETH:
+        c = _shift_left(prev)
+        pred = _paeth_predictor(a, prev, c)
+        return (row.astype(np.int16) - pred).astype(np.uint8)
+    raise ValueError(f"unknown filter type: {filter_type}")
+
+
+def undo_filter(filter_type: int, filtered: np.ndarray, prev: np.ndarray) -> np.ndarray:
+    """Reconstruct a raw scanline from its filtered form.
+
+    Sub/Average/Paeth have a serial data dependency along the row, so
+    those loops run per-pixel-group; Up is fully vectorised.
+    """
+    if filter_type == FILTER_NONE:
+        return filtered.copy()
+    if filter_type == FILTER_UP:
+        return ((filtered.astype(np.int16) + prev) % 256).astype(np.uint8)
+
+    if filter_type == FILTER_SUB:
+        # row[i] = filt[i] + row[i-4]  ⇒  per byte-lane prefix sum
+        # (mod 256), fully vectorisable.
+        lanes = filtered.reshape(-1, BPP).astype(np.uint64)
+        return (np.cumsum(lanes, axis=0) % 256).astype(np.uint8).reshape(-1)
+
+    row = filtered.astype(np.int16).copy()
+    n = len(row)
+    if filter_type == FILTER_AVERAGE:
+        prev16 = prev.astype(np.int16)
+        for i in range(n):
+            left = row[i - BPP] if i >= BPP else 0
+            row[i] = (row[i] + (left + prev16[i]) // 2) % 256
+        return row.astype(np.uint8)
+    if filter_type == FILTER_PAETH:
+        prev16 = prev.astype(np.int16)
+        for i in range(n):
+            a = int(row[i - BPP]) if i >= BPP else 0
+            b = int(prev16[i])
+            c = int(prev16[i - BPP]) if i >= BPP else 0
+            p = a + b - c
+            pa, pb, pc = abs(p - a), abs(p - b), abs(p - c)
+            if pa <= pb and pa <= pc:
+                pred = a
+            elif pb <= pc:
+                pred = b
+            else:
+                pred = c
+            row[i] = (row[i] + pred) % 256
+        return row.astype(np.uint8)
+    raise ValueError(f"unknown filter type: {filter_type}")
+
+
+def choose_filter(row: np.ndarray, prev: np.ndarray) -> tuple[int, np.ndarray]:
+    """Pick the filter minimising sum of absolute residuals (MSAD heuristic).
+
+    This is the standard libpng heuristic: treat filtered bytes as
+    signed and pick the filter with minimal total magnitude, a cheap
+    proxy for DEFLATE-compressibility.
+    """
+    best_type = FILTER_NONE
+    best_row: np.ndarray | None = None
+    best_score: int | None = None
+    for filter_type in ALL_FILTERS:
+        candidate = apply_filter(filter_type, row, prev)
+        signed = candidate.astype(np.int16)
+        signed = np.where(signed > 127, 256 - signed, signed)
+        score = int(np.abs(signed).sum())
+        if best_score is None or score < best_score:
+            best_type, best_row, best_score = filter_type, candidate, score
+    assert best_row is not None
+    return best_type, best_row

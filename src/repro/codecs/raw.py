@@ -1,0 +1,38 @@
+"""Uncompressed RGBA codec — the baseline every compression is judged against."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .base import PT_RAW, CodecError, ImageCodec, _check_pixels
+
+_DIMS = struct.Struct("!II")
+
+
+class RawCodec(ImageCodec):
+    """Width/height header followed by raw RGBA bytes, row-major."""
+
+    payload_type = PT_RAW
+    name = "raw"
+    lossless = True
+
+    def encode(self, pixels: np.ndarray) -> bytes:
+        _check_pixels(pixels)
+        h, w = pixels.shape[:2]
+        return _DIMS.pack(w, h) + pixels.tobytes()
+
+    def decode(self, data: bytes) -> np.ndarray:
+        if len(data) < _DIMS.size:
+            raise CodecError("raw payload too short for dimensions")
+        w, h = _DIMS.unpack_from(data)
+        expected = w * h * 4
+        body = data[_DIMS.size :]
+        if len(body) != expected:
+            raise CodecError(
+                f"raw payload length {len(body)} != {expected} for {w}x{h}"
+            )
+        if w == 0 or h == 0:
+            raise CodecError("raw payload has empty dimensions")
+        return np.frombuffer(body, dtype=np.uint8).reshape(h, w, 4).copy()

@@ -1,0 +1,52 @@
+"""Zlib-compressed RGBA codec: raw scanlines through DEFLATE.
+
+Sits between raw and PNG in the codec spectrum — the PNG filter-stage
+ablation in ``bench_codecs.py`` compares against this to isolate how
+much PNG's per-row filters buy on screen content.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from .base import PT_ZLIB, CodecError, ImageCodec, _check_pixels
+
+_DIMS = struct.Struct("!II")
+
+
+class ZlibCodec(ImageCodec):
+    """DEFLATE over unfiltered RGBA scanlines."""
+
+    payload_type = PT_ZLIB
+    name = "zlib"
+    lossless = True
+
+    def __init__(self, level: int = 6) -> None:
+        if not 0 <= level <= 9:
+            raise CodecError(f"zlib level out of range: {level}")
+        self.level = level
+
+    def encode(self, pixels: np.ndarray) -> bytes:
+        _check_pixels(pixels)
+        h, w = pixels.shape[:2]
+        return _DIMS.pack(w, h) + zlib.compress(pixels.tobytes(), self.level)
+
+    def decode(self, data: bytes) -> np.ndarray:
+        if len(data) < _DIMS.size:
+            raise CodecError("zlib payload too short for dimensions")
+        w, h = _DIMS.unpack_from(data)
+        if w == 0 or h == 0:
+            raise CodecError("zlib payload has empty dimensions")
+        try:
+            body = zlib.decompress(data[_DIMS.size :])
+        except zlib.error as exc:
+            raise CodecError(f"zlib decompression failed: {exc}") from exc
+        expected = w * h * 4
+        if len(body) != expected:
+            raise CodecError(
+                f"decompressed length {len(body)} != {expected} for {w}x{h}"
+            )
+        return np.frombuffer(body, dtype=np.uint8).reshape(h, w, 4).copy()

@@ -1,0 +1,131 @@
+"""The paper's contribution: remoting and HIP RTP payload formats.
+
+Wire-exact implementations of every message in
+draft-boyaci-avt-app-sharing-00: the common remoting/HIP header
+(Figure 7), WindowManagerInfo, RegionUpdate with Table 2 fragmentation,
+MoveRectangle, MousePointerInfo, and the seven HIP messages with Java
+virtual keycodes.
+"""
+
+from .errors import FragmentationError, ProtocolError
+from .fragmentation import (
+    Fragment,
+    FragmentType,
+    ReassembledUpdate,
+    UpdateReassembler,
+    fragment_update,
+)
+from .header import (
+    COMMON_HEADER_LEN,
+    CommonHeader,
+    pack_update_parameter,
+    unpack_update_parameter,
+)
+from .hip import (
+    BUTTON_LEFT,
+    BUTTON_MIDDLE,
+    BUTTON_RIGHT,
+    WHEEL_NOTCH,
+    HipMessage,
+    KeyPressed,
+    KeyReleased,
+    KeyTyped,
+    MouseMoved,
+    MousePressed,
+    MouseReleased,
+    MouseWheelMoved,
+    decode_hip,
+    split_text_for_key_typed,
+)
+from .keycodes import (
+    KEYCODES,
+    MODIFIER_KEYCODES,
+    char_for_keycode,
+    is_modifier,
+    keycode_for_char,
+    keycode_name,
+)
+from .mouse_pointer import MousePointerInfo
+from .move_rectangle import MoveRectangle
+from .region_update import (
+    SPECIFIC_HEADER_LEN,
+    RegionUpdate,
+    encode_update_fragment,
+    parse_update_payload,
+)
+from .registry import (
+    MSG_KEY_PRESSED,
+    MSG_KEY_RELEASED,
+    MSG_KEY_TYPED,
+    MSG_MOUSE_MOVED,
+    MSG_MOUSE_POINTER_INFO,
+    MSG_MOUSE_PRESSED,
+    MSG_MOUSE_RELEASED,
+    MSG_MOUSE_WHEEL_MOVED,
+    MSG_MOVE_RECTANGLE,
+    MSG_REGION_UPDATE,
+    MSG_WINDOW_MANAGER_INFO,
+    MessageTypeRegistry,
+    RegistryEntry,
+    hip_registry,
+    remoting_registry,
+)
+from .window_info import WINDOW_RECORD_LEN, WindowManagerInfo, WindowRecord
+
+__all__ = [
+    "BUTTON_LEFT",
+    "BUTTON_MIDDLE",
+    "BUTTON_RIGHT",
+    "COMMON_HEADER_LEN",
+    "CommonHeader",
+    "Fragment",
+    "FragmentType",
+    "FragmentationError",
+    "HipMessage",
+    "KEYCODES",
+    "KeyPressed",
+    "KeyReleased",
+    "KeyTyped",
+    "MODIFIER_KEYCODES",
+    "MSG_KEY_PRESSED",
+    "MSG_KEY_RELEASED",
+    "MSG_KEY_TYPED",
+    "MSG_MOUSE_MOVED",
+    "MSG_MOUSE_POINTER_INFO",
+    "MSG_MOUSE_PRESSED",
+    "MSG_MOUSE_RELEASED",
+    "MSG_MOUSE_WHEEL_MOVED",
+    "MSG_MOVE_RECTANGLE",
+    "MSG_REGION_UPDATE",
+    "MSG_WINDOW_MANAGER_INFO",
+    "MessageTypeRegistry",
+    "MouseMoved",
+    "MousePointerInfo",
+    "MousePressed",
+    "MouseReleased",
+    "MouseWheelMoved",
+    "MoveRectangle",
+    "ProtocolError",
+    "ReassembledUpdate",
+    "RegionUpdate",
+    "RegistryEntry",
+    "SPECIFIC_HEADER_LEN",
+    "UpdateReassembler",
+    "WHEEL_NOTCH",
+    "WINDOW_RECORD_LEN",
+    "WindowManagerInfo",
+    "WindowRecord",
+    "char_for_keycode",
+    "decode_hip",
+    "encode_update_fragment",
+    "fragment_update",
+    "hip_registry",
+    "is_modifier",
+    "keycode_for_char",
+    "keycode_name",
+    "pack_update_parameter",
+    "parse_update_payload",
+    "remoting_registry",
+    "split_text_for_key_typed",
+    "unpack_update_parameter",
+]

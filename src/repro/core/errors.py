@@ -1,0 +1,11 @@
+"""Protocol-level exceptions for the remoting and HIP payload formats."""
+
+from __future__ import annotations
+
+
+class ProtocolError(Exception):
+    """Raised when a remoting/HIP message violates the wire format."""
+
+
+class FragmentationError(ProtocolError):
+    """Raised when a fragment sequence cannot be reassembled."""

@@ -1,0 +1,222 @@
+"""RegionUpdate fragmentation and reassembly (section 5.2.2, Table 2).
+
+A large update "will be carried in several RTP payloads".  Two bits
+describe the fragment type:
+
+    +------------+-----------------+-----------------------+
+    | Marker bit | FirstPacket bit | Fragment Type         |
+    +------------+-----------------+-----------------------+
+    |      1     |        1        | Not Fragmented        |
+    |      0     |        1        | Start Fragment        |
+    |      0     |        0        | Continuation Fragment |
+    |      1     |        0        | End Fragment          |
+    +------------+-----------------+-----------------------+
+
+All fragments of one update share an RTP timestamp (section 5.1.1), and
+the left/top specific header rides only in the first payload.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import FragmentationError
+from .header import COMMON_HEADER_LEN
+from .region_update import (
+    SPECIFIC_HEADER_LEN,
+    encode_update_fragment,
+    parse_update_payload,
+)
+from .registry import MSG_MOUSE_POINTER_INFO, MSG_REGION_UPDATE
+
+
+class FragmentType(enum.Enum):
+    """The four marker/FirstPacket combinations of Table 2."""
+
+    NOT_FRAGMENTED = (True, True)
+    START = (False, True)
+    CONTINUATION = (False, False)
+    END = (True, False)
+
+    @classmethod
+    def from_bits(cls, marker: bool, first_packet: bool) -> "FragmentType":
+        return cls((marker, first_packet))
+
+    @property
+    def marker(self) -> bool:
+        return self.value[0]
+
+    @property
+    def first_packet(self) -> bool:
+        return self.value[1]
+
+
+@dataclass(frozen=True, slots=True)
+class Fragment:
+    """One RTP payload of a (possibly multi-packet) update message."""
+
+    payload: bytes
+    marker: bool
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+def fragment_update(
+    message_type: int,
+    window_id: int,
+    content_pt: int,
+    left: int,
+    top: int,
+    data: bytes,
+    max_payload: int,
+) -> list[Fragment]:
+    """Split ``data`` into RTP payloads of at most ``max_payload`` bytes.
+
+    ``max_payload`` bounds the full RTP *payload* (common header +
+    optional specific header + chunk); the caller subtracts its RTP/UDP
+    overhead first.  Works for RegionUpdate and MousePointerInfo alike.
+    """
+    first_overhead = COMMON_HEADER_LEN + SPECIFIC_HEADER_LEN
+    cont_overhead = COMMON_HEADER_LEN
+    if max_payload <= first_overhead:
+        raise FragmentationError(
+            f"max_payload {max_payload} cannot fit the first-fragment headers"
+        )
+    first_budget = max_payload - first_overhead
+    cont_budget = max_payload - cont_overhead
+
+    chunks: list[bytes] = [data[:first_budget]]
+    offset = first_budget
+    while offset < len(data):
+        chunks.append(data[offset : offset + cont_budget])
+        offset += cont_budget
+
+    fragments: list[Fragment] = []
+    last = len(chunks) - 1
+    for index, chunk in enumerate(chunks):
+        first = index == 0
+        marker = index == last
+        payload = encode_update_fragment(
+            message_type,
+            window_id,
+            content_pt,
+            first_packet=first,
+            chunk=chunk,
+            left=left,
+            top=top,
+        )
+        fragments.append(Fragment(payload, marker))
+    return fragments
+
+
+@dataclass(frozen=True, slots=True)
+class ReassembledUpdate:
+    """A complete update rebuilt from its fragments."""
+
+    message_type: int
+    window_id: int
+    content_pt: int
+    left: int
+    top: int
+    data: bytes
+    timestamp: int
+    fragment_count: int
+
+
+class _Partial:
+    __slots__ = ("window_id", "content_pt", "left", "top", "chunks", "count")
+
+    def __init__(self, window_id: int, content_pt: int, left: int, top: int):
+        self.window_id = window_id
+        self.content_pt = content_pt
+        self.left = left
+        self.top = top
+        self.chunks: list[bytes] = []
+        self.count = 0
+
+
+class UpdateReassembler:
+    """Rebuilds multi-packet updates from in-order RTP arrivals.
+
+    The jitter buffer upstream guarantees sequence order; reassembly
+    groups by RTP timestamp ("If a RegionUpdate message occupies more
+    than one packet, the timestamp SHALL be the same for all of those
+    packets").  A new timestamp while a message is incomplete means
+    packets were lost — the partial update is dropped and counted, and
+    the caller may issue a NACK or PLI.
+    """
+
+    def __init__(self, message_type: int = MSG_REGION_UPDATE) -> None:
+        if message_type not in (MSG_REGION_UPDATE, MSG_MOUSE_POINTER_INFO):
+            raise FragmentationError(
+                f"reassembler only handles update-shaped types: {message_type}"
+            )
+        self.message_type = message_type
+        self._partial: _Partial | None = None
+        self._partial_timestamp: int | None = None
+        self.updates_dropped = 0
+
+    def push(self, payload: bytes, marker: bool,
+             timestamp: int) -> ReassembledUpdate | None:
+        """Feed one RTP payload; returns a completed update when ready."""
+        header, first, content_pt, (left, top, chunk) = parse_update_payload(
+            payload, self.message_type
+        )
+        fragment_type = FragmentType.from_bits(marker, first)
+
+        if self._partial is not None and (
+            timestamp != self._partial_timestamp or first
+        ):
+            # Lost the tail of the previous update.
+            self._drop_partial()
+
+        if fragment_type is FragmentType.NOT_FRAGMENTED:
+            return ReassembledUpdate(
+                self.message_type, header.window_id, content_pt,
+                left, top, chunk, timestamp, 1,
+            )
+
+        if fragment_type is FragmentType.START:
+            partial = _Partial(header.window_id, content_pt, left, top)
+            partial.chunks.append(chunk)
+            partial.count = 1
+            self._partial = partial
+            self._partial_timestamp = timestamp
+            return None
+
+        # Continuation or End: must extend an open partial.
+        if self._partial is None or timestamp != self._partial_timestamp:
+            self.updates_dropped += 1
+            return None  # orphan fragment — its start was lost
+        if header.window_id != self._partial.window_id:
+            self._drop_partial()
+            return None
+        self._partial.chunks.append(chunk)
+        self._partial.count += 1
+        if fragment_type is FragmentType.END:
+            partial = self._partial
+            self._partial = None
+            self._partial_timestamp = None
+            return ReassembledUpdate(
+                self.message_type,
+                partial.window_id,
+                partial.content_pt,
+                partial.left,
+                partial.top,
+                b"".join(partial.chunks),
+                timestamp,
+                partial.count,
+            )
+        return None
+
+    def _drop_partial(self) -> None:
+        self._partial = None
+        self._partial_timestamp = None
+        self.updates_dropped += 1
+
+    @property
+    def has_partial(self) -> bool:
+        return self._partial is not None

@@ -1,0 +1,70 @@
+"""The common remoting/HIP header (Figure 7) and its RegionUpdate variant.
+
+Every remoting and HIP message starts with the same 32-bit header:
+
+     0                   1                   2                   3
+     0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+    |  Msg Type     |    Parameter  |          WindowID             |
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+
+For RegionUpdate and MousePointerInfo the 8-bit parameter packs the
+FirstPacket bit (MSB) and a 7-bit content payload type (Figure 10).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .errors import ProtocolError
+
+COMMON_HEADER_LEN = 4
+MAX_WINDOW_ID = 0xFFFF
+MAX_PARAMETER = 0xFF
+MAX_CONTENT_PT = 0x7F
+
+_HEADER = struct.Struct("!BBH")
+
+
+@dataclass(frozen=True, slots=True)
+class CommonHeader:
+    """Msg Type, Parameter, WindowID — the first 4 payload bytes."""
+
+    message_type: int
+    parameter: int
+    window_id: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.message_type <= 0xFF:
+            raise ProtocolError(f"msg type out of range: {self.message_type}")
+        if not 0 <= self.parameter <= MAX_PARAMETER:
+            raise ProtocolError(f"parameter out of range: {self.parameter}")
+        if not 0 <= self.window_id <= MAX_WINDOW_ID:
+            raise ProtocolError(f"windowID out of range: {self.window_id}")
+
+    def encode(self) -> bytes:
+        return _HEADER.pack(self.message_type, self.parameter, self.window_id)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CommonHeader":
+        if len(data) < COMMON_HEADER_LEN:
+            raise ProtocolError(
+                f"payload too short for common header: {len(data)} bytes"
+            )
+        msg_type, parameter, window_id = _HEADER.unpack_from(data)
+        return cls(msg_type, parameter, window_id)
+
+
+def pack_update_parameter(first_packet: bool, content_pt: int) -> int:
+    """Pack the F bit and 7-bit content PT into the parameter byte."""
+    if not 0 <= content_pt <= MAX_CONTENT_PT:
+        raise ProtocolError(f"content payload type out of range: {content_pt}")
+    return (0x80 if first_packet else 0x00) | content_pt
+
+
+def unpack_update_parameter(parameter: int) -> tuple[bool, int]:
+    """Split a RegionUpdate/MousePointerInfo parameter byte into (F, PT)."""
+    if not 0 <= parameter <= MAX_PARAMETER:
+        raise ProtocolError(f"parameter out of range: {parameter}")
+    return bool(parameter & 0x80), parameter & 0x7F

@@ -1,0 +1,331 @@
+"""Human Interface Protocol messages (section 6, Figures 13-19).
+
+Seven participant-to-AH messages carried as RTP with their own payload
+type: MousePressed, MouseReleased, MouseMoved, MouseWheelMoved,
+KeyPressed, KeyReleased, KeyTyped.  All share the common remoting/HIP
+header; the WindowID names "the window that had keyboard or mouse
+focus".
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import ClassVar
+
+from .errors import ProtocolError
+from .header import COMMON_HEADER_LEN, CommonHeader
+from .registry import (
+    MSG_KEY_PRESSED,
+    MSG_KEY_RELEASED,
+    MSG_KEY_TYPED,
+    MSG_MOUSE_MOVED,
+    MSG_MOUSE_PRESSED,
+    MSG_MOUSE_RELEASED,
+    MSG_MOUSE_WHEEL_MOVED,
+)
+
+_POS = struct.Struct("!II")
+_POS_DIST = struct.Struct("!IIi")  # wheel distance is 2's-complement signed
+_KEYCODE = struct.Struct("!I")
+
+#: Mouse button values carried in the parameter byte (sections 6.2/6.3).
+BUTTON_LEFT = 1
+BUTTON_RIGHT = 2
+BUTTON_MIDDLE = 3
+
+#: "the 'distance' field carries each notch as 120" (section 6.5).
+WHEEL_NOTCH = 120
+
+MAX_U32 = 0xFFFF_FFFF
+
+
+def _check_window_id(window_id: int) -> None:
+    if not 0 <= window_id <= 0xFFFF:
+        raise ProtocolError(f"windowID out of range: {window_id}")
+
+
+def _check_coords(left: int, top: int) -> None:
+    if not 0 <= left <= MAX_U32 or not 0 <= top <= MAX_U32:
+        raise ProtocolError(f"coordinates out of range: {left},{top}")
+
+
+class HipMessage:
+    """Shared behaviour for the seven HIP message dataclasses."""
+
+    MESSAGE_TYPE: ClassVar[int]
+
+    def encode(self) -> bytes:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class _MouseButtonEvent(HipMessage):
+    """Common shape of MousePressed/MouseReleased (Figures 13/14)."""
+
+    window_id: int
+    button: int
+    left: int
+    top: int
+
+    def __post_init__(self) -> None:
+        _check_window_id(self.window_id)
+        _check_coords(self.left, self.top)
+        if not 0 <= self.button <= 0xFF:
+            raise ProtocolError(f"button value out of range: {self.button}")
+
+    def encode(self) -> bytes:
+        header = CommonHeader(self.MESSAGE_TYPE, self.button, self.window_id)
+        return header.encode() + _POS.pack(self.left, self.top)
+
+    @classmethod
+    def _decode(cls, payload: bytes):
+        header = CommonHeader.decode(payload)
+        if header.message_type != cls.MESSAGE_TYPE:
+            raise ProtocolError(
+                f"expected type {cls.MESSAGE_TYPE}, got {header.message_type}"
+            )
+        body = payload[COMMON_HEADER_LEN:]
+        if len(body) != _POS.size:
+            raise ProtocolError(f"mouse event body must be 8 bytes, got {len(body)}")
+        left, top = _POS.unpack(body)
+        return cls(header.window_id, header.parameter, left, top)
+
+
+@dataclass(frozen=True, slots=True)
+class MousePressed(_MouseButtonEvent):
+    """Generate a mouse-pressed event at screen coordinates (section 6.2)."""
+
+    MESSAGE_TYPE = MSG_MOUSE_PRESSED
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "MousePressed":
+        return cls._decode(payload)
+
+
+@dataclass(frozen=True, slots=True)
+class MouseReleased(_MouseButtonEvent):
+    """Generate a mouse-released event at screen coordinates (section 6.3)."""
+
+    MESSAGE_TYPE = MSG_MOUSE_RELEASED
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "MouseReleased":
+        return cls._decode(payload)
+
+
+@dataclass(frozen=True, slots=True)
+class MouseMoved(HipMessage):
+    """Move the AH pointer to the given coordinates (section 6.4)."""
+
+    window_id: int
+    left: int
+    top: int
+
+    MESSAGE_TYPE = MSG_MOUSE_MOVED
+
+    def __post_init__(self) -> None:
+        _check_window_id(self.window_id)
+        _check_coords(self.left, self.top)
+
+    def encode(self) -> bytes:
+        header = CommonHeader(self.MESSAGE_TYPE, 0, self.window_id)
+        return header.encode() + _POS.pack(self.left, self.top)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "MouseMoved":
+        header = CommonHeader.decode(payload)
+        if header.message_type != cls.MESSAGE_TYPE:
+            raise ProtocolError(
+                f"expected type {cls.MESSAGE_TYPE}, got {header.message_type}"
+            )
+        body = payload[COMMON_HEADER_LEN:]
+        if len(body) != _POS.size:
+            raise ProtocolError(f"MouseMoved body must be 8 bytes, got {len(body)}")
+        left, top = _POS.unpack(body)
+        return cls(header.window_id, left, top)
+
+
+@dataclass(frozen=True, slots=True)
+class MouseWheelMoved(HipMessage):
+    """Wheel rotation at given coordinates (section 6.5).
+
+    ``distance`` is ``120 * notches``; positive = away from the user,
+    negative values on the wire use two's complement.
+    """
+
+    window_id: int
+    left: int
+    top: int
+    distance: int
+
+    MESSAGE_TYPE = MSG_MOUSE_WHEEL_MOVED
+
+    def __post_init__(self) -> None:
+        _check_window_id(self.window_id)
+        _check_coords(self.left, self.top)
+        if not -(1 << 31) <= self.distance < (1 << 31):
+            raise ProtocolError(f"wheel distance out of i32: {self.distance}")
+
+    @property
+    def notches(self) -> float:
+        """Rotation in notch units (may be fractional for smooth wheels)."""
+        return self.distance / WHEEL_NOTCH
+
+    def encode(self) -> bytes:
+        header = CommonHeader(self.MESSAGE_TYPE, 0, self.window_id)
+        return header.encode() + _POS_DIST.pack(self.left, self.top, self.distance)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "MouseWheelMoved":
+        header = CommonHeader.decode(payload)
+        if header.message_type != cls.MESSAGE_TYPE:
+            raise ProtocolError(
+                f"expected type {cls.MESSAGE_TYPE}, got {header.message_type}"
+            )
+        body = payload[COMMON_HEADER_LEN:]
+        if len(body) != _POS_DIST.size:
+            raise ProtocolError(
+                f"MouseWheelMoved body must be 12 bytes, got {len(body)}"
+            )
+        left, top, distance = _POS_DIST.unpack(body)
+        return cls(header.window_id, left, top, distance)
+
+
+@dataclass(frozen=True, slots=True)
+class _KeyEvent(HipMessage):
+    """Common shape of KeyPressed/KeyReleased (Figures 17/18)."""
+
+    window_id: int
+    keycode: int
+
+    def __post_init__(self) -> None:
+        _check_window_id(self.window_id)
+        if not 0 <= self.keycode <= MAX_U32:
+            raise ProtocolError(f"keycode out of u32 range: {self.keycode}")
+
+    def encode(self) -> bytes:
+        header = CommonHeader(self.MESSAGE_TYPE, 0, self.window_id)
+        return header.encode() + _KEYCODE.pack(self.keycode)
+
+    @classmethod
+    def _decode(cls, payload: bytes):
+        header = CommonHeader.decode(payload)
+        if header.message_type != cls.MESSAGE_TYPE:
+            raise ProtocolError(
+                f"expected type {cls.MESSAGE_TYPE}, got {header.message_type}"
+            )
+        body = payload[COMMON_HEADER_LEN:]
+        if len(body) != _KEYCODE.size:
+            raise ProtocolError(f"key event body must be 4 bytes, got {len(body)}")
+        (keycode,) = _KEYCODE.unpack(body)
+        return cls(header.window_id, keycode)
+
+
+@dataclass(frozen=True, slots=True)
+class KeyPressed(_KeyEvent):
+    """Generate a key-pressed event for a Java VK code (section 6.6)."""
+
+    MESSAGE_TYPE = MSG_KEY_PRESSED
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "KeyPressed":
+        return cls._decode(payload)
+
+
+@dataclass(frozen=True, slots=True)
+class KeyReleased(_KeyEvent):
+    """Generate a key-released event (section 6.7).
+
+    "A KeyReleased event for a key without a prior KeyPressed event
+    for this key is acceptable."
+    """
+
+    MESSAGE_TYPE = MSG_KEY_RELEASED
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "KeyReleased":
+        return cls._decode(payload)
+
+
+@dataclass(frozen=True, slots=True)
+class KeyTyped(HipMessage):
+    """Inject UTF-8 text into the AH input queue (section 6.8).
+
+    "There is no padding for the UTF-8 string.  The participant MUST
+    send more than one KeyTyped message if the string does not fit into
+    a single KeyTyped packet" — see :func:`split_text_for_key_typed`.
+    """
+
+    window_id: int
+    text: str
+
+    MESSAGE_TYPE = MSG_KEY_TYPED
+
+    def __post_init__(self) -> None:
+        _check_window_id(self.window_id)
+
+    def encode(self) -> bytes:
+        header = CommonHeader(self.MESSAGE_TYPE, 0, self.window_id)
+        return header.encode() + self.text.encode("utf-8")
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "KeyTyped":
+        header = CommonHeader.decode(payload)
+        if header.message_type != cls.MESSAGE_TYPE:
+            raise ProtocolError(
+                f"expected type {cls.MESSAGE_TYPE}, got {header.message_type}"
+            )
+        raw = payload[COMMON_HEADER_LEN:]
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"KeyTyped carries invalid UTF-8: {exc}") from exc
+        return cls(header.window_id, text)
+
+
+def split_text_for_key_typed(
+    window_id: int, text: str, max_payload: int
+) -> list[KeyTyped]:
+    """Split ``text`` into KeyTyped messages whose payloads fit ``max_payload``.
+
+    Splits on code-point boundaries only — a UTF-8 sequence is never
+    torn across packets, keeping every message independently decodable.
+    """
+    budget = max_payload - COMMON_HEADER_LEN
+    if budget < 4:  # must fit any single UTF-8 code point
+        raise ProtocolError(f"max_payload too small for KeyTyped: {max_payload}")
+    messages: list[KeyTyped] = []
+    chunk: list[str] = []
+    chunk_bytes = 0
+    for ch in text:
+        ch_len = len(ch.encode("utf-8"))
+        if chunk and chunk_bytes + ch_len > budget:
+            messages.append(KeyTyped(window_id, "".join(chunk)))
+            chunk, chunk_bytes = [], 0
+        chunk.append(ch)
+        chunk_bytes += ch_len
+    if chunk or not messages:
+        messages.append(KeyTyped(window_id, "".join(chunk)))
+    return messages
+
+
+#: Decoder dispatch for all seven HIP message types.
+_HIP_DECODERS = {
+    MSG_MOUSE_PRESSED: MousePressed.decode,
+    MSG_MOUSE_RELEASED: MouseReleased.decode,
+    MSG_MOUSE_MOVED: MouseMoved.decode,
+    MSG_MOUSE_WHEEL_MOVED: MouseWheelMoved.decode,
+    MSG_KEY_PRESSED: KeyPressed.decode,
+    MSG_KEY_RELEASED: KeyReleased.decode,
+    MSG_KEY_TYPED: KeyTyped.decode,
+}
+
+
+def decode_hip(payload: bytes) -> HipMessage | None:
+    """Decode any HIP payload; unknown types return ``None`` (MAY ignore)."""
+    header = CommonHeader.decode(payload)
+    decoder = _HIP_DECODERS.get(header.message_type)
+    if decoder is None:
+        return None
+    return decoder(payload)

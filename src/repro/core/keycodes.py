@@ -1,0 +1,231 @@
+"""Java virtual key codes (the [keycodes] reference).
+
+"For keyboard events publicly available Java virtual key codes are
+used" (section 4.2) — the ``VK_*`` constants from OpenJDK's
+``KeyEvent.java``.  This table covers the printable ASCII range,
+modifiers, navigation, function and keypad keys; :func:`keycode_name`
+and :func:`char_for_keycode` provide both lookup directions.
+"""
+
+from __future__ import annotations
+
+VK_ENTER = 0x0A
+VK_BACK_SPACE = 0x08
+VK_TAB = 0x09
+VK_CANCEL = 0x03
+VK_CLEAR = 0x0C
+VK_SHIFT = 0x10
+VK_CONTROL = 0x11
+VK_ALT = 0x12
+VK_PAUSE = 0x13
+VK_CAPS_LOCK = 0x14
+VK_ESCAPE = 0x1B
+VK_SPACE = 0x20
+VK_PAGE_UP = 0x21
+VK_PAGE_DOWN = 0x22
+VK_END = 0x23
+VK_HOME = 0x24
+VK_LEFT = 0x25
+VK_UP = 0x26
+VK_RIGHT = 0x27
+VK_DOWN = 0x28
+VK_COMMA = 0x2C
+VK_MINUS = 0x2D
+VK_PERIOD = 0x2E
+VK_SLASH = 0x2F
+
+VK_0 = 0x30
+VK_1 = 0x31
+VK_2 = 0x32
+VK_3 = 0x33
+VK_4 = 0x34
+VK_5 = 0x35
+VK_6 = 0x36
+VK_7 = 0x37
+VK_8 = 0x38
+VK_9 = 0x39
+
+VK_SEMICOLON = 0x3B
+VK_EQUALS = 0x3D
+
+VK_A = 0x41
+VK_B = 0x42
+VK_C = 0x43
+VK_D = 0x44
+VK_E = 0x45
+VK_F = 0x46
+VK_G = 0x47
+VK_H = 0x48
+VK_I = 0x49
+VK_J = 0x4A
+VK_K = 0x4B
+VK_L = 0x4C
+VK_M = 0x4D
+VK_N = 0x4E
+VK_O = 0x4F
+VK_P = 0x50
+VK_Q = 0x51
+VK_R = 0x52
+VK_S = 0x53
+VK_T = 0x54
+VK_U = 0x55
+VK_V = 0x56
+VK_W = 0x57
+VK_X = 0x58
+VK_Y = 0x59
+VK_Z = 0x5A
+
+VK_OPEN_BRACKET = 0x5B
+VK_BACK_SLASH = 0x5C
+VK_CLOSE_BRACKET = 0x5D
+
+VK_NUMPAD0 = 0x60
+VK_NUMPAD1 = 0x61
+VK_NUMPAD2 = 0x62
+VK_NUMPAD3 = 0x63
+VK_NUMPAD4 = 0x64
+VK_NUMPAD5 = 0x65
+VK_NUMPAD6 = 0x66
+VK_NUMPAD7 = 0x67
+VK_NUMPAD8 = 0x68
+VK_NUMPAD9 = 0x69
+VK_MULTIPLY = 0x6A
+VK_ADD = 0x6B
+VK_SEPARATOR = 0x6C
+VK_SUBTRACT = 0x6D
+VK_DECIMAL = 0x6E
+VK_DIVIDE = 0x6F
+
+#: "F1 key is defined as 'int VK_F1 = 0x70;' in KeyEvent.java."
+VK_F1 = 0x70
+VK_F2 = 0x71
+VK_F3 = 0x72
+VK_F4 = 0x73
+VK_F5 = 0x74
+VK_F6 = 0x75
+VK_F7 = 0x76
+VK_F8 = 0x77
+VK_F9 = 0x78
+VK_F10 = 0x79
+VK_F11 = 0x7A
+VK_F12 = 0x7B
+
+VK_DELETE = 0x7F
+VK_NUM_LOCK = 0x90
+VK_SCROLL_LOCK = 0x91
+VK_PRINTSCREEN = 0x9A
+VK_INSERT = 0x9B
+VK_HELP = 0x9C
+VK_META = 0x9D
+VK_BACK_QUOTE = 0xC0
+VK_QUOTE = 0xDE
+VK_WINDOWS = 0x020C
+VK_CONTEXT_MENU = 0x020D
+VK_UNDEFINED = 0x0
+
+#: All VK_* constants by name, built once from module globals.
+KEYCODES: dict[str, int] = {
+    name: value for name, value in list(globals().items())
+    if name.startswith("VK_") and isinstance(value, int)
+}
+
+_NAME_BY_CODE: dict[int, str] = {}
+for _name, _value in sorted(KEYCODES.items()):
+    _NAME_BY_CODE.setdefault(_value, _name)
+
+#: Modifier keys that never produce characters on their own.
+MODIFIER_KEYCODES = frozenset(
+    {VK_SHIFT, VK_CONTROL, VK_ALT, VK_META, VK_CAPS_LOCK}
+)
+
+
+def keycode_name(keycode: int) -> str:
+    """The ``VK_*`` name for a keycode, or ``VK_UNDEFINED(<n>)``."""
+    name = _NAME_BY_CODE.get(keycode)
+    return name if name is not None else f"VK_UNDEFINED({keycode:#x})"
+
+
+def is_modifier(keycode: int) -> bool:
+    return keycode in MODIFIER_KEYCODES
+
+
+def keycode_for_char(ch: str) -> int | None:
+    """The VK code a plain (unshifted) key press for ``ch`` would use.
+
+    Letters map regardless of case (Java VK codes are case-blind; case
+    comes from VK_SHIFT state).  Returns ``None`` for characters that
+    need KeyTyped delivery instead (e.g. anything non-ASCII).
+    """
+    if len(ch) != 1:
+        raise ValueError("keycode_for_char takes a single character")
+    upper = ch.upper()
+    if "A" <= upper <= "Z" or "0" <= ch <= "9":
+        return ord(upper)
+    direct = {
+        "\n": VK_ENTER,
+        "\t": VK_TAB,
+        "\b": VK_BACK_SPACE,
+        " ": VK_SPACE,
+        ",": VK_COMMA,
+        "-": VK_MINUS,
+        ".": VK_PERIOD,
+        "/": VK_SLASH,
+        ";": VK_SEMICOLON,
+        "=": VK_EQUALS,
+        "[": VK_OPEN_BRACKET,
+        "\\": VK_BACK_SLASH,
+        "]": VK_CLOSE_BRACKET,
+        "`": VK_BACK_QUOTE,
+        "'": VK_QUOTE,
+    }
+    return direct.get(ch)
+
+
+def char_for_keycode(keycode: int, shift: bool = False) -> str | None:
+    """The character a key press would type on a US layout, or ``None``.
+
+    Inverse of :func:`keycode_for_char` plus the shifted variants —
+    used by the AH's event regenerator to turn KeyPressed sequences
+    back into text for the shared application.
+    """
+    if VK_A <= keycode <= VK_Z:
+        ch = chr(keycode)
+        return ch if shift else ch.lower()
+    if VK_0 <= keycode <= VK_9:
+        if shift:
+            return ")!@#$%^&*("[keycode - VK_0]
+        return chr(keycode)
+    if VK_NUMPAD0 <= keycode <= VK_NUMPAD9:
+        return chr(ord("0") + keycode - VK_NUMPAD0)
+    plain = {
+        VK_ENTER: "\n",
+        VK_TAB: "\t",
+        VK_SPACE: " ",
+        VK_COMMA: ",",
+        VK_MINUS: "-",
+        VK_PERIOD: ".",
+        VK_SLASH: "/",
+        VK_SEMICOLON: ";",
+        VK_EQUALS: "=",
+        VK_OPEN_BRACKET: "[",
+        VK_BACK_SLASH: "\\",
+        VK_CLOSE_BRACKET: "]",
+        VK_BACK_QUOTE: "`",
+        VK_QUOTE: "'",
+    }
+    shifted = {
+        VK_COMMA: "<",
+        VK_MINUS: "_",
+        VK_PERIOD: ">",
+        VK_SLASH: "?",
+        VK_SEMICOLON: ":",
+        VK_EQUALS: "+",
+        VK_OPEN_BRACKET: "{",
+        VK_BACK_SLASH: "|",
+        VK_CLOSE_BRACKET: "}",
+        VK_BACK_QUOTE: "~",
+        VK_QUOTE: '"',
+    }
+    if shift and keycode in shifted:
+        return shifted[keycode]
+    return plain.get(keycode)

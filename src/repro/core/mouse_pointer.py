@@ -1,0 +1,70 @@
+"""MousePointerInfo (section 5.2.4): explicit pointer position and icon.
+
+"The format of this message is same as RegionUpdate message ... except
+they have different message types.  The payload of MousePointerInfo
+message can be only the left and top coordinates" — a position-only
+move — "[or] MAY carry both the left and top coordinates and the new
+image of the mouse pointer", after which "the participant MUST store
+and use this image until a new image arrives".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ProtocolError
+from .region_update import encode_update_fragment, parse_update_payload
+from .registry import MSG_MOUSE_POINTER_INFO
+
+
+@dataclass(frozen=True, slots=True)
+class MousePointerInfo:
+    """Pointer position, optionally with a new encoded pointer image.
+
+    ``image_data`` empty ⇒ position-only: the participant moves the
+    stored pointer image.  Non-empty ⇒ the payload also replaces the
+    stored image (``content_pt`` names the image codec).
+    """
+
+    window_id: int
+    left: int
+    top: int
+    content_pt: int = 0
+    image_data: bytes = b""
+
+    MESSAGE_TYPE = MSG_MOUSE_POINTER_INFO
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.window_id <= 0xFFFF:
+            raise ProtocolError(f"windowID out of range: {self.window_id}")
+        if not 0 <= self.left <= 0xFFFF_FFFF or not 0 <= self.top <= 0xFFFF_FFFF:
+            raise ProtocolError(
+                f"pointer coordinates out of range: {self.left},{self.top}"
+            )
+        if not 0 <= self.content_pt <= 0x7F:
+            raise ProtocolError(f"content PT out of range: {self.content_pt}")
+
+    @property
+    def has_image(self) -> bool:
+        return bool(self.image_data)
+
+    def encode_single(self) -> bytes:
+        """Encode as one unfragmented RTP payload (F=1)."""
+        return encode_update_fragment(
+            self.MESSAGE_TYPE,
+            self.window_id,
+            self.content_pt,
+            first_packet=True,
+            chunk=self.image_data,
+            left=self.left,
+            top=self.top,
+        )
+
+    @classmethod
+    def decode_single(cls, payload: bytes) -> "MousePointerInfo":
+        header, first, pt, (left, top, data) = parse_update_payload(
+            payload, cls.MESSAGE_TYPE
+        )
+        if not first:
+            raise ProtocolError("decode_single on a continuation fragment")
+        return cls(header.window_id, left, top, pt, data)

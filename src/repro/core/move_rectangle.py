@@ -1,0 +1,85 @@
+"""MoveRectangle (section 5.2.3): copy a window region to a new place.
+
+"The MoveRectangle message instructs the participant to move the
+specified region of a window to a new position. ... Source and
+destination rectangles may overlap."  Efficient for scrolls: one 28-byte
+message replaces re-encoding the scrolled pixels.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .errors import ProtocolError
+from .header import COMMON_HEADER_LEN, CommonHeader
+from .registry import MSG_MOVE_RECTANGLE
+
+_BODY = struct.Struct("!IIIIII")
+MAX_U32 = 0xFFFF_FFFF
+
+
+@dataclass(frozen=True, slots=True)
+class MoveRectangle:
+    """Figure 12: source rect + destination origin, all u32 pixels."""
+
+    window_id: int
+    source_left: int
+    source_top: int
+    width: int
+    height: int
+    dest_left: int
+    dest_top: int
+
+    MESSAGE_TYPE = MSG_MOVE_RECTANGLE
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.window_id <= 0xFFFF:
+            raise ProtocolError(f"windowID out of range: {self.window_id}")
+        for label, value in (
+            ("source_left", self.source_left),
+            ("source_top", self.source_top),
+            ("width", self.width),
+            ("height", self.height),
+            ("dest_left", self.dest_left),
+            ("dest_top", self.dest_top),
+        ):
+            if not 0 <= value <= MAX_U32:
+                raise ProtocolError(f"{label} out of u32 range: {value}")
+
+    def encode(self) -> bytes:
+        header = CommonHeader(self.MESSAGE_TYPE, 0, self.window_id)
+        return header.encode() + _BODY.pack(
+            self.source_left,
+            self.source_top,
+            self.width,
+            self.height,
+            self.dest_left,
+            self.dest_top,
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "MoveRectangle":
+        header = CommonHeader.decode(payload)
+        if header.message_type != MSG_MOVE_RECTANGLE:
+            raise ProtocolError(
+                f"not a MoveRectangle payload: type {header.message_type}"
+            )
+        body = payload[COMMON_HEADER_LEN:]
+        if len(body) != _BODY.size:
+            raise ProtocolError(
+                f"MoveRectangle body must be {_BODY.size} bytes, got {len(body)}"
+            )
+        src_left, src_top, width, height, dst_left, dst_top = _BODY.unpack(body)
+        return cls(
+            header.window_id, src_left, src_top, width, height, dst_left, dst_top
+        )
+
+    def overlaps(self) -> bool:
+        """True when source and destination rectangles overlap."""
+        return (
+            self.source_left < self.dest_left + self.width
+            and self.dest_left < self.source_left + self.width
+            and self.source_top < self.dest_top + self.height
+            and self.dest_top < self.source_top + self.height
+        )

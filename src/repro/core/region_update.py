@@ -1,0 +1,124 @@
+"""RegionUpdate (section 5.2.2): ship new pixels for a window region.
+
+The common header's parameter byte packs the FirstPacket bit and the
+content payload type (Figure 10).  The message-specific header — left
+and top, two unsigned 32-bit words — appears **only in the first RTP
+payload** of a fragmented update; width/height travel inside the encoded
+image itself ("The width and height of the RegionUpdate is not
+transmitted explicitly by this protocol").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .errors import ProtocolError
+from .header import (
+    COMMON_HEADER_LEN,
+    CommonHeader,
+    pack_update_parameter,
+    unpack_update_parameter,
+)
+from .registry import MSG_MOUSE_POINTER_INFO, MSG_REGION_UPDATE
+
+_COORDS = struct.Struct("!II")
+#: Specific header present only in first fragments.
+SPECIFIC_HEADER_LEN = _COORDS.size
+MAX_U32 = 0xFFFF_FFFF
+
+
+@dataclass(frozen=True, slots=True)
+class RegionUpdate:
+    """A complete (unfragmented view of a) region update.
+
+    ``content_pt`` names the image codec (7-bit payload type); ``data``
+    is the codec bitstream.  Fragmentation into RTP-sized pieces is the
+    fragmenter's job (:mod:`repro.core.fragmentation`).
+    """
+
+    window_id: int
+    left: int
+    top: int
+    content_pt: int
+    data: bytes
+
+    MESSAGE_TYPE = MSG_REGION_UPDATE
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.window_id <= 0xFFFF:
+            raise ProtocolError(f"windowID out of range: {self.window_id}")
+        if not 0 <= self.left <= MAX_U32 or not 0 <= self.top <= MAX_U32:
+            raise ProtocolError(f"coordinates out of range: {self.left},{self.top}")
+        if not 0 <= self.content_pt <= 0x7F:
+            raise ProtocolError(f"content PT out of range: {self.content_pt}")
+
+    # -- Single-packet form (F=1, marker=1) --------------------------------
+
+    def encode_single(self) -> bytes:
+        """Encode as one non-fragmented RTP payload (Figure 11)."""
+        header = CommonHeader(
+            self.MESSAGE_TYPE,
+            pack_update_parameter(True, self.content_pt),
+            self.window_id,
+        )
+        return header.encode() + _COORDS.pack(self.left, self.top) + self.data
+
+    @classmethod
+    def decode_single(cls, payload: bytes) -> "RegionUpdate":
+        header, first, pt, body = parse_update_payload(payload, cls.MESSAGE_TYPE)
+        if not first:
+            raise ProtocolError("decode_single on a continuation fragment")
+        left, top, data = body
+        return cls(header.window_id, left, top, pt, data)
+
+
+def parse_update_payload(
+    payload: bytes, expected_type: int
+) -> tuple[CommonHeader, bool, int, tuple[int, int, bytes]]:
+    """Parse a RegionUpdate-shaped payload (also used by MousePointerInfo).
+
+    Returns ``(common_header, first_packet, content_pt, (left, top, data))``.
+    For continuation fragments (F=0), left/top are reported as 0 and the
+    body is everything after the common header.
+    """
+    header = CommonHeader.decode(payload)
+    if header.message_type != expected_type:
+        raise ProtocolError(
+            f"expected message type {expected_type}, got {header.message_type}"
+        )
+    first, content_pt = unpack_update_parameter(header.parameter)
+    rest = payload[COMMON_HEADER_LEN:]
+    if first:
+        if len(rest) < SPECIFIC_HEADER_LEN:
+            raise ProtocolError("first fragment missing left/top header")
+        left, top = _COORDS.unpack_from(rest)
+        return header, True, content_pt, (left, top, rest[SPECIFIC_HEADER_LEN:])
+    return header, False, content_pt, (0, 0, rest)
+
+
+def encode_update_fragment(
+    message_type: int,
+    window_id: int,
+    content_pt: int,
+    first_packet: bool,
+    chunk: bytes,
+    left: int = 0,
+    top: int = 0,
+) -> bytes:
+    """Encode one fragment payload of a RegionUpdate/MousePointerInfo.
+
+    First fragments carry the left/top specific header; continuation
+    fragments carry only the 32-bit common header before the data
+    ("All the payloads will carry the 32 bit common remoting/HIP
+    header, while left and top fields are carried only in the first RTP
+    payload").
+    """
+    if message_type not in (MSG_REGION_UPDATE, MSG_MOUSE_POINTER_INFO):
+        raise ProtocolError(f"not an update-shaped message type: {message_type}")
+    header = CommonHeader(
+        message_type, pack_update_parameter(first_packet, content_pt), window_id
+    )
+    if first_packet:
+        return header.encode() + _COORDS.pack(left, top) + chunk
+    return header.encode() + chunk

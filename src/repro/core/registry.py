@@ -1,0 +1,95 @@
+"""Message-type values and the IANA-style extension registries.
+
+Reproduces Table 1 (remoting message types), Table 3/5 (HIP message
+types) and the section 9 registry model: values are registered with a
+name and reference, unknown remoting/HIP types "MAY [be] ignore[d]" by
+participants, and re-registration of an assigned value is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ProtocolError
+
+# -- Table 1: Remoting protocol message types ---------------------------
+
+MSG_WINDOW_MANAGER_INFO = 1
+MSG_REGION_UPDATE = 2
+MSG_MOVE_RECTANGLE = 3
+MSG_MOUSE_POINTER_INFO = 4
+
+# -- Table 3: HIP message types ------------------------------------------
+
+MSG_MOUSE_PRESSED = 121
+MSG_MOUSE_RELEASED = 122
+MSG_MOUSE_MOVED = 123
+MSG_MOUSE_WHEEL_MOVED = 124
+MSG_KEY_PRESSED = 125
+MSG_KEY_RELEASED = 126
+MSG_KEY_TYPED = 127
+
+#: Msg Type is an 8-bit identifier (section 5.1.2).
+MAX_MESSAGE_TYPE = 0xFF
+
+
+@dataclass(frozen=True, slots=True)
+class RegistryEntry:
+    """One registered message type: value, name, defining reference."""
+
+    value: int
+    name: str
+    reference: str
+
+
+class MessageTypeRegistry:
+    """A section 9 subregistry ("Specification Required" policy)."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self._entries: dict[int, RegistryEntry] = {}
+
+    def register(self, value: int, name: str, reference: str) -> RegistryEntry:
+        if not 0 <= value <= MAX_MESSAGE_TYPE:
+            raise ProtocolError(f"message type out of 8-bit range: {value}")
+        if value in self._entries:
+            raise ProtocolError(
+                f"{self.title}: value {value} already assigned to "
+                f"{self._entries[value].name}"
+            )
+        entry = RegistryEntry(value, name, reference)
+        self._entries[value] = entry
+        return entry
+
+    def lookup(self, value: int) -> RegistryEntry | None:
+        """The entry for ``value``, or None (caller MAY ignore unknowns)."""
+        return self._entries.get(value)
+
+    def is_registered(self, value: int) -> bool:
+        return value in self._entries
+
+    def entries(self) -> list[RegistryEntry]:
+        return [self._entries[v] for v in sorted(self._entries)]
+
+
+def remoting_registry() -> MessageTypeRegistry:
+    """Initial values of the Remoting Message Types subregistry (Table 4)."""
+    registry = MessageTypeRegistry("Remoting Message Types")
+    registry.register(MSG_WINDOW_MANAGER_INFO, "WindowManagerInfo", "RFC nnnn")
+    registry.register(MSG_REGION_UPDATE, "RegionUpdate", "RFC nnnn")
+    registry.register(MSG_MOVE_RECTANGLE, "MoveRectangle", "RFC nnnn")
+    registry.register(MSG_MOUSE_POINTER_INFO, "MousePointerInfo", "RFC nnnn")
+    return registry
+
+
+def hip_registry() -> MessageTypeRegistry:
+    """Initial values of the HIP Message Types subregistry (Table 5)."""
+    registry = MessageTypeRegistry("HIP Message Types")
+    registry.register(MSG_MOUSE_PRESSED, "MousePressed", "RFC nnnn")
+    registry.register(MSG_MOUSE_RELEASED, "MouseReleased", "RFC nnnn")
+    registry.register(MSG_MOUSE_MOVED, "MouseMoved", "RFC nnnn")
+    registry.register(MSG_MOUSE_WHEEL_MOVED, "MouseWheelMoved", "RFC nnnn")
+    registry.register(MSG_KEY_PRESSED, "KeyPressed", "RFC nnnn")
+    registry.register(MSG_KEY_RELEASED, "KeyReleased", "RFC nnnn")
+    registry.register(MSG_KEY_TYPED, "KeyTyped", "RFC nnnn")
+    return registry

@@ -1,0 +1,143 @@
+"""WindowManagerInfo (section 5.2.1): the full window-manager state.
+
+The message transfers every shared window's identity, geometry,
+grouping and — implicitly, through record order — z-order: "The first
+record describes the window at the bottom of the stacking order, the
+last record the one on top."
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .errors import ProtocolError
+from .header import COMMON_HEADER_LEN, CommonHeader
+from .registry import MSG_WINDOW_MANAGER_INFO
+
+#: Each window record is 20 bytes (Figure 8).
+WINDOW_RECORD_LEN = 20
+_RECORD = struct.Struct("!HBBIIII")
+
+MAX_U32 = 0xFFFF_FFFF
+
+
+@dataclass(frozen=True, slots=True)
+class WindowRecord:
+    """One 20-byte window record (Figure 8)."""
+
+    window_id: int
+    group_id: int
+    left: int
+    top: int
+    width: int
+    height: int
+    reserved: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.window_id <= 0xFFFF:
+            raise ProtocolError(f"windowID out of range: {self.window_id}")
+        if not 0 <= self.group_id <= 0xFF:
+            raise ProtocolError(f"groupID out of range: {self.group_id}")
+        if not 0 <= self.reserved <= 0xFF:
+            raise ProtocolError(f"reserved byte out of range: {self.reserved}")
+        for label, value in (
+            ("left", self.left),
+            ("top", self.top),
+            ("width", self.width),
+            ("height", self.height),
+        ):
+            if not 0 <= value <= MAX_U32:
+                raise ProtocolError(f"{label} out of u32 range: {value}")
+
+    def encode(self) -> bytes:
+        return _RECORD.pack(
+            self.window_id,
+            self.group_id,
+            self.reserved,
+            self.left,
+            self.top,
+            self.width,
+            self.height,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> "WindowRecord":
+        if len(data) < offset + WINDOW_RECORD_LEN:
+            raise ProtocolError("truncated window record")
+        window_id, group_id, reserved, left, top, width, height = (
+            _RECORD.unpack_from(data, offset)
+        )
+        return cls(window_id, group_id, left, top, width, height, reserved)
+
+    @property
+    def is_grouped(self) -> bool:
+        """GroupID 0 is reserved and means "no grouping"."""
+        return self.group_id != 0
+
+
+@dataclass(frozen=True, slots=True)
+class WindowManagerInfo:
+    """The complete window-manager state, bottom-of-stack first."""
+
+    records: tuple[WindowRecord, ...]
+
+    MESSAGE_TYPE = MSG_WINDOW_MANAGER_INFO
+
+    def encode(self) -> bytes:
+        """Full RTP payload: common header + window records.
+
+        "Parameter and WindowID fields of common remoting/HIP header
+        MUST be ignored" — they are emitted as zero.
+        """
+        header = CommonHeader(self.MESSAGE_TYPE, 0, 0)
+        return header.encode() + b"".join(r.encode() for r in self.records)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "WindowManagerInfo":
+        header = CommonHeader.decode(payload)
+        if header.message_type != MSG_WINDOW_MANAGER_INFO:
+            raise ProtocolError(
+                f"not a WindowManagerInfo payload: type {header.message_type}"
+            )
+        body = payload[COMMON_HEADER_LEN:]
+        if len(body) % WINDOW_RECORD_LEN != 0:
+            raise ProtocolError(
+                f"window record block of {len(body)} bytes is not a "
+                f"multiple of {WINDOW_RECORD_LEN}"
+            )
+        records = tuple(
+            WindowRecord.decode(body, offset)
+            for offset in range(0, len(body), WINDOW_RECORD_LEN)
+        )
+        return cls(records)
+
+    # -- Semantics helpers ------------------------------------------------
+
+    def window_ids(self) -> list[int]:
+        """All windowIDs, bottom-first (the z-order)."""
+        return [r.window_id for r in self.records]
+
+    def top_window_id(self) -> int | None:
+        return self.records[-1].window_id if self.records else None
+
+    def groups(self) -> dict[int, list[int]]:
+        """GroupID → windowIDs mapping (group 0 / ungrouped excluded)."""
+        out: dict[int, list[int]] = {}
+        for record in self.records:
+            if record.is_grouped:
+                out.setdefault(record.group_id, []).append(record.window_id)
+        return out
+
+    def closed_since(self, previous: "WindowManagerInfo") -> list[int]:
+        """WindowIDs present in ``previous`` but absent here.
+
+        Participants "MUST close this window after receiving a
+        WindowManagerInfo message which does not contain this WindowID".
+        """
+        current = set(self.window_ids())
+        return [wid for wid in previous.window_ids() if wid not in current]
+
+    def opened_since(self, previous: "WindowManagerInfo") -> list[int]:
+        prior = set(previous.window_ids())
+        return [wid for wid in self.window_ids() if wid not in prior]

@@ -1,0 +1,22 @@
+"""Protocol extensions, defined via the section 9 registry mechanism.
+
+The base document deliberately leaves extensions (clipboard sync,
+participant-side scaling, associated audio) undefined; this package
+demonstrates the registration path with a working clipboard extension.
+"""
+
+from .clipboard import (
+    FORMAT_UTF8_TEXT,
+    MSG_CLIPBOARD_UPDATE,
+    ClipboardSync,
+    ClipboardUpdate,
+    register,
+)
+
+__all__ = [
+    "ClipboardSync",
+    "ClipboardUpdate",
+    "FORMAT_UTF8_TEXT",
+    "MSG_CLIPBOARD_UPDATE",
+    "register",
+]

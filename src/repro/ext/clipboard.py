@@ -1,0 +1,119 @@
+"""Clipboard synchronisation — an extension message type.
+
+Section 4.2: "it is often useful to allow copy-and-paste between
+applications running on a participant and those running on an AH.
+This document does not define any such extensions."  This module
+defines one, exactly the way section 9 prescribes: a new remoting
+message type registered in the Remoting Message Types subregistry
+("Specification Required"), using the common remoting/HIP header.
+Participants that do not implement it ignore the unknown type, which
+the base :class:`~repro.sharing.participant.Participant` already does.
+
+Wire format (remoting message type 5, AH→participant and, over the HIP
+stream with the same type value, participant→AH)::
+
+     0                   1                   2                   3
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+    |  Msg Type = 5 |   Format      |          Reserved = 0         |
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+    .                     UTF-8 clipboard content                   .
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+
+``Format`` 1 = UTF-8 text (the only format defined here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ProtocolError
+from ..core.header import COMMON_HEADER_LEN, CommonHeader
+from ..core.registry import MessageTypeRegistry
+
+#: The extension's registered remoting message type value.
+MSG_CLIPBOARD_UPDATE = 5
+#: Format values for the parameter byte.
+FORMAT_UTF8_TEXT = 1
+
+
+def register(registry: MessageTypeRegistry) -> None:
+    """Register the extension per the section 9 policy."""
+    registry.register(MSG_CLIPBOARD_UPDATE, "ClipboardUpdate",
+                      "this repository (extension example)")
+
+
+@dataclass(frozen=True, slots=True)
+class ClipboardUpdate:
+    """A clipboard-content announcement, either direction."""
+
+    text: str
+    format: int = FORMAT_UTF8_TEXT
+
+    MESSAGE_TYPE = MSG_CLIPBOARD_UPDATE
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.format <= 0xFF:
+            raise ProtocolError(f"clipboard format out of range: {self.format}")
+
+    def encode(self) -> bytes:
+        header = CommonHeader(self.MESSAGE_TYPE, self.format, 0)
+        return header.encode() + self.text.encode("utf-8")
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "ClipboardUpdate":
+        header = CommonHeader.decode(payload)
+        if header.message_type != MSG_CLIPBOARD_UPDATE:
+            raise ProtocolError(
+                f"not a ClipboardUpdate payload: type {header.message_type}"
+            )
+        if header.parameter != FORMAT_UTF8_TEXT:
+            raise ProtocolError(
+                f"unsupported clipboard format: {header.parameter}"
+            )
+        try:
+            text = payload[COMMON_HEADER_LEN:].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"clipboard carries invalid UTF-8: {exc}") from exc
+        return cls(text, header.parameter)
+
+
+class ClipboardSync:
+    """Bidirectional clipboard state bound to a sharing session.
+
+    AH side: ``push(session, text)`` ships the AH clipboard to one
+    destination.  Participant side: install :meth:`participant_handler`
+    as an extension handler; received content lands in :attr:`content`.
+    """
+
+    def __init__(self) -> None:
+        self.content: str = ""
+        self.updates_received = 0
+
+    # -- AH → participant ---------------------------------------------------
+
+    def push(self, session, text: str) -> None:
+        """Send the AH clipboard over a session's remoting stream."""
+        self.content = text
+        message = ClipboardUpdate(text)
+        scheduler = session.scheduler
+        packet = scheduler.encoder.sender.next_packet(message.encode())
+        scheduler.transport.send_packet(packet.encode())
+
+    # -- Participant receive hook -------------------------------------------
+
+    def participant_handler(self, payload: bytes, packet) -> bool:
+        """Extension handler signature: (payload, rtp_packet) → handled."""
+        try:
+            update = ClipboardUpdate.decode(payload)
+        except ProtocolError:
+            return False
+        self.content = update.text
+        self.updates_received += 1
+        return True
+
+    # -- Participant → AH ------------------------------------------------------
+
+    def send_from_participant(self, participant, text: str) -> None:
+        """Ship participant clipboard to the AH over the HIP stream."""
+        self.content = text
+        participant._send_hip(ClipboardUpdate(text).encode())

@@ -1,0 +1,32 @@
+"""Transport substrate: simulated channels, rate control, real sockets."""
+
+from .channel import (
+    ChannelConfig,
+    DuplexChannel,
+    LossyChannel,
+    ReliableChannel,
+    duplex_lossy,
+    duplex_reliable,
+)
+from .multicast import MulticastGroup
+from .ratecontrol import TokenBucket
+from .simulator import Simulation
+from .tcp import TcpConnection, TcpListener, connect
+from .udp import MAX_DATAGRAM, UdpEndpoint
+
+__all__ = [
+    "ChannelConfig",
+    "DuplexChannel",
+    "LossyChannel",
+    "MAX_DATAGRAM",
+    "MulticastGroup",
+    "ReliableChannel",
+    "Simulation",
+    "TcpConnection",
+    "TcpListener",
+    "TokenBucket",
+    "UdpEndpoint",
+    "connect",
+    "duplex_lossy",
+    "duplex_reliable",
+]

@@ -1,0 +1,217 @@
+"""Simulated network channels with loss, delay, jitter and bandwidth.
+
+Experiments need repeatable network behaviour, so instead of live
+Internet paths the benchmark harness runs the AH↔participant traffic
+through these seeded channel models (real loopback sockets live in
+:mod:`repro.net.udp` / :mod:`repro.net.tcp` for integration tests).
+
+Two models mirror the draft's two transports:
+
+* :class:`LossyChannel` — datagram semantics for UDP/multicast paths:
+  i.i.d. loss, propagation delay plus jitter (which reorders), and a
+  serialisation-rate bottleneck.
+* :class:`ReliableChannel` — stream semantics for TCP paths: nothing is
+  lost or reordered, but a bounded send buffer drains at link rate and
+  exposes its backlog, which is exactly the signal the section 7
+  implementation note tells AHs to watch.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelConfig:
+    """Shared knobs for the simulated channels.
+
+    ``bandwidth_bps`` of 0 means an infinitely fast link.  ``mtu`` only
+    constrains datagram channels: oversized datagrams are dropped (as
+    IP fragmentation-with-loss ultimately does to them).
+    """
+
+    delay: float = 0.02
+    jitter: float = 0.0
+    loss_rate: float = 0.0
+    bandwidth_bps: int = 0
+    mtu: int = 65_507
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delay < 0 or self.jitter < 0:
+            raise ValueError("delay/jitter cannot be negative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.bandwidth_bps < 0:
+            raise ValueError("bandwidth cannot be negative")
+        if self.mtu <= 0:
+            raise ValueError("mtu must be positive")
+
+
+class LossyChannel:
+    """One-directional datagram pipe with seeded impairments."""
+
+    def __init__(self, config: ChannelConfig, now: Callable[[], float]) -> None:
+        self.config = config
+        self._now = now
+        self._rng = random.Random(config.seed)
+        self._in_flight: list[tuple[float, int, bytes]] = []
+        self._counter = 0  # tie-break so heapq never compares bytes
+        self._link_free_at = 0.0
+        self.datagrams_sent = 0
+        self.datagrams_dropped = 0
+        self.datagrams_oversize = 0
+        self.bytes_sent = 0
+
+    def send(self, datagram: bytes) -> bool:
+        """Queue a datagram; returns False when it was dropped."""
+        self.datagrams_sent += 1
+        self.bytes_sent += len(datagram)
+        if len(datagram) > self.config.mtu:
+            self.datagrams_oversize += 1
+            return False
+        if self._rng.random() < self.config.loss_rate:
+            self.datagrams_dropped += 1
+            return False
+        now = self._now()
+        if self.config.bandwidth_bps > 0:
+            serialisation = len(datagram) * 8 / self.config.bandwidth_bps
+            start = max(now, self._link_free_at)
+            self._link_free_at = start + serialisation
+            departure = self._link_free_at
+        else:
+            departure = now
+        arrival = departure + self.config.delay
+        if self.config.jitter > 0:
+            arrival += self._rng.uniform(0, self.config.jitter)
+        heapq.heappush(self._in_flight, (arrival, self._counter, datagram))
+        self._counter += 1
+        return True
+
+    def receive_ready(self) -> list[bytes]:
+        """Datagrams whose arrival time has passed, in arrival order."""
+        now = self._now()
+        out: list[bytes] = []
+        while self._in_flight and self._in_flight[0][0] <= now:
+            out.append(heapq.heappop(self._in_flight)[2])
+        return out
+
+    def next_arrival(self) -> float | None:
+        """Earliest pending arrival time, or None when idle."""
+        return self._in_flight[0][0] if self._in_flight else None
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+
+class ReliableChannel:
+    """One-directional stream pipe: TCP-like delivery with a send buffer.
+
+    Bytes enter a bounded buffer and drain at link rate; everything
+    arrives, in order, ``delay`` after its serialisation completes.
+    :meth:`backlog_bytes` is the select()-style signal from the draft's
+    implementation notes: "monitor the state of their TCP transmission
+    buffers ... and only send the most recent screen data when there is
+    no backlog."
+    """
+
+    def __init__(
+        self,
+        config: ChannelConfig,
+        now: Callable[[], float],
+        send_buffer: int = 256 * 1024,
+    ) -> None:
+        if send_buffer <= 0:
+            raise ValueError("send buffer must be positive")
+        self.config = config
+        self._now = now
+        self.send_buffer = send_buffer
+        self._in_flight: list[tuple[float, int, bytes]] = []
+        self._counter = 0
+        self._link_free_at = 0.0
+        self.bytes_sent = 0
+        self.sends_refused = 0
+
+    def _drain_level(self, now: float) -> int:
+        """Bytes still queued ahead of the link at time ``now``."""
+        backlog = 0.0
+        if self.config.bandwidth_bps > 0 and self._link_free_at > now:
+            backlog = (self._link_free_at - now) * self.config.bandwidth_bps / 8
+        return int(backlog)
+
+    def backlog_bytes(self) -> int:
+        return self._drain_level(self._now())
+
+    def can_send(self, size: int) -> bool:
+        """Would ``size`` bytes fit the send buffer right now?"""
+        return self._drain_level(self._now()) + size <= self.send_buffer
+
+    def send(self, data: bytes) -> bool:
+        """Queue stream bytes; refuses (returns False) when buffer is full.
+
+        Refusal models a non-blocking socket returning EWOULDBLOCK —
+        the sender is expected to retry after the backlog drains.
+        """
+        now = self._now()
+        if not self.can_send(len(data)):
+            self.sends_refused += 1
+            return False
+        if self.config.bandwidth_bps > 0:
+            serialisation = len(data) * 8 / self.config.bandwidth_bps
+            start = max(now, self._link_free_at)
+            self._link_free_at = start + serialisation
+            departure = self._link_free_at
+        else:
+            departure = now
+        arrival = departure + self.config.delay
+        heapq.heappush(self._in_flight, (arrival, self._counter, data))
+        self._counter += 1
+        self.bytes_sent += len(data)
+        return True
+
+    def receive_ready(self) -> bytes:
+        """Contiguous stream bytes that have arrived by now."""
+        now = self._now()
+        chunks: list[bytes] = []
+        while self._in_flight and self._in_flight[0][0] <= now:
+            chunks.append(heapq.heappop(self._in_flight)[2])
+        return b"".join(chunks)
+
+    def next_arrival(self) -> float | None:
+        return self._in_flight[0][0] if self._in_flight else None
+
+
+@dataclass(slots=True)
+class DuplexChannel:
+    """A forward/backward pair used for one AH↔participant association."""
+
+    forward: LossyChannel | ReliableChannel
+    backward: LossyChannel | ReliableChannel
+
+
+def duplex_lossy(
+    config: ChannelConfig, now: Callable[[], float], back_seed_offset: int = 1
+) -> DuplexChannel:
+    """Symmetric lossy pair with independent loss processes."""
+    back = ChannelConfig(
+        delay=config.delay,
+        jitter=config.jitter,
+        loss_rate=config.loss_rate,
+        bandwidth_bps=config.bandwidth_bps,
+        mtu=config.mtu,
+        seed=config.seed + back_seed_offset,
+    )
+    return DuplexChannel(LossyChannel(config, now), LossyChannel(back, now))
+
+
+def duplex_reliable(
+    config: ChannelConfig, now: Callable[[], float], send_buffer: int = 256 * 1024
+) -> DuplexChannel:
+    return DuplexChannel(
+        ReliableChannel(config, now, send_buffer),
+        ReliableChannel(config, now, send_buffer),
+    )

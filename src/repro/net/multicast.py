@@ -1,0 +1,73 @@
+"""Simulated multicast: one send fans out to N independent lossy paths.
+
+"The AH can support both multicast and unicast transmissions" (section
+4.2).  Real IP multicast is not available in the test environment, so
+the group is modelled as the thing that matters to the protocol: a
+single send operation whose copies traverse *independent* loss/delay
+processes to each subscriber — which is why two receivers NACK
+different packets and why NACK-storm suppression (section 5.3.2)
+exists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .channel import ChannelConfig, LossyChannel
+
+
+class MulticastGroup:
+    """A named group address with per-subscriber delivery channels."""
+
+    def __init__(
+        self,
+        config: ChannelConfig,
+        now: Callable[[], float],
+        name: str = "239.0.0.1:6000",
+    ) -> None:
+        self.config = config
+        self.name = name
+        self._now = now
+        self._subscribers: dict[str, LossyChannel] = {}
+        self._next_seed = config.seed
+        self.datagrams_sent = 0
+
+    def subscribe(self, subscriber_id: str) -> LossyChannel:
+        """Join the group; returns the subscriber's receive channel."""
+        if subscriber_id in self._subscribers:
+            raise ValueError(f"subscriber {subscriber_id!r} already joined")
+        self._next_seed += 7919  # distinct loss process per subscriber
+        member_config = ChannelConfig(
+            delay=self.config.delay,
+            jitter=self.config.jitter,
+            loss_rate=self.config.loss_rate,
+            bandwidth_bps=self.config.bandwidth_bps,
+            mtu=self.config.mtu,
+            seed=self._next_seed,
+        )
+        channel = LossyChannel(member_config, self._now)
+        self._subscribers[subscriber_id] = channel
+        return channel
+
+    def unsubscribe(self, subscriber_id: str) -> None:
+        self._subscribers.pop(subscriber_id, None)
+
+    def send(self, datagram: bytes) -> int:
+        """Fan a datagram out to every subscriber; returns copies delivered
+        to the network (not necessarily surviving loss)."""
+        self.datagrams_sent += 1
+        delivered = 0
+        for channel in self._subscribers.values():
+            if channel.send(datagram):
+                delivered += 1
+        return delivered
+
+    def channel_for(self, subscriber_id: str) -> LossyChannel:
+        return self._subscribers[subscriber_id]
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def subscriber_ids(self) -> list[str]:
+        return list(self._subscribers)

@@ -1,0 +1,77 @@
+"""Token-bucket rate control for UDP senders.
+
+"The AH controls the transmission rate for participants using UDP,
+because UDP itself does not provide flow and congestion control.
+Several simultaneous multicast sessions with different transmission
+rates can be created at the AH." (section 4.3)  Each rate tier gets its
+own :class:`TokenBucket`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate_bps`` sustained, ``burst_bytes`` burst."""
+
+    def __init__(
+        self,
+        rate_bps: int,
+        now: Callable[[], float],
+        burst_bytes: int | None = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_bps = rate_bps
+        self._now = now
+        self.burst_bytes = burst_bytes if burst_bytes is not None else max(
+            1500, rate_bps // 8 // 20  # ~50 ms worth by default
+        )
+        if self.burst_bytes <= 0:
+            raise ValueError("burst must be positive")
+        self._tokens = float(self.burst_bytes)
+        self._last_refill = self._now()
+        self.bytes_admitted = 0
+        self.bytes_deferred = 0
+
+    def _refill(self) -> None:
+        now = self._now()
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(
+                float(self.burst_bytes),
+                self._tokens + elapsed * self.rate_bps / 8,
+            )
+            self._last_refill = now
+
+    def try_consume(self, size: int) -> bool:
+        """Admit ``size`` bytes if tokens allow; otherwise defer."""
+        if size < 0:
+            raise ValueError("size cannot be negative")
+        self._refill()
+        if size <= self._tokens:
+            self._tokens -= size
+            self.bytes_admitted += size
+            return True
+        self.bytes_deferred += size
+        return False
+
+    def available(self) -> int:
+        """Bytes currently sendable without waiting."""
+        self._refill()
+        return int(self._tokens)
+
+    def time_until(self, size: int) -> float:
+        """Seconds until ``size`` bytes could be admitted (0 if now).
+
+        Sizes beyond the burst can never be admitted whole; the caller
+        must fragment first.  For those we report the time to fill the
+        bucket completely.
+        """
+        self._refill()
+        target = min(float(size), float(self.burst_bytes))
+        deficit = target - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit * 8 / self.rate_bps

@@ -1,0 +1,79 @@
+"""Session simulation driver.
+
+Tests, examples and benchmarks all advance the same loop: tick the AH,
+advance the clock, service the participants.  :class:`Simulation`
+centralises that with convergence-aware stepping, so experiment code
+reads as *what* it drives rather than *how* the loop works.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..rtp.clock import SimulatedClock
+
+
+class Simulation:
+    """Drives one AH and its participants on a shared simulated clock."""
+
+    def __init__(self, ah, clock: SimulatedClock, dt: float = 0.02) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.ah = ah
+        self.clock = clock
+        self.dt = dt
+        self.participants: list = []
+        #: Callables invoked with the round index before each step.
+        self.drivers: list[Callable[[int], None]] = []
+        self.rounds_run = 0
+
+    def add_participant(self, participant) -> None:
+        self.participants.append(participant)
+
+    def add_driver(self, driver: Callable[[int], None]) -> None:
+        self.drivers.append(driver)
+
+    # -- Stepping ---------------------------------------------------------
+
+    def step(self) -> None:
+        for driver in self.drivers:
+            driver(self.rounds_run)
+        self.ah.advance(self.dt)
+        self.clock.advance(self.dt)
+        for participant in self.participants:
+            participant.process_incoming()
+        self.rounds_run += 1
+
+    def run(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.step()
+
+    def run_seconds(self, seconds: float) -> None:
+        self.run(max(1, round(seconds / self.dt)))
+
+    def run_until(
+        self,
+        condition: Callable[[], bool],
+        timeout: float = 30.0,
+    ) -> bool:
+        """Step until ``condition()`` holds; False when time runs out."""
+        deadline = self.clock.now() + timeout
+        while self.clock.now() < deadline:
+            if condition():
+                return True
+            self.step()
+        return condition()
+
+    def run_until_converged(self, timeout: float = 30.0,
+                            screen_only: bool = False) -> bool:
+        """Step until every participant matches the AH."""
+        def all_converged() -> bool:
+            for participant in self.participants:
+                if screen_only:
+                    if not participant.screen_converged_with(self.ah.windows):
+                        return False
+                elif not participant.converged_with(self.ah.windows):
+                    return False
+            return bool(self.participants)
+
+        return self.run_until(all_converged, timeout=timeout)

@@ -1,0 +1,137 @@
+"""Real TCP transport with RFC 4571 framing, for live integration tests.
+
+Section 4.4: TCP "provides reliable communication and flow control
+[and] is more suitable for unicast sessions"; RTP packets are framed
+with a 16-bit length prefix.  The section 7 implementation note — check
+the transmission buffer before sending so stale frames are skipped —
+maps to the non-blocking send path here: a send that would block
+reports backpressure instead of queueing unboundedly.
+"""
+
+from __future__ import annotations
+
+import errno
+import socket
+
+from ..rtp.framing import StreamDeframer, frame
+
+
+class TcpConnection:
+    """A connected, non-blocking stream carrying framed RTP packets."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        sock.setblocking(False)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._deframer = StreamDeframer()
+        self._pending_out = bytearray()
+        self.closed = False
+        self.packets_sent = 0
+        self.packets_received = 0
+
+    # -- Sending -----------------------------------------------------------
+
+    def send_packet(self, packet: bytes) -> None:
+        """Frame and queue one RTP packet, then try to flush."""
+        self._pending_out.extend(frame(packet))
+        self.packets_sent += 1
+        self.flush()
+
+    def flush(self) -> int:
+        """Push queued bytes into the socket; returns bytes written."""
+        written = 0
+        while self._pending_out:
+            try:
+                n = self._sock.send(bytes(self._pending_out[:65536]))
+            except OSError as exc:
+                if exc.errno in (errno.EAGAIN, errno.EWOULDBLOCK):
+                    break
+                self.closed = True
+                raise
+            if n == 0:
+                break
+            del self._pending_out[:n]
+            written += n
+        return written
+
+    def backlog_bytes(self) -> int:
+        """Userspace backlog — the section 7 'transmission buffer' signal."""
+        return len(self._pending_out)
+
+    # -- Receiving ----------------------------------------------------------
+
+    def receive_packets(self, max_bytes: int = 1 << 20) -> list[bytes]:
+        """Drain the socket and return every complete framed packet."""
+        packets: list[bytes] = []
+        received = 0
+        while received < max_bytes:
+            try:
+                chunk = self._sock.recv(65536)
+            except OSError as exc:
+                if exc.errno in (errno.EAGAIN, errno.EWOULDBLOCK):
+                    break
+                self.closed = True
+                raise
+            if not chunk:
+                self.closed = True
+                break
+            received += len(chunk)
+            packets.extend(self._deframer.feed(chunk))
+        self.packets_received += len(packets)
+        return packets
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        self._sock.close()
+
+    def __enter__(self) -> "TcpConnection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class TcpListener:
+    """Accepts participant connections for an AH."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 16):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self._sock.setblocking(False)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._sock.getsockname()
+
+    def accept_ready(self) -> list[TcpConnection]:
+        """Accept every pending connection without blocking."""
+        out: list[TcpConnection] = []
+        while True:
+            try:
+                sock, _peer = self._sock.accept()
+            except (BlockingIOError, InterruptedError):
+                break
+            out.append(TcpConnection(sock))
+        return out
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "TcpListener":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def connect(host: str, port: int, timeout: float = 5.0) -> TcpConnection:
+    """Blocking connect (then non-blocking I/O) to an AH listener."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    return TcpConnection(sock)

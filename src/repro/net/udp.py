@@ -1,0 +1,68 @@
+"""Real UDP transport on loopback, for live integration tests.
+
+Non-blocking datagram sockets carrying RTP and RTCP; the simulated
+:mod:`repro.net.channel` is the default substrate for experiments, but
+these sockets prove the packets survive a genuine kernel path.
+"""
+
+from __future__ import annotations
+
+import errno
+import socket
+
+#: Practical maximum UDP payload on loopback.
+MAX_DATAGRAM = 65_507
+
+
+class UdpEndpoint:
+    """A bound, non-blocking UDP socket with peer-directed send."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.setblocking(False)
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._sock.getsockname()
+
+    def send_to(self, data: bytes, peer: tuple[str, int]) -> bool:
+        """Best-effort send; returns False when the kernel refused."""
+        if len(data) > MAX_DATAGRAM:
+            raise ValueError(f"datagram too large: {len(data)}")
+        try:
+            self._sock.sendto(data, peer)
+        except OSError as exc:
+            if exc.errno in (errno.EAGAIN, errno.EWOULDBLOCK, errno.ENOBUFS):
+                return False
+            raise
+        self.datagrams_sent += 1
+        return True
+
+    def receive(self, max_datagrams: int = 64) -> list[tuple[bytes, tuple[str, int]]]:
+        """Drain up to ``max_datagrams`` pending datagrams."""
+        out: list[tuple[bytes, tuple[str, int]]] = []
+        for _ in range(max_datagrams):
+            try:
+                data, peer = self._sock.recvfrom(MAX_DATAGRAM)
+            except BlockingIOError:
+                break
+            except OSError as exc:  # pragma: no cover - platform specific
+                if exc.errno == errno.ECONNREFUSED:
+                    continue
+                raise
+            self.datagrams_received += 1
+            out.append((data, peer))
+        return out
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "UdpEndpoint":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,70 @@
+"""RTP/RTCP substrate: RFC 3550 packets, RFC 4585 feedback, RFC 4571 framing."""
+
+from .clock import DEFAULT_CLOCK_RATE, MediaClock, SimulatedClock, monotonic_now
+from .feedback import (
+    GenericNack,
+    NackEntry,
+    PictureLossIndication,
+    nacks_for,
+    pack_nack_entries,
+)
+from .framing import FramingError, StreamDeframer, frame, frame_many
+from .jitter_buffer import JitterBuffer
+from .packet import RTP_HEADER_LEN, RtpError, RtpPacket
+from .rtcp import (
+    Bye,
+    ReceiverReport,
+    ReportBlock,
+    RtcpError,
+    SdesChunk,
+    SenderReport,
+    SourceDescription,
+    decode_compound,
+    encode_compound,
+)
+from .sequence import (
+    GapDetector,
+    ReceptionStats,
+    SequenceTracker,
+    seq_delta,
+    seq_newer,
+)
+from .session import ReceivedPacket, RtpReceiver, RtpSender, generate_ssrc
+
+__all__ = [
+    "Bye",
+    "DEFAULT_CLOCK_RATE",
+    "FramingError",
+    "GapDetector",
+    "GenericNack",
+    "JitterBuffer",
+    "MediaClock",
+    "NackEntry",
+    "PictureLossIndication",
+    "RTP_HEADER_LEN",
+    "ReceivedPacket",
+    "ReceiverReport",
+    "ReceptionStats",
+    "ReportBlock",
+    "RtcpError",
+    "RtpError",
+    "RtpPacket",
+    "RtpReceiver",
+    "RtpSender",
+    "SdesChunk",
+    "SenderReport",
+    "SequenceTracker",
+    "SimulatedClock",
+    "SourceDescription",
+    "StreamDeframer",
+    "decode_compound",
+    "encode_compound",
+    "frame",
+    "frame_many",
+    "generate_ssrc",
+    "monotonic_now",
+    "nacks_for",
+    "pack_nack_entries",
+    "seq_delta",
+    "seq_newer",
+]

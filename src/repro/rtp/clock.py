@@ -1,0 +1,84 @@
+"""Media clocks.
+
+Both payload formats mandate a 90 kHz RTP timestamp clock whose initial
+value is random (sections 5.1.1 and 6.1.1).  :class:`MediaClock`
+converts between wall-clock seconds and 32-bit RTP timestamp units with
+wraparound, and :class:`SimulatedClock` provides the deterministic time
+source the whole simulation stack runs on.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+#: The draft's required timestamp rate for remoting and HIP streams.
+DEFAULT_CLOCK_RATE = 90_000
+_TS_MODULUS = 1 << 32
+
+
+class SimulatedClock:
+    """A manually advanced wall clock, in float seconds.
+
+    Every latency-sensitive component takes a ``now()`` callable;
+    experiments inject one of these so results are deterministic and
+    independent of host load.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        self._now += seconds
+
+    def __call__(self) -> float:
+        return self._now
+
+
+class MediaClock:
+    """Maps wall-clock seconds to RTP timestamp units (mod 2^32)."""
+
+    def __init__(
+        self,
+        rate: int = DEFAULT_CLOCK_RATE,
+        origin: float = 0.0,
+        initial_timestamp: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("clock rate must be positive")
+        self.rate = rate
+        self.origin = origin
+        if initial_timestamp is None:
+            # "the initial value of the timestamp MUST be random"
+            initial_timestamp = (rng or random).randrange(_TS_MODULUS)
+        if not 0 <= initial_timestamp < _TS_MODULUS:
+            raise ValueError("initial timestamp out of u32 range")
+        self.initial_timestamp = initial_timestamp
+
+    def timestamp_at(self, now: float) -> int:
+        """RTP timestamp for wall-clock time ``now`` (seconds)."""
+        elapsed = now - self.origin
+        ticks = int(round(elapsed * self.rate))
+        return (self.initial_timestamp + ticks) % _TS_MODULUS
+
+    def seconds_between(self, ts_a: int, ts_b: int) -> float:
+        """Signed seconds from timestamp ``ts_a`` to ``ts_b``.
+
+        Uses shortest-path wraparound interpretation, valid when the
+        true gap is below ~2^31 ticks (~6.6 hours at 90 kHz).
+        """
+        diff = (ts_b - ts_a) % _TS_MODULUS
+        if diff >= _TS_MODULUS // 2:
+            diff -= _TS_MODULUS
+        return diff / self.rate
+
+
+def monotonic_now() -> float:
+    """Real-time ``now()`` source for live (socket) operation."""
+    return time.monotonic()

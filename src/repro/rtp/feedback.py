@@ -1,0 +1,151 @@
+"""RTCP AVPF feedback: PLI and Generic NACK (RFC 4585).
+
+These are the two participant-to-AH control messages the draft defines
+(section 5.3):
+
+* **PLI** — "instructs the AH to generate a full screen update of the
+  shared region", format per RFC 4585 section 6.3.1.
+* **Generic NACK** — "informs the AH about missing RTP packets",
+  format per RFC 4585 section 6.2.1, with the PID + BLP (bitmask of
+  following lost packets) encoding.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .rtcp import PT_PSFB, PT_RTPFB, RtcpError, _header
+
+#: Feedback message type values (FMT field).
+FMT_GENERIC_NACK = 1
+FMT_PLI = 1
+
+_FB_HEADER = struct.Struct("!II")  # sender SSRC, media source SSRC
+
+
+@dataclass(frozen=True, slots=True)
+class PictureLossIndication:
+    """RFC 4585 6.3.1 PLI — request a full refresh of the shared region."""
+
+    sender_ssrc: int
+    media_ssrc: int
+
+    def encode(self) -> bytes:
+        body = _FB_HEADER.pack(self.sender_ssrc, self.media_ssrc)
+        return _header(PT_PSFB, FMT_PLI, len(body)) + body
+
+
+@dataclass(frozen=True, slots=True)
+class NackEntry:
+    """One FCI entry: packet ID plus bitmask of 16 following losses."""
+
+    pid: int
+    blp: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.pid <= 0xFFFF:
+            raise RtcpError(f"NACK PID out of range: {self.pid}")
+        if not 0 <= self.blp <= 0xFFFF:
+            raise RtcpError(f"NACK BLP out of range: {self.blp}")
+
+    def sequence_numbers(self) -> list[int]:
+        """Expand to the explicit list of NACKed sequence numbers."""
+        seqs = [self.pid]
+        for bit in range(16):
+            if self.blp & (1 << bit):
+                seqs.append((self.pid + bit + 1) & 0xFFFF)
+        return seqs
+
+
+@dataclass(frozen=True, slots=True)
+class GenericNack:
+    """RFC 4585 6.2.1 Generic NACK — a batch of missing packet reports."""
+
+    sender_ssrc: int
+    media_ssrc: int
+    entries: tuple[NackEntry, ...]
+
+    def encode(self) -> bytes:
+        if not self.entries:
+            raise RtcpError("NACK must carry at least one FCI entry")
+        body = _FB_HEADER.pack(self.sender_ssrc, self.media_ssrc)
+        for entry in self.entries:
+            body += struct.pack("!HH", entry.pid, entry.blp)
+        return _header(PT_RTPFB, FMT_GENERIC_NACK, len(body)) + body
+
+    def sequence_numbers(self) -> list[int]:
+        out: list[int] = []
+        for entry in self.entries:
+            out.extend(entry.sequence_numbers())
+        return out
+
+
+def pack_nack_entries(missing: Sequence[int]) -> tuple[NackEntry, ...]:
+    """Compress missing sequence numbers into minimal PID+BLP entries.
+
+    Consecutive losses within a 17-packet window share one entry; the
+    input order is preserved in the sense that entries come out sorted
+    by wraparound-ascending PID.
+    """
+    if not missing:
+        return ()
+    remaining = sorted(set(s & 0xFFFF for s in missing))
+    # Rotate so the list is ascending from the "oldest" element under
+    # wraparound: find the largest gap between consecutive values.
+    if len(remaining) > 1:
+        gaps = [
+            (remaining[(i + 1) % len(remaining)] - remaining[i]) % 0x10000
+            for i in range(len(remaining))
+        ]
+        start = (gaps.index(max(gaps)) + 1) % len(remaining)
+        remaining = remaining[start:] + remaining[:start]
+    entries: list[NackEntry] = []
+    i = 0
+    while i < len(remaining):
+        pid = remaining[i]
+        blp = 0
+        j = i + 1
+        while j < len(remaining):
+            offset = (remaining[j] - pid) % 0x10000
+            if 1 <= offset <= 16:
+                blp |= 1 << (offset - 1)
+                j += 1
+            else:
+                break
+        entries.append(NackEntry(pid, blp))
+        i = j
+    return tuple(entries)
+
+
+def nacks_for(sender_ssrc: int, media_ssrc: int,
+              missing: Iterable[int]) -> GenericNack | None:
+    """Build a Generic NACK for ``missing``, or ``None`` when empty."""
+    entries = pack_nack_entries(list(missing))
+    if not entries:
+        return None
+    return GenericNack(sender_ssrc, media_ssrc, entries)
+
+
+def decode_feedback(packet: bytes, pt: int, fmt: int):
+    """Decode one feedback packet body (called from rtcp.decode_compound)."""
+    if len(packet) < 12:
+        raise RtcpError("feedback packet too short")
+    sender_ssrc, media_ssrc = _FB_HEADER.unpack_from(packet, 4)
+    if pt == PT_PSFB:
+        if fmt != FMT_PLI:
+            raise RtcpError(f"unsupported PSFB FMT: {fmt}")
+        return PictureLossIndication(sender_ssrc, media_ssrc)
+    if pt == PT_RTPFB:
+        if fmt != FMT_GENERIC_NACK:
+            raise RtcpError(f"unsupported RTPFB FMT: {fmt}")
+        fci = packet[12:]
+        if len(fci) % 4 != 0 or not fci:
+            raise RtcpError("malformed NACK FCI")
+        entries = tuple(
+            NackEntry(*struct.unpack_from("!HH", fci, i))
+            for i in range(0, len(fci), 4)
+        )
+        return GenericNack(sender_ssrc, media_ssrc, entries)
+    raise RtcpError(f"not a feedback packet type: {pt}")

@@ -1,0 +1,70 @@
+"""RTP-over-TCP framing (RFC 4571).
+
+"Neither TCP nor RTP declares the length of an RTP packet.  Therefore,
+RTP framing [RFC4571] is used to split RTP packets within the TCP byte
+stream." (section 4.4).  RFC 4571 prepends a 16-bit big-endian length
+to each RTP/RTCP packet.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_LEN = struct.Struct("!H")
+#: RFC 4571 length field is 16 bits.
+MAX_FRAME = 0xFFFF
+
+
+class FramingError(Exception):
+    """Raised when a frame cannot be encoded or the stream is corrupt."""
+
+
+def frame(packet: bytes) -> bytes:
+    """Prefix ``packet`` with its RFC 4571 length header."""
+    if len(packet) > MAX_FRAME:
+        raise FramingError(
+            f"packet of {len(packet)} bytes exceeds RFC 4571 16-bit length"
+        )
+    return _LEN.pack(len(packet)) + packet
+
+
+def frame_many(packets: list[bytes]) -> bytes:
+    """Frame a batch of packets into one contiguous byte string."""
+    return b"".join(frame(p) for p in packets)
+
+
+class StreamDeframer:
+    """Incremental RFC 4571 deframer for a TCP byte stream.
+
+    Feed arbitrary chunks with :meth:`feed`; complete packets come out
+    in order.  Partial frames are buffered across calls, which is what
+    a socket reader needs since TCP preserves no message boundaries.
+    """
+
+    def __init__(self, max_buffer: int = 4 * 1024 * 1024) -> None:
+        self._buffer = bytearray()
+        self.max_buffer = max_buffer
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Append stream bytes; return every now-complete packet."""
+        self._buffer.extend(data)
+        if len(self._buffer) > self.max_buffer:
+            raise FramingError("deframer buffer overflow — corrupt stream?")
+        packets: list[bytes] = []
+        while True:
+            if len(self._buffer) < 2:
+                break
+            (length,) = _LEN.unpack_from(self._buffer)
+            if len(self._buffer) < 2 + length:
+                break
+            packets.append(bytes(self._buffer[2 : 2 + length]))
+            del self._buffer[: 2 + length]
+        return packets
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def reset(self) -> None:
+        self._buffer.clear()

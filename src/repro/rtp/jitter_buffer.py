@@ -1,0 +1,120 @@
+"""A reordering buffer for UDP arrivals.
+
+"RTP allows the participants to re-order the packets, recognize missing
+packets and synchronize application sharing with other media types"
+(section 4.2).  The buffer releases packets in sequence order, waiting a
+bounded time for stragglers before declaring a loss and moving on —
+the hook that triggers NACK requests upstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .packet import RtpPacket
+from .sequence import seq_delta, seq_newer
+
+_SEQ_MOD = 1 << 16
+
+
+@dataclass(slots=True)
+class _Slot:
+    packet: RtpPacket
+    arrival: float
+
+
+class JitterBuffer:
+    """Sequence-ordered release with a bounded reorder/wait window."""
+
+    def __init__(
+        self,
+        now: Callable[[], float],
+        max_wait: float = 0.05,
+        capacity: int = 512,
+    ) -> None:
+        if max_wait < 0:
+            raise ValueError("max_wait cannot be negative")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._now = now
+        self.max_wait = max_wait
+        self.capacity = capacity
+        self._slots: dict[int, _Slot] = {}
+        self._next_seq: int | None = None
+        #: Packets force-released by capacity pressure, awaiting pop.
+        self._overflow: list[RtpPacket] = []
+        self.packets_dropped_late = 0
+        self.sequences_skipped = 0
+
+    def insert(self, packet: RtpPacket) -> None:
+        """Add an arrival; duplicates and already-released seqs drop."""
+        seq = packet.sequence_number
+        if self._next_seq is not None and not seq_newer(seq, self._next_seq) \
+                and seq != self._next_seq:
+            self.packets_dropped_late += 1
+            return
+        if seq in self._slots:
+            return  # duplicate
+        while len(self._slots) >= self.capacity:
+            # Buffer full: give up on the blocking hole and force the
+            # run starting at the oldest held packet into the overflow
+            # queue so the slot count stays bounded.
+            self._skip_hole()
+            assert self._next_seq is not None
+            while self._next_seq in self._slots:
+                self._overflow.append(self._slots.pop(self._next_seq).packet)
+                self._next_seq = (self._next_seq + 1) % _SEQ_MOD
+        self._slots[seq] = _Slot(packet, self._now())
+        if self._next_seq is None:
+            self._next_seq = seq
+
+    def pop_ready(self) -> list[RtpPacket]:
+        """Release every packet deliverable right now, in order.
+
+        A packet is deliverable when it is the next expected sequence
+        number, or when the wait for a missing predecessor has exceeded
+        ``max_wait`` (the hole is then skipped and counted).
+        """
+        out: list[RtpPacket] = []
+        if self._overflow:
+            out.extend(self._overflow)
+            self._overflow.clear()
+        while self._slots and self._next_seq is not None:
+            slot = self._slots.pop(self._next_seq, None)
+            if slot is not None:
+                out.append(slot.packet)
+                self._next_seq = (self._next_seq + 1) % _SEQ_MOD
+                continue
+            # Hole at _next_seq: has the oldest waiter timed out?
+            oldest = min(s.arrival for s in self._slots.values())
+            if self._now() - oldest >= self.max_wait:
+                self._skip_hole()
+            else:
+                break
+        return out
+
+    def _skip_hole(self) -> None:
+        """Advance past the missing packet(s) to the oldest held seq."""
+        assert self._next_seq is not None and self._slots
+        nearest = min(
+            self._slots, key=lambda s: seq_delta(s, self._next_seq) % _SEQ_MOD
+        )
+        skipped = seq_delta(nearest, self._next_seq)
+        if skipped > 0:
+            self.sequences_skipped += skipped
+        self._next_seq = nearest
+
+    @property
+    def held(self) -> int:
+        return len(self._slots) + len(self._overflow)
+
+    def missing_before_release(self) -> list[int]:
+        """Sequence numbers currently blocking in-order release."""
+        if self._next_seq is None or not self._slots:
+            return []
+        nearest = min(
+            self._slots, key=lambda s: seq_delta(s, self._next_seq) % _SEQ_MOD
+        )
+        gap = seq_delta(nearest, self._next_seq)
+        return [(self._next_seq + i) % _SEQ_MOD for i in range(max(0, gap))]

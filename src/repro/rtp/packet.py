@@ -1,0 +1,130 @@
+"""RTP fixed header and packet encode/decode (RFC 3550 section 5.1).
+
+Both the remoting and HIP payload formats ride on standard RTP packets;
+the draft uses the header exactly as RFC 3550 specifies, with the marker
+bit carrying fragmentation state for RegionUpdate (Table 2) and the
+timestamp on a 90 kHz clock.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+RTP_VERSION = 2
+#: Fixed header length without CSRCs.
+RTP_HEADER_LEN = 12
+MAX_SEQ = 0xFFFF
+MAX_TS = 0xFFFF_FFFF
+MAX_SSRC = 0xFFFF_FFFF
+MAX_PT = 0x7F
+MAX_CSRC_COUNT = 15
+
+_HEADER = struct.Struct("!BBHII")
+
+
+class RtpError(Exception):
+    """Raised when an RTP packet cannot be parsed or built."""
+
+
+@dataclass(frozen=True, slots=True)
+class RtpPacket:
+    """One RTP packet: fixed header fields plus opaque payload bytes."""
+
+    payload_type: int
+    sequence_number: int
+    timestamp: int
+    ssrc: int
+    payload: bytes = b""
+    marker: bool = False
+    csrcs: tuple[int, ...] = field(default=())
+    padding: bool = False
+    extension: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.payload_type <= MAX_PT:
+            raise RtpError(f"payload type out of range: {self.payload_type}")
+        if not 0 <= self.sequence_number <= MAX_SEQ:
+            raise RtpError(f"sequence number out of range: {self.sequence_number}")
+        if not 0 <= self.timestamp <= MAX_TS:
+            raise RtpError(f"timestamp out of range: {self.timestamp}")
+        if not 0 <= self.ssrc <= MAX_SSRC:
+            raise RtpError(f"ssrc out of range: {self.ssrc}")
+        if len(self.csrcs) > MAX_CSRC_COUNT:
+            raise RtpError(f"too many CSRCs: {len(self.csrcs)}")
+        for csrc in self.csrcs:
+            if not 0 <= csrc <= MAX_SSRC:
+                raise RtpError(f"csrc out of range: {csrc}")
+
+    # -- Wire format ----------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialise to network byte order."""
+        first = (
+            (RTP_VERSION << 6)
+            | (0x20 if self.padding else 0)
+            | (0x10 if self.extension else 0)
+            | len(self.csrcs)
+        )
+        second = (0x80 if self.marker else 0) | self.payload_type
+        header = _HEADER.pack(
+            first, second, self.sequence_number, self.timestamp, self.ssrc
+        )
+        csrc_bytes = b"".join(struct.pack("!I", c) for c in self.csrcs)
+        return header + csrc_bytes + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RtpPacket":
+        """Parse a packet; raises :class:`RtpError` on malformed input."""
+        if len(data) < RTP_HEADER_LEN:
+            raise RtpError(f"packet too short: {len(data)} bytes")
+        first, second, seq, ts, ssrc = _HEADER.unpack_from(data)
+        version = first >> 6
+        if version != RTP_VERSION:
+            raise RtpError(f"unsupported RTP version: {version}")
+        padding = bool(first & 0x20)
+        extension = bool(first & 0x10)
+        csrc_count = first & 0x0F
+        marker = bool(second & 0x80)
+        payload_type = second & 0x7F
+        offset = RTP_HEADER_LEN
+        if len(data) < offset + 4 * csrc_count:
+            raise RtpError("packet truncated inside CSRC list")
+        csrcs = tuple(
+            struct.unpack_from("!I", data, offset + 4 * i)[0]
+            for i in range(csrc_count)
+        )
+        offset += 4 * csrc_count
+        if extension:
+            if len(data) < offset + 4:
+                raise RtpError("packet truncated inside extension header")
+            ext_len_words = struct.unpack_from("!H", data, offset + 2)[0]
+            offset += 4 + 4 * ext_len_words
+            if len(data) < offset:
+                raise RtpError("packet truncated inside extension body")
+        payload = data[offset:]
+        if padding:
+            if not payload:
+                raise RtpError("padding bit set but no payload")
+            pad_len = payload[-1]
+            if pad_len == 0 or pad_len > len(payload):
+                raise RtpError(f"invalid padding length: {pad_len}")
+            payload = payload[:-pad_len]
+        return cls(
+            payload_type=payload_type,
+            sequence_number=seq,
+            timestamp=ts,
+            ssrc=ssrc,
+            payload=payload,
+            marker=marker,
+            csrcs=csrcs,
+            padding=padding,
+            extension=extension,
+        )
+
+    @property
+    def header_length(self) -> int:
+        return RTP_HEADER_LEN + 4 * len(self.csrcs)
+
+    def __len__(self) -> int:
+        return self.header_length + len(self.payload)

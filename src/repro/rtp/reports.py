@@ -1,0 +1,161 @@
+"""Periodic RTCP sender/receiver reports (RFC 3550 section 6).
+
+The draft's control messages (PLI/NACK) ride RTCP; a conforming
+endpoint also emits periodic SR/RR so peers can estimate loss, jitter
+and round-trip time.  :class:`RtcpReporter` builds compound packets
+(SR-or-RR first, then SDES CNAME, per the compound rules) on the
+standard randomised interval.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from .rtcp import (
+    ReceiverReport,
+    ReportBlock,
+    SdesChunk,
+    SenderReport,
+    SourceDescription,
+    encode_compound,
+)
+from .session import RtpReceiver, RtpSender
+
+#: RFC 3550 recommends a 5 s nominal reporting interval for small
+#: sessions, randomised to 0.5-1.5x to avoid synchronisation.
+DEFAULT_INTERVAL = 5.0
+
+#: Seconds ↔ NTP 64-bit fixed point.
+_NTP_EPOCH_OFFSET = 2_208_988_800
+
+
+def to_ntp(seconds: float) -> int:
+    """Float seconds (unix-ish) → 64-bit NTP timestamp."""
+    whole = int(seconds) + _NTP_EPOCH_OFFSET
+    frac = int((seconds - int(seconds)) * (1 << 32))
+    return ((whole & 0xFFFF_FFFF) << 32) | (frac & 0xFFFF_FFFF)
+
+
+def middle_32(ntp: int) -> int:
+    """The middle 32 bits of an NTP timestamp (the LSR field)."""
+    return (ntp >> 16) & 0xFFFF_FFFF
+
+
+class RtcpReporter:
+    """Schedules and builds compound RTCP reports for one endpoint.
+
+    Give it the local :class:`RtpSender` (None for a receive-only
+    endpoint) and the :class:`RtpReceiver` tracking the remote stream
+    (None for send-only).  Call :meth:`poll` regularly; it returns an
+    encoded compound packet when a report is due.
+    """
+
+    def __init__(
+        self,
+        now: Callable[[], float],
+        sender: RtpSender | None = None,
+        receiver: RtpReceiver | None = None,
+        cname: str = "repro@localhost",
+        interval: float = DEFAULT_INTERVAL,
+        rng: random.Random | None = None,
+    ) -> None:
+        if sender is None and receiver is None:
+            raise ValueError("reporter needs a sender and/or a receiver")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._now = now
+        self.sender = sender
+        self.receiver = receiver
+        self.cname = cname
+        self.interval = interval
+        self._rng = rng or random.Random()
+        self._next_due = self._now() + self._draw_interval()
+        self._last_expected = 0
+        self._last_received = 0
+        self._last_sr_ntp: int | None = None
+        self._last_sr_arrival: float | None = None
+        self.reports_sent = 0
+
+    def _draw_interval(self) -> float:
+        return self.interval * self._rng.uniform(0.5, 1.5)
+
+    @property
+    def local_ssrc(self) -> int:
+        if self.sender is not None:
+            return self.sender.ssrc
+        assert self.receiver is not None
+        return self.receiver.ssrc or 0
+
+    # -- Inbound SR tracking (for LSR/DLSR) ----------------------------------
+
+    def saw_sender_report(self, report: SenderReport) -> None:
+        """Record an incoming SR so our RRs can carry LSR/DLSR."""
+        self._last_sr_ntp = report.ntp_timestamp
+        self._last_sr_arrival = self._now()
+
+    # -- Report generation -----------------------------------------------------
+
+    def poll(self) -> bytes | None:
+        """An encoded compound RTCP packet when due, else None."""
+        now = self._now()
+        if now < self._next_due:
+            return None
+        self._next_due = now + self._draw_interval()
+        self.reports_sent += 1
+        return self.build_compound()
+
+    def build_compound(self) -> bytes:
+        """Force-build a compound report right now."""
+        blocks = self._report_blocks()
+        packets: list = []
+        if self.sender is not None and self.sender.packets_sent > 0:
+            now = self._now()
+            packets.append(
+                SenderReport(
+                    ssrc=self.sender.ssrc,
+                    ntp_timestamp=to_ntp(now),
+                    rtp_timestamp=self.sender.current_timestamp(),
+                    packet_count=self.sender.packets_sent,
+                    octet_count=self.sender.octets_sent,
+                    reports=blocks,
+                )
+            )
+        else:
+            packets.append(ReceiverReport(ssrc=self.local_ssrc, reports=blocks))
+        packets.append(
+            SourceDescription(
+                (SdesChunk(self.local_ssrc, ((1, self.cname),)),)
+            )
+        )
+        return encode_compound(packets)
+
+    def _report_blocks(self) -> tuple[ReportBlock, ...]:
+        if self.receiver is None or self.receiver.ssrc is None:
+            return ()
+        stats = self.receiver.stats()
+        expected_interval = stats.packets_expected - self._last_expected
+        received_interval = stats.packets_received - self._last_received
+        self._last_expected = stats.packets_expected
+        self._last_received = stats.packets_received
+        lost_interval = max(0, expected_interval - received_interval)
+        fraction = 0
+        if expected_interval > 0:
+            fraction = min(255, (lost_interval * 256) // expected_interval)
+        lsr = 0
+        dlsr = 0
+        if self._last_sr_ntp is not None and self._last_sr_arrival is not None:
+            lsr = middle_32(self._last_sr_ntp)
+            dlsr = int((self._now() - self._last_sr_arrival) * 65536)
+        tracker = self.receiver.tracker
+        return (
+            ReportBlock(
+                ssrc=self.receiver.ssrc,
+                fraction_lost=fraction,
+                cumulative_lost=min(0xFF_FFFF, stats.packets_lost),
+                extended_highest_seq=tracker.extended_highest_seq,
+                jitter=int(stats.jitter_seconds * tracker.clock_rate),
+                last_sr=lsr,
+                delay_since_last_sr=dlsr,
+            ),
+        )

@@ -1,0 +1,280 @@
+"""RTCP packets (RFC 3550 section 6): SR, RR, SDES, BYE, and compounds.
+
+The sharing protocol's control channel is plain RTCP; the AVPF feedback
+messages the draft actually names (PLI, Generic NACK) live in
+:mod:`repro.rtp.feedback` and share this module's framing.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+RTCP_VERSION = 2
+
+PT_SR = 200
+PT_RR = 201
+PT_SDES = 202
+PT_BYE = 203
+PT_APP = 204
+PT_RTPFB = 205  # transport-layer feedback (NACK)
+PT_PSFB = 206  # payload-specific feedback (PLI)
+
+SDES_CNAME = 1
+SDES_NAME = 2
+SDES_TOOL = 6
+
+
+class RtcpError(Exception):
+    """Raised when an RTCP packet cannot be parsed or built."""
+
+
+@dataclass(frozen=True, slots=True)
+class ReportBlock:
+    """One reception report block (RFC 3550 section 6.4.1)."""
+
+    ssrc: int
+    fraction_lost: int  # 0..255, fixed point /256
+    cumulative_lost: int  # 24-bit signed, clamped here to 0..2^24-1
+    extended_highest_seq: int
+    jitter: int
+    last_sr: int
+    delay_since_last_sr: int
+
+    _STRUCT = struct.Struct("!IIIIII")
+
+    def encode(self) -> bytes:
+        if not 0 <= self.fraction_lost <= 0xFF:
+            raise RtcpError("fraction_lost out of range")
+        if not 0 <= self.cumulative_lost <= 0xFF_FFFF:
+            raise RtcpError("cumulative_lost out of range")
+        word2 = (self.fraction_lost << 24) | self.cumulative_lost
+        return self._STRUCT.pack(
+            self.ssrc,
+            word2,
+            self.extended_highest_seq & 0xFFFF_FFFF,
+            self.jitter & 0xFFFF_FFFF,
+            self.last_sr & 0xFFFF_FFFF,
+            self.delay_since_last_sr & 0xFFFF_FFFF,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "ReportBlock":
+        ssrc, word2, ehsn, jitter, lsr, dlsr = cls._STRUCT.unpack_from(
+            data, offset
+        )
+        return cls(
+            ssrc=ssrc,
+            fraction_lost=word2 >> 24,
+            cumulative_lost=word2 & 0xFF_FFFF,
+            extended_highest_seq=ehsn,
+            jitter=jitter,
+            last_sr=lsr,
+            delay_since_last_sr=dlsr,
+        )
+
+    SIZE = 24
+
+
+def _header(packet_type: int, count: int, body_len: int) -> bytes:
+    """RTCP common header; ``body_len`` is bytes after the header."""
+    if body_len % 4 != 0:
+        raise RtcpError(f"RTCP body not 32-bit aligned: {body_len}")
+    # The RTCP length field is the packet length in 32-bit words minus
+    # one; the 4-byte common header is that minus'd word.
+    length_words = body_len // 4
+    return struct.pack(
+        "!BBH", (RTCP_VERSION << 6) | (count & 0x1F), packet_type, length_words
+    )
+
+
+def _parse_header(data: bytes, offset: int) -> tuple[int, int, int]:
+    """Returns (count-or-subtype, packet_type, total_packet_bytes)."""
+    if len(data) < offset + 4:
+        raise RtcpError("truncated RTCP header")
+    first, pt, length_words = struct.unpack_from("!BBH", data, offset)
+    if first >> 6 != RTCP_VERSION:
+        raise RtcpError(f"bad RTCP version: {first >> 6}")
+    total = (length_words + 1) * 4
+    if len(data) < offset + total:
+        raise RtcpError("RTCP packet shorter than its length field")
+    return first & 0x1F, pt, total
+
+
+@dataclass(frozen=True, slots=True)
+class SenderReport:
+    """RTCP Sender Report (SR)."""
+
+    ssrc: int
+    ntp_timestamp: int  # 64-bit NTP format
+    rtp_timestamp: int
+    packet_count: int
+    octet_count: int
+    reports: tuple[ReportBlock, ...] = ()
+
+    def encode(self) -> bytes:
+        body = struct.pack(
+            "!IQIII",
+            self.ssrc,
+            self.ntp_timestamp & 0xFFFF_FFFF_FFFF_FFFF,
+            self.rtp_timestamp & 0xFFFF_FFFF,
+            self.packet_count & 0xFFFF_FFFF,
+            self.octet_count & 0xFFFF_FFFF,
+        )
+        body += b"".join(r.encode() for r in self.reports)
+        return _header(PT_SR, len(self.reports), len(body)) + body
+
+    @classmethod
+    def decode_body(cls, data: bytes, offset: int, count: int) -> "SenderReport":
+        ssrc, ntp, rtp_ts, pkts, octets = struct.unpack_from("!IQIII", data, offset)
+        offset += 24
+        reports = tuple(
+            ReportBlock.decode(data, offset + i * ReportBlock.SIZE)
+            for i in range(count)
+        )
+        return cls(ssrc, ntp, rtp_ts, pkts, octets, reports)
+
+
+@dataclass(frozen=True, slots=True)
+class ReceiverReport:
+    """RTCP Receiver Report (RR)."""
+
+    ssrc: int
+    reports: tuple[ReportBlock, ...] = ()
+
+    def encode(self) -> bytes:
+        body = struct.pack("!I", self.ssrc)
+        body += b"".join(r.encode() for r in self.reports)
+        return _header(PT_RR, len(self.reports), len(body)) + body
+
+    @classmethod
+    def decode_body(cls, data: bytes, offset: int, count: int) -> "ReceiverReport":
+        (ssrc,) = struct.unpack_from("!I", data, offset)
+        offset += 4
+        reports = tuple(
+            ReportBlock.decode(data, offset + i * ReportBlock.SIZE)
+            for i in range(count)
+        )
+        return cls(ssrc, reports)
+
+
+@dataclass(frozen=True, slots=True)
+class SdesChunk:
+    ssrc: int
+    items: tuple[tuple[int, str], ...]  # (type, value)
+
+
+@dataclass(frozen=True, slots=True)
+class SourceDescription:
+    """RTCP SDES packet carrying CNAME and friends."""
+
+    chunks: tuple[SdesChunk, ...]
+
+    def encode(self) -> bytes:
+        body = b""
+        for chunk in self.chunks:
+            part = struct.pack("!I", chunk.ssrc)
+            for item_type, value in chunk.items:
+                raw = value.encode("utf-8")
+                if len(raw) > 255:
+                    raise RtcpError("SDES item longer than 255 bytes")
+                part += struct.pack("!BB", item_type, len(raw)) + raw
+            part += b"\x00"  # end of item list
+            while len(part) % 4 != 0:
+                part += b"\x00"
+            body += part
+        return _header(PT_SDES, len(self.chunks), len(body)) + body
+
+    @classmethod
+    def decode_body(cls, data: bytes, offset: int, count: int,
+                    end: int) -> "SourceDescription":
+        chunks = []
+        for _ in range(count):
+            (ssrc,) = struct.unpack_from("!I", data, offset)
+            offset += 4
+            items = []
+            while offset < end:
+                item_type = data[offset]
+                offset += 1
+                if item_type == 0:
+                    # Pad to the next 32-bit boundary.
+                    while offset % 4 != 0:
+                        offset += 1
+                    break
+                length = data[offset]
+                offset += 1
+                value = data[offset : offset + length].decode("utf-8")
+                offset += length
+                items.append((item_type, value))
+            chunks.append(SdesChunk(ssrc, tuple(items)))
+        return cls(tuple(chunks))
+
+
+@dataclass(frozen=True, slots=True)
+class Bye:
+    """RTCP BYE packet."""
+
+    ssrcs: tuple[int, ...]
+    reason: str = ""
+
+    def encode(self) -> bytes:
+        body = b"".join(struct.pack("!I", s) for s in self.ssrcs)
+        if self.reason:
+            raw = self.reason.encode("utf-8")
+            if len(raw) > 255:
+                raise RtcpError("BYE reason too long")
+            body += struct.pack("!B", len(raw)) + raw
+            while len(body) % 4 != 0:
+                body += b"\x00"
+        return _header(PT_BYE, len(self.ssrcs), len(body)) + body
+
+    @classmethod
+    def decode_body(cls, data: bytes, offset: int, count: int,
+                    end: int) -> "Bye":
+        ssrcs = tuple(
+            struct.unpack_from("!I", data, offset + 4 * i)[0] for i in range(count)
+        )
+        offset += 4 * count
+        reason = ""
+        if offset < end:
+            length = data[offset]
+            reason = data[offset + 1 : offset + 1 + length].decode("utf-8")
+        return cls(ssrcs, reason)
+
+
+RtcpPacket = object  # narrative alias; concrete classes share encode()
+
+
+def decode_compound(data: bytes) -> list[object]:
+    """Parse a compound RTCP datagram into its constituent packets.
+
+    Feedback packets (PT 205/206) are delegated to
+    :func:`repro.rtp.feedback.decode_feedback`.
+    """
+    from . import feedback  # local import to avoid a cycle
+
+    packets: list[object] = []
+    offset = 0
+    while offset < len(data):
+        count, pt, total = _parse_header(data, offset)
+        body = offset + 4
+        end = offset + total
+        if pt == PT_SR:
+            packets.append(SenderReport.decode_body(data, body, count))
+        elif pt == PT_RR:
+            packets.append(ReceiverReport.decode_body(data, body, count))
+        elif pt == PT_SDES:
+            packets.append(SourceDescription.decode_body(data, body, count, end))
+        elif pt == PT_BYE:
+            packets.append(Bye.decode_body(data, body, count, end))
+        elif pt in (PT_RTPFB, PT_PSFB):
+            packets.append(feedback.decode_feedback(data[offset:end], pt, count))
+        else:
+            raise RtcpError(f"unknown RTCP packet type: {pt}")
+        offset = end
+    return packets
+
+
+def encode_compound(packets: list) -> bytes:
+    """Concatenate already-encodable RTCP packets into one datagram."""
+    return b"".join(p.encode() for p in packets)

@@ -1,0 +1,116 @@
+"""SDP object model (RFC 4566 subset) for sharing-session descriptions.
+
+Covers what section 10 needs: session-level lines, ``m=`` blocks with
+``proto`` variants (RTP/AVP, TCP/RTP/AVP, TCP/BFCP), ``a=rtpmap``,
+``a=fmtp``, and the BFCP association attributes ``a=floorid`` /
+``a=label`` / ``m-stream`` of RFC 4583.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SdpError(Exception):
+    """Raised on malformed SDP input or invalid construction."""
+
+
+@dataclass(frozen=True, slots=True)
+class RtpMap:
+    """One ``a=rtpmap:<pt> <encoding>/<rate>`` entry."""
+
+    payload_type: int
+    encoding: str
+    clock_rate: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.payload_type <= 127:
+            raise SdpError(f"payload type out of range: {self.payload_type}")
+        if self.clock_rate <= 0:
+            raise SdpError("clock rate must be positive")
+        if "/" in self.encoding or " " in self.encoding:
+            raise SdpError(f"bad encoding name: {self.encoding!r}")
+
+    def to_line(self) -> str:
+        return f"a=rtpmap:{self.payload_type} {self.encoding}/{self.clock_rate}"
+
+
+@dataclass(slots=True)
+class MediaDescription:
+    """One ``m=`` block with its attribute lines."""
+
+    media: str  # "application"
+    port: int
+    proto: str  # "RTP/AVP", "TCP/RTP/AVP", "TCP/BFCP"
+    formats: list[str] = field(default_factory=list)
+    rtpmaps: list[RtpMap] = field(default_factory=list)
+    fmtp: dict[int, str] = field(default_factory=dict)
+    attributes: list[tuple[str, str | None]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 0xFFFF:
+            raise SdpError(f"port out of range: {self.port}")
+
+    def add_attribute(self, name: str, value: str | None = None) -> None:
+        self.attributes.append((name, value))
+
+    def attribute(self, name: str) -> str | None:
+        for attr_name, value in self.attributes:
+            if attr_name == name:
+                return value
+        return None
+
+    def has_attribute(self, name: str) -> bool:
+        return any(attr_name == name for attr_name, _value in self.attributes)
+
+    def rtpmap_for(self, encoding: str) -> RtpMap | None:
+        for entry in self.rtpmaps:
+            if entry.encoding == encoding:
+                return entry
+        return None
+
+    def to_lines(self) -> list[str]:
+        fmt = " ".join(self.formats) if self.formats else "*"
+        lines = [f"m={self.media} {self.port} {self.proto} {fmt}"]
+        for name, value in self.attributes:
+            lines.append(f"a={name}:{value}" if value is not None else f"a={name}")
+        for entry in self.rtpmaps:
+            lines.append(entry.to_line())
+        for pt, params in sorted(self.fmtp.items()):
+            lines.append(f"a=fmtp:{pt} {params}")
+        return lines
+
+
+@dataclass(slots=True)
+class SessionDescription:
+    """A full SDP document (subset)."""
+
+    origin_user: str = "-"
+    session_id: int = 0
+    session_version: int = 0
+    origin_address: str = "127.0.0.1"
+    session_name: str = "Application Sharing"
+    connection_address: str = "127.0.0.1"
+    media: list[MediaDescription] = field(default_factory=list)
+
+    def add_media(self, description: MediaDescription) -> None:
+        self.media.append(description)
+
+    def media_by_proto(self, proto: str) -> list[MediaDescription]:
+        return [m for m in self.media if m.proto == proto]
+
+    def media_with_encoding(self, encoding: str) -> list[MediaDescription]:
+        return [m for m in self.media if m.rtpmap_for(encoding) is not None]
+
+    def to_string(self) -> str:
+        lines = [
+            "v=0",
+            f"o={self.origin_user} {self.session_id} {self.session_version} "
+            f"IN IP4 {self.origin_address}",
+            f"s={self.session_name}",
+            f"c=IN IP4 {self.connection_address}",
+            "t=0 0",
+        ]
+        for media in self.media:
+            lines.extend(media.to_lines())
+        return "\r\n".join(lines) + "\r\n"

@@ -1,0 +1,91 @@
+"""SDP parser for the subset the sharing session uses."""
+
+from __future__ import annotations
+
+from .model import MediaDescription, RtpMap, SdpError, SessionDescription
+
+
+def parse_sdp(text: str) -> SessionDescription:
+    """Parse an SDP document; tolerant of \\n or \\r\\n line endings."""
+    session = SessionDescription()
+    session.media = []
+    current: MediaDescription | None = None
+    saw_version = False
+
+    for raw_line in text.replace("\r\n", "\n").split("\n"):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if len(line) < 2 or line[1] != "=":
+            raise SdpError(f"malformed SDP line: {line!r}")
+        key, value = line[0], line[2:]
+        if key == "v":
+            if value != "0":
+                raise SdpError(f"unsupported SDP version: {value}")
+            saw_version = True
+        elif key == "o":
+            parts = value.split()
+            if len(parts) != 6:
+                raise SdpError(f"malformed o= line: {value!r}")
+            session.origin_user = parts[0]
+            session.session_id = int(parts[1])
+            session.session_version = int(parts[2])
+            session.origin_address = parts[5]
+        elif key == "s":
+            session.session_name = value
+        elif key == "c":
+            parts = value.split()
+            if len(parts) == 3:
+                session.connection_address = parts[2]
+        elif key == "t":
+            pass  # timing ignored in this subset
+        elif key == "m":
+            current = _parse_media_line(value)
+            session.media.append(current)
+        elif key == "a":
+            if current is None:
+                continue  # session-level attributes ignored in subset
+            _parse_attribute(current, value)
+        # Unknown keys are ignored per SDP's extension philosophy.
+    if not saw_version:
+        raise SdpError("missing v= line")
+    return session
+
+
+def _parse_media_line(value: str) -> MediaDescription:
+    parts = value.split()
+    if len(parts) < 3:
+        raise SdpError(f"malformed m= line: {value!r}")
+    media, port_str, proto = parts[0], parts[1], parts[2]
+    try:
+        port = int(port_str)
+    except ValueError:
+        raise SdpError(f"bad port in m= line: {port_str!r}") from None
+    formats = [f for f in parts[3:] if f != "*"]
+    return MediaDescription(media=media, port=port, proto=proto, formats=formats)
+
+
+def _parse_attribute(media: MediaDescription, value: str) -> None:
+    if ":" in value:
+        name, payload = value.split(":", 1)
+    else:
+        name, payload = value, None
+    if name == "rtpmap" and payload:
+        pt_str, _, encoding_rate = payload.partition(" ")
+        encoding, _, rate_str = encoding_rate.partition("/")
+        try:
+            media.rtpmaps.append(
+                RtpMap(int(pt_str), encoding.strip(), int(rate_str or "0"))
+            )
+        except (ValueError, SdpError) as exc:
+            raise SdpError(f"bad rtpmap: {payload!r}") from exc
+    elif name == "fmtp" and payload:
+        pt_str, _, params = payload.partition(" ")
+        pt_str = pt_str.strip()
+        # Tolerate the draft's own "a=fmtp: retransmissions=yes" (no PT).
+        if pt_str and pt_str.isdigit():
+            media.fmtp[int(pt_str)] = params.strip()
+        else:
+            media.fmtp[-1] = (pt_str + " " + params).strip()
+    else:
+        media.add_attribute(name, payload)

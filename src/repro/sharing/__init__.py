@@ -1,0 +1,72 @@
+"""The sharing system: Application Host, participants, and plumbing."""
+
+from .ah import AhSession, ApplicationHost
+from .capture import (
+    CapturedFrame,
+    CapturePipeline,
+    MoveOp,
+    PointerOp,
+    UpdateOp,
+    window_manager_info,
+)
+from .config import PT_HIP, PT_REMOTING, PointerMode, SharingConfig
+from .encoder import FrameEncoder, StampedPacket
+from .events import EventInjector, EventStats
+from .layout import (
+    CompactedLayout,
+    GroupedLayout,
+    LayoutPolicy,
+    OriginalLayout,
+    ShiftedLayout,
+)
+from .participant import LocalWindow, Participant
+from .retransmit import RetransmitCache
+from .sender import UpdateScheduler
+from .service import SharingService
+from .transport import (
+    DatagramTransport,
+    MulticastReceiverTransport,
+    MulticastSenderTransport,
+    PacketTransport,
+    StreamTransport,
+    TcpSocketTransport,
+    UdpSocketTransport,
+    is_rtcp,
+)
+
+__all__ = [
+    "AhSession",
+    "ApplicationHost",
+    "CapturePipeline",
+    "CapturedFrame",
+    "CompactedLayout",
+    "DatagramTransport",
+    "EventInjector",
+    "EventStats",
+    "FrameEncoder",
+    "GroupedLayout",
+    "LayoutPolicy",
+    "LocalWindow",
+    "MoveOp",
+    "MulticastReceiverTransport",
+    "MulticastSenderTransport",
+    "OriginalLayout",
+    "PT_HIP",
+    "PT_REMOTING",
+    "PacketTransport",
+    "Participant",
+    "PointerMode",
+    "PointerOp",
+    "RetransmitCache",
+    "SharingConfig",
+    "SharingService",
+    "ShiftedLayout",
+    "StampedPacket",
+    "StreamTransport",
+    "TcpSocketTransport",
+    "UdpSocketTransport",
+    "UpdateOp",
+    "UpdateScheduler",
+    "is_rtcp",
+    "window_manager_info",
+]

@@ -1,0 +1,231 @@
+"""The Application Host (AH): runs apps, distributes updates, regenerates HIDs.
+
+One :class:`ApplicationHost` owns the virtual window system, the
+synthetic applications, the capture pipeline, and a per-destination
+:class:`~repro.sharing.sender.UpdateScheduler`.  A single AH serves TCP
+participants, UDP participants, and multicast groups in the same
+session (section 4.2); each destination keeps its own RTP sequence
+space, pacing state and retransmission cache.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..apps.base import AppHost
+from ..codecs.base import CodecRegistry, default_registry
+from ..net.ratecontrol import TokenBucket
+from ..rtp.feedback import GenericNack, PictureLossIndication
+from ..rtp.reports import RtcpReporter
+from ..rtp.rtcp import RtcpError, decode_compound
+from ..rtp.packet import RtpPacket
+from ..rtp.session import RtpReceiver, RtpSender
+from ..surface.cursor import PointerState
+from ..surface.geometry import Rect
+from ..surface.window import WindowManager
+from .capture import CapturePipeline
+from .config import PT_HIP, PT_REMOTING, PointerMode, SharingConfig
+from .encoder import FrameEncoder
+from .events import EventInjector, FloorCheck
+from .sender import UpdateScheduler
+from .transport import PacketTransport, is_rtcp
+
+
+@dataclass(slots=True)
+class AhSession:
+    """AH-side state for one destination (participant or group)."""
+
+    participant_id: str
+    transport: PacketTransport
+    scheduler: UpdateScheduler
+    reporter: RtcpReporter | None = None
+    hip_receiver: RtpReceiver | None = None
+    is_group: bool = False
+
+
+class ApplicationHost:
+    """The computer that runs the shared application (section 1)."""
+
+    def __init__(
+        self,
+        screen_width: int = 1280,
+        screen_height: int = 1024,
+        config: SharingConfig | None = None,
+        registry: CodecRegistry | None = None,
+        now=None,
+        floor_check: FloorCheck | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.config = config or SharingConfig()
+        self.registry = registry or default_registry()
+        self._now = now or (lambda: 0.0)
+        self._rng = rng or random.Random(0)
+
+        self.windows = WindowManager(screen_width, screen_height)
+        self.apps = AppHost(self.windows)
+        # Both pointer models (section 4.2) keep AH pointer state; the
+        # mode decides whether it ships as MousePointerInfo messages or
+        # painted into RegionUpdate pixels.
+        self.pointer = PointerState()
+        self.capture = CapturePipeline(
+            self.windows,
+            pointer=self.pointer,
+            scroll_detection=self.config.scroll_detection,
+            max_update_rects=self.config.max_update_rects,
+            pointer_in_band=self.config.pointer_mode is PointerMode.IN_BAND,
+        )
+        self.injector = EventInjector(
+            self.windows, self.apps, pointer=self.pointer, floor_check=floor_check
+        )
+        self.sessions: dict[str, AhSession] = {}
+        #: Message type → handler(participant_id, payload, packet) for
+        #: registered HIP-stream extension types (section 9).
+        self.extension_handlers: dict = {}
+        self.plis_received = 0
+        self.nacks_received = 0
+
+    # -- Participant management ------------------------------------------------
+
+    def add_participant(
+        self,
+        participant_id: str,
+        transport: PacketTransport,
+        rate_bps: int | None = None,
+        is_group: bool = False,
+    ) -> AhSession:
+        """Register a destination.
+
+        TCP (reliable) destinations receive the window state and full
+        image immediately, "right after the TCP connection
+        establishment" (section 4.4).  UDP destinations wait for their
+        PLI (section 4.3).  ``rate_bps`` attaches a token-bucket tier
+        for UDP pacing (section 4.3).
+        """
+        if participant_id in self.sessions:
+            raise ValueError(f"participant {participant_id!r} already present")
+        sender = RtpSender(PT_REMOTING, now=self._now, rng=self._rng)
+        encoder = FrameEncoder(sender, self.registry, self.config, self._now)
+        limiter = (
+            TokenBucket(rate_bps, now=self._now) if rate_bps else None
+        )
+        scheduler = UpdateScheduler(
+            transport, encoder, self.windows, self.config, self._now, limiter,
+            pixel_reader=self.capture.read_window_rect,
+        )
+        hip_receiver = RtpReceiver(
+            clock_rate=self.config.clock_rate, now=self._now
+        )
+        reporter = RtcpReporter(
+            self._now, sender=sender, receiver=hip_receiver,
+            cname=f"ah/{participant_id}", rng=self._rng,
+        )
+        session = AhSession(
+            participant_id, transport, scheduler, reporter, hip_receiver,
+            is_group,
+        )
+        self.sessions[participant_id] = session
+        if transport.reliable:
+            scheduler.submit_full_refresh()
+        return session
+
+    def remove_participant(self, participant_id: str) -> None:
+        self.sessions.pop(participant_id, None)
+
+    # -- Desktop sharing ---------------------------------------------------
+
+    def share_desktop(self, title: str = "desktop"):
+        """Switch to *desktop sharing*: one window covering the screen.
+
+        Section 2: "In desktop sharing, a computer distributes all
+        screen updates."  On the wire this degenerates to application
+        sharing with a single full-screen window — which is exactly how
+        the protocol models it.  Returns the desktop window; draw the
+        whole screen into it.
+        """
+        screen = self.windows.screen
+        return self.windows.create_window(
+            Rect(0, 0, screen.width, screen.height), title=title
+        )
+
+    # -- Main loop ------------------------------------------------------------------
+
+    def advance(self, dt: float) -> None:
+        """One service round: tick apps, capture, distribute, receive."""
+        if dt > 0:
+            self.apps.tick_all(dt)
+        frame = self.capture.capture()
+        for session in self.sessions.values():
+            if not frame.is_empty:
+                session.scheduler.submit(frame)
+            session.scheduler.pump()
+            if session.reporter is not None:
+                report = session.reporter.poll()
+                if report is not None:
+                    session.transport.send_packet(report)
+        self.process_incoming()
+
+    def pump(self) -> None:
+        """Service transports without advancing app time."""
+        for session in self.sessions.values():
+            session.scheduler.pump()
+        self.process_incoming()
+
+    # -- Receive path ------------------------------------------------------------------
+
+    def process_incoming(self) -> None:
+        departed: list[str] = []
+        for session in self.sessions.values():
+            for raw in session.transport.receive_packets():
+                if is_rtcp(raw):
+                    self._handle_rtcp(session, raw)
+                else:
+                    self._handle_rtp(session, raw)
+            if session.transport.closed:
+                departed.append(session.participant_id)
+        for participant_id in departed:
+            self.remove_participant(participant_id)
+
+    def _handle_rtp(self, session: AhSession, raw: bytes) -> None:
+        try:
+            packet = RtpPacket.decode(raw)
+        except Exception:
+            return
+        if packet.payload_type != PT_HIP:
+            return
+        if session.hip_receiver is not None:
+            session.hip_receiver.receive(packet)
+        if len(packet.payload) >= 1:
+            handler = self.extension_handlers.get(packet.payload[0])
+            if handler is not None:
+                try:
+                    if handler(session.participant_id, packet.payload, packet):
+                        return
+                except Exception:
+                    return  # extension bugs must not take down the AH
+        self.injector.inject_payload(session.participant_id, packet.payload)
+
+    def _handle_rtcp(self, session: AhSession, raw: bytes) -> None:
+        try:
+            messages = decode_compound(raw)
+        except RtcpError:
+            return
+        for message in messages:
+            if isinstance(message, PictureLossIndication):
+                self.plis_received += 1
+                session.scheduler.submit_full_refresh()
+            elif isinstance(message, GenericNack):
+                self.nacks_received += 1
+                if self.config.retransmissions:
+                    session.scheduler.retransmit(message.sequence_numbers())
+
+    # -- Introspection -------------------------------------------------------------------
+
+    def total_bytes_sent(self) -> int:
+        return sum(s.scheduler.bytes_sent for s in self.sessions.values())
+
+    def total_packets_sent(self) -> int:
+        return sum(s.scheduler.packets_sent for s in self.sessions.values())
+
+    def session(self, participant_id: str) -> AhSession:
+        return self.sessions[participant_id]

@@ -1,0 +1,64 @@
+"""Session configuration shared by AH and participants."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: RTP payload type of the remoting stream (dynamic range; SDP example
+#: in section 10.3 uses 99).
+PT_REMOTING = 99
+#: RTP payload type of the HIP stream (section 10.3 uses 100).
+PT_HIP = 100
+
+
+class PointerMode(enum.Enum):
+    """The two mouse pointer models of section 4.2.
+
+    The AH decides which to use; participants must support both.
+    """
+
+    #: Pointer image painted into RegionUpdate pixels.
+    IN_BAND = "in-band"
+    #: Explicit MousePointerInfo messages carrying position (+ icon).
+    EXPLICIT = "explicit"
+
+
+@dataclass(frozen=True, slots=True)
+class SharingConfig:
+    """Knobs for one sharing session.
+
+    ``max_rtp_payload`` bounds the remoting payload per RTP packet
+    (drives Table 2 fragmentation).  ``retransmissions`` mirrors the
+    mandatory media-type parameter of section 9.3.1: when False, UDP
+    participants fall back to PLI-only recovery.
+    """
+
+    max_rtp_payload: int = 1200
+    pointer_mode: PointerMode = PointerMode.EXPLICIT
+    retransmissions: bool = True
+    retransmit_cache_packets: int = 2048
+    scroll_detection: bool = True
+    backlog_coalescing: bool = True
+    adaptive_codec: bool = True
+    lossless_codec: str = "png"
+    lossy_codec: str = "lossy-dct"
+    max_update_rects: int = 16
+    clock_rate: int = 90_000
+    #: Idle-sender RTP keepalive for UDP paths (RFC 6263 shape): a
+    #: no-op packet every this many seconds of send silence keeps the
+    #: sequence space moving so receivers detect tail loss and NACK it.
+    #: 0 disables.
+    keepalive_interval: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_rtp_payload < 64:
+            raise ValueError("max_rtp_payload unrealistically small")
+        if self.retransmit_cache_packets < 0:
+            raise ValueError("retransmit cache cannot be negative")
+        if self.max_update_rects < 1:
+            raise ValueError("max_update_rects must be >= 1")
+        if self.clock_rate <= 0:
+            raise ValueError("clock rate must be positive")
+        if self.keepalive_interval < 0:
+            raise ValueError("keepalive interval cannot be negative")

@@ -1,0 +1,160 @@
+"""Turns captured frames into RTP packets (the AH send path).
+
+One :class:`FrameEncoder` per destination: it owns the destination's
+RTP sequence space and applies codec selection, Table 2 fragmentation,
+and the shared-timestamp rule for multi-packet updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..codecs.base import CodecRegistry
+from ..codecs.selector import CodecSelector
+from ..core.mouse_pointer import MousePointerInfo
+from ..core.move_rectangle import MoveRectangle
+from ..core.registry import MSG_MOUSE_POINTER_INFO, MSG_REGION_UPDATE
+from ..core.fragmentation import fragment_update
+from ..core.window_info import WindowManagerInfo
+from ..rtp.packet import RtpPacket
+from ..rtp.session import RtpSender
+from ..stats.metrics import TrafficStats
+from .capture import CapturedFrame, MoveOp, PointerOp, UpdateOp
+from .config import SharingConfig
+
+
+@dataclass(frozen=True, slots=True)
+class StampedPacket:
+    """An RTP packet plus the capture time of the content it carries."""
+
+    packet: RtpPacket
+    capture_time: float
+
+
+class FrameEncoder:
+    """Encodes capture-pipeline output into this destination's stream."""
+
+    def __init__(
+        self,
+        sender: RtpSender,
+        registry: CodecRegistry,
+        config: SharingConfig,
+        now,
+    ) -> None:
+        self.sender = sender
+        self.registry = registry
+        self.config = config
+        self._now = now
+        self.selector = CodecSelector(
+            registry,
+            lossless_name=config.lossless_codec,
+            lossy_name=config.lossy_codec,
+            allow_lossy=config.adaptive_codec,
+        )
+        self.stats = TrafficStats()
+
+    # -- Whole frames -----------------------------------------------------
+
+    def encode_frame(self, frame: CapturedFrame) -> list[StampedPacket]:
+        """Encode a frame in protocol order: WMI, moves, updates, pointer.
+
+        WMI must precede updates that reference new windows; moves must
+        precede the updates that repaint their exposed bands.
+        """
+        capture_time = self._now()
+        packets: list[StampedPacket] = []
+        if frame.window_info is not None:
+            packets.extend(self.encode_window_info(frame.window_info, capture_time))
+        for move in frame.moves:
+            packets.extend(self.encode_move(move, capture_time))
+        for update in frame.updates:
+            packets.extend(self.encode_update(update, capture_time))
+        if frame.pointer is not None:
+            packets.extend(self.encode_pointer(frame.pointer, capture_time))
+        return packets
+
+    # -- Individual ops -----------------------------------------------------
+
+    def encode_window_info(
+        self, info: WindowManagerInfo, capture_time: float
+    ) -> list[StampedPacket]:
+        payload = info.encode()
+        packet = self.sender.next_packet(payload, marker=False)
+        self.stats.window_info.add(len(payload), len(packet))
+        return [StampedPacket(packet, capture_time)]
+
+    def encode_move(self, move: MoveOp, capture_time: float) -> list[StampedPacket]:
+        message = MoveRectangle(
+            window_id=move.window_id,
+            source_left=move.source_left,
+            source_top=move.source_top,
+            width=move.width,
+            height=move.height,
+            dest_left=move.dest_left,
+            dest_top=move.dest_top,
+        )
+        payload = message.encode()
+        packet = self.sender.next_packet(payload, marker=False)
+        self.stats.move_rectangle.add(len(payload), len(packet))
+        return [StampedPacket(packet, capture_time)]
+
+    def encode_update(
+        self, update: UpdateOp, capture_time: float
+    ) -> list[StampedPacket]:
+        codec = self.selector.select(update.pixels)
+        data = codec.encode(update.pixels)
+        fragments = fragment_update(
+            MSG_REGION_UPDATE,
+            update.window_id,
+            codec.payload_type,
+            update.left,
+            update.top,
+            data,
+            self.config.max_rtp_payload,
+        )
+        # "the timestamp SHALL be the same for all of those packets"
+        timestamp = self.sender.current_timestamp()
+        out = []
+        for fragment in fragments:
+            packet = self.sender.next_packet(
+                fragment.payload, marker=fragment.marker, timestamp=timestamp
+            )
+            self.stats.region_update.add(len(fragment.payload), len(packet))
+            out.append(StampedPacket(packet, capture_time))
+        return out
+
+    def encode_pointer(
+        self, pointer: PointerOp, capture_time: float
+    ) -> list[StampedPacket]:
+        lossless = self.registry.by_name(self.config.lossless_codec)
+        if pointer.image is not None:
+            image_data = lossless.encode(np.ascontiguousarray(pointer.image))
+        else:
+            image_data = b""
+        message = MousePointerInfo(
+            window_id=0,
+            left=pointer.left,
+            top=pointer.top,
+            content_pt=lossless.payload_type,
+            image_data=image_data,
+        )
+        fragments = fragment_update(
+            MSG_MOUSE_POINTER_INFO,
+            message.window_id,
+            message.content_pt,
+            message.left,
+            message.top,
+            message.image_data,
+            self.config.max_rtp_payload,
+        )
+        timestamp = self.sender.current_timestamp()
+        out = []
+        for fragment in fragments:
+            packet = self.sender.next_packet(
+                fragment.payload, marker=fragment.marker, timestamp=timestamp
+            )
+            self.stats.pointer.add(len(fragment.payload), len(packet))
+            out.append(StampedPacket(packet, capture_time))
+        return out

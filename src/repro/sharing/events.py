@@ -1,0 +1,216 @@
+"""AH-side HIP event processing: validate, gate, and regenerate.
+
+Three stages per incoming event (sections 4.1, 4.2, 6):
+
+1. **Legitimacy** — "The AH MUST only accept legitimate HIP events by
+   checking whether the requested coordinates are inside the shared
+   windows."  Mouse events whose screen coordinates hit no shared
+   window are rejected.
+2. **Floor gating** — an optional hook (wired to BFCP, Appendix A)
+   decides whether this participant currently owns the HIDs, and
+   whether keyboard/mouse are individually allowed (HID Status).
+3. **Regeneration** — accepted events are delivered to the app owning
+   the target window, in window-local coordinates, and mouse motion
+   drives the AH pointer state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..apps.base import AppHost
+from ..core.hip import (
+    HipMessage,
+    KeyPressed,
+    KeyReleased,
+    KeyTyped,
+    MouseMoved,
+    MousePressed,
+    MouseReleased,
+    MouseWheelMoved,
+    decode_hip,
+)
+from ..surface.cursor import PointerState
+from ..surface.window import WindowManager
+
+#: (participant_id, kind) -> allowed; kind is "mouse" or "keyboard".
+FloorCheck = Callable[[str, str], bool]
+
+
+@dataclass(slots=True)
+class EventStats:
+    accepted: int = 0
+    rejected_out_of_window: int = 0
+    rejected_floor: int = 0
+    rejected_unknown_type: int = 0
+    rejected_malformed: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+
+
+class EventInjector:
+    """Routes decoded HIP messages into the simulated applications."""
+
+    def __init__(
+        self,
+        manager: WindowManager,
+        apps: AppHost,
+        pointer: PointerState | None = None,
+        floor_check: FloorCheck | None = None,
+        raise_on_click: bool = True,
+    ) -> None:
+        self.manager = manager
+        self.apps = apps
+        self.pointer = pointer
+        self.floor_check = floor_check or (lambda _participant, _kind: True)
+        self.raise_on_click = raise_on_click
+        self.stats = EventStats()
+        #: windowID that last received a click — keyboard focus.
+        self.focus_window_id: int | None = None
+
+    # -- Entry points ------------------------------------------------------
+
+    def inject_payload(self, participant_id: str, payload: bytes) -> bool:
+        """Decode and inject one HIP RTP payload; False if rejected.
+
+        Network input is untrusted: malformed payloads are counted and
+        dropped, never raised past this boundary.
+        """
+        try:
+            message = decode_hip(payload)
+        except Exception:
+            self.stats.rejected_malformed += 1
+            return False
+        if message is None:
+            self.stats.rejected_unknown_type += 1
+            return False
+        return self.inject(participant_id, message)
+
+    def inject(self, participant_id: str, message: HipMessage) -> bool:
+        """Validate and regenerate one HIP event."""
+        kind = (
+            "keyboard"
+            if isinstance(message, (KeyPressed, KeyReleased, KeyTyped))
+            else "mouse"
+        )
+        if not self.floor_check(participant_id, kind):
+            self.stats.rejected_floor += 1
+            return False
+        handler = {
+            MousePressed: self._mouse_pressed,
+            MouseReleased: self._mouse_released,
+            MouseMoved: self._mouse_moved,
+            MouseWheelMoved: self._mouse_wheel,
+            KeyPressed: self._key_pressed,
+            KeyReleased: self._key_released,
+            KeyTyped: self._key_typed,
+        }[type(message)]
+        accepted = handler(message)
+        if accepted:
+            self.stats.accepted += 1
+            name = type(message).__name__
+            self.stats.by_type[name] = self.stats.by_type.get(name, 0) + 1
+        return accepted
+
+    # -- Mouse events (absolute screen coordinates) --------------------------
+
+    def _locate(self, x: int, y: int):
+        """The topmost shared window containing (x, y), or None."""
+        return self.manager.window_at(x, y)
+
+    def _mouse_pressed(self, msg: MousePressed) -> bool:
+        window = self._locate(msg.left, msg.top)
+        if window is None:
+            self.stats.rejected_out_of_window += 1
+            return False
+        self.focus_window_id = window.window_id
+        if self.raise_on_click:
+            self.manager.raise_window(window.window_id)
+        self._update_pointer(msg.left, msg.top)
+        app = self.apps.app_for(window.window_id)
+        if app is not None:
+            app.on_mouse_pressed(
+                msg.left - window.rect.left, msg.top - window.rect.top, msg.button
+            )
+        return True
+
+    def _mouse_released(self, msg: MouseReleased) -> bool:
+        window = self._locate(msg.left, msg.top)
+        if window is None:
+            self.stats.rejected_out_of_window += 1
+            return False
+        self._update_pointer(msg.left, msg.top)
+        app = self.apps.app_for(window.window_id)
+        if app is not None:
+            app.on_mouse_released(
+                msg.left - window.rect.left, msg.top - window.rect.top, msg.button
+            )
+        return True
+
+    def _mouse_moved(self, msg: MouseMoved) -> bool:
+        window = self._locate(msg.left, msg.top)
+        if window is None:
+            self.stats.rejected_out_of_window += 1
+            return False
+        self._update_pointer(msg.left, msg.top)
+        app = self.apps.app_for(window.window_id)
+        if app is not None:
+            app.on_mouse_moved(
+                msg.left - window.rect.left, msg.top - window.rect.top
+            )
+        return True
+
+    def _mouse_wheel(self, msg: MouseWheelMoved) -> bool:
+        window = self._locate(msg.left, msg.top)
+        if window is None:
+            self.stats.rejected_out_of_window += 1
+            return False
+        app = self.apps.app_for(window.window_id)
+        if app is not None:
+            app.on_mouse_wheel(
+                msg.left - window.rect.left,
+                msg.top - window.rect.top,
+                msg.distance,
+            )
+        return True
+
+    def _update_pointer(self, x: int, y: int) -> None:
+        if self.pointer is not None:
+            self.pointer.move_to(x, y)
+
+    # -- Keyboard events (windowID = focus) ------------------------------------
+
+    def _focused_app(self, window_id: int):
+        """Keyboard target: the message's windowID if it is shared,
+        falling back to the click-derived focus."""
+        if self.manager.has(window_id):
+            return self.apps.app_for(window_id)
+        if self.focus_window_id is not None and self.manager.has(
+            self.focus_window_id
+        ):
+            return self.apps.app_for(self.focus_window_id)
+        return None
+
+    def _key_pressed(self, msg: KeyPressed) -> bool:
+        app = self._focused_app(msg.window_id)
+        if app is None:
+            self.stats.rejected_out_of_window += 1
+            return False
+        app.on_key_pressed(msg.keycode)
+        return True
+
+    def _key_released(self, msg: KeyReleased) -> bool:
+        app = self._focused_app(msg.window_id)
+        if app is None:
+            self.stats.rejected_out_of_window += 1
+            return False
+        app.on_key_released(msg.keycode)
+        return True
+
+    def _key_typed(self, msg: KeyTyped) -> bool:
+        app = self._focused_app(msg.window_id)
+        if app is None:
+            self.stats.rejected_out_of_window += 1
+            return False
+        app.on_key_typed(msg.text)
+        return True

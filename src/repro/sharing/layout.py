@@ -1,0 +1,160 @@
+"""Participant-side window layout policies (Figures 3-5).
+
+"A participant can display the windows in their original coordinates or
+it can display them in different coordinates" (section 4.1):
+
+* Figure 3 — :class:`OriginalLayout`: identity placement.
+* Figure 4 — :class:`ShiftedLayout`: every window translated by one
+  offset, preserving inter-window relations.
+* Figure 5 — :class:`CompactedLayout`: windows pulled together and
+  clamped so they fit a smaller participant screen, z-order preserved.
+
+A layout only moves windows; it never scales pixels.  Every policy is
+invertible *per window*, which is how participant-local coordinates map
+back to AH absolute coordinates for HIP events.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..core.window_info import WindowRecord
+from ..surface.geometry import Point, Rect
+
+
+class LayoutPolicy(abc.ABC):
+    """Maps AH window geometry to participant-local positions."""
+
+    @abc.abstractmethod
+    def place(self, records: list[WindowRecord],
+              screen: Rect) -> dict[int, Point]:
+        """Local top-left for each windowID given the local screen."""
+
+
+class OriginalLayout(LayoutPolicy):
+    """Figure 3: identical coordinates."""
+
+    def place(self, records: list[WindowRecord], screen: Rect) -> dict[int, Point]:
+        return {r.window_id: Point(r.left, r.top) for r in records}
+
+
+class ShiftedLayout(LayoutPolicy):
+    """Figure 4: translate the whole group, relations preserved.
+
+    With ``auto=True`` the shift brings the bounding box of all shared
+    windows to the local origin (what Figure 4's participant does with
+    -220/-150); otherwise the explicit ``dx``/``dy`` are applied.
+    """
+
+    def __init__(self, dx: int = 0, dy: int = 0, auto: bool = True) -> None:
+        self.dx = dx
+        self.dy = dy
+        self.auto = auto
+
+    def place(self, records: list[WindowRecord], screen: Rect) -> dict[int, Point]:
+        if not records:
+            return {}
+        if self.auto:
+            dx = -min(r.left for r in records)
+            dy = -min(r.top for r in records)
+        else:
+            dx, dy = self.dx, self.dy
+        return {
+            r.window_id: Point(max(0, r.left + dx), max(0, r.top + dy))
+            for r in records
+        }
+
+
+class GroupedLayout(LayoutPolicy):
+    """Packs windows by GroupID, preserving intra-group geometry.
+
+    Section 4.1: "Grouping information MAY be used by the participant
+    while relocating the windows."  Windows sharing a GroupID (one
+    process, per section 5.2.1) move as a unit: each group's bounding
+    box is stacked left-to-right with a gutter, while relative window
+    positions inside a group are untouched.  Ungrouped windows
+    (GroupID 0) each form their own unit.
+    """
+
+    def __init__(self, gutter: int = 16) -> None:
+        if gutter < 0:
+            raise ValueError("gutter cannot be negative")
+        self.gutter = gutter
+
+    def place(self, records: list[WindowRecord], screen: Rect) -> dict[int, Point]:
+        if not records:
+            return {}
+        # Partition into units: one per group, one per ungrouped window.
+        units: dict[object, list[WindowRecord]] = {}
+        for record in records:
+            key: object = (
+                ("group", record.group_id)
+                if record.group_id != 0
+                else ("solo", record.window_id)
+            )
+            units.setdefault(key, []).append(record)
+
+        out: dict[int, Point] = {}
+        cursor_x = 0
+        row_top = 0
+        row_height = 0
+        for key in sorted(units, key=str):
+            members = units[key]
+            base_x = min(r.left for r in members)
+            base_y = min(r.top for r in members)
+            width = max(r.left - base_x + r.width for r in members)
+            height = max(r.top - base_y + r.height for r in members)
+            if cursor_x > 0 and cursor_x + width > screen.width:
+                # Wrap to the next row of groups.
+                cursor_x = 0
+                row_top += row_height + self.gutter
+                row_height = 0
+            for record in members:
+                x = cursor_x + (record.left - base_x)
+                y = row_top + (record.top - base_y)
+                x = max(0, min(x, max(0, screen.width - record.width)))
+                y = max(0, min(y, max(0, screen.height - record.height)))
+                out[record.window_id] = Point(x, y)
+            cursor_x += width + self.gutter
+            row_height = max(row_height, height)
+        return out
+
+
+class CompactedLayout(LayoutPolicy):
+    """Figure 5: squeeze windows onto a small screen.
+
+    Positions (not sizes) are scaled toward the origin until every
+    window's top-left allows it to fit, then clamped to the screen.
+    Overlap increases — exactly what Figure 5 shows — while z-order
+    still comes from WindowManagerInfo record order.
+    """
+
+    def place(self, records: list[WindowRecord], screen: Rect) -> dict[int, Point]:
+        if not records:
+            return {}
+        base_x = min(r.left for r in records)
+        base_y = min(r.top for r in records)
+        # How far the group extends beyond the local screen, at worst.
+        scale_x = 1.0
+        scale_y = 1.0
+        for r in records:
+            extent_x = (r.left - base_x) + r.width
+            extent_y = (r.top - base_y) + r.height
+            if extent_x > screen.width and r.left - base_x > 0:
+                scale_x = min(
+                    scale_x,
+                    max(0.0, (screen.width - r.width)) / (r.left - base_x),
+                )
+            if extent_y > screen.height and r.top - base_y > 0:
+                scale_y = min(
+                    scale_y,
+                    max(0.0, (screen.height - r.height)) / (r.top - base_y),
+                )
+        out: dict[int, Point] = {}
+        for r in records:
+            x = int((r.left - base_x) * scale_x)
+            y = int((r.top - base_y) * scale_y)
+            x = max(0, min(x, max(0, screen.width - r.width)))
+            y = max(0, min(y, max(0, screen.height - r.height)))
+            out[r.window_id] = Point(x, y)
+        return out

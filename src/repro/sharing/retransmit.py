@@ -1,0 +1,54 @@
+"""AH-side retransmission cache for Generic NACK recovery.
+
+"AHs MAY support retransmissions" (section 4.5.1); when the
+``retransmissions`` media-type parameter is ``yes``, the AH keeps the
+last N encoded RTP packets per UDP destination and replays the ones a
+NACK names.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class RetransmitCache:
+    """A bounded map of sequence number → encoded RTP packet bytes."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 0:
+            raise ValueError("capacity cannot be negative")
+        self.capacity = capacity
+        self._packets: OrderedDict[int, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def store(self, sequence_number: int, encoded: bytes) -> None:
+        if self.capacity == 0:
+            return
+        seq = sequence_number & 0xFFFF
+        if seq in self._packets:
+            del self._packets[seq]
+        self._packets[seq] = encoded
+        while len(self._packets) > self.capacity:
+            self._packets.popitem(last=False)
+
+    def lookup(self, sequence_number: int) -> bytes | None:
+        """The cached packet, or None when it has aged out."""
+        packet = self._packets.get(sequence_number & 0xFFFF)
+        if packet is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return packet
+
+    def lookup_many(self, sequence_numbers: list[int]) -> list[bytes]:
+        """Every cached packet among ``sequence_numbers``, in order."""
+        out = []
+        for seq in sequence_numbers:
+            packet = self.lookup(seq)
+            if packet is not None:
+                out.append(packet)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._packets)

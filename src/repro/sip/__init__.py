@@ -1,0 +1,6 @@
+"""SIP session setup subset (RFC 3261) for sharing sessions."""
+
+from .dialog import DialogState, SipEndpoint
+from .messages import METHODS, SipError, SipMessage
+
+__all__ = ["DialogState", "METHODS", "SipEndpoint", "SipError", "SipMessage"]

@@ -1,0 +1,215 @@
+"""SIP dialog state machines for session setup.
+
+One INVITE dialog establishes one sharing session: the AH (caller)
+sends INVITE carrying its SDP offer (section 10); the participant
+answers 200 OK with the negotiated SDP; ACK completes the three-way
+handshake; BYE from either side tears the session down.  Transport is
+an abstract ``send(text)`` callable over a reliable channel.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Callable
+
+from .messages import SipError, SipMessage
+
+
+class DialogState(enum.Enum):
+    IDLE = "idle"
+    INVITING = "inviting"  # UAC: INVITE sent, awaiting final response
+    RINGING = "ringing"  # UAS: INVITE received, awaiting local answer
+    ESTABLISHED = "established"
+    TERMINATED = "terminated"
+
+
+def _tag(rng: random.Random) -> str:
+    return f"{rng.randrange(1 << 32):08x}"
+
+
+class SipEndpoint:
+    """One user agent able to originate and accept sharing dialogs."""
+
+    def __init__(
+        self,
+        uri: str,
+        send: Callable[[str], None],
+        rng: random.Random | None = None,
+        on_established: Callable[[str], None] | None = None,
+        on_terminated: Callable[[], None] | None = None,
+    ) -> None:
+        self.uri = uri
+        self._send = send
+        self._rng = rng or random.Random()
+        self.state = DialogState.IDLE
+        self.call_id: str | None = None
+        self.local_tag: str | None = None
+        self.remote_tag: str | None = None
+        self.remote_uri: str | None = None
+        self._cseq = 0
+        self.local_sdp: str = ""
+        self.remote_sdp: str = ""
+        self.on_established = on_established or (lambda _sdp: None)
+        self.on_terminated = on_terminated or (lambda: None)
+        #: Pending inbound INVITE awaiting accept()/reject().
+        self._pending_invite: SipMessage | None = None
+
+    # -- Identity helpers ------------------------------------------------------
+
+    def _from_header(self) -> str:
+        return f"<{self.uri}>;tag={self.local_tag}"
+
+    def _to_header(self) -> str:
+        if self.remote_tag:
+            return f"<{self.remote_uri}>;tag={self.remote_tag}"
+        return f"<{self.remote_uri}>"
+
+    def _base_headers(self, cseq_method: str) -> dict[str, str]:
+        self._cseq += 1
+        return {
+            "Via": f"SIP/2.0/TCP {self.uri.split('@')[-1]}",
+            "From": self._from_header(),
+            "To": self._to_header(),
+            "Call-Id": self.call_id or "",
+            "Cseq": f"{self._cseq} {cseq_method}",
+            "Contact": f"<{self.uri}>",
+        }
+
+    @staticmethod
+    def _extract_tag(header_value: str) -> str | None:
+        for part in header_value.split(";")[1:]:
+            key, _, value = part.strip().partition("=")
+            if key == "tag":
+                return value
+        return None
+
+    # -- UAC: originate ----------------------------------------------------------
+
+    def invite(self, remote_uri: str, sdp_offer: str) -> None:
+        """Send INVITE with our SDP offer (the AH's role)."""
+        if self.state is not DialogState.IDLE:
+            raise SipError(f"cannot INVITE in state {self.state}")
+        self.remote_uri = remote_uri
+        self.call_id = f"{_tag(self._rng)}@{self.uri.split('@')[-1]}"
+        self.local_tag = _tag(self._rng)
+        self.local_sdp = sdp_offer
+        headers = self._base_headers("INVITE")
+        self.state = DialogState.INVITING
+        self._send(
+            SipMessage.request("INVITE", remote_uri, headers, sdp_offer)
+            .serialize()
+        )
+
+    def bye(self) -> None:
+        """Terminate an established dialog."""
+        if self.state is not DialogState.ESTABLISHED:
+            raise SipError(f"cannot BYE in state {self.state}")
+        headers = self._base_headers("BYE")
+        self.state = DialogState.TERMINATED
+        self._send(
+            SipMessage.request("BYE", self.remote_uri or "", headers)
+            .serialize()
+        )
+        self.on_terminated()
+
+    # -- UAS: answer ----------------------------------------------------------------
+
+    def accept(self, sdp_answer: str) -> None:
+        """Answer the pending INVITE with 200 OK + SDP (participant role)."""
+        invite = self._pending_invite
+        if self.state is not DialogState.RINGING or invite is None:
+            raise SipError(f"no INVITE to accept in state {self.state}")
+        self.local_sdp = sdp_answer
+        headers = {
+            "Via": invite.require_header("Via"),
+            "From": invite.require_header("From"),
+            "To": f"{invite.require_header('To')};tag={self.local_tag}",
+            "Call-Id": invite.require_header("Call-Id"),
+            "Cseq": invite.require_header("Cseq"),
+            "Contact": f"<{self.uri}>",
+        }
+        self._pending_invite = None
+        self._send(SipMessage.response(200, "OK", headers, sdp_answer).serialize())
+
+    def reject(self, status_code: int = 603, reason: str = "Decline") -> None:
+        invite = self._pending_invite
+        if self.state is not DialogState.RINGING or invite is None:
+            raise SipError(f"no INVITE to reject in state {self.state}")
+        headers = {
+            "Via": invite.require_header("Via"),
+            "From": invite.require_header("From"),
+            "To": invite.require_header("To"),
+            "Call-Id": invite.require_header("Call-Id"),
+            "Cseq": invite.require_header("Cseq"),
+        }
+        self._pending_invite = None
+        self.state = DialogState.TERMINATED
+        self._send(SipMessage.response(status_code, reason, headers).serialize())
+
+    # -- Inbound dispatch -----------------------------------------------------------------
+
+    def receive(self, text: str) -> None:
+        """Feed one inbound SIP message."""
+        message = SipMessage.parse(text)
+        if message.is_request:
+            self._receive_request(message)
+        else:
+            self._receive_response(message)
+
+    def _receive_request(self, message: SipMessage) -> None:
+        if message.method == "INVITE":
+            if self.state is not DialogState.IDLE:
+                return  # busy: a fuller stack would 486
+            self.call_id = message.require_header("Call-Id")
+            self.local_tag = _tag(self._rng)
+            self.remote_tag = self._extract_tag(message.require_header("From"))
+            self.remote_uri = message.require_header("Contact").strip("<>")
+            self.remote_sdp = message.body
+            self._pending_invite = message
+            self.state = DialogState.RINGING
+        elif message.method == "ACK":
+            if self.state is DialogState.RINGING and self._pending_invite is None:
+                self.state = DialogState.ESTABLISHED
+                self.on_established(self.remote_sdp)
+        elif message.method == "BYE":
+            if self.state in (DialogState.ESTABLISHED, DialogState.RINGING):
+                headers = {
+                    "Via": message.require_header("Via"),
+                    "From": message.require_header("From"),
+                    "To": message.require_header("To"),
+                    "Call-Id": message.require_header("Call-Id"),
+                    "Cseq": message.require_header("Cseq"),
+                }
+                self.state = DialogState.TERMINATED
+                self._send(SipMessage.response(200, "OK", headers).serialize())
+                self.on_terminated()
+
+    def _receive_response(self, message: SipMessage) -> None:
+        _num, cseq_method = message.cseq()
+        if cseq_method == "INVITE" and self.state is DialogState.INVITING:
+            if message.status_code == 200:
+                self.remote_tag = self._extract_tag(
+                    message.require_header("To") or ""
+                )
+                self.remote_sdp = message.body
+                self._send_ack(message)
+                self.state = DialogState.ESTABLISHED
+                self.on_established(self.remote_sdp)
+            elif message.status_code and message.status_code >= 300:
+                self.state = DialogState.TERMINATED
+                self.on_terminated()
+        elif cseq_method == "BYE":
+            pass  # already TERMINATED locally
+
+    def _send_ack(self, ok: SipMessage) -> None:
+        headers = {
+            "Via": f"SIP/2.0/TCP {self.uri.split('@')[-1]}",
+            "From": self._from_header(),
+            "To": ok.require_header("To"),
+            "Call-Id": self.call_id or "",
+            "Cseq": f"{self._cseq} ACK",
+        }
+        self._send(
+            SipMessage.request("ACK", self.remote_uri or "", headers).serialize()
+        )

@@ -1,0 +1,144 @@
+"""SIP message subset (RFC 3261) for sharing-session setup.
+
+Section 4.2: "The Session Initiation Protocol (SIP) can be used to
+intiate and control remote access."  This module implements the textual
+message format for the methods a sharing session needs — INVITE, ACK,
+BYE and their responses — carrying SDP bodies.  Transport is assumed
+reliable (SIP-over-TCP semantics), so the RFC's UDP retransmission
+timers are out of scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SIP_VERSION = "SIP/2.0"
+METHODS = ("INVITE", "ACK", "BYE", "OPTIONS", "CANCEL")
+
+
+class SipError(Exception):
+    """Raised on malformed SIP messages or protocol violations."""
+
+
+def _fold_header_name(name: str) -> str:
+    """Canonical Header-Name capitalisation."""
+    return "-".join(part.capitalize() for part in name.split("-"))
+
+
+@dataclass(slots=True)
+class SipMessage:
+    """One SIP request or response with headers and an optional body."""
+
+    # Request fields (None for responses).
+    method: str | None = None
+    uri: str | None = None
+    # Response fields (None for requests).
+    status_code: int | None = None
+    reason: str | None = None
+    headers: dict[str, str] = field(default_factory=dict)
+    body: str = ""
+
+    # -- Constructors ------------------------------------------------------
+
+    @classmethod
+    def request(cls, method: str, uri: str, headers: dict[str, str],
+                body: str = "") -> "SipMessage":
+        if method not in METHODS:
+            raise SipError(f"unsupported method: {method}")
+        return cls(method=method, uri=uri, headers=dict(headers), body=body)
+
+    @classmethod
+    def response(cls, status_code: int, reason: str, headers: dict[str, str],
+                 body: str = "") -> "SipMessage":
+        if not 100 <= status_code <= 699:
+            raise SipError(f"status code out of range: {status_code}")
+        return cls(status_code=status_code, reason=reason,
+                   headers=dict(headers), body=body)
+
+    # -- Introspection --------------------------------------------------------
+
+    @property
+    def is_request(self) -> bool:
+        return self.method is not None
+
+    def header(self, name: str) -> str | None:
+        return self.headers.get(_fold_header_name(name))
+
+    def require_header(self, name: str) -> str:
+        value = self.header(name)
+        if value is None:
+            raise SipError(f"missing required header: {name}")
+        return value
+
+    def cseq(self) -> tuple[int, str]:
+        """(sequence number, method) from the CSeq header."""
+        raw = self.require_header("CSeq")
+        parts = raw.split()
+        if len(parts) != 2:
+            raise SipError(f"malformed CSeq: {raw!r}")
+        try:
+            return int(parts[0]), parts[1]
+        except ValueError as exc:
+            raise SipError(f"malformed CSeq number: {raw!r}") from exc
+
+    # -- Wire format --------------------------------------------------------------
+
+    def serialize(self) -> str:
+        if self.is_request:
+            start = f"{self.method} {self.uri} {SIP_VERSION}"
+        else:
+            start = f"{SIP_VERSION} {self.status_code} {self.reason}"
+        headers = dict(self.headers)
+        body_bytes = self.body.encode("utf-8")
+        headers["Content-Length"] = str(len(body_bytes))
+        if self.body and "Content-Type" not in headers:
+            headers["Content-Type"] = "application/sdp"
+        lines = [start]
+        for name, value in headers.items():
+            lines.append(f"{_fold_header_name(name)}: {value}")
+        return "\r\n".join(lines) + "\r\n\r\n" + self.body
+
+    @classmethod
+    def parse(cls, text: str) -> "SipMessage":
+        head, _, body = text.partition("\r\n\r\n")
+        if not _:
+            head, _, body = text.partition("\n\n")
+        lines = head.replace("\r\n", "\n").split("\n")
+        if not lines or not lines[0].strip():
+            raise SipError("empty SIP message")
+        start = lines[0].strip()
+        message = cls._parse_start_line(start)
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            if ":" not in line:
+                raise SipError(f"malformed header line: {line!r}")
+            name, _, value = line.partition(":")
+            message.headers[_fold_header_name(name.strip())] = value.strip()
+        declared = message.headers.get("Content-Length")
+        if declared is not None:
+            try:
+                length = int(declared)
+            except ValueError as exc:
+                raise SipError(f"bad Content-Length: {declared!r}") from exc
+            body = body[:length] if length <= len(body.encode("utf-8")) else body
+        message.body = body
+        return message
+
+    @classmethod
+    def _parse_start_line(cls, start: str) -> "SipMessage":
+        if start.startswith(SIP_VERSION):
+            parts = start.split(" ", 2)
+            if len(parts) < 3:
+                raise SipError(f"malformed status line: {start!r}")
+            try:
+                code = int(parts[1])
+            except ValueError as exc:
+                raise SipError(f"bad status code: {parts[1]!r}") from exc
+            return cls(status_code=code, reason=parts[2])
+        parts = start.split(" ")
+        if len(parts) != 3 or parts[2] != SIP_VERSION:
+            raise SipError(f"malformed request line: {start!r}")
+        if parts[0] not in METHODS:
+            raise SipError(f"unsupported method: {parts[0]}")
+        return cls(method=parts[0], uri=parts[1])

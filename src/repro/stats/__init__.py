@@ -1,0 +1,12 @@
+"""Metrics and measurement helpers for experiments."""
+
+from .metrics import ByteCounter, LatencyRecorder, TrafficStats
+from .trace import SessionTrace, TraceEvent
+
+__all__ = [
+    "ByteCounter",
+    "LatencyRecorder",
+    "SessionTrace",
+    "TraceEvent",
+    "TrafficStats",
+]

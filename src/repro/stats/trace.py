@@ -1,0 +1,90 @@
+"""Session event traces for experiment post-processing.
+
+A :class:`SessionTrace` is an append-only log of timestamped events
+("update-sent", "update-applied", "nack", ...) that benchmarks and
+examples use to reconstruct timelines — e.g. pairing each applied
+update with its capture time to plot freshness over a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One timestamped event with free-form attributes."""
+
+    time: float
+    kind: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class SessionTrace:
+    """An append-only, queryable event log for one experiment run."""
+
+    def __init__(self, now: Callable[[], float]) -> None:
+        self._now = now
+        self._events: list[TraceEvent] = []
+
+    def record(self, kind: str, **attrs: Any) -> TraceEvent:
+        event = TraceEvent(self._now(), kind, attrs)
+        self._events.append(event)
+        return event
+
+    # -- Queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def between(self, start: float, end: float) -> list[TraceEvent]:
+        """Events with ``start <= time < end`` (append order preserved)."""
+        return [e for e in self._events if start <= e.time < end]
+
+    def first(self, kind: str) -> TraceEvent | None:
+        for event in self._events:
+            if event.kind == kind:
+                return event
+        return None
+
+    def last(self, kind: str) -> TraceEvent | None:
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def span(self, start_kind: str, end_kind: str) -> float | None:
+        """Seconds from the first ``start_kind`` to the last ``end_kind``."""
+        start = self.first(start_kind)
+        end = self.last(end_kind)
+        if start is None or end is None:
+            return None
+        return end.time - start.time
+
+    def rate_per_second(self, kind: str) -> float:
+        """Average occurrences of ``kind`` per second of trace span."""
+        matching = self.events(kind)
+        if len(matching) < 2:
+            return 0.0
+        duration = matching[-1].time - matching[0].time
+        if duration <= 0:
+            return 0.0
+        return (len(matching) - 1) / duration
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """Flat dict rows (time, kind, **attrs) for tabular export."""
+        return [
+            {"time": e.time, "kind": e.kind, **e.attrs} for e in self._events
+        ]

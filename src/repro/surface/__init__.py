@@ -1,0 +1,60 @@
+"""Virtual window system substrate.
+
+Substitutes for the OS capture layer the paper's AH uses: geometry and
+region algebra, RGBA framebuffers, a z-ordered window manager with
+process groups, tile-based damage detection, scroll detection, pointer
+icons, and a bitmap font used by the synthetic workload applications.
+"""
+
+from .cursor import PointerState, arrow_cursor, ibeam_cursor
+from .damage import TileDiffer, shrink_to_changed_rows
+from .framebuffer import BLACK, CHANNELS, TRANSPARENT, WHITE, Color, Framebuffer
+from .geometry import EMPTY_RECT, MAX_COORD, Point, Rect, Size
+from .region import Region
+from .scroll import ScrollDetector, ScrollOp
+from .text import char_cell_size, draw_text, render_char
+from .window import (
+    MAX_GROUP_ID,
+    MAX_WINDOW_ID,
+    NO_GROUP,
+    Window,
+    WindowError,
+    WindowEvent,
+    WindowGeometry,
+    WindowManager,
+    layout_signature,
+)
+
+__all__ = [
+    "BLACK",
+    "CHANNELS",
+    "Color",
+    "EMPTY_RECT",
+    "Framebuffer",
+    "MAX_COORD",
+    "MAX_GROUP_ID",
+    "MAX_WINDOW_ID",
+    "NO_GROUP",
+    "Point",
+    "PointerState",
+    "Rect",
+    "Region",
+    "ScrollDetector",
+    "ScrollOp",
+    "Size",
+    "TileDiffer",
+    "TRANSPARENT",
+    "WHITE",
+    "Window",
+    "WindowError",
+    "WindowEvent",
+    "WindowGeometry",
+    "WindowManager",
+    "arrow_cursor",
+    "char_cell_size",
+    "draw_text",
+    "ibeam_cursor",
+    "layout_signature",
+    "render_char",
+    "shrink_to_changed_rows",
+]

@@ -1,0 +1,133 @@
+"""Mouse pointer state and icons.
+
+Section 4.2 defines two pointer models: the AH may paint the pointer
+into RegionUpdate pixels, or ship position/icon explicitly via
+MousePointerInfo messages.  This module provides the pointer bitmaps and
+the AH-side state used by both models; "The participants MUST support
+both mouse models."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .framebuffer import Framebuffer
+from .geometry import Rect
+
+#: Classic 12x19 left-pointing arrow mask. '#' = black, '.' = white
+#: outline, ' ' = transparent.
+_ARROW_ROWS = (
+    "#           ",
+    "##          ",
+    "#.#         ",
+    "#..#        ",
+    "#...#       ",
+    "#....#      ",
+    "#.....#     ",
+    "#......#    ",
+    "#.......#   ",
+    "#........#  ",
+    "#.........# ",
+    "#......#####",
+    "#...#..#    ",
+    "#..# #..#   ",
+    "#.#  #..#   ",
+    "##    #..#  ",
+    "#     #..#  ",
+    "       ##   ",
+    "            ",
+)
+
+_IBEAM_ROWS = (
+    "### ###",
+    "   #   ",
+    "   #   ",
+    "   #   ",
+    "   #   ",
+    "   #   ",
+    "   #   ",
+    "   #   ",
+    "   #   ",
+    "   #   ",
+    "   #   ",
+    "   #   ",
+    "### ###",
+)
+
+
+def _mask_to_rgba(rows: tuple[str, ...]) -> np.ndarray:
+    height = len(rows)
+    width = max(len(r) for r in rows)
+    pixels = np.zeros((height, width, 4), dtype=np.uint8)
+    for y, row in enumerate(rows):
+        for x, ch in enumerate(row):
+            if ch == "#":
+                pixels[y, x] = (0, 0, 0, 255)
+            elif ch == ".":
+                pixels[y, x] = (255, 255, 255, 255)
+    return pixels
+
+
+def arrow_cursor() -> np.ndarray:
+    """The default arrow pointer image, RGBA with transparency."""
+    return _mask_to_rgba(_ARROW_ROWS)
+
+
+def ibeam_cursor() -> np.ndarray:
+    """The text-insertion (I-beam) pointer image."""
+    return _mask_to_rgba(_IBEAM_ROWS)
+
+
+@dataclass(slots=True)
+class PointerState:
+    """AH-side mouse pointer: position and current icon.
+
+    ``image_dirty`` flips when the icon changes, telling the AH that the
+    next MousePointerInfo must carry the new image (section 5.2.4:
+    "The participant MUST store and use this image until a new image
+    arrives").
+    """
+
+    x: int = 0
+    y: int = 0
+    image: np.ndarray = field(default_factory=arrow_cursor)
+    image_dirty: bool = True
+    _moved: bool = field(default=False, repr=False)
+
+    def move_to(self, x: int, y: int) -> None:
+        if (x, y) != (self.x, self.y):
+            self.x, self.y = x, y
+            self._moved = True
+
+    def set_image(self, image: np.ndarray) -> None:
+        if image.ndim != 3 or image.shape[2] != 4:
+            raise ValueError("pointer image must be (h, w, 4) RGBA")
+        self.image = np.array(image, dtype=np.uint8, copy=True)
+        self.image_dirty = True
+
+    def take_pending(self) -> tuple[bool, bool]:
+        """Return ``(moved, image_changed)`` since last call and clear."""
+        moved, self._moved = self._moved, False
+        dirty, self.image_dirty = self.image_dirty, False
+        return moved, dirty
+
+    def paint_onto(self, frame: Framebuffer) -> Rect:
+        """Composite the pointer into ``frame`` (in-RegionUpdate model).
+
+        Alpha is treated as a 1-bit mask (the draft's icons are cursor
+        masks, not smooth alpha).  Returns the affected screen rect.
+        """
+        img = self.image
+        h, w = img.shape[:2]
+        target = Rect(self.x, self.y, w, h).intersection(frame.bounds)
+        if target.is_empty():
+            return target
+        src = img[: target.height, : target.width]
+        dst = frame.array[
+            target.top : target.bottom, target.left : target.right
+        ]
+        opaque = src[:, :, 3] == 255
+        dst[opaque] = src[opaque]
+        return target

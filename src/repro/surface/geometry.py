@@ -1,0 +1,232 @@
+"""Integer pixel geometry primitives.
+
+The draft's coordinate system (section 4.1) places the origin ``(0, 0)``
+at the upper-left corner, with all coordinates absolute and measured in
+pixels.  Protocol fields for left/top/width/height are unsigned 32-bit
+integers, so every shape here works in non-negative integer space and
+validates its bounds eagerly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Maximum value for the unsigned 32-bit coordinate fields on the wire.
+MAX_COORD = 0xFFFF_FFFF
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An absolute pixel position, origin at the upper-left corner."""
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.x <= MAX_COORD and 0 <= self.y <= MAX_COORD):
+            raise ValueError(f"point out of u32 range: ({self.x}, {self.y})")
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        """Return this point moved by ``(dx, dy)``; result must stay valid."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True, slots=True)
+class Size:
+    """A width/height pair in pixels.  Zero-sized is allowed (empty)."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.width <= MAX_COORD and 0 <= self.height <= MAX_COORD):
+            raise ValueError(
+                f"size out of u32 range: {self.width}x{self.height}"
+            )
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    def is_empty(self) -> bool:
+        return self.width == 0 or self.height == 0
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned pixel rectangle: ``[left, right) x [top, bottom)``.
+
+    Uses half-open intervals so adjacent rectangles tile without overlap
+    and area arithmetic stays exact.  ``left``/``top`` match the wire
+    fields of WindowManagerInfo records and RegionUpdate headers.
+    """
+
+    left: int
+    top: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(f"negative rect size: {self.width}x{self.height}")
+        if not (0 <= self.left <= MAX_COORD and 0 <= self.top <= MAX_COORD):
+            raise ValueError(f"rect origin out of range: {self.left},{self.top}")
+        if self.right > MAX_COORD + 1 or self.bottom > MAX_COORD + 1:
+            raise ValueError("rect extends past u32 coordinate space")
+
+    # -- Constructors -------------------------------------------------
+
+    @classmethod
+    def from_points(cls, p1: Point, p2: Point) -> "Rect":
+        """Bounding rect of two corner points (order-independent)."""
+        left, right = sorted((p1.x, p2.x))
+        top, bottom = sorted((p1.y, p2.y))
+        return cls(left, top, right - left, bottom - top)
+
+    @classmethod
+    def from_edges(cls, left: int, top: int, right: int, bottom: int) -> "Rect":
+        if right < left or bottom < top:
+            raise ValueError("edges out of order")
+        return cls(left, top, right - left, bottom - top)
+
+    # -- Accessors ----------------------------------------------------
+
+    @property
+    def right(self) -> int:
+        return self.left + self.width
+
+    @property
+    def bottom(self) -> int:
+        return self.top + self.height
+
+    @property
+    def origin(self) -> Point:
+        return Point(self.left, self.top)
+
+    @property
+    def size(self) -> Size:
+        return Size(self.width, self.height)
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    def is_empty(self) -> bool:
+        return self.width == 0 or self.height == 0
+
+    # -- Predicates ---------------------------------------------------
+
+    def contains_point(self, x: int, y: int) -> bool:
+        """True when ``(x, y)`` lies inside the half-open rectangle.
+
+        This is the predicate behind the AH-side legitimacy check: "The
+        AH MUST only accept legitimate HIP events by checking whether
+        the requested coordinates are inside the shared windows."
+        """
+        return self.left <= x < self.right and self.top <= y < self.bottom
+
+    def contains_rect(self, other: "Rect") -> bool:
+        if other.is_empty():
+            return True
+        return (
+            self.left <= other.left
+            and self.top <= other.top
+            and other.right <= self.right
+            and other.bottom <= self.bottom
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        if self.is_empty() or other.is_empty():
+            return False
+        return (
+            self.left < other.right
+            and other.left < self.right
+            and self.top < other.bottom
+            and other.top < self.bottom
+        )
+
+    # -- Combinators --------------------------------------------------
+
+    def intersection(self, other: "Rect") -> "Rect":
+        """Largest rect inside both; empty rect at (0,0) if disjoint."""
+        left = max(self.left, other.left)
+        top = max(self.top, other.top)
+        right = min(self.right, other.right)
+        bottom = min(self.bottom, other.bottom)
+        if right <= left or bottom <= top:
+            return EMPTY_RECT
+        return Rect(left, top, right - left, bottom - top)
+
+    def union_bounds(self, other: "Rect") -> "Rect":
+        """Bounding box of both rects (not a set union)."""
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        left = min(self.left, other.left)
+        top = min(self.top, other.top)
+        right = max(self.right, other.right)
+        bottom = max(self.bottom, other.bottom)
+        return Rect(left, top, right - left, bottom - top)
+
+    def subtract(self, other: "Rect") -> list["Rect"]:
+        """Set difference ``self - other`` as up to four disjoint rects.
+
+        Decomposes into horizontal bands (top band, bottom band, then
+        left/right slivers of the middle band), the classic window-
+        system damage representation.
+        """
+        clip = self.intersection(other)
+        if clip.is_empty():
+            return [] if self.is_empty() else [self]
+        out: list[Rect] = []
+        if clip.top > self.top:  # band above the hole
+            out.append(Rect.from_edges(self.left, self.top, self.right, clip.top))
+        if clip.bottom < self.bottom:  # band below the hole
+            out.append(
+                Rect.from_edges(self.left, clip.bottom, self.right, self.bottom)
+            )
+        if clip.left > self.left:  # left sliver
+            out.append(
+                Rect.from_edges(self.left, clip.top, clip.left, clip.bottom)
+            )
+        if clip.right < self.right:  # right sliver
+            out.append(
+                Rect.from_edges(clip.right, clip.top, self.right, clip.bottom)
+            )
+        return out
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.left + dx, self.top + dy, self.width, self.height)
+
+    def clamped_to(self, bounds: "Rect") -> "Rect":
+        return self.intersection(bounds)
+
+    def tiles(self, tile: int) -> Iterator["Rect"]:
+        """Yield the grid tiles of size ``tile`` covering this rect.
+
+        Edge tiles are clipped to the rect.  Used by the tile-based
+        change detector.
+        """
+        if tile <= 0:
+            raise ValueError("tile size must be positive")
+        y = self.top
+        while y < self.bottom:
+            h = min(tile, self.bottom - y)
+            x = self.left
+            while x < self.right:
+                w = min(tile, self.right - x)
+                yield Rect(x, y, w, h)
+                x += tile
+            y += tile
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        return (self.left, self.top, self.width, self.height)
+
+
+#: Canonical empty rectangle.
+EMPTY_RECT = Rect(0, 0, 0, 0)

@@ -1,0 +1,222 @@
+"""Region algebra: sets of pixels stored as disjoint rectangles.
+
+The damage tracker, compositor, and update scheduler all manipulate
+irregular screen areas ("everything the editor repainted this frame,
+minus what the overlapping dialog hides").  A :class:`Region` keeps a
+band-normalised list of disjoint rectangles and supports union,
+intersection, subtraction and translation with exact pixel semantics.
+
+Normalisation uses the classic y-x banding from the X server: pixels are
+grouped into maximal horizontal bands, and runs within a band are merged.
+Banding makes equality, area, and iteration deterministic regardless of
+the construction order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .geometry import EMPTY_RECT, Rect
+
+
+def _band_edges(rects: list[Rect]) -> list[int]:
+    """All distinct horizontal band boundaries across ``rects``."""
+    edges: set[int] = set()
+    for r in rects:
+        edges.add(r.top)
+        edges.add(r.bottom)
+    return sorted(edges)
+
+
+def _normalise(rects: Iterable[Rect]) -> tuple[Rect, ...]:
+    """Canonical y-x banded decomposition of the union of ``rects``."""
+    src = [r for r in rects if not r.is_empty()]
+    if not src:
+        return ()
+    edges = _band_edges(src)
+    out: list[Rect] = []
+    pending: Rect | None = None  # band-merge candidate from prior band
+    for top, bottom in zip(edges, edges[1:]):
+        # Collect x-spans of rects overlapping this band.
+        spans: list[tuple[int, int]] = []
+        for r in src:
+            if r.top < bottom and top < r.bottom:
+                spans.append((r.left, r.right))
+        if not spans:
+            continue
+        spans.sort()
+        merged: list[tuple[int, int]] = [spans[0]]
+        for left, right in spans[1:]:
+            last_left, last_right = merged[-1]
+            if left <= last_right:  # touching or overlapping → merge
+                merged[-1] = (last_left, max(last_right, right))
+            else:
+                merged.append((left, right))
+        for left, right in merged:
+            out.append(Rect.from_edges(left, top, right, bottom))
+    # Vertical coalescing: merge bands whose x-structure is identical.
+    out = _coalesce_bands(out)
+    if pending is not None:  # pragma: no cover - defensive
+        out.append(pending)
+    return tuple(out)
+
+
+def _coalesce_bands(rects: list[Rect]) -> list[Rect]:
+    """Merge vertically adjacent bands that share identical x-spans."""
+    if not rects:
+        return rects
+    # Group by band (top, bottom).
+    bands: dict[tuple[int, int], list[Rect]] = {}
+    for r in rects:
+        bands.setdefault((r.top, r.bottom), []).append(r)
+    ordered = sorted(bands.items())
+    result: list[Rect] = []
+    current_key, current_rects = ordered[0]
+    current_rects = sorted(current_rects, key=lambda r: r.left)
+    for key, group in ordered[1:]:
+        group = sorted(group, key=lambda r: r.left)
+        same_x = [(r.left, r.right) for r in group] == [
+            (r.left, r.right) for r in current_rects
+        ]
+        if key[0] == current_key[1] and same_x:
+            # Extend current band downward.
+            current_key = (current_key[0], key[1])
+            current_rects = [
+                Rect.from_edges(r.left, current_key[0], r.right, current_key[1])
+                for r in group
+            ]
+        else:
+            result.extend(current_rects)
+            current_key, current_rects = key, group
+    result.extend(current_rects)
+    return result
+
+
+class Region:
+    """An immutable set of pixels represented by disjoint rectangles."""
+
+    __slots__ = ("_rects",)
+
+    def __init__(self, rects: Iterable[Rect] = ()) -> None:
+        self._rects: tuple[Rect, ...] = _normalise(rects)
+
+    # -- Constructors -------------------------------------------------
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Region":
+        region = cls.__new__(cls)
+        region._rects = () if rect.is_empty() else (rect,)
+        return region
+
+    @classmethod
+    def empty(cls) -> "Region":
+        return _EMPTY_REGION
+
+    # -- Introspection ------------------------------------------------
+
+    @property
+    def rects(self) -> tuple[Rect, ...]:
+        """The disjoint rectangles, banded top-to-bottom, left-to-right."""
+        return self._rects
+
+    @property
+    def area(self) -> int:
+        return sum(r.area for r in self._rects)
+
+    def is_empty(self) -> bool:
+        return not self._rects
+
+    def bounds(self) -> Rect:
+        """Bounding box; the empty rect for an empty region."""
+        if not self._rects:
+            return EMPTY_RECT
+        left = min(r.left for r in self._rects)
+        top = min(r.top for r in self._rects)
+        right = max(r.right for r in self._rects)
+        bottom = max(r.bottom for r in self._rects)
+        return Rect.from_edges(left, top, right, bottom)
+
+    def contains_point(self, x: int, y: int) -> bool:
+        return any(r.contains_point(x, y) for r in self._rects)
+
+    def __iter__(self) -> Iterator[Rect]:
+        return iter(self._rects)
+
+    def __len__(self) -> int:
+        return len(self._rects)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Region):
+            return NotImplemented
+        return self._rects == other._rects
+
+    def __hash__(self) -> int:
+        return hash(self._rects)
+
+    def __repr__(self) -> str:
+        return f"Region({list(self._rects)!r})"
+
+    def __bool__(self) -> bool:
+        return bool(self._rects)
+
+    # -- Algebra ------------------------------------------------------
+
+    def union(self, other: "Region") -> "Region":
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return Region(self._rects + other._rects)
+
+    def union_rect(self, rect: Rect) -> "Region":
+        if rect.is_empty():
+            return self
+        return Region(self._rects + (rect,))
+
+    def intersect(self, other: "Region") -> "Region":
+        pieces: list[Rect] = []
+        for a in self._rects:
+            for b in other._rects:
+                clip = a.intersection(b)
+                if not clip.is_empty():
+                    pieces.append(clip)
+        return Region(pieces)
+
+    def intersect_rect(self, rect: Rect) -> "Region":
+        pieces = [r.intersection(rect) for r in self._rects]
+        return Region(p for p in pieces if not p.is_empty())
+
+    def subtract(self, other: "Region") -> "Region":
+        remaining = list(self._rects)
+        for hole in other._rects:
+            next_remaining: list[Rect] = []
+            for r in remaining:
+                next_remaining.extend(r.subtract(hole))
+            remaining = next_remaining
+            if not remaining:
+                break
+        return Region(remaining)
+
+    def subtract_rect(self, rect: Rect) -> "Region":
+        return self.subtract(Region.from_rect(rect))
+
+    def translated(self, dx: int, dy: int) -> "Region":
+        return Region(r.translated(dx, dy) for r in self._rects)
+
+    def simplified(self, max_rects: int) -> "Region":
+        """Coarsen to at most ``max_rects`` rectangles.
+
+        The update scheduler caps per-frame rectangle counts so a
+        heavily fragmented damage region does not explode into hundreds
+        of tiny RegionUpdate messages; beyond the cap we fall back to
+        the bounding box, trading some redundant pixels for fewer
+        messages.
+        """
+        if max_rects < 1:
+            raise ValueError("max_rects must be >= 1")
+        if len(self._rects) <= max_rects:
+            return self
+        return Region.from_rect(self.bounds())
+
+
+_EMPTY_REGION = Region()

@@ -1,0 +1,59 @@
+"""Pixel scaling for participant-side view zoom.
+
+Section 4.2 lists "participant-side scaling ... to optimize
+transmission of data to participants with a small screen" among the
+optional enhancements.  Here the *view* is scaled at the participant
+(the wire still carries full-resolution updates): box-filter downscale
+for shrinking, nearest-neighbour for integer zoom-in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def downscale(pixels: np.ndarray, factor: int) -> np.ndarray:
+    """Box-filter ``pixels`` down by an integer ``factor``.
+
+    Edges that do not divide evenly are cropped (at most ``factor - 1``
+    pixels), matching how thumbnail views treat ragged edges.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if pixels.ndim != 3 or pixels.shape[2] != 4:
+        raise ValueError(f"expected (h, w, 4) pixels, got {pixels.shape}")
+    if factor == 1:
+        return np.array(pixels, copy=True)
+    h, w = pixels.shape[:2]
+    out_h, out_w = h // factor, w // factor
+    if out_h == 0 or out_w == 0:
+        raise ValueError(
+            f"image {w}x{h} too small to downscale by {factor}"
+        )
+    cropped = pixels[: out_h * factor, : out_w * factor].astype(np.uint32)
+    blocks = cropped.reshape(out_h, factor, out_w, factor, 4)
+    return (blocks.mean(axis=(1, 3)) + 0.5).astype(np.uint8)
+
+
+def upscale(pixels: np.ndarray, factor: int) -> np.ndarray:
+    """Nearest-neighbour zoom by an integer ``factor``."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if pixels.ndim != 3 or pixels.shape[2] != 4:
+        raise ValueError(f"expected (h, w, 4) pixels, got {pixels.shape}")
+    if factor == 1:
+        return np.array(pixels, copy=True)
+    return np.repeat(np.repeat(pixels, factor, axis=0), factor, axis=1)
+
+
+def fit_factor(width: int, height: int, max_width: int,
+               max_height: int) -> int:
+    """Smallest integer downscale factor fitting a bounding box."""
+    if width <= 0 or height <= 0 or max_width <= 0 or max_height <= 0:
+        raise ValueError("dimensions must be positive")
+    factor = 1
+    while width // factor > max_width or height // factor > max_height:
+        factor += 1
+        if factor > max(width, height):
+            raise ValueError("cannot fit even a 1-pixel view")
+    return factor

@@ -1,0 +1,149 @@
+"""Scroll detection: turn vertical content shifts into copy operations.
+
+Section 5.2.3 motivates MoveRectangle: "instructs the participant to
+move a region from one place to another, which is efficient for some
+drawing operations like scrolls."  An AH capturing raw pixels has to
+*infer* that a scroll happened.  :class:`ScrollDetector` checks a small
+set of candidate vertical offsets against the previous frame: if a large
+rectangle matches the prior frame shifted by ``dy``, the AH can emit one
+MoveRectangle plus a RegionUpdate for the newly exposed band instead of
+re-encoding the full area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .framebuffer import Framebuffer
+from .geometry import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class ScrollOp:
+    """A detected scroll inside ``area``: contents moved by ``dy`` pixels.
+
+    ``source`` is the rectangle (in the pre-scroll frame) that can be
+    copied; ``dest_top`` is where its top edge lands; ``exposed`` is the
+    band that holds new content and still needs a RegionUpdate.
+    """
+
+    area: Rect
+    dy: int
+    source: Rect
+    dest_top: int
+    exposed: Rect
+
+    @property
+    def destination(self) -> Rect:
+        return Rect(self.source.left, self.dest_top,
+                    self.source.width, self.source.height)
+
+    def mismatch_region(self, before, after, tile: int = 16):
+        """Pixels in the moved area the copy does NOT explain.
+
+        Detection tolerates a small mismatch fraction (a cursor, a
+        highlight).  Those pixels would go stale if only the
+        MoveRectangle were sent, so the caller must repaint them.
+        Returned as a tile-granular :class:`~repro.surface.region.Region`
+        in the same coordinates as ``area``.
+        """
+        from .region import Region  # local import to avoid a cycle
+
+        dest = self.destination
+        curr = after.array[dest.top : dest.bottom, dest.left : dest.right]
+        prev = before.array[
+            self.source.top : self.source.bottom,
+            self.source.left : self.source.right,
+        ]
+        diff = np.any(curr != prev, axis=2)
+        if not diff.any():
+            return Region()
+        tiles = []
+        for tile_rect in Rect(0, 0, dest.width, dest.height).tiles(tile):
+            block = diff[
+                tile_rect.top : tile_rect.bottom,
+                tile_rect.left : tile_rect.right,
+            ]
+            if block.any():
+                tiles.append(tile_rect.translated(dest.left, dest.top))
+        return Region(tiles)
+
+
+class ScrollDetector:
+    """Detects pure vertical scrolls within a fixed surface area."""
+
+    def __init__(
+        self,
+        candidate_offsets: tuple[int, ...] = (1, 2, 4, 8, 12, 16, 24, 32, 48, 64),
+        min_match_fraction: float = 0.995,
+        min_area_rows: int = 16,
+    ) -> None:
+        if not candidate_offsets:
+            raise ValueError("need at least one candidate offset")
+        if not 0.0 < min_match_fraction <= 1.0:
+            raise ValueError("min_match_fraction must be in (0, 1]")
+        #: Offsets tried in both directions, in order.
+        self.candidate_offsets = tuple(sorted(set(abs(o) for o in candidate_offsets)))
+        self.min_match_fraction = min_match_fraction
+        self.min_area_rows = min_area_rows
+
+    def detect(
+        self, before: Framebuffer, after: Framebuffer, area: Rect
+    ) -> ScrollOp | None:
+        """Find a vertical scroll of ``area`` between two frames.
+
+        Returns ``None`` when no candidate offset explains (at least
+        ``min_match_fraction`` of) the change, in which case the caller
+        falls back to plain RegionUpdate encoding.
+        """
+        clip = area.intersection(before.bounds).intersection(after.bounds)
+        if clip.is_empty() or clip.height < self.min_area_rows:
+            return None
+        prev = before.array[clip.top : clip.bottom, clip.left : clip.right]
+        curr = after.array[clip.top : clip.bottom, clip.left : clip.right]
+        if np.array_equal(prev, curr):
+            return None
+
+        best: ScrollOp | None = None
+        best_score = self.min_match_fraction
+        for offset in self.candidate_offsets:
+            if offset >= clip.height:
+                break
+            for dy in (-offset, offset):
+                score = self._match_fraction(prev, curr, dy)
+                if score >= best_score:
+                    best_score = score
+                    best = self._build_op(clip, dy)
+        return best
+
+    @staticmethod
+    def _match_fraction(prev: np.ndarray, curr: np.ndarray, dy: int) -> float:
+        """Fraction of overlapping pixels where curr == prev shifted by dy."""
+        h = prev.shape[0]
+        if dy > 0:  # content moved down: curr[dy:] should equal prev[:-dy]
+            a = curr[dy:]
+            b = prev[: h - dy]
+        else:  # content moved up
+            a = curr[: h + dy]
+            b = prev[-dy:]
+        if a.size == 0:
+            return 0.0
+        pixel_match = np.all(a == b, axis=2)
+        return float(pixel_match.mean())
+
+    @staticmethod
+    def _build_op(clip: Rect, dy: int) -> ScrollOp:
+        h = clip.height
+        if dy > 0:  # moved down: copy top part down, new content at top
+            source = Rect(clip.left, clip.top, clip.width, h - dy)
+            dest_top = clip.top + dy
+            exposed = Rect(clip.left, clip.top, clip.width, dy)
+        else:  # moved up: copy lower part up, new content at bottom
+            source = Rect(clip.left, clip.top - dy, clip.width, h + dy)
+            dest_top = clip.top
+            exposed = Rect(clip.left, clip.bottom + dy, clip.width, -dy)
+        return ScrollOp(
+            area=clip, dy=dy, source=source, dest_top=dest_top, exposed=exposed
+        )

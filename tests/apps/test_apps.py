@@ -1,0 +1,270 @@
+"""Tests for the synthetic workload applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.animation import AnimationApp
+from repro.apps.base import AppHost
+from repro.apps.photo import synthetic_photo, ui_screenshot
+from repro.apps.photo_viewer import PhotoViewerApp
+from repro.apps.terminal import TerminalApp
+from repro.apps.text_editor import TextEditorApp
+from repro.apps.whiteboard import WhiteboardApp
+from repro.core import keycodes
+from repro.core.hip import BUTTON_LEFT
+from repro.surface.geometry import Rect
+from repro.surface.window import WindowManager
+
+
+@pytest.fixture
+def wm():
+    return WindowManager(1280, 1024)
+
+
+def window(wm, w=400, h=300):
+    return wm.create_window(Rect(50, 50, w, h))
+
+
+class TestTextEditor:
+    def test_typing_changes_pixels(self, wm):
+        editor = TextEditorApp(window(wm))
+        before = editor.window.surface.copy()
+        editor.type_text("HELLO")
+        assert not editor.window.surface.identical_to(before)
+        assert editor.text() == "HELLO"
+
+    def test_typing_produces_damage(self, wm):
+        editor = TextEditorApp(window(wm))
+        editor.window.take_damage()
+        editor.type_text("A")
+        assert not editor.window.peek_damage().is_empty()
+
+    def test_newline_and_backspace(self, wm):
+        editor = TextEditorApp(window(wm))
+        editor.type_text("AB\nC")
+        assert editor.text() == "AB\nC"
+        editor.type_text("\b\b")  # delete C, then the empty line
+        assert editor.text() == "AB"
+
+    def test_line_wrap(self, wm):
+        editor = TextEditorApp(window(wm, w=70))  # ~9 columns
+        editor.type_text("X" * 25)
+        assert len(editor.lines) > 1
+        assert "".join(editor.lines) == "X" * 25
+
+    def test_scrolls_when_full(self, wm):
+        editor = TextEditorApp(window(wm, h=60))  # few rows
+        for i in range(20):
+            editor.type_text(f"L{i}\n")
+        assert len(editor.lines) <= editor.visible_rows
+
+    def test_key_event_hooks(self, wm):
+        editor = TextEditorApp(window(wm))
+        editor.on_key_typed("hi")
+        editor.on_key_pressed(keycodes.VK_ENTER)
+        editor.on_key_pressed(keycodes.VK_A)
+        assert editor.text() == "hi\na"
+        assert editor.events_handled == 3
+
+    def test_modifiers_ignored(self, wm):
+        editor = TextEditorApp(window(wm))
+        editor.on_key_pressed(keycodes.VK_SHIFT)
+        assert editor.text() == ""
+
+
+class TestTerminal:
+    def test_lines_render(self, wm):
+        term = TerminalApp(window(wm))
+        before = term.window.surface.copy()
+        term.append_line("make all")
+        assert not term.window.surface.identical_to(before)
+
+    def test_scrolls_after_viewport_full(self, wm):
+        term = TerminalApp(window(wm, h=100))
+        rows = term.rows
+        snapshots = []
+        for i in range(rows + 5):
+            term.append_line(f"line {i}")
+            snapshots.append(term.window.surface.copy())
+        # After filling, each append shifts content (top changes).
+        assert not snapshots[-1].identical_to(snapshots[-2])
+        assert term.lines_emitted == rows + 5
+
+    def test_build_output_workload(self, wm):
+        term = TerminalApp(window(wm))
+        term.run_build_output(50)
+        assert term.lines_emitted == 50
+
+    def test_long_line_truncated(self, wm):
+        term = TerminalApp(window(wm, w=100))
+        term.append_line("X" * 500)  # must not crash or overflow
+
+
+class TestPhotoViewer:
+    def test_initial_photo_rendered(self, wm):
+        viewer = PhotoViewerApp(window(wm))
+        # Window is no longer the uniform fill colour.
+        arr = viewer.window.surface.array
+        assert len(np.unique(arr[:, :, 0])) > 10
+
+    def test_next_photo_changes_content(self, wm):
+        viewer = PhotoViewerApp(window(wm))
+        before = viewer.window.surface.copy()
+        viewer.next_photo()
+        assert not viewer.window.surface.identical_to(before)
+
+    def test_navigation_keys(self, wm):
+        viewer = PhotoViewerApp(window(wm))
+        viewer.on_key_pressed(keycodes.VK_RIGHT)
+        assert viewer.index == 1
+        viewer.on_key_pressed(keycodes.VK_LEFT)
+        assert viewer.index == 0
+        viewer.on_key_pressed(keycodes.VK_LEFT)
+        assert viewer.index == 0  # clamped
+
+    def test_wheel_navigation(self, wm):
+        viewer = PhotoViewerApp(window(wm))
+        viewer.on_mouse_wheel(0, 0, -120)
+        assert viewer.index == 1
+        viewer.on_mouse_wheel(0, 0, 120)
+        assert viewer.index == 0
+
+    def test_deterministic_album(self, wm):
+        a = PhotoViewerApp(window(wm), album_seed=5)
+        wm2 = WindowManager(1280, 1024)
+        b = PhotoViewerApp(
+            wm2.create_window(Rect(50, 50, 400, 300)), album_seed=5
+        )
+        assert a.window.surface.identical_to(b.window.surface)
+
+
+class TestAnimation:
+    def test_renders_at_fps(self, wm):
+        anim = AnimationApp(window(wm), fps=30)
+        start = anim.frames_rendered
+        anim.tick(1.0)
+        assert anim.frames_rendered - start == 30
+
+    def test_subframe_tick_accumulates(self, wm):
+        anim = AnimationApp(window(wm), fps=10)
+        start = anim.frames_rendered
+        for _ in range(5):
+            anim.tick(0.05)  # 0.25 s total → 2 frames
+        assert anim.frames_rendered - start == 2
+
+    def test_frames_differ(self, wm):
+        anim = AnimationApp(window(wm), fps=30)
+        before = anim.window.surface.copy()
+        anim.tick(0.5)
+        assert not anim.window.surface.identical_to(before)
+
+    def test_balls_stay_in_bounds(self, wm):
+        anim = AnimationApp(window(wm), fps=60, balls=4)
+        anim.tick(10.0)
+        w, h = anim.window.rect.width, anim.window.rect.height
+        for ball in anim._balls:
+            assert 0 <= ball.x < w and 0 <= ball.y < h
+
+    def test_bad_fps_rejected(self, wm):
+        with pytest.raises(ValueError):
+            AnimationApp(window(wm), fps=0)
+
+
+class TestWhiteboard:
+    def test_drag_draws_stroke(self, wm):
+        board = WhiteboardApp(window(wm))
+        before = board.window.surface.copy()
+        board.on_mouse_pressed(10, 10, BUTTON_LEFT)
+        board.on_mouse_moved(60, 40)
+        board.on_mouse_released(60, 40, BUTTON_LEFT)
+        assert not board.window.surface.identical_to(before)
+        assert board.strokes_completed == 1
+        assert board.points_drawn > 10  # interpolated line
+
+    def test_move_without_press_draws_nothing(self, wm):
+        board = WhiteboardApp(window(wm))
+        before = board.window.surface.copy()
+        board.on_mouse_moved(50, 50)
+        assert board.window.surface.identical_to(before)
+
+    def test_right_button_does_not_draw(self, wm):
+        board = WhiteboardApp(window(wm))
+        before = board.window.surface.copy()
+        board.on_mouse_pressed(10, 10, 2)
+        board.on_mouse_moved(30, 30)
+        assert board.window.surface.identical_to(before)
+
+    def test_clear(self, wm):
+        board = WhiteboardApp(window(wm))
+        board.on_mouse_pressed(10, 10, BUTTON_LEFT)
+        board.on_mouse_released(10, 10, BUTTON_LEFT)
+        board.clear()
+        fresh = WhiteboardApp(window(WindowManager(1280, 1024)))
+        assert board.window.surface.identical_to(fresh.window.surface)
+
+
+class TestAppHost:
+    def test_attach_and_route(self, wm):
+        host = AppHost(wm)
+        editor = TextEditorApp(window(wm))
+        host.attach(editor)
+        assert host.app_for(editor.window_id) is editor
+        assert host.app_for(9999) is None
+
+    def test_double_attach_rejected(self, wm):
+        host = AppHost(wm)
+        editor = TextEditorApp(window(wm))
+        host.attach(editor)
+        with pytest.raises(ValueError):
+            host.attach(TextEditorApp(editor.window))
+
+    def test_tick_all(self, wm):
+        host = AppHost(wm)
+        anim = AnimationApp(window(wm), fps=10)
+        host.attach(anim)
+        start = anim.frames_rendered
+        host.tick_all(1.0)
+        assert anim.frames_rendered - start == 10
+
+    def test_detach(self, wm):
+        host = AppHost(wm)
+        editor = TextEditorApp(window(wm))
+        host.attach(editor)
+        host.detach(editor.window_id)
+        assert host.app_for(editor.window_id) is None
+
+
+class TestSyntheticImages:
+    def test_photo_statistics(self):
+        photo = synthetic_photo(100, 100, seed=0)
+        assert photo.shape == (100, 100, 4)
+        # Many distinct colours (photographic signature).
+        packed = (
+            photo[:, :, 0].astype(int) * 65536
+            + photo[:, :, 1].astype(int) * 256
+            + photo[:, :, 2]
+        )
+        assert len(np.unique(packed)) > 1000
+
+    def test_ui_statistics(self):
+        ui = ui_screenshot(100, 100, seed=0)
+        packed = (
+            ui[:, :, 0].astype(int) * 65536
+            + ui[:, :, 1].astype(int) * 256
+            + ui[:, :, 2]
+        )
+        assert len(np.unique(packed)) < 50  # small palette
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            synthetic_photo(32, 32, seed=9), synthetic_photo(32, 32, seed=9)
+        )
+        assert not np.array_equal(
+            synthetic_photo(32, 32, seed=9), synthetic_photo(32, 32, seed=10)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_photo(0, 10)
+        with pytest.raises(ValueError):
+            ui_screenshot(10, 0)

@@ -1,0 +1,124 @@
+"""Tests for the client-pull remote-framebuffer baseline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.text_editor import TextEditorApp
+from repro.baseline.rfb import (
+    ENC_RAW,
+    ENC_ZLIB,
+    RfbClient,
+    RfbError,
+    RfbServer,
+    decode_rect,
+    encode_rect,
+)
+from repro.baseline.session import BaselineSession
+from repro.net.channel import ChannelConfig, duplex_reliable
+from repro.rtp.clock import SimulatedClock
+from repro.surface.framebuffer import WHITE
+from repro.surface.geometry import Rect
+from repro.surface.window import WindowManager
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture
+def wm():
+    return WindowManager(320, 240)
+
+
+class TestRectCodec:
+    def test_raw_roundtrip(self, noise_image):
+        h, w = noise_image.shape[:2]
+        data = encode_rect(noise_image, ENC_RAW)
+        assert np.array_equal(decode_rect(data, w, h, ENC_RAW), noise_image)
+
+    def test_zlib_roundtrip(self, noise_image):
+        h, w = noise_image.shape[:2]
+        data = encode_rect(noise_image, ENC_ZLIB)
+        assert np.array_equal(decode_rect(data, w, h, ENC_ZLIB), noise_image)
+
+    def test_bad_encoding(self, noise_image):
+        with pytest.raises(RfbError):
+            encode_rect(noise_image, 9)
+        with pytest.raises(RfbError):
+            decode_rect(b"", 2, 2, 9)
+
+    def test_length_mismatch(self):
+        with pytest.raises(RfbError):
+            decode_rect(b"\x00" * 10, 4, 4, ENC_RAW)
+
+
+class TestServerClient:
+    def test_first_pull_gets_full_screen(self, wm):
+        wm.create_window(Rect(10, 10, 50, 50), fill=WHITE)
+        server = RfbServer(wm)
+        client = RfbClient(320, 240)
+        client.apply_update(server.handle_request("c1"))
+        assert client.matches(wm)
+
+    def test_incremental_pull_only_changes(self, wm):
+        win = wm.create_window(Rect(0, 0, 100, 100))
+        server = RfbServer(wm)
+        client = RfbClient(320, 240)
+        first = server.handle_request("c1")
+        client.apply_update(first)
+        # No change → empty update.
+        second = server.handle_request("c1")
+        rects = client.apply_update(second)
+        assert rects == 0
+        assert len(second) < len(first)
+        # Small change → small update.
+        win.fill(WHITE, Rect(0, 0, 8, 8))
+        third = server.handle_request("c1")
+        assert client.apply_update(third) >= 1
+        assert client.matches(wm)
+
+    def test_per_client_state_independent(self, wm):
+        win = wm.create_window(Rect(0, 0, 100, 100))
+        server = RfbServer(wm)
+        a = RfbClient(320, 240)
+        b = RfbClient(320, 240)
+        a.apply_update(server.handle_request("a"))
+        win.fill(WHITE, Rect(0, 0, 10, 10))
+        a.apply_update(server.handle_request("a"))
+        # b pulls for the first time: gets the whole (current) screen.
+        b.apply_update(server.handle_request("b"))
+        assert a.matches(wm) and b.matches(wm)
+
+    def test_malformed_update_rejected(self):
+        client = RfbClient(32, 32)
+        with pytest.raises(RfbError):
+            client.apply_update(b"U")
+        with pytest.raises(RfbError):
+            client.apply_update(b"X\x00\x00")
+
+
+class TestBaselineSession:
+    def test_converges_over_channel(self, clock, wm):
+        win = wm.create_window(Rect(20, 20, 200, 150))
+        editor = TextEditorApp(win)
+        link = duplex_reliable(ChannelConfig(delay=0.01), clock.now)
+        session = BaselineSession(wm, link, clock.now)
+        for i in range(200):
+            if i % 10 == 0 and i < 100:
+                editor.type_text(f"line {i} ")
+            session.tick()
+            clock.advance(0.01)
+        assert session.client.matches(wm)
+        assert session.requests_sent > 1
+        assert session.update_round_trips
+
+    def test_pull_latency_includes_round_trip(self, clock, wm):
+        wm.create_window(Rect(0, 0, 50, 50))
+        link = duplex_reliable(ChannelConfig(delay=0.05), clock.now)
+        session = BaselineSession(wm, link, clock.now)
+        for _ in range(100):
+            session.tick()
+            clock.advance(0.01)
+        # Request there (50ms) + response back (50ms) at minimum.
+        assert min(session.update_round_trips) >= 0.1

@@ -1,0 +1,151 @@
+"""Tests for the floor control server/client pair (Appendix A)."""
+
+import pytest
+
+from repro.bfcp.client import FloorControlClient, FloorState
+from repro.bfcp.hid_status import HidStatus
+from repro.bfcp.server import FloorControlServer
+from repro.rtp.clock import SimulatedClock
+
+
+class TestHidStatus:
+    def test_figure20_values(self):
+        """Figure 20: the four HID status values."""
+        assert HidStatus.STATE_NOT_ALLOWED == 0
+        assert HidStatus.STATE_KEYBOARD_ALLOWED == 1
+        assert HidStatus.STATE_MOUSE_ALLOWED == 2
+        assert HidStatus.STATE_ALL_ALLOWED == 3
+
+    def test_allows(self):
+        assert HidStatus.STATE_ALL_ALLOWED.allows("keyboard")
+        assert HidStatus.STATE_ALL_ALLOWED.allows("mouse")
+        assert HidStatus.STATE_KEYBOARD_ALLOWED.allows("keyboard")
+        assert not HidStatus.STATE_KEYBOARD_ALLOWED.allows("mouse")
+        assert not HidStatus.STATE_NOT_ALLOWED.allows("keyboard")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            HidStatus.STATE_ALL_ALLOWED.allows("gamepad")
+
+
+class TestServerFifo:
+    def test_first_request_granted(self):
+        server = FloorControlServer()
+        server.request_floor("alice", user_id=1)
+        assert server.holder_participant() == "alice"
+
+    def test_fifo_queue(self):
+        """Requests 'in a FIFO queue' (section 4.2)."""
+        server = FloorControlServer()
+        r1 = server.request_floor("alice", 1)
+        r2 = server.request_floor("bob", 2)
+        r3 = server.request_floor("carol", 3)
+        assert server.queue_length == 2
+        server.release_floor(r1)
+        assert server.holder_participant() == "bob"
+        server.release_floor(r2)
+        assert server.holder_participant() == "carol"
+        server.release_floor(r3)
+        assert server.holder_participant() is None
+
+    def test_queued_release_removes_from_queue(self):
+        server = FloorControlServer()
+        r1 = server.request_floor("alice", 1)
+        r2 = server.request_floor("bob", 2)
+        server.release_floor(r2)
+        assert server.queue_length == 0
+        server.release_floor(r1)
+        assert server.holder_participant() is None
+
+    def test_release_unknown_request(self):
+        server = FloorControlServer()
+        assert not server.release_floor(99)
+
+    def test_timed_grant_rotates(self):
+        clock = SimulatedClock()
+        server = FloorControlServer(grant_duration=5.0, now=clock.now)
+        server.request_floor("alice", 1)
+        server.request_floor("bob", 2)
+        clock.advance(6.0)
+        server.tick()
+        assert server.holder_participant() == "bob"
+
+    def test_floor_check_gates_by_holder(self):
+        server = FloorControlServer()
+        server.request_floor("alice", 1)
+        assert server.floor_check("alice", "mouse")
+        assert not server.floor_check("bob", "mouse")
+
+    def test_floor_check_respects_hid_status(self):
+        server = FloorControlServer()
+        server.request_floor("alice", 1)
+        server.set_hid_status(HidStatus.STATE_KEYBOARD_ALLOWED)
+        assert server.floor_check("alice", "keyboard")
+        assert not server.floor_check("alice", "mouse")
+
+
+class TestWireExchange:
+    def _wire_pair(self):
+        """Server + client connected through encoded byte messages."""
+        server = FloorControlServer()
+        sent_to_server = []
+        client = FloorControlClient(
+            user_id=1, send=lambda data: sent_to_server.append(data)
+        )
+        return server, client, sent_to_server
+
+    def _deliver(self, server, client, sent):
+        while sent:
+            server.handle_message("p-client", sent.pop(0))
+        for participant_id, data in server.drain_outbound():
+            if participant_id == "p-client":
+                client.handle_message(data)
+
+    def test_request_grant_cycle(self):
+        server, client, sent = self._wire_pair()
+        client.request()
+        self._deliver(server, client, sent)
+        assert client.state is FloorState.HOLDING
+        assert client.hid_status is HidStatus.STATE_ALL_ALLOWED
+        assert server.holder_participant() == "p-client"
+
+    def test_release_cycle(self):
+        server, client, sent = self._wire_pair()
+        client.request()
+        self._deliver(server, client, sent)
+        client.release()
+        self._deliver(server, client, sent)
+        assert client.state is FloorState.IDLE
+        assert server.holder_participant() is None
+
+    def test_queued_client_sees_position(self):
+        server, client, sent = self._wire_pair()
+        server.request_floor("other", 99)  # floor taken
+        client.request()
+        self._deliver(server, client, sent)
+        assert client.state is FloorState.QUEUED
+        assert client.queue_position == 1
+
+    def test_hid_status_update_received(self):
+        """'The participant MAY receive several Floor Granted messages
+        with different HID Status values.'"""
+        server, client, sent = self._wire_pair()
+        client.request()
+        self._deliver(server, client, sent)
+        server.set_hid_status(HidStatus.STATE_MOUSE_ALLOWED)
+        self._deliver(server, client, sent)
+        assert client.hid_status is HidStatus.STATE_MOUSE_ALLOWED
+        assert client.may_send("mouse")
+        assert not client.may_send("keyboard")
+        assert client.grants_received == 2
+
+    def test_double_request_ignored(self):
+        server, client, sent = self._wire_pair()
+        client.request()
+        client.request()  # no-op while pending
+        assert len(sent) == 1
+
+    def test_release_without_request(self):
+        _server, client, sent = self._wire_pair()
+        client.release()
+        assert sent == []

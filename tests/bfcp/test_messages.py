@@ -1,0 +1,101 @@
+"""Tests for BFCP message encoding (RFC 4582 subset)."""
+
+import pytest
+
+from repro.bfcp.messages import (
+    ATTR_FLOOR_REQUEST_ID,
+    ATTR_REQUEST_STATUS,
+    ATTR_STATUS_INFO,
+    Attribute,
+    BfcpError,
+    BfcpMessage,
+    PRIMITIVE_FLOOR_RELEASE,
+    PRIMITIVE_FLOOR_REQUEST,
+    PRIMITIVE_FLOOR_REQUEST_STATUS,
+    STATUS_GRANTED,
+    floor_release,
+    floor_request,
+    floor_request_status,
+    read_request_status,
+    read_u16,
+)
+
+
+class TestAttributes:
+    def test_padding_to_32_bits(self):
+        attr = Attribute(2, b"\x00\x01")  # 2+2 = 4 bytes, no pad
+        assert len(attr.encode()) == 4
+        attr3 = Attribute(2, b"\x00\x01\x02")  # 5 bytes → pad to 8
+        assert len(attr3.encode()) == 8
+
+    def test_mandatory_bit(self):
+        data = Attribute(2, b"", mandatory=True).encode()
+        assert data[0] & 1
+        data = Attribute(2, b"", mandatory=False).encode()
+        assert not data[0] & 1
+
+    def test_type_range(self):
+        with pytest.raises(BfcpError):
+            Attribute(0x80, b"").encode()
+
+
+class TestMessages:
+    def test_floor_request_roundtrip(self):
+        msg = floor_request(conference_id=7, transaction_id=3, user_id=12,
+                            floor_id=0)
+        decoded = BfcpMessage.decode(msg.encode())
+        assert decoded.primitive == PRIMITIVE_FLOOR_REQUEST
+        assert decoded.conference_id == 7
+        assert decoded.transaction_id == 3
+        assert decoded.user_id == 12
+
+    def test_floor_release_roundtrip(self):
+        msg = floor_release(1, 2, 3, request_id=55)
+        decoded = BfcpMessage.decode(msg.encode())
+        assert decoded.primitive == PRIMITIVE_FLOOR_RELEASE
+        assert read_u16(decoded.find(ATTR_FLOOR_REQUEST_ID)) == 55
+
+    def test_status_with_hid(self):
+        msg = floor_request_status(
+            1, 2, 3, request_id=9, status=STATUS_GRANTED, hid_status=3
+        )
+        decoded = BfcpMessage.decode(msg.encode())
+        assert decoded.primitive == PRIMITIVE_FLOOR_REQUEST_STATUS
+        status, position = read_request_status(
+            decoded.find(ATTR_REQUEST_STATUS)
+        )
+        assert status == STATUS_GRANTED
+        assert position == 0
+        assert read_u16(decoded.find(ATTR_STATUS_INFO)) == 3
+
+    def test_status_queue_position(self):
+        msg = floor_request_status(1, 2, 3, 9, status=2, queue_position=4)
+        decoded = BfcpMessage.decode(msg.encode())
+        _status, position = read_request_status(decoded.find(ATTR_REQUEST_STATUS))
+        assert position == 4
+
+    def test_header_layout(self):
+        data = floor_request(0x11223344, 0x5566, 0x7788, 0).encode()
+        assert data[0] >> 5 == 1  # version
+        assert data[1] == PRIMITIVE_FLOOR_REQUEST
+        length_words = int.from_bytes(data[2:4], "big")
+        assert len(data) == 12 + 4 * length_words
+
+    def test_truncated_rejected(self):
+        data = floor_request(1, 2, 3, 0).encode()
+        with pytest.raises(BfcpError):
+            BfcpMessage.decode(data[:-2])
+
+    def test_bad_version_rejected(self):
+        data = bytearray(floor_request(1, 2, 3, 0).encode())
+        data[0] = 0x40  # version 2
+        with pytest.raises(BfcpError):
+            BfcpMessage.decode(bytes(data))
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(BfcpError):
+            floor_request_status(1, 2, 3, 4, status=99)
+
+    def test_find_missing_attribute(self):
+        msg = floor_request(1, 2, 3, 0)
+        assert msg.find(ATTR_STATUS_INFO) is None

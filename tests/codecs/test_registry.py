@@ -1,0 +1,62 @@
+"""Tests for the codec/payload-type registry."""
+
+import pytest
+
+from repro.codecs.base import (
+    CodecError,
+    CodecRegistry,
+    PT_PNG,
+    default_registry,
+)
+from repro.codecs.png import PngCodec
+from repro.codecs.raw import RawCodec
+
+
+class TestRegistry:
+    def test_default_has_mandatory_png(self):
+        """'All AH and participant software implementations MUST
+        support PNG images' (section 5.2.2)."""
+        registry = default_registry()
+        assert registry.supports(PT_PNG)
+        assert registry.by_name("png").lossless
+
+    def test_default_codecs(self):
+        registry = default_registry()
+        assert set(registry.names()) == {"png", "raw", "zlib", "lossy-dct"}
+
+    def test_lookup_by_pt(self):
+        registry = default_registry()
+        codec = registry.by_payload_type(PT_PNG)
+        assert codec.name == "png"
+
+    def test_unknown_pt_rejected(self):
+        with pytest.raises(CodecError):
+            default_registry().by_payload_type(50)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(CodecError):
+            default_registry().by_name("theora")
+
+    def test_duplicate_pt_rejected(self):
+        registry = CodecRegistry()
+        registry.register(PngCodec())
+        clone = PngCodec()
+        with pytest.raises(CodecError):
+            registry.register(clone)
+
+    def test_duplicate_name_rejected(self):
+        registry = CodecRegistry()
+        registry.register(PngCodec())
+        rogue = RawCodec()
+        rogue.name = "png"  # type: ignore[misc]
+        with pytest.raises(CodecError):
+            registry.register(rogue)
+
+    def test_intersect_names(self):
+        registry = default_registry()
+        agreed = registry.intersect_names(["theora", "png", "zlib"])
+        assert agreed == ["png", "zlib"]
+
+    def test_payload_types_sorted(self):
+        pts = default_registry().payload_types()
+        assert pts == sorted(pts)

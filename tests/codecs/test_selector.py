@@ -1,0 +1,62 @@
+"""Tests for content classification and codec selection (section 4.2)."""
+
+import numpy as np
+
+from repro.apps.photo import synthetic_photo, ui_screenshot
+from repro.codecs.base import default_registry
+from repro.codecs.selector import CodecSelector, ContentClassifier
+
+
+class TestClassifier:
+    def test_photo_is_photographic(self):
+        stats = ContentClassifier().classify(synthetic_photo(128, 128, seed=0))
+        assert stats.is_photographic
+
+    def test_ui_is_synthetic(self):
+        stats = ContentClassifier().classify(ui_screenshot(128, 128, seed=0))
+        assert not stats.is_photographic
+
+    def test_flat_is_synthetic(self, flat_image):
+        assert not ContentClassifier().classify(flat_image).is_photographic
+
+    def test_text_like_is_synthetic(self):
+        from repro.surface.framebuffer import BLACK, Framebuffer, WHITE
+        from repro.surface.text import draw_text
+
+        fb = Framebuffer(200, 60, fill=WHITE)
+        for row in range(0, 48, 10):
+            draw_text(fb, 2, row, "THE QUICK BROWN FOX 0123", BLACK, WHITE)
+        assert not ContentClassifier().classify(fb.array).is_photographic
+
+    def test_subsampling_keeps_decision(self):
+        photo = synthetic_photo(400, 400, seed=2)
+        full = ContentClassifier(sample_cap=10**9).classify(photo)
+        sampled = ContentClassifier(sample_cap=32 * 32).classify(photo)
+        assert full.is_photographic == sampled.is_photographic
+
+    def test_stats_ranges(self):
+        stats = ContentClassifier().classify(synthetic_photo(64, 64, seed=1))
+        assert 0.0 <= stats.distinct_color_fraction <= 1.0
+        assert 0.0 <= stats.smooth_gradient_fraction <= 1.0
+
+
+class TestSelector:
+    def test_photo_gets_lossy(self):
+        selector = CodecSelector(default_registry())
+        codec = selector.select(synthetic_photo(96, 96, seed=3))
+        assert codec.name == "lossy-dct"
+
+    def test_ui_gets_lossless(self):
+        selector = CodecSelector(default_registry())
+        codec = selector.select(ui_screenshot(96, 96, seed=3))
+        assert codec.name == "png"
+
+    def test_lossy_disabled_always_lossless(self):
+        selector = CodecSelector(default_registry(), allow_lossy=False)
+        assert selector.select(synthetic_photo(96, 96, seed=4)).name == "png"
+
+    def test_custom_lossless_choice(self):
+        selector = CodecSelector(
+            default_registry(), lossless_name="zlib", allow_lossy=False
+        )
+        assert selector.select(np.zeros((8, 8, 4), dtype=np.uint8)).name == "zlib"

@@ -1,0 +1,158 @@
+"""Tests for Table 2 fragmentation and reassembly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import FragmentationError
+from repro.core.fragmentation import (
+    Fragment,
+    FragmentType,
+    UpdateReassembler,
+    fragment_update,
+)
+from repro.core.header import unpack_update_parameter
+from repro.core.registry import MSG_MOUSE_POINTER_INFO, MSG_REGION_UPDATE
+
+
+def fragments_for(data: bytes, max_payload: int = 64) -> list[Fragment]:
+    return fragment_update(MSG_REGION_UPDATE, 5, 96, 10, 20, data, max_payload)
+
+
+class TestTable2Matrix:
+    def test_table2_matrix(self):
+        """The exact marker/FirstPacket truth table of Table 2."""
+        assert FragmentType.from_bits(True, True) is FragmentType.NOT_FRAGMENTED
+        assert FragmentType.from_bits(False, True) is FragmentType.START
+        assert FragmentType.from_bits(False, False) is FragmentType.CONTINUATION
+        assert FragmentType.from_bits(True, False) is FragmentType.END
+
+    def test_bits_roundtrip(self):
+        for fragment_type in FragmentType:
+            marker, first = fragment_type.marker, fragment_type.first_packet
+            assert FragmentType.from_bits(marker, first) is fragment_type
+
+
+class TestFragmenter:
+    def test_small_update_single_fragment(self):
+        frags = fragments_for(b"tiny")
+        assert len(frags) == 1
+        assert frags[0].marker  # Not Fragmented: marker=1, F=1
+        _, pt = unpack_update_parameter(frags[0].payload[1])
+        assert pt == 96
+        assert frags[0].payload[1] & 0x80
+
+    def test_large_update_fragments(self):
+        frags = fragments_for(bytes(500), max_payload=64)
+        assert len(frags) > 1
+        # Start: marker=0, F=1.
+        assert not frags[0].marker and frags[0].payload[1] & 0x80
+        # Middle: marker=0, F=0.
+        for frag in frags[1:-1]:
+            assert not frag.marker and not frag.payload[1] & 0x80
+        # End: marker=1, F=0.
+        assert frags[-1].marker and not frags[-1].payload[1] & 0x80
+
+    def test_payload_cap_respected(self):
+        for frag in fragments_for(bytes(3000), max_payload=100):
+            assert frag.size <= 100
+
+    def test_coords_only_in_first(self):
+        frags = fragments_for(bytes(300), max_payload=64)
+        assert len(frags[0].payload) >= 12  # common + specific headers
+        # Continuations: 4-byte common header + data only.
+        assert frags[1].payload[4:] != b""
+
+    def test_max_payload_too_small(self):
+        with pytest.raises(FragmentationError):
+            fragments_for(b"x", max_payload=12)
+
+    def test_empty_data_single_fragment(self):
+        frags = fragments_for(b"")
+        assert len(frags) == 1
+        assert frags[0].marker
+
+
+class TestReassembler:
+    def test_single_fragment(self):
+        reassembler = UpdateReassembler()
+        frags = fragments_for(b"payload")
+        update = reassembler.push(frags[0].payload, frags[0].marker, 100)
+        assert update is not None
+        assert update.data == b"payload"
+        assert (update.left, update.top) == (10, 20)
+        assert update.window_id == 5
+        assert update.content_pt == 96
+        assert update.fragment_count == 1
+
+    def test_multi_fragment(self):
+        reassembler = UpdateReassembler()
+        data = bytes(range(256)) * 5
+        frags = fragments_for(data, max_payload=100)
+        result = None
+        for frag in frags:
+            result = reassembler.push(frag.payload, frag.marker, 777)
+        assert result is not None
+        assert result.data == data
+        assert result.fragment_count == len(frags)
+
+    def test_lost_end_drops_partial(self):
+        reassembler = UpdateReassembler()
+        first = fragments_for(bytes(300), max_payload=64)
+        second = fragments_for(b"next", max_payload=64)
+        # Deliver start of first update, then the second (new timestamp).
+        reassembler.push(first[0].payload, first[0].marker, 100)
+        result = reassembler.push(second[0].payload, second[0].marker, 200)
+        assert result is not None
+        assert result.data == b"next"
+        assert reassembler.updates_dropped == 1
+
+    def test_orphan_continuation_dropped(self):
+        reassembler = UpdateReassembler()
+        frags = fragments_for(bytes(300), max_payload=64)
+        # Start was lost; continuation arrives alone.
+        assert reassembler.push(frags[1].payload, frags[1].marker, 100) is None
+        assert reassembler.updates_dropped == 1
+
+    def test_window_change_mid_update_drops(self):
+        reassembler = UpdateReassembler()
+        a = fragment_update(MSG_REGION_UPDATE, 1, 96, 0, 0, bytes(200), 64)
+        b = fragment_update(MSG_REGION_UPDATE, 2, 96, 0, 0, bytes(200), 64)
+        reassembler.push(a[0].payload, a[0].marker, 50)
+        assert reassembler.push(b[1].payload, b[1].marker, 50) is None
+        assert reassembler.updates_dropped == 1
+
+    def test_pointer_reassembler(self):
+        reassembler = UpdateReassembler(MSG_MOUSE_POINTER_INFO)
+        frags = fragment_update(
+            MSG_MOUSE_POINTER_INFO, 0, 96, 3, 4, bytes(500), 64
+        )
+        result = None
+        for frag in frags:
+            result = reassembler.push(frag.payload, frag.marker, 9)
+        assert result is not None and result.data == bytes(500)
+
+    def test_invalid_message_type(self):
+        with pytest.raises(FragmentationError):
+            UpdateReassembler(1)
+
+    @given(
+        data=st.binary(min_size=0, max_size=2000),
+        max_payload=st.integers(16, 300),
+        timestamp=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, data, max_payload, timestamp):
+        frags = fragment_update(
+            MSG_REGION_UPDATE, 9, 42, 100, 200, data, max_payload
+        )
+        reassembler = UpdateReassembler()
+        results = [
+            reassembler.push(f.payload, f.marker, timestamp) for f in frags
+        ]
+        assert all(r is None for r in results[:-1])
+        final = results[-1]
+        assert final is not None
+        assert final.data == data
+        assert (final.left, final.top) == (100, 200)
+        assert final.content_pt == 42

@@ -1,0 +1,113 @@
+"""Golden wire-format bytes.
+
+Pins the exact encodings shown in docs/PROTOCOL.md.  Any change to
+these byte strings is a wire-compatibility break and must be deliberate.
+"""
+
+from repro.bfcp import STATUS_GRANTED, floor_request_status
+from repro.core import (
+    KeyTyped,
+    MousePressed,
+    MouseWheelMoved,
+    MoveRectangle,
+    RegionUpdate,
+    WindowManagerInfo,
+    WindowRecord,
+    fragment_update,
+    MSG_REGION_UPDATE,
+)
+from repro.rtp.feedback import PictureLossIndication, nacks_for
+
+
+def h(text: str) -> bytes:
+    return bytes.fromhex(text.replace(" ", "").replace("\n", ""))
+
+
+class TestGoldenRemoting:
+    def test_window_manager_info(self):
+        message = WindowManagerInfo(
+            (WindowRecord(1, 1, 220, 150, 350, 450),)
+        ).encode()
+        assert message == h(
+            "01 00 00 00"
+            "00 01 01 00"
+            "00 00 00 dc"
+            "00 00 00 96"
+            "00 00 01 5e"
+            "00 00 01 c2"
+        )
+
+    def test_region_update_single(self):
+        message = RegionUpdate(1, 220, 150, 96, b"\x89PNG...").encode_single()
+        assert message == h(
+            "02 e0 00 01 00 00 00 dc 00 00 00 96 89 50 4e 47 2e 2e 2e"
+        )
+
+    def test_move_rectangle(self):
+        message = MoveRectangle(1, 450, 400, 350, 284, 450, 384).encode()
+        assert message == h(
+            "03 00 00 01"
+            "00 00 01 c2 00 00 01 90"
+            "00 00 01 5e 00 00 01 1c"
+            "00 00 01 c2 00 00 01 80"
+        )
+
+    def test_fragment_pair(self):
+        frags = fragment_update(
+            MSG_REGION_UPDATE, 1, 96, 220, 150, bytes(range(40)), 28
+        )
+        assert len(frags) == 2
+        assert frags[0].payload == h(
+            "02 e0 00 01 00 00 00 dc 00 00 00 96"
+            "00 01 02 03 04 05 06 07 08 09 0a 0b 0c 0d 0e 0f"
+        )
+        assert not frags[0].marker
+        assert frags[1].payload == h(
+            "02 60 00 01"
+            "10 11 12 13 14 15 16 17 18 19 1a 1b"
+            "1c 1d 1e 1f 20 21 22 23 24 25 26 27"
+        )
+        assert frags[1].marker
+
+
+class TestGoldenHip:
+    def test_mouse_pressed(self):
+        message = MousePressed(1, 1, 300, 200).encode()
+        assert message == h("79 01 00 01 00 00 01 2c 00 00 00 c8")
+
+    def test_wheel_twos_complement(self):
+        message = MouseWheelMoved(1, 300, 200, -120).encode()
+        assert message == h(
+            "7c 00 00 01 00 00 01 2c 00 00 00 c8 ff ff ff 88"
+        )
+
+    def test_key_typed_utf8(self):
+        message = KeyTyped(1, "Hi☃").encode()
+        assert message == h("7f 00 00 01 48 69 e2 98 83")
+
+
+class TestGoldenRtcp:
+    def test_pli(self):
+        message = PictureLossIndication(0x11111111, 0x22222222).encode()
+        assert message == h("81 ce 00 02 11 11 11 11 22 22 22 22")
+
+    def test_generic_nack(self):
+        message = nacks_for(0x11111111, 0x22222222, [1000, 1001, 1003]).encode()
+        assert message == h(
+            "81 cd 00 03 11 11 11 11 22 22 22 22 03 e8 00 05"
+        )
+
+
+class TestGoldenBfcp:
+    def test_floor_granted_with_hid_status(self):
+        message = floor_request_status(
+            1, 7, 12, 3, STATUS_GRANTED, hid_status=3
+        ).encode()
+        assert message == h(
+            "20 04 00 03"
+            "00 00 00 01"
+            "00 07 00 0c"
+            "07 04 00 03"
+            "0b 04 03 00"
+            "15 04 00 03"
+        )

@@ -1,0 +1,73 @@
+"""Tests for the common remoting/HIP header (Figure 7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ProtocolError
+from repro.core.header import (
+    COMMON_HEADER_LEN,
+    CommonHeader,
+    pack_update_parameter,
+    unpack_update_parameter,
+)
+
+
+class TestCommonHeader:
+    def test_encode_layout(self):
+        header = CommonHeader(message_type=2, parameter=0x85, window_id=0x1234)
+        data = header.encode()
+        assert data == bytes([2, 0x85, 0x12, 0x34])
+        assert len(data) == COMMON_HEADER_LEN
+
+    def test_roundtrip(self):
+        header = CommonHeader(1, 0, 65535)
+        assert CommonHeader.decode(header.encode()) == header
+
+    def test_decode_ignores_trailing(self):
+        header = CommonHeader(3, 7, 9)
+        assert CommonHeader.decode(header.encode() + b"extra") == header
+
+    def test_too_short(self):
+        with pytest.raises(ProtocolError):
+            CommonHeader.decode(b"\x01\x02\x03")
+
+    def test_window_id_range(self):
+        with pytest.raises(ProtocolError):
+            CommonHeader(1, 0, 0x1_0000)
+
+    def test_parameter_range(self):
+        with pytest.raises(ProtocolError):
+            CommonHeader(1, 256, 0)
+
+    @given(
+        st.integers(0, 255), st.integers(0, 255), st.integers(0, 0xFFFF)
+    )
+    def test_roundtrip_property(self, msg_type, parameter, window_id):
+        header = CommonHeader(msg_type, parameter, window_id)
+        assert CommonHeader.decode(header.encode()) == header
+
+
+class TestUpdateParameter:
+    def test_pack_first_bit(self):
+        assert pack_update_parameter(True, 0) == 0x80
+        assert pack_update_parameter(False, 0) == 0x00
+
+    def test_pack_pt(self):
+        assert pack_update_parameter(True, 96) == 0x80 | 96
+        assert pack_update_parameter(False, 127) == 127
+
+    def test_unpack(self):
+        assert unpack_update_parameter(0x80 | 99) == (True, 99)
+        assert unpack_update_parameter(99) == (False, 99)
+
+    def test_pt_range(self):
+        with pytest.raises(ProtocolError):
+            pack_update_parameter(True, 128)
+
+    @given(st.booleans(), st.integers(0, 127))
+    def test_roundtrip_property(self, first, pt):
+        assert unpack_update_parameter(pack_update_parameter(first, pt)) == (
+            first,
+            pt,
+        )

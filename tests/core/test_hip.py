@@ -1,0 +1,190 @@
+"""Tests for the seven HIP messages (section 6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ProtocolError
+from repro.core.hip import (
+    BUTTON_LEFT,
+    BUTTON_MIDDLE,
+    BUTTON_RIGHT,
+    WHEEL_NOTCH,
+    KeyPressed,
+    KeyReleased,
+    KeyTyped,
+    MouseMoved,
+    MousePressed,
+    MouseReleased,
+    MouseWheelMoved,
+    decode_hip,
+    split_text_for_key_typed,
+)
+from repro.core.header import CommonHeader
+
+
+class TestMouseButtons:
+    def test_button_values(self):
+        """Values 1, 2, 3 = left, right, middle (section 6.2)."""
+        assert (BUTTON_LEFT, BUTTON_RIGHT, BUTTON_MIDDLE) == (1, 2, 3)
+
+    def test_pressed_roundtrip(self):
+        msg = MousePressed(window_id=1, button=BUTTON_LEFT, left=640, top=480)
+        assert MousePressed.decode(msg.encode()) == msg
+
+    def test_released_roundtrip(self):
+        msg = MouseReleased(2, BUTTON_RIGHT, 10, 20)
+        assert MouseReleased.decode(msg.encode()) == msg
+
+    def test_button_in_parameter_byte(self):
+        data = MousePressed(0, BUTTON_MIDDLE, 0, 0).encode()
+        assert data[1] == BUTTON_MIDDLE
+
+    def test_pressed_body_is_8_bytes(self):
+        assert len(MousePressed(0, 1, 0, 0).encode()) == 12
+
+    def test_type_mismatch_rejected(self):
+        pressed = MousePressed(0, 1, 0, 0).encode()
+        with pytest.raises(ProtocolError):
+            MouseReleased.decode(pressed)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ProtocolError):
+            MousePressed.decode(MousePressed(0, 1, 0, 0).encode()[:-2])
+
+
+class TestMouseMoved:
+    def test_roundtrip(self):
+        msg = MouseMoved(3, 111, 222)
+        assert MouseMoved.decode(msg.encode()) == msg
+
+    def test_parameter_zero(self):
+        assert MouseMoved(0, 1, 2).encode()[1] == 0
+
+
+class TestMouseWheel:
+    def test_roundtrip_positive(self):
+        msg = MouseWheelMoved(1, 5, 6, WHEEL_NOTCH * 2)
+        assert MouseWheelMoved.decode(msg.encode()) == msg
+
+    def test_roundtrip_negative_twos_complement(self):
+        """Negative distances use 2's complement (section 6.5)."""
+        msg = MouseWheelMoved(1, 5, 6, -WHEEL_NOTCH)
+        data = msg.encode()
+        assert data[-4:] == (-120).to_bytes(4, "big", signed=True)
+        assert MouseWheelMoved.decode(data).distance == -120
+
+    def test_notches(self):
+        assert MouseWheelMoved(0, 0, 0, 240).notches == 2.0
+        assert MouseWheelMoved(0, 0, 0, -60).notches == -0.5  # smooth wheel
+
+    def test_distance_bounds(self):
+        with pytest.raises(ProtocolError):
+            MouseWheelMoved(0, 0, 0, 2**31)
+
+
+class TestKeys:
+    def test_pressed_roundtrip(self):
+        msg = KeyPressed(1, 0x70)  # VK_F1
+        assert KeyPressed.decode(msg.encode()) == msg
+
+    def test_released_roundtrip(self):
+        msg = KeyReleased(1, 0x41)
+        assert KeyReleased.decode(msg.encode()) == msg
+
+    def test_keycode_is_32_bits(self):
+        data = KeyPressed(0, 0x12345678).encode()
+        assert len(data) == 8
+        assert data[4:] == bytes([0x12, 0x34, 0x56, 0x78])
+
+    def test_released_without_pressed_is_fine(self):
+        """'A KeyReleased event for a key without a prior KeyPressed
+        event for this key is acceptable' — both decode independently."""
+        assert KeyReleased.decode(KeyReleased(0, 65).encode()).keycode == 65
+
+
+class TestKeyTyped:
+    def test_ascii_roundtrip(self):
+        msg = KeyTyped(1, "hello world")
+        assert KeyTyped.decode(msg.encode()) == msg
+
+    def test_unicode_roundtrip(self):
+        msg = KeyTyped(1, "héllo wörld — ünïcode ☃")
+        assert KeyTyped.decode(msg.encode()) == msg
+
+    def test_no_padding(self):
+        """'There is no padding for the UTF-8 string.'"""
+        assert len(KeyTyped(0, "abc").encode()) == 4 + 3
+
+    def test_empty_string(self):
+        assert KeyTyped.decode(KeyTyped(0, "").encode()).text == ""
+
+    def test_invalid_utf8_rejected(self):
+        payload = CommonHeader(127, 0, 0).encode() + b"\xff\xfe"
+        with pytest.raises(ProtocolError):
+            KeyTyped.decode(payload)
+
+
+class TestSplitText:
+    def test_short_text_one_message(self):
+        msgs = split_text_for_key_typed(1, "short", 100)
+        assert len(msgs) == 1
+        assert msgs[0].text == "short"
+
+    def test_long_text_splits(self):
+        msgs = split_text_for_key_typed(1, "x" * 100, 24)
+        assert len(msgs) > 1
+        assert "".join(m.text for m in msgs) == "x" * 100
+        for msg in msgs:
+            assert len(msg.encode()) <= 24
+
+    def test_never_splits_codepoint(self):
+        text = "☃" * 30  # 3 bytes each
+        msgs = split_text_for_key_typed(1, text, 14)  # 10-byte budget
+        assert "".join(m.text for m in msgs) == text
+        for msg in msgs:
+            msg_bytes = msg.encode()[4:]
+            msg_bytes.decode("utf-8")  # must be independently valid
+
+    def test_empty_text_yields_one_message(self):
+        msgs = split_text_for_key_typed(1, "", 100)
+        assert len(msgs) == 1
+
+    def test_budget_too_small(self):
+        with pytest.raises(ProtocolError):
+            split_text_for_key_typed(1, "x", 5)
+
+    @given(st.text(max_size=200), st.integers(10, 60))
+    def test_split_property(self, text, max_payload):
+        msgs = split_text_for_key_typed(1, text, max_payload)
+        assert "".join(m.text for m in msgs) == text
+        for msg in msgs:
+            assert len(msg.encode()) <= max_payload
+            # Every fragment is independently decodable.
+            assert KeyTyped.decode(msg.encode()).text == msg.text
+
+
+class TestDecodeHip:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            MousePressed(1, 1, 2, 3),
+            MouseReleased(1, 2, 2, 3),
+            MouseMoved(1, 2, 3),
+            MouseWheelMoved(1, 2, 3, -120),
+            KeyPressed(1, 65),
+            KeyReleased(1, 65),
+            KeyTyped(1, "text"),
+        ],
+    )
+    def test_dispatch(self, message):
+        assert decode_hip(message.encode()) == message
+
+    def test_unknown_type_returns_none(self):
+        """Participants MAY ignore unknown registered types."""
+        payload = CommonHeader(200, 0, 0).encode() + b"\x00" * 8
+        assert decode_hip(payload) is None
+
+    def test_remoting_type_returns_none(self):
+        payload = CommonHeader(2, 0x80 | 96, 0).encode() + b"\x00" * 8
+        assert decode_hip(payload) is None

@@ -1,0 +1,86 @@
+"""Tests for the Java virtual keycode table (section 4.2 / 6.6)."""
+
+import pytest
+
+from repro.core import keycodes
+
+
+class TestKnownValues:
+    def test_f1_is_0x70(self):
+        """The draft's worked example: 'int VK_F1 = 0x70;'."""
+        assert keycodes.VK_F1 == 0x70
+
+    def test_letters_match_ascii_uppercase(self):
+        assert keycodes.VK_A == ord("A")
+        assert keycodes.VK_Z == ord("Z")
+
+    def test_digits_match_ascii(self):
+        assert keycodes.VK_0 == ord("0")
+        assert keycodes.VK_9 == ord("9")
+
+    def test_control_keys(self):
+        assert keycodes.VK_ENTER == 0x0A
+        assert keycodes.VK_ESCAPE == 0x1B
+        assert keycodes.VK_SPACE == 0x20
+        assert keycodes.VK_DELETE == 0x7F
+
+    def test_function_keys_contiguous(self):
+        assert keycodes.VK_F12 - keycodes.VK_F1 == 11
+
+
+class TestLookup:
+    def test_name_lookup(self):
+        assert keycodes.keycode_name(0x70) == "VK_F1"
+        assert keycodes.keycode_name(keycodes.VK_ENTER) == "VK_ENTER"
+
+    def test_unknown_name(self):
+        assert "0x3a" in keycodes.keycode_name(0x3A)
+
+    def test_registry_covers_letters(self):
+        for ch in "ABCDEFGHIJKLMNOPQRSTUVWXYZ":
+            assert f"VK_{ch}" in keycodes.KEYCODES
+
+    def test_is_modifier(self):
+        assert keycodes.is_modifier(keycodes.VK_SHIFT)
+        assert keycodes.is_modifier(keycodes.VK_CONTROL)
+        assert not keycodes.is_modifier(keycodes.VK_A)
+
+
+class TestCharConversion:
+    def test_letters_roundtrip(self):
+        for ch in "azAZ":
+            code = keycodes.keycode_for_char(ch)
+            assert code is not None
+            back = keycodes.char_for_keycode(code, shift=ch.isupper())
+            assert back == ch
+
+    def test_digits_roundtrip(self):
+        for ch in "0123456789":
+            code = keycodes.keycode_for_char(ch)
+            assert keycodes.char_for_keycode(code) == ch
+
+    def test_shifted_digits(self):
+        assert keycodes.char_for_keycode(keycodes.VK_1, shift=True) == "!"
+        assert keycodes.char_for_keycode(keycodes.VK_9, shift=True) == "("
+
+    def test_punctuation(self):
+        code = keycodes.keycode_for_char(";")
+        assert keycodes.char_for_keycode(code) == ";"
+        assert keycodes.char_for_keycode(code, shift=True) == ":"
+
+    def test_whitespace(self):
+        assert keycodes.keycode_for_char("\n") == keycodes.VK_ENTER
+        assert keycodes.char_for_keycode(keycodes.VK_SPACE) == " "
+
+    def test_non_ascii_has_no_keycode(self):
+        assert keycodes.keycode_for_char("é") is None
+
+    def test_modifier_has_no_char(self):
+        assert keycodes.char_for_keycode(keycodes.VK_SHIFT) is None
+
+    def test_numpad_digits(self):
+        assert keycodes.char_for_keycode(keycodes.VK_NUMPAD7) == "7"
+
+    def test_multichar_rejected(self):
+        with pytest.raises(ValueError):
+            keycodes.keycode_for_char("ab")

@@ -1,0 +1,45 @@
+"""Tests for MousePointerInfo (section 5.2.4)."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.core.mouse_pointer import MousePointerInfo
+from repro.core.registry import MSG_MOUSE_POINTER_INFO
+
+
+class TestMousePointerInfo:
+    def test_position_only_roundtrip(self):
+        """Payload MAY be only left/top: move the stored image."""
+        msg = MousePointerInfo(window_id=0, left=300, top=400)
+        decoded = MousePointerInfo.decode_single(msg.encode_single())
+        assert decoded == msg
+        assert not decoded.has_image
+
+    def test_with_image_roundtrip(self):
+        msg = MousePointerInfo(0, 10, 20, content_pt=96, image_data=b"png-bytes")
+        decoded = MousePointerInfo.decode_single(msg.encode_single())
+        assert decoded.has_image
+        assert decoded.image_data == b"png-bytes"
+        assert decoded.content_pt == 96
+
+    def test_same_shape_as_region_update(self):
+        """'The format of this message is same as RegionUpdate ...
+        except they have different message types.'"""
+        from repro.core.region_update import RegionUpdate
+
+        pointer = MousePointerInfo(1, 5, 6, 96, b"data").encode_single()
+        update = RegionUpdate(1, 5, 6, 96, b"data").encode_single()
+        assert pointer[0] == MSG_MOUSE_POINTER_INFO
+        assert update[0] != pointer[0]
+        assert pointer[1:] == update[1:]  # identical apart from type
+
+    def test_position_only_is_12_bytes(self):
+        assert len(MousePointerInfo(0, 1, 2).encode_single()) == 12
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            MousePointerInfo(0x1_0000, 0, 0)
+        with pytest.raises(ProtocolError):
+            MousePointerInfo(0, 2**32, 0)
+        with pytest.raises(ProtocolError):
+            MousePointerInfo(0, 0, 0, content_pt=200)

@@ -1,0 +1,69 @@
+"""Tests for MoveRectangle (section 5.2.3, Figure 12)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ProtocolError
+from repro.core.move_rectangle import MoveRectangle
+
+u32 = st.integers(0, 2**32 - 1)
+
+
+class TestMoveRectangle:
+    def test_roundtrip(self):
+        move = MoveRectangle(1, 10, 20, 30, 40, 50, 60)
+        assert MoveRectangle.decode(move.encode()) == move
+
+    def test_wire_size(self):
+        # Common header (4) + six u32 fields (24).
+        assert len(MoveRectangle(0, 0, 0, 0, 0, 0, 0).encode()) == 28
+
+    def test_wire_layout(self):
+        move = MoveRectangle(5, 1, 2, 3, 4, 5, 6)
+        data = move.encode()
+        assert data[0] == 3  # MSG_MOVE_RECTANGLE
+        values = [int.from_bytes(data[4 + i * 4 : 8 + i * 4], "big") for i in range(6)]
+        assert values == [1, 2, 3, 4, 5, 6]
+
+    def test_overlap_detection(self):
+        overlapping = MoveRectangle(0, 0, 0, 100, 100, 50, 50)
+        assert overlapping.overlaps()
+        disjoint = MoveRectangle(0, 0, 0, 10, 10, 100, 100)
+        assert not disjoint.overlaps()
+
+    def test_body_length_enforced(self):
+        data = MoveRectangle(0, 0, 0, 1, 1, 0, 0).encode()
+        with pytest.raises(ProtocolError):
+            MoveRectangle.decode(data[:-4])
+        with pytest.raises(ProtocolError):
+            MoveRectangle.decode(data + b"\x00\x00\x00\x00")
+
+    def test_wrong_type_rejected(self):
+        data = bytearray(MoveRectangle(0, 0, 0, 1, 1, 0, 0).encode())
+        data[0] = 2
+        with pytest.raises(ProtocolError):
+            MoveRectangle.decode(bytes(data))
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            MoveRectangle(0x1_0000, 0, 0, 1, 1, 0, 0)
+        with pytest.raises(ProtocolError):
+            MoveRectangle(0, 2**32, 0, 1, 1, 0, 0)
+
+    @given(
+        window_id=st.integers(0, 0xFFFF),
+        src_left=u32,
+        src_top=u32,
+        width=u32,
+        height=u32,
+        dst_left=u32,
+        dst_top=u32,
+    )
+    def test_roundtrip_property(
+        self, window_id, src_left, src_top, width, height, dst_left, dst_top
+    ):
+        move = MoveRectangle(
+            window_id, src_left, src_top, width, height, dst_left, dst_top
+        )
+        assert MoveRectangle.decode(move.encode()) == move

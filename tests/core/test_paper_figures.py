@@ -1,0 +1,152 @@
+"""Executable conformance artifacts for the draft's figures.
+
+Each test reproduces a figure from draft-boyaci-avt-app-sharing-00
+byte-for-byte or scenario-for-scenario.
+"""
+
+import struct
+
+from repro.core.header import CommonHeader
+from repro.core.region_update import RegionUpdate
+from repro.core.window_info import WindowManagerInfo, WindowRecord
+from repro.rtp.packet import RtpPacket
+from repro.sharing.layout import CompactedLayout, OriginalLayout, ShiftedLayout
+from repro.surface.geometry import Rect
+
+#: The three shared windows of Figure 2 (AH screen 1280x1024):
+#: A at 220,150 (350x450 — B starts at 450,400 so A is 350 wide per
+#: Figure 9), B at 450,400 (350x300 — ends 800,700), C at 850,320
+#: (160x150 — the draft's Figure 9 numbers).
+FIGURE2_RECORDS = (
+    WindowRecord(window_id=1, group_id=1, left=220, top=150, width=350, height=450),
+    WindowRecord(window_id=2, group_id=2, left=850, top=320, width=160, height=150),
+    WindowRecord(window_id=3, group_id=1, left=450, top=400, width=350, height=300),
+)
+
+
+class TestFigure9ExactBytes:
+    """Figure 9: the example WindowManagerInfo for Figure 2's windows."""
+
+    def test_exact_byte_image(self):
+        message = WindowManagerInfo(FIGURE2_RECORDS).encode()
+        expected = b""
+        # Common header: Msg Type = 1, Parameter = 0, WindowID = 0.
+        expected += struct.pack("!BBH", 1, 0, 0)
+        # Record 1: WindowID=1 GroupID=1, 220/150/350/450.
+        expected += struct.pack("!HBBIIII", 1, 1, 0, 220, 150, 350, 450)
+        # Record 2: WindowID=2 GroupID=2, 850/320/160/150.
+        expected += struct.pack("!HBBIIII", 2, 2, 0, 850, 320, 160, 150)
+        # Record 3: WindowID=3 GroupID=1, 450/400/350/300.
+        expected += struct.pack("!HBBIIII", 3, 1, 0, 450, 400, 350, 300)
+        assert message == expected
+        assert len(message) == 4 + 3 * 20
+
+    def test_decode_recovers_figure(self):
+        decoded = WindowManagerInfo.decode(WindowManagerInfo(FIGURE2_RECORDS).encode())
+        assert decoded.records == FIGURE2_RECORDS
+        # Groups: windows 1 and 3 share a process (GroupID 1).
+        assert decoded.groups() == {1: [1, 3], 2: [2]}
+
+
+class TestFigure6MessageStructure:
+    """Figure 6: RTP header | common header | specific header | payload."""
+
+    def test_message_structure_layers(self):
+        update = RegionUpdate(
+            window_id=1, left=220, top=150, content_pt=96, data=b"IMG"
+        )
+        payload = update.encode_single()
+        packet = RtpPacket(
+            payload_type=99,
+            sequence_number=7,
+            timestamp=1234,
+            ssrc=5,
+            payload=payload,
+            marker=True,
+        )
+        wire = packet.encode()
+        # Layer 1: 12-byte RTP header.
+        assert len(wire) == 12 + len(payload)
+        # Layer 2: 4-byte common remoting/HIP header.
+        header = CommonHeader.decode(wire[12:])
+        assert header.message_type == 2
+        # Layer 3: 8-byte message-type specific header (left, top).
+        left, top = struct.unpack_from("!II", wire, 16)
+        assert (left, top) == (220, 150)
+        # Layer 4: message-specific payload.
+        assert wire[24:] == b"IMG"
+
+
+class TestFigure11ExampleRegionUpdate:
+    """Figure 11: a non-fragmented RegionUpdate with F=1 and marker=1."""
+
+    def test_figure11_flags(self):
+        update = RegionUpdate(1, 0, 0, 96, b"x")
+        payload = update.encode_single()
+        assert payload[0] == 2  # Msg Type = 2
+        assert payload[1] & 0x80  # FirstPacket = 1
+        assert int.from_bytes(payload[2:4], "big") == 1  # WindowID = 1
+        # Sent unfragmented, the RTP marker bit must also be 1.
+        packet = RtpPacket(99, 0, 0, 1, payload, marker=True)
+        assert RtpPacket.decode(packet.encode()).marker
+
+
+class TestCoordinateScenario:
+    """Figures 2-5: the three participant layout policies."""
+
+    def _place(self, policy, screen_w, screen_h):
+        return policy.place(
+            list(FIGURE2_RECORDS), Rect(0, 0, screen_w, screen_h)
+        )
+
+    def test_figure3_original_coordinates(self):
+        """Participant 1 (1024x768) keeps original coordinates."""
+        placements = self._place(OriginalLayout(), 1024, 768)
+        assert placements[1].as_tuple() == (220, 150)
+        assert placements[2].as_tuple() == (850, 320)
+        assert placements[3].as_tuple() == (450, 400)
+
+    def test_figure4_shifted_coordinates(self):
+        """Participant 2 shifts all windows 220 left and 150 up."""
+        placements = self._place(ShiftedLayout(auto=True), 1280, 1024)
+        # Bounding-box min is window A at (220, 150) → shift -220/-150.
+        assert placements[1].as_tuple() == (0, 0)
+        assert placements[2].as_tuple() == (850 - 220, 320 - 150)
+        assert placements[3].as_tuple() == (450 - 220, 400 - 150)
+        # Inter-window relations preserved exactly.
+        dx12 = placements[2].x - placements[1].x
+        assert dx12 == 850 - 220
+
+    def test_figure4_explicit_shift(self):
+        placements = ShiftedLayout(dx=-220, dy=-150, auto=False).place(
+            list(FIGURE2_RECORDS), Rect(0, 0, 1280, 1024)
+        )
+        assert placements[1].as_tuple() == (0, 0)
+
+    def test_figure5_compacted_coordinates(self):
+        """Participant 3 (640x480) squeezes the windows to fit."""
+        placements = self._place(CompactedLayout(), 640, 480)
+        for record in FIGURE2_RECORDS:
+            p = placements[record.window_id]
+            # Every window fully inside the small screen.
+            assert p.x + record.width <= 640
+            assert p.y + record.height <= 480
+            assert p.x >= 0 and p.y >= 0
+
+    def test_compacted_preserves_relative_order(self):
+        placements = self._place(CompactedLayout(), 640, 480)
+        # A is left of C on the AH; it stays left of C compacted.
+        assert placements[1].x < placements[2].x
+        # A is above B; stays above.
+        assert placements[1].y < placements[3].y
+
+
+class TestZOrderPreservation:
+    """'In this example scenario, all participants preserve the z-order
+    of windows' — z-order is implicit in record order, independent of
+    layout policy."""
+
+    def test_z_order_from_record_order(self):
+        info = WindowManagerInfo(FIGURE2_RECORDS)
+        assert info.window_ids() == [1, 2, 3]
+        assert info.top_window_id() == 3

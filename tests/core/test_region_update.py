@@ -1,0 +1,87 @@
+"""Tests for RegionUpdate messages (section 5.2.2)."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.core.header import CommonHeader
+from repro.core.region_update import (
+    RegionUpdate,
+    encode_update_fragment,
+    parse_update_payload,
+)
+from repro.core.registry import MSG_REGION_UPDATE
+
+
+class TestSinglePacket:
+    def test_roundtrip(self):
+        update = RegionUpdate(
+            window_id=1, left=100, top=200, content_pt=96, data=b"imagebytes"
+        )
+        decoded = RegionUpdate.decode_single(update.encode_single())
+        assert decoded == update
+
+    def test_wire_layout(self):
+        update = RegionUpdate(1, 0x0A, 0x0B, 96, b"Z")
+        data = update.encode_single()
+        assert data[0] == MSG_REGION_UPDATE
+        assert data[1] == 0x80 | 96  # F=1, PT=96
+        assert int.from_bytes(data[2:4], "big") == 1
+        assert int.from_bytes(data[4:8], "big") == 0x0A
+        assert int.from_bytes(data[8:12], "big") == 0x0B
+        assert data[12:] == b"Z"
+
+    def test_empty_data_allowed(self):
+        update = RegionUpdate(0, 0, 0, 0, b"")
+        assert RegionUpdate.decode_single(update.encode_single()).data == b""
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            RegionUpdate(0x1_0000, 0, 0, 0, b"")
+        with pytest.raises(ProtocolError):
+            RegionUpdate(0, 2**32, 0, 0, b"")
+        with pytest.raises(ProtocolError):
+            RegionUpdate(0, 0, 0, 128, b"")
+
+
+class TestParsePayload:
+    def test_first_fragment_has_coords(self):
+        payload = encode_update_fragment(
+            MSG_REGION_UPDATE, 7, 96, True, b"chunk", left=11, top=22
+        )
+        header, first, pt, (left, top, data) = parse_update_payload(
+            payload, MSG_REGION_UPDATE
+        )
+        assert (first, pt) == (True, 96)
+        assert (left, top) == (11, 22)
+        assert data == b"chunk"
+        assert header.window_id == 7
+
+    def test_continuation_has_no_coords(self):
+        payload = encode_update_fragment(MSG_REGION_UPDATE, 7, 96, False, b"rest")
+        header, first, pt, (left, top, data) = parse_update_payload(
+            payload, MSG_REGION_UPDATE
+        )
+        assert not first
+        assert (left, top) == (0, 0)
+        assert data == b"rest"
+        # Continuation fragments carry only the 4-byte common header.
+        assert len(payload) == 4 + len(b"rest")
+
+    def test_wrong_type_rejected(self):
+        payload = CommonHeader(3, 0, 0).encode() + b"\x00" * 24
+        with pytest.raises(ProtocolError):
+            parse_update_payload(payload, MSG_REGION_UPDATE)
+
+    def test_first_fragment_too_short(self):
+        payload = CommonHeader(MSG_REGION_UPDATE, 0x80, 0).encode() + b"\x00\x00"
+        with pytest.raises(ProtocolError):
+            parse_update_payload(payload, MSG_REGION_UPDATE)
+
+    def test_decode_single_on_continuation_rejected(self):
+        payload = encode_update_fragment(MSG_REGION_UPDATE, 1, 96, False, b"x")
+        with pytest.raises(ProtocolError):
+            RegionUpdate.decode_single(payload)
+
+    def test_bad_message_type_for_fragment(self):
+        with pytest.raises(ProtocolError):
+            encode_update_fragment(1, 0, 96, True, b"")

@@ -1,0 +1,95 @@
+"""Tests for the message-type registries (Tables 1, 3, 4, 5; section 9)."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.core.registry import (
+    MSG_KEY_PRESSED,
+    MSG_KEY_RELEASED,
+    MSG_KEY_TYPED,
+    MSG_MOUSE_MOVED,
+    MSG_MOUSE_POINTER_INFO,
+    MSG_MOUSE_PRESSED,
+    MSG_MOUSE_RELEASED,
+    MSG_MOUSE_WHEEL_MOVED,
+    MSG_MOVE_RECTANGLE,
+    MSG_REGION_UPDATE,
+    MSG_WINDOW_MANAGER_INFO,
+    MessageTypeRegistry,
+    hip_registry,
+    remoting_registry,
+)
+
+
+class TestTable1Values:
+    def test_remoting_values(self):
+        """Table 1: the four remoting message type values."""
+        assert MSG_WINDOW_MANAGER_INFO == 1
+        assert MSG_REGION_UPDATE == 2
+        assert MSG_MOVE_RECTANGLE == 3
+        assert MSG_MOUSE_POINTER_INFO == 4
+
+
+class TestTable3Values:
+    def test_hip_values(self):
+        """Table 3: HIP message types 121-127."""
+        assert MSG_MOUSE_PRESSED == 121
+        assert MSG_MOUSE_RELEASED == 122
+        assert MSG_MOUSE_MOVED == 123
+        assert MSG_MOUSE_WHEEL_MOVED == 124
+        assert MSG_KEY_PRESSED == 125
+        assert MSG_KEY_RELEASED == 126
+        assert MSG_KEY_TYPED == 127
+
+
+class TestInitialRegistries:
+    def test_remoting_registry_contents(self):
+        """Table 4: initial values of the remoting subregistry."""
+        registry = remoting_registry()
+        names = [(e.value, e.name) for e in registry.entries()]
+        assert names == [
+            (1, "WindowManagerInfo"),
+            (2, "RegionUpdate"),
+            (3, "MoveRectangle"),
+            (4, "MousePointerInfo"),
+        ]
+
+    def test_hip_registry_contents(self):
+        """Table 5: initial values of the HIP subregistry."""
+        registry = hip_registry()
+        names = [(e.value, e.name) for e in registry.entries()]
+        assert names == [
+            (121, "MousePressed"),
+            (122, "MouseReleased"),
+            (123, "MouseMoved"),
+            (124, "MouseWheelMoved"),
+            (125, "KeyPressed"),
+            (126, "KeyReleased"),
+            (127, "KeyTyped"),
+        ]
+
+    def test_references_recorded(self):
+        for entry in remoting_registry().entries():
+            assert entry.reference
+
+
+class TestRegistryBehaviour:
+    def test_lookup_unknown_returns_none(self):
+        """Unknown types MAY be ignored, not rejected."""
+        assert remoting_registry().lookup(99) is None
+
+    def test_duplicate_value_rejected(self):
+        registry = MessageTypeRegistry("test")
+        registry.register(10, "A", "ref")
+        with pytest.raises(ProtocolError):
+            registry.register(10, "B", "ref")
+
+    def test_extension_registration(self):
+        registry = remoting_registry()
+        entry = registry.register(5, "CopyPaste", "RFC future")
+        assert registry.lookup(5) == entry
+        assert registry.is_registered(5)
+
+    def test_value_out_of_8bit_rejected(self):
+        with pytest.raises(ProtocolError):
+            MessageTypeRegistry("test").register(256, "X", "ref")

@@ -1,0 +1,113 @@
+"""Tests for WindowManagerInfo and window records (section 5.2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ProtocolError
+from repro.core.window_info import (
+    WINDOW_RECORD_LEN,
+    WindowManagerInfo,
+    WindowRecord,
+)
+
+records = st.builds(
+    WindowRecord,
+    window_id=st.integers(0, 0xFFFF),
+    group_id=st.integers(0, 0xFF),
+    left=st.integers(0, 2**32 - 1),
+    top=st.integers(0, 2**32 - 1),
+    width=st.integers(0, 2**32 - 1),
+    height=st.integers(0, 2**32 - 1),
+)
+
+
+class TestWindowRecord:
+    def test_is_20_bytes(self):
+        record = WindowRecord(1, 1, 220, 150, 350, 450)
+        assert len(record.encode()) == WINDOW_RECORD_LEN
+
+    def test_roundtrip(self):
+        record = WindowRecord(3, 2, 10, 20, 30, 40)
+        assert WindowRecord.decode(record.encode()) == record
+
+    def test_grouping_flag(self):
+        assert WindowRecord(1, 5, 0, 0, 1, 1).is_grouped
+        assert not WindowRecord(1, 0, 0, 0, 1, 1).is_grouped  # 0 = no group
+
+    def test_field_ranges(self):
+        with pytest.raises(ProtocolError):
+            WindowRecord(0x1_0000, 0, 0, 0, 1, 1)
+        with pytest.raises(ProtocolError):
+            WindowRecord(0, 256, 0, 0, 1, 1)
+        with pytest.raises(ProtocolError):
+            WindowRecord(0, 0, 2**32, 0, 1, 1)
+
+    def test_truncated(self):
+        with pytest.raises(ProtocolError):
+            WindowRecord.decode(b"\x00" * 19)
+
+    @given(records)
+    def test_roundtrip_property(self, record):
+        assert WindowRecord.decode(record.encode()) == record
+
+
+class TestWindowManagerInfo:
+    def test_empty_message(self):
+        info = WindowManagerInfo(())
+        decoded = WindowManagerInfo.decode(info.encode())
+        assert decoded.records == ()
+
+    def test_roundtrip(self):
+        info = WindowManagerInfo(
+            (
+                WindowRecord(1, 1, 220, 150, 350, 450),
+                WindowRecord(2, 2, 850, 320, 160, 150),
+            )
+        )
+        assert WindowManagerInfo.decode(info.encode()) == info
+
+    def test_z_order_is_record_order(self):
+        info = WindowManagerInfo(
+            (WindowRecord(5, 0, 0, 0, 1, 1), WindowRecord(9, 0, 0, 0, 1, 1))
+        )
+        assert info.window_ids() == [5, 9]
+        assert info.top_window_id() == 9
+
+    def test_groups(self):
+        info = WindowManagerInfo(
+            (
+                WindowRecord(1, 1, 0, 0, 1, 1),
+                WindowRecord(2, 2, 0, 0, 1, 1),
+                WindowRecord(3, 1, 0, 0, 1, 1),
+                WindowRecord(4, 0, 0, 0, 1, 1),
+            )
+        )
+        assert info.groups() == {1: [1, 3], 2: [2]}
+
+    def test_closed_and_opened_since(self):
+        old = WindowManagerInfo(
+            (WindowRecord(1, 0, 0, 0, 1, 1), WindowRecord(2, 0, 0, 0, 1, 1))
+        )
+        new = WindowManagerInfo(
+            (WindowRecord(2, 0, 0, 0, 1, 1), WindowRecord(3, 0, 0, 0, 1, 1))
+        )
+        assert new.closed_since(old) == [1]
+        assert new.opened_since(old) == [3]
+
+    def test_wrong_type_rejected(self):
+        data = bytearray(WindowManagerInfo(()).encode())
+        data[0] = 2  # RegionUpdate type
+        with pytest.raises(ProtocolError):
+            WindowManagerInfo.decode(bytes(data))
+
+    def test_ragged_records_rejected(self):
+        data = WindowManagerInfo((WindowRecord(1, 0, 0, 0, 1, 1),)).encode()
+        with pytest.raises(ProtocolError):
+            WindowManagerInfo.decode(data + b"\x00" * 7)
+
+    @given(st.lists(records, max_size=6))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, record_list):
+        info = WindowManagerInfo(tuple(record_list))
+        assert WindowManagerInfo.decode(info.encode()) == info

@@ -1,0 +1,103 @@
+"""Tests for the clipboard extension and the extension mechanism."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.core.registry import remoting_registry
+from repro.ext.clipboard import (
+    MSG_CLIPBOARD_UPDATE,
+    ClipboardSync,
+    ClipboardUpdate,
+    register,
+)
+from repro.rtp.clock import SimulatedClock
+from repro.sharing.ah import ApplicationHost
+from repro.surface.geometry import Rect
+
+from tests.integration.helpers import settle, tcp_pair
+
+
+class TestWireFormat:
+    def test_roundtrip(self):
+        update = ClipboardUpdate("copied text — ünïcode ☃")
+        assert ClipboardUpdate.decode(update.encode()) == update
+
+    def test_type_value(self):
+        assert ClipboardUpdate("x").encode()[0] == MSG_CLIPBOARD_UPDATE == 5
+
+    def test_wrong_type_rejected(self):
+        data = bytearray(ClipboardUpdate("x").encode())
+        data[0] = 2
+        with pytest.raises(ProtocolError):
+            ClipboardUpdate.decode(bytes(data))
+
+    def test_unknown_format_rejected(self):
+        data = bytearray(ClipboardUpdate("x").encode())
+        data[1] = 9
+        with pytest.raises(ProtocolError):
+            ClipboardUpdate.decode(bytes(data))
+
+
+class TestRegistryIntegration:
+    def test_registers_value_5(self):
+        registry = remoting_registry()
+        register(registry)
+        entry = registry.lookup(5)
+        assert entry is not None and entry.name == "ClipboardUpdate"
+
+    def test_double_registration_rejected(self):
+        registry = remoting_registry()
+        register(registry)
+        with pytest.raises(ProtocolError):
+            register(registry)
+
+
+class TestEndToEnd:
+    def _session(self, with_extension: bool):
+        clock = SimulatedClock()
+        ah = ApplicationHost(now=clock.now)
+        ah.windows.create_window(Rect(0, 0, 100, 100))
+        clipboard = ClipboardSync()
+        participant = tcp_pair(clock, ah)
+        if with_extension:
+            participant.extension_handlers[MSG_CLIPBOARD_UPDATE] = (
+                clipboard.participant_handler
+            )
+        settle(clock, ah, [participant], 30)
+        return clock, ah, participant, clipboard
+
+    def test_ah_to_participant(self):
+        clock, ah, participant, clipboard = self._session(True)
+        ClipboardSync().push(ah.sessions["p1"], "shared snippet")
+        settle(clock, ah, [participant], 20)
+        assert clipboard.content == "shared snippet"
+        assert clipboard.updates_received == 1
+
+    def test_legacy_participant_ignores_unknown_type(self):
+        """Participants MAY ignore unregistered extension types — an
+        old participant keeps working when the AH sends clipboard."""
+        clock, ah, participant, _ = self._session(False)
+        ClipboardSync().push(ah.sessions["p1"], "ignored")
+        settle(clock, ah, [participant], 20)
+        assert participant.converged_with(ah.windows)  # unharmed
+        assert participant.malformed_dropped == 0  # ignored, not an error
+
+    def test_participant_to_ah(self):
+        clock, ah, participant, _ = self._session(True)
+        ah_clipboard = ClipboardSync()
+        ah.extension_handlers[MSG_CLIPBOARD_UPDATE] = (
+            lambda pid, payload, packet: ah_clipboard.participant_handler(
+                payload, packet
+            )
+        )
+        sync = ClipboardSync()
+        sync.send_from_participant(participant, "pasted upstream")
+        settle(clock, ah, [participant], 20)
+        assert ah_clipboard.content == "pasted upstream"
+
+    def test_ah_without_handler_ignores(self):
+        clock, ah, participant, _ = self._session(True)
+        sync = ClipboardSync()
+        sync.send_from_participant(participant, "nobody listens")
+        settle(clock, ah, [participant], 20)
+        assert ah.injector.stats.rejected_unknown_type == 1

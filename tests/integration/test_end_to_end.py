@@ -1,0 +1,247 @@
+"""Figure 1 end-to-end: AH serves participants, HIP comes back."""
+
+import pytest
+
+from repro.apps.photo_viewer import PhotoViewerApp
+from repro.apps.terminal import TerminalApp
+from repro.apps.text_editor import TextEditorApp
+from repro.core import keycodes
+from repro.rtp.clock import SimulatedClock
+from repro.sharing.ah import ApplicationHost
+from repro.sharing.config import PointerMode, SharingConfig
+from repro.sharing.layout import CompactedLayout, ShiftedLayout
+from repro.surface.geometry import Rect
+
+from .helpers import run_session, settle, tcp_pair, udp_pair
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+class TestSingleParticipantTcp:
+    def test_initial_sync_pixel_exact(self, clock):
+        ah = ApplicationHost(now=clock.now)
+        win = ah.windows.create_window(Rect(220, 150, 350, 450), group_id=1)
+        editor = TextEditorApp(win)
+        editor.type_text("INITIAL STATE")
+        ah.apps.attach(editor)
+        participant = tcp_pair(clock, ah)
+        settle(clock, ah, [participant], rounds=50)
+        assert participant.converged_with(ah.windows)
+        assert participant.z_order == ah.windows.window_ids()
+
+    def test_incremental_updates_converge(self, clock):
+        ah = ApplicationHost(now=clock.now)
+        win = ah.windows.create_window(Rect(0, 0, 300, 200))
+        editor = TextEditorApp(win)
+        ah.apps.attach(editor)
+        participant = tcp_pair(clock, ah)
+
+        def drive(i):
+            if i % 5 == 0 and i < 100:
+                editor.type_text(f"word{i} ")
+
+        run_session(clock, ah, [participant], rounds=150, per_round=drive)
+        assert participant.converged_with(ah.windows)
+        assert participant.updates_applied > 5
+
+    def test_window_lifecycle_propagates(self, clock):
+        ah = ApplicationHost(now=clock.now)
+        first = ah.windows.create_window(Rect(0, 0, 100, 100))
+        participant = tcp_pair(clock, ah)
+        settle(clock, ah, [participant], 30)
+        assert set(participant.windows) == {first.window_id}
+
+        second = ah.windows.create_window(Rect(200, 200, 80, 80))
+        settle(clock, ah, [participant], 30)
+        assert set(participant.windows) == {first.window_id, second.window_id}
+
+        ah.windows.close_window(first.window_id)
+        settle(clock, ah, [participant], 30)
+        # "MUST close this window after receiving a WindowManagerInfo
+        # message which does not contain this WindowID."
+        assert set(participant.windows) == {second.window_id}
+
+    def test_move_and_resize_propagate(self, clock):
+        ah = ApplicationHost(now=clock.now)
+        win = ah.windows.create_window(Rect(0, 0, 100, 100))
+        participant = tcp_pair(clock, ah)
+        settle(clock, ah, [participant], 30)
+
+        ah.windows.move_window(win.window_id, 400, 300)
+        ah.windows.resize_window(win.window_id, 150, 120)
+        settle(clock, ah, [participant], 50)
+        record = participant.windows[win.window_id].record
+        assert (record.left, record.top) == (400, 300)
+        assert (record.width, record.height) == (150, 120)
+        assert participant.converged_with(ah.windows)
+
+    def test_z_order_change_propagates(self, clock):
+        ah = ApplicationHost(now=clock.now)
+        a = ah.windows.create_window(Rect(0, 0, 100, 100))
+        b = ah.windows.create_window(Rect(50, 50, 100, 100))
+        participant = tcp_pair(clock, ah)
+        settle(clock, ah, [participant], 30)
+        assert participant.z_order == [a.window_id, b.window_id]
+        ah.windows.raise_window(a.window_id)
+        settle(clock, ah, [participant], 30)
+        assert participant.z_order == [b.window_id, a.window_id]
+
+
+class TestHipRoundTrip:
+    def test_remote_typing_appears_on_ah(self, clock):
+        ah = ApplicationHost(now=clock.now)
+        win = ah.windows.create_window(Rect(100, 100, 400, 300))
+        editor = TextEditorApp(win)
+        ah.apps.attach(editor)
+        participant = tcp_pair(clock, ah)
+        settle(clock, ah, [participant], 30)
+
+        participant.type_text(win.window_id, "TYPED REMOTELY")
+        settle(clock, ah, [participant], 60)
+        assert editor.text() == "TYPED REMOTELY"
+        # And the resulting pixels came back to the participant.
+        assert participant.converged_with(ah.windows)
+
+    def test_remote_key_navigation(self, clock):
+        # Lossless-only so the photographic content still converges
+        # pixel-exact (adaptive lossy is exercised separately below).
+        ah = ApplicationHost(
+            config=SharingConfig(adaptive_codec=False), now=clock.now
+        )
+        win = ah.windows.create_window(Rect(0, 0, 320, 240))
+        viewer = PhotoViewerApp(win)
+        ah.apps.attach(viewer)
+        participant = tcp_pair(clock, ah)
+        settle(clock, ah, [participant], 60)
+
+        participant.press_key(win.window_id, keycodes.VK_RIGHT)
+        settle(clock, ah, [participant], 80)
+        assert viewer.index == 1
+        assert participant.converged_with(ah.windows)
+
+    def test_adaptive_lossy_close_but_inexact_on_photos(self, clock):
+        """With adaptive codecs on, photo content arrives lossily —
+        visually close (small mean error) but not bit-exact."""
+        ah = ApplicationHost(now=clock.now)
+        win = ah.windows.create_window(Rect(0, 0, 320, 240))
+        ah.apps.attach(PhotoViewerApp(win))
+        participant = tcp_pair(clock, ah)
+        settle(clock, ah, [participant], 60)
+        local = participant.windows[win.window_id]
+        assert not participant.converged_with(ah.windows)
+        assert local.surface.mean_abs_error(win.surface) < 6.0
+
+    def test_out_of_window_event_rejected_at_ah(self, clock):
+        ah = ApplicationHost(now=clock.now)
+        win = ah.windows.create_window(Rect(100, 100, 50, 50))
+        editor = TextEditorApp(win)
+        ah.apps.attach(editor)
+        participant = tcp_pair(clock, ah)
+        settle(clock, ah, [participant], 30)
+        participant.send_raw_mouse(10, 10)  # outside the shared window
+        settle(clock, ah, [participant], 30)
+        assert ah.injector.stats.rejected_out_of_window == 1
+
+    def test_wheel_round_trip(self, clock):
+        ah = ApplicationHost(now=clock.now)
+        win = ah.windows.create_window(Rect(0, 0, 320, 240))
+        viewer = PhotoViewerApp(win)
+        ah.apps.attach(viewer)
+        participant = tcp_pair(clock, ah)
+        settle(clock, ah, [participant], 60)
+        participant.wheel(win.window_id, 10, 10, -120)
+        settle(clock, ah, [participant], 80)
+        assert viewer.index == 1
+
+
+class TestMultiParticipant:
+    def test_three_participants_with_different_layouts(self, clock):
+        """Figures 3-5: same session, three layout policies."""
+        ah = ApplicationHost(now=clock.now)
+        for rect, group in (
+            (Rect(220, 150, 350, 450), 1),
+            (Rect(850, 320, 160, 150), 2),
+            (Rect(450, 400, 350, 300), 1),
+        ):
+            ah.windows.create_window(rect, group_id=group)
+        p1 = tcp_pair(clock, ah, "p1", screen=(1024, 768))
+        p2 = tcp_pair(clock, ah, "p2", layout=ShiftedLayout(auto=True))
+        p3 = tcp_pair(
+            clock, ah, "p3", layout=CompactedLayout(), screen=(640, 480)
+        )
+        settle(clock, ah, [p1, p2, p3], 80)
+        for participant in (p1, p2, p3):
+            assert participant.converged_with(ah.windows)
+        # Same pixels, different placements.
+        assert p1.windows[1].local_origin.as_tuple() == (220, 150)
+        assert p2.windows[1].local_origin.as_tuple() == (0, 0)
+        p3_origin = p3.windows[3].local_origin
+        assert p3_origin.x + 350 <= 640
+
+    def test_grouped_layout_in_live_session(self, clock):
+        """Section 4.1: a participant using GroupID to relocate the
+        same-process windows together, mid-session."""
+        from repro.sharing.layout import GroupedLayout
+
+        ah = ApplicationHost(now=clock.now)
+        a = ah.windows.create_window(Rect(220, 150, 120, 100), group_id=1)
+        b = ah.windows.create_window(Rect(280, 230, 120, 100), group_id=1)
+        c = ah.windows.create_window(Rect(850, 320, 120, 100), group_id=2)
+        participant = tcp_pair(clock, ah, layout=GroupedLayout())
+        settle(clock, ah, [participant], 60)
+        assert participant.converged_with(ah.windows)
+        pa = participant.windows[a.window_id].local_origin
+        pb = participant.windows[b.window_id].local_origin
+        # Group 1 members keep their relative offset (60, 80).
+        assert (pb.x - pa.x, pb.y - pa.y) == (60, 80)
+        # Group 2 sits apart from group 1's bounding box.
+        pc = participant.windows[c.window_id].local_origin
+        assert pc.x >= pb.x + 120 or pa.x >= pc.x + 120
+
+    def test_mixed_tcp_udp_session(self, clock):
+        """Section 4.2: TCP and UDP participants in one session."""
+        ah = ApplicationHost(now=clock.now)
+        win = ah.windows.create_window(Rect(0, 0, 200, 150))
+        term = TerminalApp(win)
+        ah.apps.attach(term)
+        tcp_participant = tcp_pair(clock, ah, "tcp-1")
+        udp_participant = udp_pair(clock, ah, "udp-1", seed=3)
+
+        def drive(i):
+            if i % 4 == 0 and i < 80:
+                term.append_line(f"$ job {i}")
+
+        run_session(
+            clock, ah, [tcp_participant, udp_participant], 160, per_round=drive
+        )
+        assert tcp_participant.converged_with(ah.windows)
+        assert udp_participant.converged_with(ah.windows)
+
+
+class TestPointerModels:
+    def test_explicit_pointer_reaches_participant(self, clock):
+        config = SharingConfig(pointer_mode=PointerMode.EXPLICIT)
+        ah = ApplicationHost(config=config, now=clock.now)
+        win = ah.windows.create_window(Rect(0, 0, 300, 300))
+        board_app = __import__(
+            "repro.apps.whiteboard", fromlist=["WhiteboardApp"]
+        ).WhiteboardApp(win)
+        ah.apps.attach(board_app)
+        participant = tcp_pair(clock, ah)
+        settle(clock, ah, [participant], 30)
+        participant.move_mouse(win.window_id, 123, 77)
+        settle(clock, ah, [participant], 50)
+        assert participant.pointer_position == (123, 77)
+        assert participant.pointer_image is not None
+
+    def test_in_band_pointer_mode_sends_no_pointer_messages(self, clock):
+        config = SharingConfig(pointer_mode=PointerMode.IN_BAND)
+        ah = ApplicationHost(config=config, now=clock.now)
+        ah.windows.create_window(Rect(0, 0, 100, 100))
+        participant = tcp_pair(clock, ah)
+        settle(clock, ah, [participant], 40)
+        assert participant.stats.pointer.packets == 0
+        assert participant.pointer_position is None

@@ -1,0 +1,110 @@
+"""The two mouse-pointer models of section 4.2, end to end.
+
+"Mouse pointer images can be transmitted as RegionUpdate messages or
+they may be transmitted seperately as MousePointerInfo messages.  The
+AH decides which mouse model to use.  The participants MUST support
+both mouse models."
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.whiteboard import WhiteboardApp
+from repro.rtp.clock import SimulatedClock
+from repro.sharing.ah import ApplicationHost
+from repro.sharing.config import PointerMode, SharingConfig
+from repro.surface.geometry import Rect
+
+from .helpers import run_session, settle, tcp_pair
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+def pointer_session(clock, mode: PointerMode):
+    config = SharingConfig(pointer_mode=mode, adaptive_codec=False)
+    ah = ApplicationHost(config=config, now=clock.now)
+    win = ah.windows.create_window(Rect(100, 100, 400, 300))
+    ah.apps.attach(WhiteboardApp(win))
+    participant = tcp_pair(clock, ah)
+    settle(clock, ah, [participant], 40)
+    return ah, win, participant
+
+
+class TestExplicitModel:
+    def test_pointer_info_messages_flow(self, clock):
+        ah, win, participant = pointer_session(clock, PointerMode.EXPLICIT)
+        participant.move_mouse(win.window_id, 50, 60)
+        settle(clock, ah, [participant], 40)
+        assert participant.stats.pointer.packets > 0
+        assert participant.pointer_position == (150, 160)
+        assert participant.pointer_image is not None
+
+    def test_position_only_after_image_stored(self, clock):
+        """Once the icon is stored, moves ship as 12-byte messages."""
+        ah, win, participant = pointer_session(clock, PointerMode.EXPLICIT)
+        participant.move_mouse(win.window_id, 10, 10)
+        settle(clock, ah, [participant], 30)
+        bytes_before = participant.stats.pointer.wire_bytes
+        packets_before = participant.stats.pointer.packets
+        participant.move_mouse(win.window_id, 20, 20)
+        settle(clock, ah, [participant], 30)
+        delta_bytes = participant.stats.pointer.wire_bytes - bytes_before
+        delta_packets = participant.stats.pointer.packets - packets_before
+        assert delta_packets >= 1
+        assert delta_bytes / delta_packets < 40  # position-only payloads
+
+    def test_window_pixels_unpolluted(self, clock):
+        """In the explicit model the pointer never enters window pixels."""
+        ah, win, participant = pointer_session(clock, PointerMode.EXPLICIT)
+        participant.move_mouse(win.window_id, 200, 150)
+        settle(clock, ah, [participant], 40)
+        assert participant.converged_with(ah.windows)  # pure app pixels
+
+
+class TestInBandModel:
+    def test_pointer_painted_into_updates(self, clock):
+        ah, win, participant = pointer_session(clock, PointerMode.IN_BAND)
+        participant.move_mouse(win.window_id, 200, 150)
+        settle(clock, ah, [participant], 40)
+        # No explicit pointer messages at all.
+        assert participant.stats.pointer.packets == 0
+        assert participant.pointer_position is None
+        # But the arrow's black tip is in the participant's window
+        # pixels at the pointer position (window-local 200,150).
+        local = participant.windows[win.window_id]
+        assert local.surface.get_pixel(200, 150) == (0, 0, 0, 255)
+
+    def test_old_position_repainted_on_move(self, clock):
+        ah, win, participant = pointer_session(clock, PointerMode.IN_BAND)
+        participant.move_mouse(win.window_id, 50, 50)
+        settle(clock, ah, [participant], 40)
+        participant.move_mouse(win.window_id, 300, 200)
+        settle(clock, ah, [participant], 40)
+        local = participant.windows[win.window_id]
+        # Old footprint restored to whiteboard white, new tip black.
+        assert local.surface.get_pixel(50, 50) == (255, 255, 255, 255)
+        assert local.surface.get_pixel(300, 200) == (0, 0, 0, 255)
+
+    def test_participant_screen_equals_ah_screen_plus_pointer(self, clock):
+        """In-band model: participant pixels == AH composite with the
+        pointer painted on (the pointer is part of the picture)."""
+        ah, win, participant = pointer_session(clock, PointerMode.IN_BAND)
+        participant.move_mouse(win.window_id, 180, 120)
+        settle(clock, ah, [participant], 40)
+        ah_screen = ah.windows.composite()
+        ah.pointer.paint_onto(ah_screen)
+        local = participant.render_screen(include_pointer=False)
+        assert ah_screen.identical_to(local)
+
+    def test_full_refresh_carries_pointer_pixels(self, clock):
+        ah, win, participant = pointer_session(clock, PointerMode.IN_BAND)
+        participant.move_mouse(win.window_id, 120, 80)
+        settle(clock, ah, [participant], 40)
+        participant.send_pli()
+        settle(clock, ah, [participant], 40)
+        local = participant.windows[win.window_id]
+        assert local.surface.get_pixel(120, 80) == (0, 0, 0, 255)
+        assert participant.stats.pointer.packets == 0

@@ -1,0 +1,138 @@
+"""Failure injection: malformed and adversarial input never crashes.
+
+"Errors should never pass silently. Unless explicitly silenced." — at
+the trust boundary (bytes off the network) both endpoints must absorb
+garbage, truncation, and protocol-shaped-but-invalid input without
+raising, while counting what they reject.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.text_editor import TextEditorApp
+from repro.net.channel import ChannelConfig, duplex_reliable
+from repro.rtp.clock import SimulatedClock
+from repro.rtp.packet import RtpPacket
+from repro.sharing.ah import ApplicationHost
+from repro.sharing.config import PT_HIP, PT_REMOTING
+from repro.sharing.participant import Participant
+from repro.sharing.transport import StreamTransport
+from repro.surface.geometry import Rect
+
+from .helpers import settle, tcp_pair
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+def raw_link(clock):
+    """A participant plus a raw byte-level feeder transport."""
+    link = duplex_reliable(ChannelConfig(delay=0.0), clock.now)
+    feeder = StreamTransport(link.forward, link.backward)
+    participant = Participant(
+        "victim", StreamTransport(link.backward, link.forward), now=clock.now
+    )
+    return feeder, participant
+
+
+class TestParticipantRobustness:
+    @given(st.lists(st.binary(min_size=0, max_size=200), max_size=10))
+    @settings(max_examples=50)
+    def test_random_garbage_packets(self, payloads):
+        clock = SimulatedClock()
+        feeder, participant = raw_link(clock)
+        for payload in payloads:
+            feeder.send_packet(payload)
+        participant.process_incoming()  # must not raise
+
+    @given(st.binary(min_size=0, max_size=100))
+    @settings(max_examples=50)
+    def test_valid_rtp_random_payload(self, body):
+        """Well-formed RTP with garbage remoting payloads."""
+        clock = SimulatedClock()
+        feeder, participant = raw_link(clock)
+        packet = RtpPacket(PT_REMOTING, 1, 2, 3, body, marker=True)
+        feeder.send_packet(packet.encode())
+        participant.process_incoming()
+
+    def test_truncated_window_records(self, clock):
+        feeder, participant = raw_link(clock)
+        # Message type 1 (WMI) but a ragged record block.
+        payload = bytes([1, 0, 0, 0]) + b"\x00" * 13
+        feeder.send_packet(RtpPacket(PT_REMOTING, 1, 2, 3, payload).encode())
+        participant.process_incoming()
+        assert participant.windows == {}
+
+    def test_unknown_message_type_ignored(self, clock):
+        feeder, participant = raw_link(clock)
+        payload = bytes([200, 0, 0, 0]) + b"\x00" * 16
+        feeder.send_packet(RtpPacket(PT_REMOTING, 1, 2, 3, payload).encode())
+        assert participant.process_incoming() == 0
+
+    def test_wrong_payload_type_ignored(self, clock):
+        feeder, participant = raw_link(clock)
+        feeder.send_packet(RtpPacket(111, 1, 2, 3, b"\x01\x00\x00\x00").encode())
+        assert participant.process_incoming() == 0
+
+
+class TestAhRobustness:
+    @given(st.lists(st.binary(min_size=0, max_size=120), max_size=10))
+    @settings(max_examples=50)
+    def test_garbage_to_ah(self, payloads):
+        clock = SimulatedClock()
+        ah = ApplicationHost(now=clock.now)
+        ah.windows.create_window(Rect(0, 0, 50, 50))
+        link = duplex_reliable(ChannelConfig(delay=0.0), clock.now)
+        ah.add_participant("p1", StreamTransport(link.forward, link.backward))
+        attacker = StreamTransport(link.backward, link.forward)
+        for payload in payloads:
+            attacker.send_packet(payload)
+        ah.process_incoming()  # must not raise
+
+    @given(st.binary(min_size=0, max_size=60))
+    @settings(max_examples=50)
+    def test_hip_shaped_garbage(self, body):
+        clock = SimulatedClock()
+        ah = ApplicationHost(now=clock.now)
+        ah.windows.create_window(Rect(0, 0, 50, 50))
+        link = duplex_reliable(ChannelConfig(delay=0.0), clock.now)
+        ah.add_participant("p1", StreamTransport(link.forward, link.backward))
+        attacker = StreamTransport(link.backward, link.forward)
+        for msg_type in (121, 124, 127):
+            payload = bytes([msg_type, 0, 0, 0]) + body
+            attacker.send_packet(RtpPacket(PT_HIP, 1, 2, 3, payload).encode())
+        try:
+            ah.process_incoming()
+        except Exception as exc:  # pragma: no cover
+            pytest.fail(f"AH crashed on malformed HIP input: {exc!r}")
+
+    def test_rtcp_shaped_garbage(self, clock):
+        ah = ApplicationHost(now=clock.now)
+        link = duplex_reliable(ChannelConfig(delay=0.0), clock.now)
+        ah.add_participant("p1", StreamTransport(link.forward, link.backward))
+        attacker = StreamTransport(link.backward, link.forward)
+        # Looks like RTCP (PT 205) but truncated/invalid.
+        attacker.send_packet(b"\x81\xcd\x00\xff")
+        attacker.send_packet(b"\x81\xce")
+        ah.process_incoming()  # must not raise
+
+
+class TestSessionSurvivesChaos:
+    def test_session_keeps_working_after_garbage(self, clock):
+        """A session hit by garbage keeps converging afterwards."""
+        ah = ApplicationHost(now=clock.now)
+        win = ah.windows.create_window(Rect(0, 0, 200, 150))
+        editor = TextEditorApp(win)
+        ah.apps.attach(editor)
+        participant = tcp_pair(clock, ah)
+        settle(clock, ah, [participant], 30)
+        # Garbage in both directions through fresh raw handles.
+        ah.sessions["p1"].transport.send_packet(b"\xde\xad\xbe\xef")
+        participant.transport.send_packet(b"\x00" * 9)
+        settle(clock, ah, [participant], 10)
+        editor.type_text("still alive")
+        settle(clock, ah, [participant], 40)
+        assert participant.converged_with(ah.windows)

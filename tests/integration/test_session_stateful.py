@@ -1,0 +1,121 @@
+"""Stateful property test over a full live session.
+
+A hypothesis state machine drives window management, app activity, and
+remote HIP input against a real AH↔participant pair over a zero-delay
+stream.  The machine-wide invariant: whenever traffic drains, the
+participant's visible composite equals the AH's screen.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+
+from repro.apps.text_editor import TextEditorApp
+from repro.net.channel import ChannelConfig, duplex_reliable
+from repro.rtp.clock import SimulatedClock
+from repro.sharing.ah import ApplicationHost
+from repro.sharing.config import SharingConfig
+from repro.sharing.participant import Participant
+from repro.sharing.transport import StreamTransport
+from repro.surface.geometry import Rect
+
+SCREEN_W, SCREEN_H = 640, 480
+
+
+class SessionMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.clock = SimulatedClock()
+        self.ah = ApplicationHost(
+            screen_width=SCREEN_W,
+            screen_height=SCREEN_H,
+            config=SharingConfig(adaptive_codec=False),
+            now=self.clock.now,
+        )
+        link = duplex_reliable(ChannelConfig(delay=0.0), self.clock.now)
+        self.ah.add_participant(
+            "p", StreamTransport(link.forward, link.backward)
+        )
+        self.participant = Participant(
+            "p",
+            StreamTransport(link.backward, link.forward),
+            now=self.clock.now,
+            config=self.ah.config,
+            screen_width=SCREEN_W,
+            screen_height=SCREEN_H,
+        )
+        self.participant.join()
+        self._drain()
+
+    def _drain(self) -> None:
+        for _ in range(4):
+            self.ah.advance(0.02)
+            self.clock.advance(0.02)
+            self.participant.process_incoming()
+
+    # -- Rules ------------------------------------------------------------
+
+    @rule(
+        left=st.integers(0, SCREEN_W - 80),
+        top=st.integers(0, SCREEN_H - 60),
+        width=st.integers(60, 250),
+        height=st.integers(50, 200),
+    )
+    def create_editor(self, left, top, width, height):
+        if len(self.ah.windows) < 4:
+            window = self.ah.windows.create_window(
+                Rect(left, top, width, height)
+            )
+            self.ah.apps.attach(TextEditorApp(window))
+        self._drain()
+
+    @precondition(lambda self: len(self.ah.windows) > 1)
+    @rule(index=st.integers(0, 3))
+    def close_window(self, index):
+        ids = self.ah.windows.window_ids()
+        wid = ids[index % len(ids)]
+        self.ah.apps.detach(wid)
+        self.ah.windows.close_window(wid)
+        self._drain()
+
+    @precondition(lambda self: len(self.ah.windows) > 0)
+    @rule(index=st.integers(0, 3), dx=st.integers(-60, 60),
+          dy=st.integers(-60, 60))
+    def move_window(self, index, dx, dy):
+        ids = self.ah.windows.window_ids()
+        wid = ids[index % len(ids)]
+        rect = self.ah.windows.get(wid).rect
+        self.ah.windows.move_window(
+            wid, max(0, rect.left + dx), max(0, rect.top + dy)
+        )
+        self._drain()
+
+    @precondition(lambda self: len(self.ah.windows) > 0)
+    @rule(index=st.integers(0, 3),
+          text=st.text(alphabet="abc \n", min_size=1, max_size=12))
+    def remote_typing(self, index, text):
+        ids = self.ah.windows.window_ids()
+        wid = ids[index % len(ids)]
+        self.participant.type_text(wid, text)
+        self._drain()
+
+    @precondition(lambda self: len(self.ah.windows) > 0)
+    @rule(index=st.integers(0, 3))
+    def restack(self, index):
+        ids = self.ah.windows.window_ids()
+        self.ah.windows.raise_window(ids[index % len(ids)])
+        self._drain()
+
+    # -- Invariant -----------------------------------------------------------
+
+    @rule()
+    def check_convergence(self):
+        self._drain()
+        assert self.participant.screen_converged_with(self.ah.windows)
+        assert self.participant.z_order == self.ah.windows.window_ids()
+
+
+TestSessionStateful = SessionMachine.TestCase
+TestSessionStateful.settings = settings(
+    max_examples=10, stateful_step_count=12, deadline=None
+)

@@ -1,0 +1,171 @@
+"""Tests for the simulated lossy/reliable channels."""
+
+import pytest
+
+from repro.net.channel import (
+    ChannelConfig,
+    LossyChannel,
+    ReliableChannel,
+    duplex_lossy,
+    duplex_reliable,
+)
+from repro.rtp.clock import SimulatedClock
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ChannelConfig()
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(delay=-1)
+        with pytest.raises(ValueError):
+            ChannelConfig(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            ChannelConfig(mtu=0)
+
+
+class TestLossyChannel:
+    def test_delivery_after_delay(self, clock):
+        channel = LossyChannel(ChannelConfig(delay=0.1), clock.now)
+        channel.send(b"hello")
+        assert channel.receive_ready() == []
+        clock.advance(0.05)
+        assert channel.receive_ready() == []
+        clock.advance(0.06)
+        assert channel.receive_ready() == [b"hello"]
+
+    def test_fifo_without_jitter(self, clock):
+        channel = LossyChannel(ChannelConfig(delay=0.01), clock.now)
+        for i in range(5):
+            channel.send(bytes([i]))
+        clock.advance(1)
+        assert channel.receive_ready() == [bytes([i]) for i in range(5)]
+
+    def test_loss_rate_applied(self, clock):
+        channel = LossyChannel(
+            ChannelConfig(delay=0, loss_rate=0.5, seed=3), clock.now
+        )
+        for _ in range(400):
+            channel.send(b"x")
+        clock.advance(1)
+        survived = len(channel.receive_ready())
+        assert 140 < survived < 260  # ~200 expected
+        assert channel.datagrams_dropped == 400 - survived
+
+    def test_determinism_by_seed(self, clock):
+        def run(seed):
+            c = LossyChannel(ChannelConfig(loss_rate=0.3, seed=seed), clock.now)
+            return [c.send(bytes([i])) for i in range(50)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_oversize_dropped(self, clock):
+        channel = LossyChannel(ChannelConfig(mtu=100), clock.now)
+        assert not channel.send(b"x" * 101)
+        assert channel.datagrams_oversize == 1
+
+    def test_bandwidth_serialisation(self, clock):
+        # 8000 bits/s → a 100-byte datagram takes 0.1 s to serialise.
+        channel = LossyChannel(
+            ChannelConfig(delay=0, bandwidth_bps=8000), clock.now
+        )
+        channel.send(b"x" * 100)
+        channel.send(b"y" * 100)
+        clock.advance(0.15)
+        assert channel.receive_ready() == [b"x" * 100]
+        clock.advance(0.1)
+        assert channel.receive_ready() == [b"y" * 100]
+
+    def test_jitter_can_reorder(self, clock):
+        channel = LossyChannel(
+            ChannelConfig(delay=0.01, jitter=0.1, seed=1), clock.now
+        )
+        for i in range(20):
+            channel.send(bytes([i]))
+            clock.advance(0.001)
+        clock.advance(1)
+        received = channel.receive_ready()
+        assert sorted(received) == [bytes([i]) for i in range(20)]
+        assert received != sorted(received)  # jitter reordered some
+
+    def test_next_arrival(self, clock):
+        channel = LossyChannel(ChannelConfig(delay=0.25), clock.now)
+        assert channel.next_arrival() is None
+        channel.send(b"a")
+        assert channel.next_arrival() == pytest.approx(0.25)
+
+
+class TestReliableChannel:
+    def test_in_order_stream(self, clock):
+        channel = ReliableChannel(ChannelConfig(delay=0.01), clock.now)
+        channel.send(b"abc")
+        channel.send(b"def")
+        clock.advance(0.02)
+        assert channel.receive_ready() == b"abcdef"
+
+    def test_nothing_lost(self, clock):
+        channel = ReliableChannel(
+            ChannelConfig(delay=0, bandwidth_bps=80_000), clock.now
+        )
+        total = 0
+        for i in range(50):
+            assert channel.send(bytes([i]) * 10)
+            total += 10
+        clock.advance(10)
+        assert len(channel.receive_ready()) == total
+
+    def test_backlog_reflects_bandwidth(self, clock):
+        channel = ReliableChannel(
+            ChannelConfig(delay=0, bandwidth_bps=8_000), clock.now
+        )
+        channel.send(b"x" * 1000)  # 1 second of serialisation
+        assert channel.backlog_bytes() > 0
+        clock.advance(2.0)
+        assert channel.backlog_bytes() == 0
+
+    def test_send_buffer_limit(self, clock):
+        channel = ReliableChannel(
+            ChannelConfig(delay=0, bandwidth_bps=8_000),
+            clock.now,
+            send_buffer=500,
+        )
+        assert channel.send(b"x" * 400)
+        assert not channel.send(b"y" * 400)  # buffer full → EWOULDBLOCK
+        assert channel.sends_refused == 1
+        clock.advance(1.0)  # drains
+        assert channel.send(b"y" * 400)
+
+    def test_can_send(self, clock):
+        channel = ReliableChannel(
+            ChannelConfig(delay=0, bandwidth_bps=8_000),
+            clock.now,
+            send_buffer=100,
+        )
+        assert channel.can_send(100)
+        channel.send(b"x" * 100)
+        assert not channel.can_send(50)
+
+
+class TestDuplexHelpers:
+    def test_duplex_lossy_independent_loss(self, clock):
+        pair = duplex_lossy(
+            ChannelConfig(loss_rate=0.5, delay=0, seed=5), clock.now
+        )
+        forward = [pair.forward.send(b"f") for _ in range(64)]
+        backward = [pair.backward.send(b"b") for _ in range(64)]
+        assert forward != backward  # independent loss processes
+
+    def test_duplex_reliable(self, clock):
+        pair = duplex_reliable(ChannelConfig(delay=0.01), clock.now)
+        pair.forward.send(b"ping")
+        pair.backward.send(b"pong")
+        clock.advance(0.02)
+        assert pair.forward.receive_ready() == b"ping"
+        assert pair.backward.receive_ready() == b"pong"

@@ -1,0 +1,66 @@
+"""Tests for simulated multicast fan-out."""
+
+import pytest
+
+from repro.net.channel import ChannelConfig
+from repro.net.multicast import MulticastGroup
+from repro.rtp.clock import SimulatedClock
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+class TestMulticastGroup:
+    def test_fan_out(self, clock):
+        group = MulticastGroup(ChannelConfig(delay=0.01), clock.now)
+        a = group.subscribe("a")
+        b = group.subscribe("b")
+        group.send(b"frame")
+        clock.advance(0.02)
+        assert a.receive_ready() == [b"frame"]
+        assert b.receive_ready() == [b"frame"]
+
+    def test_independent_loss_per_subscriber(self, clock):
+        group = MulticastGroup(
+            ChannelConfig(delay=0, loss_rate=0.4, seed=11), clock.now
+        )
+        a = group.subscribe("a")
+        b = group.subscribe("b")
+        for _ in range(200):
+            group.send(b"x")
+        clock.advance(1)
+        got_a = len(a.receive_ready())
+        got_b = len(b.receive_ready())
+        assert got_a != got_b  # different loss realisations
+        assert 80 < got_a < 170 and 80 < got_b < 170
+
+    def test_double_subscribe_rejected(self, clock):
+        group = MulticastGroup(ChannelConfig(), clock.now)
+        group.subscribe("a")
+        with pytest.raises(ValueError):
+            group.subscribe("a")
+
+    def test_unsubscribe(self, clock):
+        group = MulticastGroup(ChannelConfig(delay=0), clock.now)
+        a = group.subscribe("a")
+        group.unsubscribe("a")
+        group.send(b"x")
+        clock.advance(1)
+        assert a.receive_ready() == []
+        assert group.subscriber_count == 0
+
+    def test_send_counts_surviving_copies(self, clock):
+        group = MulticastGroup(ChannelConfig(delay=0), clock.now)
+        group.subscribe("a")
+        group.subscribe("b")
+        group.subscribe("c")
+        assert group.send(b"x") == 3
+        assert group.datagrams_sent == 1
+
+    def test_subscriber_ids(self, clock):
+        group = MulticastGroup(ChannelConfig(), clock.now)
+        group.subscribe("p1")
+        group.subscribe("p2")
+        assert group.subscriber_ids() == ["p1", "p2"]

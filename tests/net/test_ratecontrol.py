@@ -1,0 +1,71 @@
+"""Tests for token-bucket rate control (section 4.3)."""
+
+import pytest
+
+from repro.net.ratecontrol import TokenBucket
+from repro.rtp.clock import SimulatedClock
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+class TestTokenBucket:
+    def test_burst_available_immediately(self, clock):
+        bucket = TokenBucket(80_000, clock.now, burst_bytes=1000)
+        assert bucket.try_consume(1000)
+        assert not bucket.try_consume(1)
+
+    def test_refill_at_rate(self, clock):
+        bucket = TokenBucket(80_000, clock.now, burst_bytes=10_000)  # 10 kB/s
+        bucket.try_consume(10_000)
+        clock.advance(0.5)  # 5000 bytes refilled
+        assert bucket.available() == pytest.approx(5000, abs=1)
+        assert bucket.try_consume(5000)
+        assert not bucket.try_consume(100)
+
+    def test_never_exceeds_burst(self, clock):
+        bucket = TokenBucket(80_000, clock.now, burst_bytes=2000)
+        clock.advance(100)
+        assert bucket.available() == 2000
+
+    def test_sustained_rate_enforced(self, clock):
+        bucket = TokenBucket(8_000, clock.now, burst_bytes=1000)  # 1 kB/s
+        sent = 0
+        for _ in range(100):
+            if bucket.try_consume(100):
+                sent += 100
+            clock.advance(0.1)
+        # 10 seconds at 1 kB/s plus the initial 1 kB burst.
+        assert 10_000 <= sent <= 11_100
+
+    def test_time_until(self, clock):
+        bucket = TokenBucket(8_000, clock.now, burst_bytes=1000)
+        bucket.try_consume(1000)
+        assert bucket.time_until(500) == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert bucket.time_until(500) == pytest.approx(0.0)
+
+    def test_time_until_beyond_burst_is_fill_time(self, clock):
+        bucket = TokenBucket(8_000, clock.now, burst_bytes=1000)
+        bucket.try_consume(1000)
+        assert bucket.time_until(10_000) == pytest.approx(1.0)
+
+    def test_counters(self, clock):
+        bucket = TokenBucket(8_000, clock.now, burst_bytes=100)
+        bucket.try_consume(50)
+        bucket.try_consume(500)
+        assert bucket.bytes_admitted == 50
+        assert bucket.bytes_deferred == 500
+
+    def test_invalid_config(self, clock):
+        with pytest.raises(ValueError):
+            TokenBucket(0, clock.now)
+        with pytest.raises(ValueError):
+            TokenBucket(100, clock.now, burst_bytes=0)
+
+    def test_negative_size_rejected(self, clock):
+        bucket = TokenBucket(100, clock.now)
+        with pytest.raises(ValueError):
+            bucket.try_consume(-1)

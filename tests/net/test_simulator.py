@@ -1,0 +1,66 @@
+"""Tests for the session simulation driver."""
+
+import pytest
+
+from repro import quick_session
+from repro.apps import TextEditorApp
+from repro.net.simulator import Simulation
+from repro.surface import Rect
+
+
+def build_sim():
+    ah, participant, clock = quick_session()
+    sim = Simulation(ah, clock, dt=0.02)
+    sim.add_participant(participant)
+    window = ah.windows.create_window(Rect(0, 0, 200, 150))
+    editor = TextEditorApp(window)
+    ah.apps.attach(editor)
+    return sim, editor, participant
+
+
+class TestStepping:
+    def test_run_counts_rounds(self):
+        sim, _editor, _p = build_sim()
+        sim.run(10)
+        assert sim.rounds_run == 10
+        assert sim.clock.now() == pytest.approx(0.2)
+
+    def test_run_seconds(self):
+        sim, _editor, _p = build_sim()
+        sim.run_seconds(1.0)
+        assert sim.clock.now() == pytest.approx(1.0)
+
+    def test_drivers_invoked_with_round_index(self):
+        sim, editor, _p = build_sim()
+        seen = []
+        sim.add_driver(seen.append)
+        sim.run(5)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_bad_dt(self):
+        ah, _p, clock = quick_session()
+        with pytest.raises(ValueError):
+            Simulation(ah, clock, dt=0)
+
+
+class TestConvergence:
+    def test_run_until_converged(self):
+        sim, editor, participant = build_sim()
+        editor.type_text("content to deliver")
+        assert sim.run_until_converged(timeout=10.0)
+        assert participant.converged_with(sim.ah.windows)
+
+    def test_run_until_custom_condition(self):
+        sim, editor, participant = build_sim()
+        editor.type_text("x")
+        assert sim.run_until(lambda: participant.updates_applied > 0)
+
+    def test_timeout_returns_false(self):
+        sim, _editor, participant = build_sim()
+        # A condition that can never hold.
+        assert not sim.run_until(lambda: False, timeout=0.1)
+
+    def test_no_participants_never_converged(self):
+        ah, _p, clock = quick_session()
+        sim = Simulation(ah, clock)
+        assert not sim.run_until_converged(timeout=0.1)

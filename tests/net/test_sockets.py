@@ -1,0 +1,115 @@
+"""Tests for the real loopback UDP/TCP transports."""
+
+import time
+
+import pytest
+
+from repro.net.tcp import TcpListener, connect
+from repro.net.udp import MAX_DATAGRAM, UdpEndpoint
+
+
+def drain_udp(endpoint, expected, timeout=2.0):
+    out = []
+    deadline = time.monotonic() + timeout
+    while len(out) < expected and time.monotonic() < deadline:
+        out.extend(endpoint.receive())
+        time.sleep(0.001)
+    return out
+
+
+class TestUdpEndpoint:
+    def test_send_receive(self):
+        with UdpEndpoint() as a, UdpEndpoint() as b:
+            assert a.send_to(b"ping", b.address)
+            received = drain_udp(b, 1)
+            assert received[0][0] == b"ping"
+
+    def test_multiple_datagrams_preserve_boundaries(self):
+        with UdpEndpoint() as a, UdpEndpoint() as b:
+            for i in range(10):
+                a.send_to(bytes([i]) * 10, b.address)
+            received = drain_udp(b, 10)
+            assert sorted(d for d, _ in received) == [
+                bytes([i]) * 10 for i in range(10)
+            ]
+
+    def test_oversize_rejected(self):
+        with UdpEndpoint() as a, UdpEndpoint() as b:
+            with pytest.raises(ValueError):
+                a.send_to(b"x" * (MAX_DATAGRAM + 1), b.address)
+
+    def test_counters(self):
+        with UdpEndpoint() as a, UdpEndpoint() as b:
+            a.send_to(b"one", b.address)
+            drain_udp(b, 1)
+            assert a.datagrams_sent == 1
+            assert b.datagrams_received == 1
+
+    def test_receive_empty_when_idle(self):
+        with UdpEndpoint() as a:
+            assert a.receive() == []
+
+
+def drain_tcp(conn, expected, timeout=2.0):
+    out = []
+    deadline = time.monotonic() + timeout
+    while len(out) < expected and time.monotonic() < deadline:
+        out.extend(conn.receive_packets())
+        conn.flush()
+        time.sleep(0.001)
+    return out
+
+
+class TestTcpTransport:
+    def test_framed_roundtrip(self):
+        with TcpListener() as listener:
+            client = connect(*listener.address)
+            server_conns = []
+            deadline = time.monotonic() + 2
+            while not server_conns and time.monotonic() < deadline:
+                server_conns = listener.accept_ready()
+                time.sleep(0.001)
+            assert server_conns
+            server = server_conns[0]
+            try:
+                client.send_packet(b"hello rtp")
+                packets = drain_tcp(server, 1)
+                assert packets == [b"hello rtp"]
+                server.send_packet(b"reply")
+                packets = drain_tcp(client, 1)
+                assert packets == [b"reply"]
+            finally:
+                client.close()
+                server.close()
+
+    def test_many_packets_preserve_boundaries(self):
+        with TcpListener() as listener:
+            client = connect(*listener.address)
+            server = None
+            deadline = time.monotonic() + 2
+            while server is None and time.monotonic() < deadline:
+                conns = listener.accept_ready()
+                if conns:
+                    server = conns[0]
+                time.sleep(0.001)
+            assert server is not None
+            try:
+                sent = [bytes([i % 256]) * (i % 50 + 1) for i in range(200)]
+                for packet in sent:
+                    client.send_packet(packet)
+                    client.flush()
+                received = drain_tcp(server, 200)
+                assert received == sent
+            finally:
+                client.close()
+                server.close()
+
+    def test_backlog_counts_unflushed(self):
+        with TcpListener() as listener:
+            client = connect(*listener.address)
+            try:
+                # A freshly flushed connection has no userspace backlog.
+                client.send_packet(b"x")
+                assert client.backlog_bytes() >= 0
+            finally:
+                client.close()

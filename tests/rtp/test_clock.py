@@ -1,0 +1,73 @@
+"""Tests for media clocks."""
+
+import random
+
+import pytest
+
+from repro.rtp.clock import DEFAULT_CLOCK_RATE, MediaClock, SimulatedClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(0.25)
+        assert clock.now() == pytest.approx(1.75)
+
+    def test_callable(self):
+        clock = SimulatedClock(5.0)
+        assert clock() == 5.0
+
+    def test_no_backwards(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
+
+
+class TestMediaClock:
+    def test_default_rate_is_90khz(self):
+        assert DEFAULT_CLOCK_RATE == 90_000
+
+    def test_ticks_at_rate(self):
+        clock = MediaClock(rate=90_000, initial_timestamp=0)
+        assert clock.timestamp_at(1.0) == 90_000
+        assert clock.timestamp_at(0.5) == 45_000
+
+    def test_random_initial_timestamp(self):
+        """'the initial value of the timestamp MUST be random' (5.1.1)."""
+        values = {
+            MediaClock(rng=random.Random(i)).initial_timestamp for i in range(8)
+        }
+        assert len(values) > 1
+
+    def test_wraparound(self):
+        clock = MediaClock(rate=90_000, initial_timestamp=2**32 - 45_000)
+        assert clock.timestamp_at(1.0) == 45_000
+
+    def test_seconds_between(self):
+        clock = MediaClock(rate=90_000, initial_timestamp=0)
+        a = clock.timestamp_at(1.0)
+        b = clock.timestamp_at(3.5)
+        assert clock.seconds_between(a, b) == pytest.approx(2.5)
+
+    def test_seconds_between_negative(self):
+        clock = MediaClock(rate=90_000, initial_timestamp=0)
+        a = clock.timestamp_at(2.0)
+        b = clock.timestamp_at(1.0)
+        assert clock.seconds_between(a, b) == pytest.approx(-1.0)
+
+    def test_seconds_between_across_wrap(self):
+        clock = MediaClock(rate=90_000, initial_timestamp=2**32 - 10)
+        a = clock.timestamp_at(0.0)
+        b = clock.timestamp_at(1.0)
+        assert clock.seconds_between(a, b) == pytest.approx(1.0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            MediaClock(rate=0)
+
+    def test_bad_initial(self):
+        with pytest.raises(ValueError):
+            MediaClock(initial_timestamp=2**32)

@@ -1,0 +1,117 @@
+"""Tests for PLI and Generic NACK (RFC 4585, draft section 5.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtp.feedback import (
+    GenericNack,
+    NackEntry,
+    PictureLossIndication,
+    nacks_for,
+    pack_nack_entries,
+)
+from repro.rtp.rtcp import RtcpError, decode_compound
+
+
+class TestPli:
+    def test_roundtrip(self):
+        pli = PictureLossIndication(sender_ssrc=11, media_ssrc=22)
+        assert decode_compound(pli.encode()) == [pli]
+
+    def test_wire_format(self):
+        data = PictureLossIndication(1, 2).encode()
+        assert data[1] == 206  # PSFB
+        assert data[0] & 0x1F == 1  # FMT=1 (PLI)
+        assert len(data) == 12
+
+
+class TestNackEntry:
+    def test_expansion_single(self):
+        assert NackEntry(100, 0).sequence_numbers() == [100]
+
+    def test_expansion_with_blp(self):
+        entry = NackEntry(100, 0b101)
+        assert entry.sequence_numbers() == [100, 101, 103]
+
+    def test_expansion_wraps(self):
+        entry = NackEntry(0xFFFF, 0b1)
+        assert entry.sequence_numbers() == [0xFFFF, 0]
+
+    def test_bounds(self):
+        with pytest.raises(RtcpError):
+            NackEntry(0x10000, 0)
+        with pytest.raises(RtcpError):
+            NackEntry(0, 0x10000)
+
+
+class TestPackEntries:
+    def test_empty(self):
+        assert pack_nack_entries([]) == ()
+
+    def test_single(self):
+        entries = pack_nack_entries([500])
+        assert len(entries) == 1
+        assert entries[0] == NackEntry(500, 0)
+
+    def test_run_packs_into_one(self):
+        entries = pack_nack_entries(list(range(100, 117)))  # 17 seqs
+        assert len(entries) == 1
+        assert entries[0].pid == 100
+        assert entries[0].blp == 0xFFFF
+
+    def test_long_run_splits(self):
+        entries = pack_nack_entries(list(range(100, 140)))
+        assert len(entries) == 3
+
+    def test_duplicates_ignored(self):
+        assert pack_nack_entries([7, 7, 7]) == (NackEntry(7, 0),)
+
+    def test_wraparound_sequences(self):
+        entries = pack_nack_entries([0xFFFE, 0xFFFF, 0, 1])
+        covered = set()
+        for entry in entries:
+            covered.update(entry.sequence_numbers())
+        assert {0xFFFE, 0xFFFF, 0, 1} <= covered
+
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=40))
+    def test_pack_covers_exactly(self, seqs):
+        entries = pack_nack_entries(seqs)
+        covered = set()
+        for entry in entries:
+            covered.update(entry.sequence_numbers())
+        assert set(s & 0xFFFF for s in seqs) <= covered
+
+
+class TestGenericNack:
+    def test_roundtrip(self):
+        nack = GenericNack(1, 2, (NackEntry(100, 0b11), NackEntry(500, 0)))
+        assert decode_compound(nack.encode()) == [nack]
+
+    def test_wire_format(self):
+        data = GenericNack(1, 2, (NackEntry(3, 4),)).encode()
+        assert data[1] == 205  # RTPFB
+        assert data[0] & 0x1F == 1  # FMT=1 (Generic NACK)
+
+    def test_empty_rejected(self):
+        with pytest.raises(RtcpError):
+            GenericNack(1, 2, ()).encode()
+
+    def test_sequence_numbers_helper(self):
+        nack = GenericNack(1, 2, (NackEntry(10, 0b1),))
+        assert nack.sequence_numbers() == [10, 11]
+
+    def test_nacks_for_none_when_empty(self):
+        assert nacks_for(1, 2, []) is None
+
+    def test_nacks_for_builds(self):
+        nack = nacks_for(1, 2, [5, 6, 30])
+        assert nack is not None
+        assert set(nack.sequence_numbers()) == {5, 6, 30}
+
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=30))
+    def test_roundtrip_property(self, seqs):
+        nack = nacks_for(9, 8, seqs)
+        assert nack is not None
+        decoded = decode_compound(nack.encode())[0]
+        assert set(s & 0xFFFF for s in seqs) <= set(decoded.sequence_numbers())

@@ -1,0 +1,70 @@
+"""Tests for RFC 4571 framing over byte streams."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtp.framing import FramingError, StreamDeframer, frame, frame_many
+
+
+class TestFrame:
+    def test_prefix(self):
+        assert frame(b"abc") == b"\x00\x03abc"
+
+    def test_empty_packet(self):
+        assert frame(b"") == b"\x00\x00"
+
+    def test_oversize_rejected(self):
+        with pytest.raises(FramingError):
+            frame(b"x" * 65_536)
+
+    def test_frame_many(self):
+        assert frame_many([b"a", b"bc"]) == b"\x00\x01a\x00\x02bc"
+
+
+class TestDeframer:
+    def test_whole_frames(self):
+        deframer = StreamDeframer()
+        assert deframer.feed(frame_many([b"one", b"two"])) == [b"one", b"two"]
+
+    def test_byte_at_a_time(self):
+        deframer = StreamDeframer()
+        stream = frame_many([b"hello", b"world"])
+        out = []
+        for i in range(len(stream)):
+            out.extend(deframer.feed(stream[i : i + 1]))
+        assert out == [b"hello", b"world"]
+        assert deframer.pending_bytes == 0
+
+    def test_partial_then_complete(self):
+        deframer = StreamDeframer()
+        data = frame(b"abcdef")
+        assert deframer.feed(data[:4]) == []
+        assert deframer.pending_bytes == 4
+        assert deframer.feed(data[4:]) == [b"abcdef"]
+
+    def test_split_inside_length_prefix(self):
+        deframer = StreamDeframer()
+        data = frame(b"xyz")
+        assert deframer.feed(data[:1]) == []
+        assert deframer.feed(data[1:]) == [b"xyz"]
+
+    def test_overflow_protection(self):
+        deframer = StreamDeframer(max_buffer=10)
+        with pytest.raises(FramingError):
+            deframer.feed(b"\xff\xff" + b"x" * 20)
+
+    def test_reset(self):
+        deframer = StreamDeframer()
+        deframer.feed(b"\x00\x05ab")
+        deframer.reset()
+        assert deframer.pending_bytes == 0
+
+    @given(st.lists(st.binary(max_size=300), max_size=12), st.integers(1, 17))
+    def test_arbitrary_chunking_property(self, packets, chunk_size):
+        stream = frame_many(packets)
+        deframer = StreamDeframer()
+        out = []
+        for i in range(0, len(stream), chunk_size):
+            out.extend(deframer.feed(stream[i : i + chunk_size]))
+        assert out == packets

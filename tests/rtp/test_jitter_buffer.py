@@ -1,0 +1,101 @@
+"""Tests for the reordering jitter buffer."""
+
+import pytest
+
+from repro.rtp.clock import SimulatedClock
+from repro.rtp.jitter_buffer import JitterBuffer
+from repro.rtp.packet import RtpPacket
+
+
+def packet(seq: int) -> RtpPacket:
+    return RtpPacket(99, seq, seq * 100, 1, payload=bytes([seq & 0xFF]))
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture
+def buf(clock):
+    return JitterBuffer(now=clock.now, max_wait=0.05)
+
+
+def seqs(packets):
+    return [p.sequence_number for p in packets]
+
+
+class TestInOrder:
+    def test_immediate_release(self, buf):
+        buf.insert(packet(1))
+        buf.insert(packet(2))
+        assert seqs(buf.pop_ready()) == [1, 2]
+
+    def test_empty_pop(self, buf):
+        assert buf.pop_ready() == []
+
+
+class TestReordering:
+    def test_reordered_released_in_order(self, buf):
+        buf.insert(packet(10))
+        buf.insert(packet(12))
+        buf.insert(packet(11))
+        assert seqs(buf.pop_ready()) == [10, 11, 12]
+
+    def test_hole_blocks_release(self, buf):
+        buf.insert(packet(1))
+        buf.insert(packet(3))
+        assert seqs(buf.pop_ready()) == [1]
+        assert buf.held == 1
+        assert buf.missing_before_release() == [2]
+
+    def test_late_arrival_fills_hole(self, buf, clock):
+        buf.insert(packet(1))
+        buf.insert(packet(3))
+        buf.pop_ready()
+        clock.advance(0.01)
+        buf.insert(packet(2))
+        assert seqs(buf.pop_ready()) == [2, 3]
+
+    def test_hole_skipped_after_max_wait(self, buf, clock):
+        buf.insert(packet(1))
+        buf.insert(packet(3))
+        buf.pop_ready()
+        clock.advance(0.1)
+        assert seqs(buf.pop_ready()) == [3]
+        assert buf.sequences_skipped == 1
+
+    def test_wraparound_order(self, buf):
+        buf.insert(packet(0xFFFF))
+        buf.insert(packet(0))
+        assert seqs(buf.pop_ready()) == [0xFFFF, 0]
+
+
+class TestEdgeCases:
+    def test_duplicate_dropped(self, buf):
+        buf.insert(packet(5))
+        buf.insert(packet(5))
+        assert seqs(buf.pop_ready()) == [5]
+
+    def test_stale_packet_dropped(self, buf, clock):
+        buf.insert(packet(10))
+        buf.pop_ready()
+        buf.insert(packet(9))  # older than release point
+        assert buf.pop_ready() == []
+        assert buf.packets_dropped_late == 1
+
+    def test_capacity_pressure_skips(self, clock):
+        buf = JitterBuffer(now=clock.now, max_wait=10.0, capacity=4)
+        buf.insert(packet(1))
+        buf.pop_ready()
+        for seq in (3, 4, 5, 6):  # hole at 2 never fills
+            buf.insert(packet(seq))
+        buf.insert(packet(7))  # exceeds capacity: forces a skip
+        released = buf.pop_ready()
+        assert seqs(released)[0] == 3
+
+    def test_invalid_config(self, clock):
+        with pytest.raises(ValueError):
+            JitterBuffer(now=clock.now, max_wait=-1)
+        with pytest.raises(ValueError):
+            JitterBuffer(now=clock.now, capacity=0)

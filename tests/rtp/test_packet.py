@@ -1,0 +1,119 @@
+"""Tests for RTP packet encode/decode (RFC 3550 header)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtp.packet import RTP_HEADER_LEN, RtpError, RtpPacket
+
+
+def make(**kwargs) -> RtpPacket:
+    defaults = dict(
+        payload_type=99,
+        sequence_number=1000,
+        timestamp=123456,
+        ssrc=0xDEADBEEF,
+        payload=b"payload",
+    )
+    defaults.update(kwargs)
+    return RtpPacket(**defaults)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        packet = make(marker=True)
+        assert RtpPacket.decode(packet.encode()) == packet
+
+    def test_header_fields_on_wire(self):
+        data = make(marker=True).encode()
+        assert data[0] >> 6 == 2  # version
+        assert data[1] & 0x80  # marker
+        assert data[1] & 0x7F == 99  # PT
+
+    def test_header_length(self):
+        assert make().header_length == RTP_HEADER_LEN
+        assert len(make(payload=b"abc")) == RTP_HEADER_LEN + 3
+
+    def test_csrcs_roundtrip(self):
+        packet = make(csrcs=(1, 2, 3))
+        decoded = RtpPacket.decode(packet.encode())
+        assert decoded.csrcs == (1, 2, 3)
+        assert decoded.header_length == RTP_HEADER_LEN + 12
+
+    def test_empty_payload(self):
+        packet = make(payload=b"")
+        assert RtpPacket.decode(packet.encode()).payload == b""
+
+    @given(
+        pt=st.integers(0, 127),
+        seq=st.integers(0, 0xFFFF),
+        ts=st.integers(0, 0xFFFFFFFF),
+        ssrc=st.integers(0, 0xFFFFFFFF),
+        payload=st.binary(max_size=200),
+        marker=st.booleans(),
+    )
+    def test_roundtrip_property(self, pt, seq, ts, ssrc, payload, marker):
+        packet = RtpPacket(pt, seq, ts, ssrc, payload, marker)
+        assert RtpPacket.decode(packet.encode()) == packet
+
+
+class TestValidation:
+    def test_bad_payload_type(self):
+        with pytest.raises(RtpError):
+            make(payload_type=128)
+
+    def test_bad_sequence(self):
+        with pytest.raises(RtpError):
+            make(sequence_number=0x1_0000)
+
+    def test_bad_timestamp(self):
+        with pytest.raises(RtpError):
+            make(timestamp=-1)
+
+    def test_too_many_csrcs(self):
+        with pytest.raises(RtpError):
+            make(csrcs=tuple(range(16)))
+
+
+class TestDecodeErrors:
+    def test_too_short(self):
+        with pytest.raises(RtpError):
+            RtpPacket.decode(b"\x80\x00\x00")
+
+    def test_wrong_version(self):
+        data = bytearray(make().encode())
+        data[0] = 0x40  # version 1
+        with pytest.raises(RtpError):
+            RtpPacket.decode(bytes(data))
+
+    def test_truncated_csrc(self):
+        data = bytearray(make().encode())
+        data[0] |= 0x03  # claim 3 CSRCs that are not there
+        with pytest.raises(RtpError):
+            RtpPacket.decode(bytes(data[:RTP_HEADER_LEN]))
+
+    def test_padding_parsed(self):
+        packet = make(payload=b"abcd")
+        data = bytearray(packet.encode())
+        data[0] |= 0x20  # set padding bit
+        data.extend(b"\x00\x00\x03")  # 2 pad bytes + count 3
+        decoded = RtpPacket.decode(bytes(data))
+        assert decoded.payload == b"abcd"
+
+    def test_invalid_padding_length(self):
+        packet = make(payload=b"ab")
+        data = bytearray(packet.encode())
+        data[0] |= 0x20
+        data[-1] = 200  # absurd pad count
+        with pytest.raises(RtpError):
+            RtpPacket.decode(bytes(data))
+
+    def test_extension_skipped(self):
+        base = make(payload=b"xy")
+        data = bytearray(base.encode())
+        data[0] |= 0x10  # extension bit
+        # Insert a 4-byte ext header (profile=0, len=0 words) before payload.
+        data = data[:RTP_HEADER_LEN] + bytearray(b"\x00\x00\x00\x00") + data[RTP_HEADER_LEN:]
+        decoded = RtpPacket.decode(bytes(data))
+        assert decoded.payload == b"xy"
+        assert decoded.extension

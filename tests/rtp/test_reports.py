@@ -1,0 +1,141 @@
+"""Tests for periodic RTCP SR/RR generation."""
+
+import random
+
+import pytest
+
+from repro.rtp.clock import SimulatedClock
+from repro.rtp.reports import RtcpReporter, middle_32, to_ntp
+from repro.rtp.rtcp import (
+    ReceiverReport,
+    SenderReport,
+    SourceDescription,
+    decode_compound,
+)
+from repro.rtp.session import RtpReceiver, RtpSender
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock(1000.0)
+
+
+def make_pair(clock):
+    sender = RtpSender(99, now=clock.now, rng=random.Random(1))
+    receiver = RtpReceiver(now=clock.now)
+    return sender, receiver
+
+
+class TestNtpConversion:
+    def test_to_ntp_monotonic(self):
+        assert to_ntp(2.0) > to_ntp(1.0)
+
+    def test_fractional_part(self):
+        ntp = to_ntp(1.5)
+        assert ntp & 0xFFFF_FFFF == 1 << 31
+
+    def test_middle_32(self):
+        ntp = to_ntp(1234.25)
+        assert middle_32(ntp) == (ntp >> 16) & 0xFFFF_FFFF
+
+
+class TestScheduling:
+    def test_not_due_immediately(self, clock):
+        sender, _ = make_pair(clock)
+        reporter = RtcpReporter(clock.now, sender=sender,
+                                rng=random.Random(2))
+        assert reporter.poll() is None
+
+    def test_due_after_interval(self, clock):
+        sender, _ = make_pair(clock)
+        reporter = RtcpReporter(clock.now, sender=sender, interval=5.0,
+                                rng=random.Random(2))
+        clock.advance(10.0)  # beyond max 1.5x interval
+        assert reporter.poll() is not None
+        assert reporter.poll() is None  # next one rescheduled
+
+    def test_randomised_intervals_differ(self, clock):
+        sender, _ = make_pair(clock)
+        times = []
+        for seed in range(4):
+            reporter = RtcpReporter(
+                clock.now, sender=sender, rng=random.Random(seed)
+            )
+            times.append(reporter._next_due)
+        assert len(set(times)) > 1
+
+    def test_needs_endpoint(self, clock):
+        with pytest.raises(ValueError):
+            RtcpReporter(clock.now)
+
+
+class TestCompoundContents:
+    def test_sender_report_when_sending(self, clock):
+        sender, _ = make_pair(clock)
+        sender.next_packet(b"data")
+        reporter = RtcpReporter(clock.now, sender=sender,
+                                rng=random.Random(3))
+        packets = decode_compound(reporter.build_compound())
+        assert isinstance(packets[0], SenderReport)
+        assert packets[0].packet_count == 1
+        assert packets[0].octet_count == 4
+        assert isinstance(packets[1], SourceDescription)
+
+    def test_receiver_report_when_not_sending(self, clock):
+        _, receiver = make_pair(clock)
+        reporter = RtcpReporter(clock.now, receiver=receiver,
+                                rng=random.Random(3))
+        packets = decode_compound(reporter.build_compound())
+        assert isinstance(packets[0], ReceiverReport)
+
+    def test_report_block_reflects_loss(self, clock):
+        remote = RtpSender(99, now=clock.now, rng=random.Random(9))
+        _, receiver = make_pair(clock)
+        outgoing = [remote.next_packet(b"x") for _ in range(10)]
+        for i, packet in enumerate(outgoing):
+            if i not in (3, 4):
+                receiver.receive(packet)
+        reporter = RtcpReporter(clock.now, receiver=receiver,
+                                rng=random.Random(3))
+        packets = decode_compound(reporter.build_compound())
+        block = packets[0].reports[0]
+        assert block.cumulative_lost == 2
+        assert block.fraction_lost > 0
+        assert block.ssrc == remote.ssrc
+
+    def test_interval_fraction_resets(self, clock):
+        remote = RtpSender(99, now=clock.now, rng=random.Random(9))
+        _, receiver = make_pair(clock)
+        for i, packet in enumerate(remote.next_packet(b"x") for _ in range(10)):
+            if i != 5:
+                receiver.receive(packet)
+        reporter = RtcpReporter(clock.now, receiver=receiver,
+                                rng=random.Random(3))
+        first = decode_compound(reporter.build_compound())[0].reports[0]
+        assert first.fraction_lost > 0
+        # No new losses in the next interval.
+        for packet in (remote.next_packet(b"x") for _ in range(10)):
+            receiver.receive(packet)
+        second = decode_compound(reporter.build_compound())[0].reports[0]
+        assert second.fraction_lost == 0
+        assert second.cumulative_lost == 1  # cumulative stays
+
+    def test_lsr_dlsr_round_trip(self, clock):
+        remote_sender, receiver = make_pair(clock)
+        receiver.receive(remote_sender.next_packet(b"x"))
+        reporter = RtcpReporter(clock.now, receiver=receiver,
+                                rng=random.Random(4))
+        sr = SenderReport(
+            ssrc=remote_sender.ssrc,
+            ntp_timestamp=to_ntp(clock.now()),
+            rtp_timestamp=0,
+            packet_count=1,
+            octet_count=1,
+        )
+        reporter.saw_sender_report(sr)
+        clock.advance(0.25)
+        block = decode_compound(reporter.build_compound())[0].reports[0]
+        assert block.last_sr == middle_32(sr.ntp_timestamp)
+        assert block.delay_since_last_sr == pytest.approx(
+            int(0.25 * 65536), abs=2
+        )

@@ -1,0 +1,119 @@
+"""Tests for RTCP packets and compound framing."""
+
+import pytest
+
+from repro.rtp.rtcp import (
+    Bye,
+    ReceiverReport,
+    ReportBlock,
+    RtcpError,
+    SdesChunk,
+    SenderReport,
+    SourceDescription,
+    decode_compound,
+    encode_compound,
+)
+
+
+def block(**kwargs) -> ReportBlock:
+    defaults = dict(
+        ssrc=42,
+        fraction_lost=25,
+        cumulative_lost=100,
+        extended_highest_seq=70_000,
+        jitter=33,
+        last_sr=0xAABBCCDD,
+        delay_since_last_sr=6553,
+    )
+    defaults.update(kwargs)
+    return ReportBlock(**defaults)
+
+
+class TestSenderReport:
+    def test_roundtrip(self):
+        sr = SenderReport(
+            ssrc=7,
+            ntp_timestamp=0x0123456789ABCDEF,
+            rtp_timestamp=90_000,
+            packet_count=10,
+            octet_count=999,
+            reports=(block(),),
+        )
+        decoded = decode_compound(sr.encode())
+        assert decoded == [sr]
+
+    def test_no_reports(self):
+        sr = SenderReport(1, 2, 3, 4, 5)
+        assert decode_compound(sr.encode()) == [sr]
+
+
+class TestReceiverReport:
+    def test_roundtrip(self):
+        rr = ReceiverReport(ssrc=9, reports=(block(), block(ssrc=43)))
+        assert decode_compound(rr.encode()) == [rr]
+
+    def test_fraction_lost_bounds(self):
+        with pytest.raises(RtcpError):
+            block(fraction_lost=300).encode()
+
+
+class TestSdes:
+    def test_roundtrip(self):
+        sdes = SourceDescription(
+            (SdesChunk(5, ((1, "user@example.com"), (6, "repro"))),)
+        )
+        assert decode_compound(sdes.encode()) == [sdes]
+
+    def test_item_too_long(self):
+        sdes = SourceDescription((SdesChunk(5, ((1, "x" * 300),)),))
+        with pytest.raises(RtcpError):
+            sdes.encode()
+
+
+class TestBye:
+    def test_roundtrip_with_reason(self):
+        bye = Bye((1, 2), "session over")
+        assert decode_compound(bye.encode()) == [bye]
+
+    def test_roundtrip_no_reason(self):
+        bye = Bye((1,))
+        assert decode_compound(bye.encode()) == [bye]
+
+
+class TestCompound:
+    def test_multiple_packets(self):
+        rr = ReceiverReport(1)
+        bye = Bye((1,), "done")
+        data = encode_compound([rr, bye])
+        assert decode_compound(data) == [rr, bye]
+
+    def test_word_alignment(self):
+        for packet in (
+            ReceiverReport(1, (block(),)),
+            SenderReport(1, 2, 3, 4, 5),
+            SourceDescription((SdesChunk(1, ((1, "abc"),)),)),
+            Bye((1,), "x"),
+        ):
+            assert len(packet.encode()) % 4 == 0
+
+    def test_length_field_matches(self):
+        data = ReceiverReport(1, (block(),)).encode()
+        length_words = int.from_bytes(data[2:4], "big")
+        assert (length_words + 1) * 4 == len(data)
+
+    def test_truncated_rejected(self):
+        data = ReceiverReport(1).encode()
+        with pytest.raises(RtcpError):
+            decode_compound(data[:-2])
+
+    def test_unknown_type_rejected(self):
+        data = bytearray(ReceiverReport(1).encode())
+        data[1] = 210  # unassigned RTCP PT
+        with pytest.raises(RtcpError):
+            decode_compound(bytes(data))
+
+    def test_bad_version_rejected(self):
+        data = bytearray(ReceiverReport(1).encode())
+        data[0] = 0x00
+        with pytest.raises(RtcpError):
+            decode_compound(bytes(data))

@@ -1,0 +1,137 @@
+"""Tests for sequence arithmetic, loss accounting, and gap detection."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtp.sequence import (
+    GapDetector,
+    SequenceTracker,
+    seq_delta,
+    seq_newer,
+)
+
+
+class TestSeqCompare:
+    def test_simple_order(self):
+        assert seq_newer(5, 4)
+        assert not seq_newer(4, 5)
+        assert not seq_newer(7, 7)
+
+    def test_wraparound(self):
+        assert seq_newer(3, 0xFFFE)
+        assert not seq_newer(0xFFFE, 3)
+
+    def test_delta(self):
+        assert seq_delta(10, 5) == 5
+        assert seq_delta(5, 10) == -5
+        assert seq_delta(2, 0xFFFF) == 3
+        assert seq_delta(0xFFFF, 2) == -3
+
+    @given(st.integers(0, 0xFFFF), st.integers(-1000, 1000))
+    def test_delta_inverse(self, base, offset):
+        other = (base + offset) % 0x10000
+        assert seq_delta(other, base) == offset
+
+
+class TestSequenceTracker:
+    def test_in_order_no_loss(self):
+        tracker = SequenceTracker()
+        for seq in range(100, 150):
+            assert tracker.update(seq)
+        stats = tracker.stats()
+        assert stats.packets_received == 50
+        assert stats.packets_lost == 0
+
+    def test_counts_losses(self):
+        tracker = SequenceTracker()
+        for seq in [1, 2, 3, 6, 7]:  # 4, 5 missing
+            tracker.update(seq)
+        stats = tracker.stats()
+        assert stats.packets_expected == 7
+        assert stats.packets_lost == 2
+
+    def test_wraparound_extends(self):
+        tracker = SequenceTracker()
+        for seq in [0xFFFE, 0xFFFF, 0, 1]:
+            tracker.update(seq)
+        assert tracker.extended_highest_seq == 0x10001
+        assert tracker.stats().packets_lost == 0
+
+    def test_reordered_within_tolerance(self):
+        tracker = SequenceTracker()
+        for seq in [10, 11, 13, 12, 14]:
+            assert tracker.update(seq)
+        assert tracker.stats().packets_lost == 0
+
+    def test_big_jump_rejected_then_restart(self):
+        tracker = SequenceTracker()
+        tracker.update(10)
+        assert not tracker.update(40_000)  # suspicious
+        assert tracker.update(40_001)  # repeated: stream restarted
+        assert tracker.stats().packets_received == 1
+
+    def test_jitter_updates(self):
+        tracker = SequenceTracker(clock_rate=90_000)
+        # Packets 20ms apart in RTP time arriving with variable delay.
+        tracker.update(1, 0, 0.000)
+        tracker.update(2, 1800, 0.030)  # 10ms late
+        tracker.update(3, 3600, 0.040)
+        assert tracker.stats().jitter_seconds > 0
+
+    def test_empty_stats(self):
+        assert SequenceTracker().stats().packets_received == 0
+
+
+class TestGapDetector:
+    def test_no_gaps_in_order(self):
+        detector = GapDetector()
+        for seq in range(10):
+            detector.record(seq)
+        assert detector.missing() == []
+
+    def test_detects_hole(self):
+        detector = GapDetector()
+        for seq in [5, 6, 8, 9]:
+            detector.record(seq)
+        assert detector.missing() == [7]
+
+    def test_multiple_holes_ordered(self):
+        detector = GapDetector()
+        for seq in [1, 4, 7]:
+            detector.record(seq)
+        assert detector.missing() == [2, 3, 5, 6]
+
+    def test_acknowledge_fills(self):
+        detector = GapDetector()
+        for seq in [1, 3]:
+            detector.record(seq)
+        assert detector.missing() == [2]
+        detector.acknowledge(2)
+        assert detector.missing() == []
+
+    def test_wraparound_gap(self):
+        detector = GapDetector()
+        detector.record(0xFFFE)
+        detector.record(1)  # 0xFFFF and 0 missing
+        assert detector.missing() == [0xFFFF, 0]
+
+    def test_window_bound(self):
+        detector = GapDetector(max_tracked=16)
+        detector.record(0)
+        detector.record(100)  # far beyond window
+        missing = detector.missing()
+        assert len(missing) <= 16
+        assert all((100 - m) % 0x10000 <= 16 for m in missing)
+
+    def test_no_history_before_first_packet(self):
+        detector = GapDetector()
+        detector.record(500)
+        assert detector.missing() == []
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=30))
+    def test_missing_disjoint_from_seen(self, seqs):
+        detector = GapDetector(max_tracked=128)
+        for seq in seqs:
+            detector.record(seq)
+        missing = set(detector.missing())
+        assert missing.isdisjoint(set(seqs))

@@ -1,0 +1,39 @@
+"""Tests for image-codec negotiation through SDP (section 5.2.2)."""
+
+from repro.codecs.base import default_registry
+from repro.sdp import build_ah_offer, negotiate, parse_sdp
+
+
+class TestCodecParameter:
+    def test_offer_carries_codecs(self):
+        offer = build_ah_offer(codecs=["png", "lossy-dct", "zlib"])
+        assert "codecs=png,lossy-dct,zlib" in offer.to_string()
+
+    def test_negotiate_extracts_codecs(self):
+        offer = build_ah_offer(codecs=["png", "lossy-dct"])
+        agreed = negotiate(parse_sdp(offer.to_string()))
+        assert agreed.offered_codecs == ("png", "lossy-dct")
+
+    def test_absent_parameter_means_empty(self):
+        agreed = negotiate(build_ah_offer())
+        assert agreed.offered_codecs == ()
+
+    def test_tcp_only_offer_still_carries_codecs(self):
+        offer = build_ah_offer(offer_udp=False, codecs=["png"])
+        agreed = negotiate(parse_sdp(offer.to_string()))
+        assert agreed.offered_codecs == ("png",)
+
+    def test_intersection_with_local_registry(self):
+        """The participant keeps only codecs it also implements."""
+        offer = build_ah_offer(codecs=["png", "theora", "zlib"])
+        agreed = negotiate(parse_sdp(offer.to_string()))
+        registry = default_registry()
+        usable = registry.intersect_names(list(agreed.offered_codecs))
+        assert usable == ["png", "zlib"]  # theora not implemented locally
+
+    def test_retransmissions_still_parsed_alongside(self):
+        offer = build_ah_offer(codecs=["png"], retransmissions=True)
+        agreed = negotiate(parse_sdp(offer.to_string()),
+                           prefer_transport="udp")
+        assert agreed.retransmissions
+        assert agreed.offered_codecs == ("png",)

@@ -1,0 +1,194 @@
+"""Tests for the SDP model, parser, and negotiation (section 10)."""
+
+import pytest
+
+from repro.sdp.model import MediaDescription, RtpMap, SdpError, SessionDescription
+from repro.sdp.negotiation import build_ah_offer, negotiate
+from repro.sdp.parser import parse_sdp
+
+
+class TestModel:
+    def test_rtpmap_line(self):
+        assert RtpMap(99, "remoting", 90000).to_line() == (
+            "a=rtpmap:99 remoting/90000"
+        )
+
+    def test_rtpmap_validation(self):
+        with pytest.raises(SdpError):
+            RtpMap(128, "x", 90000)
+        with pytest.raises(SdpError):
+            RtpMap(99, "bad name", 90000)
+
+    def test_media_lines(self):
+        media = MediaDescription("application", 6000, "RTP/AVP", ["99"])
+        media.rtpmaps.append(RtpMap(99, "remoting", 90000))
+        media.fmtp[99] = "retransmissions=yes"
+        lines = media.to_lines()
+        assert lines[0] == "m=application 6000 RTP/AVP 99"
+        assert "a=rtpmap:99 remoting/90000" in lines
+        assert "a=fmtp:99 retransmissions=yes" in lines
+
+    def test_session_document(self):
+        session = SessionDescription()
+        session.add_media(MediaDescription("application", 6000, "RTP/AVP", ["99"]))
+        text = session.to_string()
+        assert text.startswith("v=0\r\n")
+        assert "m=application 6000 RTP/AVP 99" in text
+
+    def test_port_range(self):
+        with pytest.raises(SdpError):
+            MediaDescription("application", 70000, "RTP/AVP")
+
+
+class TestParser:
+    def test_parse_generated(self):
+        offer = build_ah_offer()
+        parsed = parse_sdp(offer.to_string())
+        assert len(parsed.media) == len(offer.media)
+
+    def test_roundtrip_stable(self):
+        offer = build_ah_offer()
+        text = offer.to_string()
+        assert parse_sdp(text).to_string() == text
+
+    def test_parse_minimal(self):
+        session = parse_sdp("v=0\no=- 1 1 IN IP4 10.0.0.1\ns=Test\n")
+        assert session.session_name == "Test"
+        assert session.origin_address == "10.0.0.1"
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(SdpError):
+            parse_sdp("s=NoVersion\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(SdpError):
+            parse_sdp("v=0\nthisisnota line\n")
+
+    def test_unknown_attribute_kept(self):
+        text = (
+            "v=0\nm=application 6000 RTP/AVP 99\n"
+            "a=rtpmap:99 remoting/90000\na=sendonly\n"
+        )
+        session = parse_sdp(text)
+        assert session.media[0].has_attribute("sendonly")
+
+
+class TestSection103Example:
+    """The SDP example of section 10.3, parsed and interpreted."""
+
+    EXAMPLE = "\n".join(
+        [
+            "v=0",
+            "o=- 0 0 IN IP4 127.0.0.1",
+            "s=Application Sharing",
+            "c=IN IP4 127.0.0.1",
+            "t=0 0",
+            "m=application 50000 TCP/BFCP *",
+            "a=floorid:0 m-stream:10",
+            "m=application 6000 RTP/AVP 99",
+            "a=rtpmap:99 remoting/90000",
+            "a=fmtp: retransmissions=yes",
+            "m=application 6000 TCP/RTP/AVP 99",
+            "a=rtpmap:99 remoting/90000",
+            "m=application 6006 TCP/RTP/AVP 100",
+            "a=rtpmap:99 hip/90000",
+            "a=label:10",
+        ]
+    )
+
+    def test_parses(self):
+        session = parse_sdp(self.EXAMPLE)
+        assert len(session.media) == 4
+
+    def test_same_port_for_tcp_and_udp_remoting(self):
+        """'The port numbers MUST be same if AH is remoting the same
+        content over both TCP and UDP.'"""
+        session = parse_sdp(self.EXAMPLE)
+        remoting = session.media_with_encoding("remoting")
+        assert len({m.port for m in remoting}) == 1
+
+    def test_bfcp_association(self):
+        session = parse_sdp(self.EXAMPLE)
+        bfcp = session.media_by_proto("TCP/BFCP")[0]
+        assert bfcp.attribute("floorid") == "0 m-stream:10"
+        hip = session.media_with_encoding("hip")[0]
+        assert hip.attribute("label") == "10"
+
+    def test_retransmissions_parsed_despite_missing_pt(self):
+        """The draft's own example writes 'a=fmtp: retransmissions=yes'
+        without a payload type — the parser tolerates it."""
+        session = parse_sdp(self.EXAMPLE)
+        udp = session.media_by_proto("RTP/AVP")[0]
+        assert any("retransmissions=yes" in v for v in udp.fmtp.values())
+
+
+class TestBuildOffer:
+    def test_shapes_like_draft_example(self):
+        offer = build_ah_offer(
+            remoting_port=6000, hip_port=6006, bfcp_port=50000
+        )
+        text = offer.to_string()
+        assert "m=application 50000 TCP/BFCP" in text
+        assert "m=application 6000 RTP/AVP 99" in text
+        assert "m=application 6000 TCP/RTP/AVP 99" in text
+        assert "a=rtpmap:99 remoting/90000" in text
+        assert "a=rtpmap:100 hip/90000" in text
+        assert "a=label:10" in text
+        assert "retransmissions=yes" in text
+
+    def test_retransmissions_no(self):
+        offer = build_ah_offer(retransmissions=False)
+        assert "retransmissions=no" in offer.to_string()
+
+    def test_udp_only(self):
+        offer = build_ah_offer(offer_tcp=False)
+        assert not offer.media_by_proto("TCP/RTP/AVP") or all(
+            m.rtpmap_for("remoting") is None
+            for m in offer.media_by_proto("TCP/RTP/AVP")
+        )
+
+    def test_no_transports_rejected(self):
+        with pytest.raises(SdpError):
+            build_ah_offer(offer_udp=False, offer_tcp=False)
+
+
+class TestNegotiate:
+    def test_prefer_tcp(self):
+        agreed = negotiate(build_ah_offer(), prefer_transport="tcp")
+        assert agreed.transport == "tcp"
+        assert agreed.remoting_port == 6000
+        assert agreed.remoting_pt == 99
+        assert agreed.hip_pt == 100
+        assert agreed.clock_rate == 90000
+
+    def test_prefer_udp_gets_retransmissions(self):
+        agreed = negotiate(build_ah_offer(), prefer_transport="udp")
+        assert agreed.transport == "udp"
+        assert agreed.retransmissions
+
+    def test_fallback_when_preferred_missing(self):
+        offer = build_ah_offer(offer_udp=False)
+        agreed = negotiate(offer, prefer_transport="udp")
+        assert agreed.transport == "tcp"
+
+    def test_bfcp_association_extracted(self):
+        agreed = negotiate(build_ah_offer())
+        assert agreed.bfcp_port == 50_000
+        assert agreed.floor_id == 0
+        assert agreed.hip_label == 10
+
+    def test_no_remoting_rejected(self):
+        session = SessionDescription()
+        with pytest.raises(SdpError):
+            negotiate(session)
+
+    def test_mismatched_label_rejected(self):
+        offer = build_ah_offer()
+        hip = offer.media_with_encoding("hip")[0]
+        hip.attributes = [("label", "99")]
+        with pytest.raises(SdpError):
+            negotiate(offer)
+
+    def test_bad_preference(self):
+        with pytest.raises(SdpError):
+            negotiate(build_ah_offer(), prefer_transport="carrier-pigeon")

@@ -1,0 +1,45 @@
+"""Tests for session configuration."""
+
+import pytest
+
+from repro.sharing.config import PT_HIP, PT_REMOTING, PointerMode, SharingConfig
+
+
+class TestPayloadTypes:
+    def test_match_sdp_example(self):
+        """Section 10.3 uses PT 99 for remoting and 100 for hip."""
+        assert PT_REMOTING == 99
+        assert PT_HIP == 100
+
+    def test_dynamic_range(self):
+        assert 96 <= PT_REMOTING <= 127
+        assert 96 <= PT_HIP <= 127
+
+
+class TestSharingConfig:
+    def test_defaults(self):
+        config = SharingConfig()
+        assert config.retransmissions
+        assert config.scroll_detection
+        assert config.backlog_coalescing
+        assert config.pointer_mode is PointerMode.EXPLICIT
+        assert config.clock_rate == 90_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharingConfig(max_rtp_payload=10)
+        with pytest.raises(ValueError):
+            SharingConfig(retransmit_cache_packets=-1)
+        with pytest.raises(ValueError):
+            SharingConfig(max_update_rects=0)
+        with pytest.raises(ValueError):
+            SharingConfig(clock_rate=0)
+
+    def test_frozen(self):
+        config = SharingConfig()
+        with pytest.raises(AttributeError):
+            config.max_rtp_payload = 500  # type: ignore[misc]
+
+    def test_pointer_modes(self):
+        assert PointerMode.IN_BAND.value == "in-band"
+        assert PointerMode.EXPLICIT.value == "explicit"

@@ -1,0 +1,155 @@
+"""Tests for frame → RTP packet encoding."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps.photo import synthetic_photo
+from repro.codecs.base import default_registry
+from repro.core.fragmentation import UpdateReassembler
+from repro.core.registry import (
+    MSG_MOUSE_POINTER_INFO,
+    MSG_MOVE_RECTANGLE,
+    MSG_REGION_UPDATE,
+    MSG_WINDOW_MANAGER_INFO,
+)
+from repro.core.window_info import WindowManagerInfo, WindowRecord
+from repro.rtp.session import RtpSender
+from repro.sharing.capture import CapturedFrame, MoveOp, PointerOp, UpdateOp
+from repro.sharing.config import PT_REMOTING, SharingConfig
+from repro.sharing.encoder import FrameEncoder
+
+
+@pytest.fixture
+def encoder():
+    sender = RtpSender(PT_REMOTING, rng=random.Random(0))
+    return FrameEncoder(
+        sender, default_registry(), SharingConfig(max_rtp_payload=400), lambda: 1.5
+    )
+
+
+def white_pixels(h, w):
+    img = np.full((h, w, 4), 255, dtype=np.uint8)
+    return img
+
+
+class TestEncodeOps:
+    def test_window_info_single_packet(self, encoder):
+        info = WindowManagerInfo((WindowRecord(1, 0, 0, 0, 10, 10),))
+        packets = encoder.encode_window_info(info, 0.0)
+        assert len(packets) == 1
+        assert packets[0].packet.payload[0] == MSG_WINDOW_MANAGER_INFO
+
+    def test_move_single_packet(self, encoder):
+        move = MoveOp(1, 0, 0, 10, 10, 5, 5)
+        packets = encoder.encode_move(move, 0.0)
+        assert len(packets) == 1
+        assert packets[0].packet.payload[0] == MSG_MOVE_RECTANGLE
+        assert not packets[0].packet.marker
+
+    def test_small_update_one_packet_marker_set(self, encoder):
+        update = UpdateOp(1, 5, 6, white_pixels(8, 8))
+        packets = encoder.encode_update(update, 0.0)
+        assert len(packets) == 1
+        assert packets[0].packet.marker
+
+    def test_large_update_fragments_share_timestamp(self, encoder):
+        update = UpdateOp(1, 0, 0, synthetic_photo(80, 80, seed=1))
+        packets = encoder.encode_update(update, 0.0)
+        assert len(packets) > 1
+        assert len({p.packet.timestamp for p in packets}) == 1
+        assert packets[-1].packet.marker
+        assert not packets[0].packet.marker
+
+    def test_update_decodes_back_to_pixels(self, encoder):
+        pixels = white_pixels(16, 16)
+        packets = encoder.encode_update(UpdateOp(3, 7, 8, pixels), 0.0)
+        reassembler = UpdateReassembler(MSG_REGION_UPDATE)
+        result = None
+        for stamped in packets:
+            result = reassembler.push(
+                stamped.packet.payload,
+                stamped.packet.marker,
+                stamped.packet.timestamp,
+            )
+        assert result is not None
+        registry = default_registry()
+        decoded = registry.by_payload_type(result.content_pt).decode(result.data)
+        assert np.array_equal(decoded, pixels)
+        assert (result.left, result.top) == (7, 8)
+
+    def test_codec_selection_lossy_for_photo(self, encoder):
+        update = UpdateOp(1, 0, 0, synthetic_photo(96, 96, seed=2))
+        packets = encoder.encode_update(update, 0.0)
+        _, pt = divmod(packets[0].packet.payload[1], 128)
+        lossy_pt = default_registry().by_name("lossy-dct").payload_type
+        assert pt == lossy_pt
+
+    def test_codec_selection_lossless_for_ui(self, encoder):
+        update = UpdateOp(1, 0, 0, white_pixels(64, 64))
+        packets = encoder.encode_update(update, 0.0)
+        pt = packets[0].packet.payload[1] & 0x7F
+        assert pt == default_registry().by_name("png").payload_type
+
+    def test_pointer_position_only(self, encoder):
+        packets = encoder.encode_pointer(PointerOp(4, 5, None), 0.0)
+        assert len(packets) == 1
+        payload = packets[0].packet.payload
+        assert payload[0] == MSG_MOUSE_POINTER_INFO
+        assert len(payload) == 12  # header + left/top, no image
+
+    def test_pointer_with_image(self, encoder):
+        image = white_pixels(16, 12)
+        packets = encoder.encode_pointer(PointerOp(4, 5, image), 0.0)
+        reassembler = UpdateReassembler(MSG_MOUSE_POINTER_INFO)
+        result = None
+        for stamped in packets:
+            result = reassembler.push(
+                stamped.packet.payload,
+                stamped.packet.marker,
+                stamped.packet.timestamp,
+            )
+        assert result is not None
+        decoded = default_registry().by_payload_type(result.content_pt).decode(
+            result.data
+        )
+        assert np.array_equal(decoded, image)
+
+
+class TestEncodeFrame:
+    def test_protocol_order(self, encoder):
+        frame = CapturedFrame(
+            window_info=WindowManagerInfo((WindowRecord(1, 0, 0, 0, 8, 8),)),
+            moves=[MoveOp(1, 0, 0, 4, 4, 2, 2)],
+            updates=[UpdateOp(1, 0, 0, white_pixels(4, 4))],
+            pointer=PointerOp(1, 2, None),
+        )
+        packets = encoder.encode_frame(frame)
+        types = [p.packet.payload[0] for p in packets]
+        assert types[0] == MSG_WINDOW_MANAGER_INFO
+        assert types[1] == MSG_MOVE_RECTANGLE
+        assert MSG_REGION_UPDATE in types
+        assert types[-1] == MSG_MOUSE_POINTER_INFO
+
+    def test_sequence_numbers_contiguous(self, encoder):
+        frame = CapturedFrame(updates=[UpdateOp(1, 0, 0, white_pixels(4, 4))] * 3)
+        packets = encoder.encode_frame(frame)
+        seqs = [p.packet.sequence_number for p in packets]
+        for a, b in zip(seqs, seqs[1:]):
+            assert (a + 1) & 0xFFFF == b
+
+    def test_capture_time_stamped(self, encoder):
+        frame = CapturedFrame(updates=[UpdateOp(1, 0, 0, white_pixels(4, 4))])
+        packets = encoder.encode_frame(frame)
+        assert packets[0].capture_time == 1.5
+
+    def test_stats_accumulate(self, encoder):
+        frame = CapturedFrame(
+            window_info=WindowManagerInfo(()),
+            updates=[UpdateOp(1, 0, 0, white_pixels(4, 4))],
+        )
+        encoder.encode_frame(frame)
+        assert encoder.stats.window_info.packets == 1
+        assert encoder.stats.region_update.packets >= 1
+        assert encoder.stats.total_wire_bytes() > 0

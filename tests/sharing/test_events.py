@@ -1,0 +1,170 @@
+"""Tests for AH-side HIP event validation and regeneration."""
+
+import pytest
+
+from repro.apps.base import AppHost
+from repro.apps.text_editor import TextEditorApp
+from repro.apps.whiteboard import WhiteboardApp
+from repro.core import keycodes
+from repro.core.hip import (
+    BUTTON_LEFT,
+    KeyPressed,
+    KeyTyped,
+    MouseMoved,
+    MousePressed,
+    MouseReleased,
+    MouseWheelMoved,
+)
+from repro.sharing.events import EventInjector
+from repro.surface.cursor import PointerState
+from repro.surface.geometry import Rect
+from repro.surface.window import WindowManager
+
+
+@pytest.fixture
+def setup():
+    wm = WindowManager(1280, 1024)
+    apps = AppHost(wm)
+    window = wm.create_window(Rect(100, 100, 400, 300))
+    board = WhiteboardApp(window)
+    apps.attach(board)
+    injector = EventInjector(wm, apps, pointer=PointerState())
+    return wm, apps, window, board, injector
+
+
+class TestLegitimacyCheck:
+    """Section 4.1: 'The AH MUST only accept legitimate HIP events by
+    checking whether the requested coordinates are inside the shared
+    windows.'"""
+
+    def test_inside_window_accepted(self, setup):
+        _wm, _apps, window, _board, injector = setup
+        msg = MousePressed(window.window_id, BUTTON_LEFT, 150, 150)
+        assert injector.inject("p1", msg)
+        assert injector.stats.accepted == 1
+
+    def test_outside_all_windows_rejected(self, setup):
+        _wm, _apps, window, board, injector = setup
+        msg = MousePressed(window.window_id, BUTTON_LEFT, 10, 10)
+        assert not injector.inject("p1", msg)
+        assert injector.stats.rejected_out_of_window == 1
+        assert board.points_drawn == 0
+
+    def test_spoofed_coordinates_beyond_screen_rejected(self, setup):
+        _wm, _apps, window, _board, injector = setup
+        msg = MouseMoved(window.window_id, 5000, 5000)
+        assert not injector.inject("p1", msg)
+
+    def test_event_lands_in_window_local_coords(self, setup):
+        _wm, _apps, window, board, injector = setup
+        injector.inject("p1", MousePressed(window.window_id, 1, 110, 120))
+        injector.inject("p1", MouseReleased(window.window_id, 1, 110, 120))
+        # 110-100=10, 120-100=20: the stroke is near window-local (10,20).
+        assert board.window.surface.get_pixel(10, 20) != (255, 255, 255, 255)
+
+
+class TestRouting:
+    def test_topmost_window_receives(self, setup):
+        wm, apps, window, board, injector = setup
+        # A second window covering part of the first.
+        top = wm.create_window(Rect(100, 100, 200, 200))
+        top_board = WhiteboardApp(top)
+        apps.attach(top_board)
+        injector.inject("p1", MousePressed(0, BUTTON_LEFT, 150, 150))
+        assert top_board.points_drawn == 1
+        assert board.points_drawn == 0
+
+    def test_click_raises_window_and_sets_focus(self, setup):
+        wm, apps, window, _board, injector = setup
+        other = wm.create_window(Rect(100, 100, 400, 300))
+        apps.attach(WhiteboardApp(other))
+        # `window` is now beneath `other`; click a spot only window covers.
+        wm.raise_window(window.window_id)
+        injector.inject("p1", MousePressed(0, BUTTON_LEFT, 450, 350))
+        assert injector.focus_window_id == window.window_id
+        assert wm.top_window().window_id == window.window_id
+
+    def test_wheel_routed(self, setup):
+        _wm, _apps, window, board, injector = setup
+        assert injector.inject(
+            "p1", MouseWheelMoved(window.window_id, 150, 150, -120)
+        )
+        assert board.events_handled == 1
+
+    def test_pointer_state_follows_mouse(self, setup):
+        _wm, _apps, window, _board, injector = setup
+        injector.inject("p1", MouseMoved(window.window_id, 222, 233))
+        assert (injector.pointer.x, injector.pointer.y) == (222, 233)
+
+
+class TestKeyboardFocus:
+    def test_key_to_named_window(self, setup):
+        wm, apps, _window, _board, injector = setup
+        editor_win = wm.create_window(Rect(600, 100, 300, 200))
+        editor = TextEditorApp(editor_win)
+        apps.attach(editor)
+        injector.inject("p1", KeyTyped(editor_win.window_id, "abc"))
+        assert editor.text() == "abc"
+
+    def test_key_to_unknown_window_falls_back_to_focus(self, setup):
+        wm, apps, window, _board, injector = setup
+        editor_win = wm.create_window(Rect(600, 100, 300, 200))
+        editor = TextEditorApp(editor_win)
+        apps.attach(editor)
+        injector.inject("p1", MousePressed(0, BUTTON_LEFT, 650, 150))
+        # windowID 999 is not shared: falls back to click focus.
+        injector.inject("p1", KeyTyped(999, "x"))
+        assert editor.text().endswith("x")
+
+    def test_key_with_no_target_rejected(self, setup):
+        _wm, _apps, _window, _board, injector = setup
+        assert not injector.inject("p1", KeyPressed(999, keycodes.VK_A))
+        assert injector.stats.rejected_out_of_window == 1
+
+
+class TestFloorGating:
+    def test_floor_check_blocks(self, setup):
+        wm, apps, window, board, _ = setup
+        injector = EventInjector(
+            wm, apps, floor_check=lambda pid, kind: pid == "holder"
+        )
+        denied = MousePressed(window.window_id, BUTTON_LEFT, 150, 150)
+        assert not injector.inject("intruder", denied)
+        assert injector.stats.rejected_floor == 1
+        assert injector.inject("holder", denied)
+
+    def test_kind_specific_gating(self, setup):
+        wm, apps, window, _board, _ = setup
+        editor_win = wm.create_window(Rect(600, 100, 300, 200))
+        editor = TextEditorApp(editor_win)
+        apps.attach(editor)
+        # Keyboard allowed, mouse blocked (HID Status = KEYBOARD_ALLOWED).
+        injector = EventInjector(
+            wm, apps, floor_check=lambda pid, kind: kind == "keyboard"
+        )
+        assert injector.inject("p1", KeyTyped(editor_win.window_id, "ok"))
+        assert not injector.inject(
+            "p1", MousePressed(window.window_id, 1, 150, 150)
+        )
+
+
+class TestPayloadEntry:
+    def test_inject_payload_decodes(self, setup):
+        _wm, _apps, window, board, injector = setup
+        payload = MousePressed(window.window_id, 1, 150, 150).encode()
+        assert injector.inject_payload("p1", payload)
+        assert board.points_drawn == 1
+
+    def test_unknown_type_counted(self, setup):
+        _wm, _apps, _window, _board, injector = setup
+        from repro.core.header import CommonHeader
+
+        payload = CommonHeader(200, 0, 0).encode()
+        assert not injector.inject_payload("p1", payload)
+        assert injector.stats.rejected_unknown_type == 1
+
+    def test_stats_by_type(self, setup):
+        _wm, _apps, window, _board, injector = setup
+        injector.inject("p1", MouseMoved(window.window_id, 150, 150))
+        injector.inject("p1", MouseMoved(window.window_id, 151, 150))
+        assert injector.stats.by_type["MouseMoved"] == 2

@@ -1,0 +1,106 @@
+"""Tests for the group-aware layout policy (section 4.1 grouping)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.window_info import WindowRecord
+from repro.sharing.layout import GroupedLayout
+from repro.surface.geometry import Rect
+
+SCREEN = Rect(0, 0, 1280, 1024)
+
+
+def record(wid, group, left, top, w=100, h=80):
+    return WindowRecord(wid, group, left, top, w, h)
+
+
+class TestGroupedLayout:
+    def test_intra_group_geometry_preserved(self):
+        """Windows of one process keep their relative arrangement."""
+        records = [
+            record(1, 1, 200, 150),
+            record(2, 1, 260, 230),  # 60 right, 80 down of window 1
+            record(3, 2, 900, 700),
+        ]
+        placements = GroupedLayout().place(records, SCREEN)
+        dx = placements[2].x - placements[1].x
+        dy = placements[2].y - placements[1].y
+        assert (dx, dy) == (60, 80)
+
+    def test_groups_do_not_overlap(self):
+        records = [
+            record(1, 1, 0, 0),
+            record(2, 1, 50, 40),
+            record(3, 2, 10, 20),  # would overlap group 1 originally
+            record(4, 2, 60, 60),
+        ]
+        placements = GroupedLayout(gutter=16).place(records, SCREEN)
+        # Bounding boxes of the two groups are horizontally disjoint.
+        g1_right = max(placements[w].x + 100 for w in (1, 2))
+        g2_left = min(placements[w].x for w in (3, 4))
+        assert g2_left >= g1_right + 16 or g1_right >= g2_left  # ordered either way
+        # Stronger: packed left-to-right, so no x-range intersection.
+        g1 = [placements[1].x, placements[2].x]
+        g2 = [placements[3].x, placements[4].x]
+        assert max(g1) + 100 <= min(g2) or max(g2) + 100 <= min(g1)
+
+    def test_ungrouped_windows_are_own_units(self):
+        records = [record(1, 0, 500, 500), record(2, 0, 510, 510)]
+        placements = GroupedLayout(gutter=10).place(records, SCREEN)
+        assert placements[1] != placements[2]
+
+    def test_wraps_to_next_row(self):
+        records = [
+            record(i, i, 0, 0, w=500, h=100) for i in range(1, 5)
+        ]
+        placements = GroupedLayout(gutter=20).place(records, SCREEN)
+        rows = {placements[i].y for i in range(1, 5)}
+        assert len(rows) > 1  # 4 × 500px cannot fit one 1280px row
+
+    def test_empty(self):
+        assert GroupedLayout().place([], SCREEN) == {}
+
+    @given(
+        st.lists(
+            st.builds(
+                WindowRecord,
+                window_id=st.integers(0, 50),
+                group_id=st.integers(0, 3),
+                left=st.integers(0, 1000),
+                top=st.integers(0, 800),
+                width=st.integers(20, 300),
+                height=st.integers(20, 200),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=30)
+    def test_all_windows_on_screen(self, raw_records):
+        seen = {}
+        for r in raw_records:
+            seen[r.window_id] = r
+        records = list(seen.values())
+        placements = GroupedLayout().place(records, SCREEN)
+        for r in records:
+            p = placements[r.window_id]
+            assert p.x >= 0 and p.y >= 0
+            if r.width <= SCREEN.width:
+                assert p.x + r.width <= SCREEN.width
+
+
+class TestShiftInEditor:
+    def test_shift_produces_uppercase(self):
+        from repro.apps.text_editor import TextEditorApp
+        from repro.core import keycodes
+        from repro.surface.window import WindowManager
+
+        wm = WindowManager(640, 480)
+        editor = TextEditorApp(wm.create_window(Rect(0, 0, 300, 200)))
+        editor.on_key_pressed(keycodes.VK_A)
+        editor.on_key_pressed(keycodes.VK_SHIFT)
+        editor.on_key_pressed(keycodes.VK_B)
+        editor.on_key_pressed(keycodes.VK_1)
+        editor.on_key_released(keycodes.VK_SHIFT)
+        editor.on_key_pressed(keycodes.VK_C)
+        assert editor.text() == "aB!c"

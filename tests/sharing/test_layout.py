@@ -1,0 +1,91 @@
+"""Tests for participant layout policies beyond the paper-figure cases."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.window_info import WindowRecord
+from repro.sharing.layout import CompactedLayout, OriginalLayout, ShiftedLayout
+from repro.surface.geometry import Rect
+
+records = st.builds(
+    WindowRecord,
+    window_id=st.integers(0, 100),
+    group_id=st.integers(0, 5),
+    left=st.integers(0, 1200),
+    top=st.integers(0, 900),
+    width=st.integers(10, 400),
+    height=st.integers(10, 300),
+)
+
+
+def unique_ids(record_list):
+    seen = {}
+    for record in record_list:
+        seen[record.window_id] = record
+    return list(seen.values())
+
+
+class TestOriginal:
+    def test_identity(self):
+        rs = [WindowRecord(1, 0, 50, 60, 10, 10)]
+        placements = OriginalLayout().place(rs, Rect(0, 0, 1280, 1024))
+        assert placements[1].as_tuple() == (50, 60)
+
+    def test_empty(self):
+        assert OriginalLayout().place([], Rect(0, 0, 100, 100)) == {}
+
+
+class TestShifted:
+    def test_auto_brings_to_origin(self):
+        rs = [
+            WindowRecord(1, 0, 300, 200, 10, 10),
+            WindowRecord(2, 0, 500, 400, 10, 10),
+        ]
+        placements = ShiftedLayout(auto=True).place(rs, Rect(0, 0, 1280, 1024))
+        assert placements[1].as_tuple() == (0, 0)
+        assert placements[2].as_tuple() == (200, 200)
+
+    @given(st.lists(records, min_size=1, max_size=5))
+    @settings(max_examples=30)
+    def test_relations_preserved(self, record_list):
+        rs = unique_ids(record_list)
+        placements = ShiftedLayout(auto=True).place(rs, Rect(0, 0, 4000, 4000))
+        for a in rs:
+            for b in rs:
+                dx_ah = b.left - a.left
+                dx_local = placements[b.window_id].x - placements[a.window_id].x
+                assert dx_ah == dx_local
+
+    def test_empty(self):
+        assert ShiftedLayout().place([], Rect(0, 0, 100, 100)) == {}
+
+
+class TestCompacted:
+    @given(st.lists(records, min_size=1, max_size=5))
+    @settings(max_examples=30)
+    def test_windows_fit_small_screen(self, record_list):
+        rs = unique_ids(record_list)
+        screen = Rect(0, 0, 640, 480)
+        placements = CompactedLayout().place(rs, screen)
+        for record in rs:
+            p = placements[record.window_id]
+            assert p.x >= 0 and p.y >= 0
+            # Window fits unless it is itself bigger than the screen, in
+            # which case it is pinned to the origin.
+            if record.width <= 640:
+                assert p.x + record.width <= 640
+            else:
+                assert p.x == 0
+            if record.height <= 480:
+                assert p.y + record.height <= 480
+            else:
+                assert p.y == 0
+
+    def test_no_compaction_needed_keeps_relative_positions(self):
+        rs = [
+            WindowRecord(1, 0, 0, 0, 50, 50),
+            WindowRecord(2, 0, 100, 100, 50, 50),
+        ]
+        placements = CompactedLayout().place(rs, Rect(0, 0, 1280, 1024))
+        assert placements[1].as_tuple() == (0, 0)
+        assert placements[2].as_tuple() == (100, 100)

@@ -1,0 +1,185 @@
+"""Participant-side unit tests: message application, recovery, HIP send."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.base import default_registry
+from repro.core.move_rectangle import MoveRectangle
+from repro.core.region_update import RegionUpdate
+from repro.core.window_info import WindowManagerInfo, WindowRecord
+from repro.net.channel import ChannelConfig, duplex_reliable
+from repro.rtp.clock import SimulatedClock
+from repro.rtp.packet import RtpPacket
+from repro.rtp.session import RtpSender
+from repro.sharing.config import PT_REMOTING, SharingConfig
+from repro.sharing.participant import Participant
+from repro.sharing.transport import StreamTransport
+from repro.surface.geometry import Rect
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture
+def wired(clock):
+    """A participant plus a raw sender-side handle to feed it packets."""
+    link = duplex_reliable(ChannelConfig(delay=0.0), clock.now)
+    feeder = StreamTransport(link.forward, link.backward)
+    participant = Participant(
+        "p1",
+        StreamTransport(link.backward, link.forward),
+        now=clock.now,
+        config=SharingConfig(),
+    )
+    sender = RtpSender(PT_REMOTING, ssrc=7, now=clock.now)
+    return participant, feeder, sender
+
+
+def send_payload(feeder, sender, payload, marker=False, timestamp=None):
+    packet = sender.next_packet(payload, marker=marker, timestamp=timestamp)
+    feeder.send_packet(packet.encode())
+
+
+def wmi(*records):
+    return WindowManagerInfo(tuple(records)).encode()
+
+
+REC = WindowRecord(window_id=1, group_id=0, left=100, top=100, width=50,
+                   height=40)
+
+
+class TestWindowInfoApplication:
+    def test_creates_windows(self, wired):
+        participant, feeder, sender = wired
+        send_payload(feeder, sender, wmi(REC))
+        participant.process_incoming()
+        assert 1 in participant.windows
+        assert participant.windows[1].surface.width == 50
+
+    def test_resize_keeps_image(self, wired):
+        participant, feeder, sender = wired
+        send_payload(feeder, sender, wmi(REC))
+        participant.process_incoming()
+        participant.windows[1].surface.fill((9, 9, 9, 255))
+        bigger = WindowRecord(1, 0, 100, 100, 80, 60)
+        send_payload(feeder, sender, wmi(bigger))
+        participant.process_incoming()
+        surface = participant.windows[1].surface
+        assert (surface.width, surface.height) == (80, 60)
+        assert surface.get_pixel(10, 10) == (9, 9, 9, 255)  # image kept
+        assert surface.get_pixel(70, 10) == (0, 0, 0, 255)  # new area blank
+
+    def test_absent_window_closed(self, wired):
+        participant, feeder, sender = wired
+        other = WindowRecord(2, 0, 0, 0, 10, 10)
+        send_payload(feeder, sender, wmi(REC, other))
+        participant.process_incoming()
+        send_payload(feeder, sender, wmi(other))
+        participant.process_incoming()
+        assert set(participant.windows) == {2}
+
+
+class TestRegionUpdateApplication:
+    def test_update_lands_window_local(self, wired):
+        participant, feeder, sender = wired
+        send_payload(feeder, sender, wmi(REC))
+        registry = default_registry()
+        png = registry.by_name("png")
+        pixels = np.full((8, 8, 4), 200, dtype=np.uint8)
+        # Absolute coordinates (110, 112) → window-local (10, 12).
+        update = RegionUpdate(1, 110, 112, png.payload_type, png.encode(pixels))
+        send_payload(feeder, sender, update.encode_single(), marker=True)
+        participant.process_incoming()
+        surface = participant.windows[1].surface
+        assert surface.get_pixel(10, 12) == (200, 200, 200, 200)
+        assert participant.updates_applied == 1
+
+    def test_unknown_window_ignored(self, wired):
+        participant, feeder, sender = wired
+        png = default_registry().by_name("png")
+        data = png.encode(np.zeros((4, 4, 4), dtype=np.uint8))
+        update = RegionUpdate(77, 0, 0, png.payload_type, data)
+        send_payload(feeder, sender, update.encode_single(), marker=True)
+        participant.process_incoming()
+        assert participant.updates_applied == 0
+
+    def test_unsupported_codec_skipped(self, wired):
+        participant, feeder, sender = wired
+        send_payload(feeder, sender, wmi(REC))
+        update = RegionUpdate(1, 100, 100, 55, b"mystery-codec")
+        send_payload(feeder, sender, update.encode_single(), marker=True)
+        participant.process_incoming()
+        assert participant.updates_applied == 0
+
+    def test_corrupt_payload_survived(self, wired):
+        participant, feeder, sender = wired
+        send_payload(feeder, sender, wmi(REC))
+        png = default_registry().by_name("png")
+        update = RegionUpdate(1, 100, 100, png.payload_type, b"not a png")
+        send_payload(feeder, sender, update.encode_single(), marker=True)
+        participant.process_incoming()  # must not raise
+        assert participant.updates_applied == 0
+
+
+class TestMoveRectangleApplication:
+    def test_move_applies(self, wired):
+        participant, feeder, sender = wired
+        send_payload(feeder, sender, wmi(REC))
+        participant.process_incoming()
+        surface = participant.windows[1].surface
+        surface.fill((5, 5, 5, 255), Rect(0, 0, 10, 10))
+        # Absolute: copy window rect (100,100,10,10) → (120,110).
+        move = MoveRectangle(1, 100, 100, 10, 10, 120, 110)
+        send_payload(feeder, sender, move.encode())
+        participant.process_incoming()
+        assert surface.get_pixel(25, 12) == (5, 5, 5, 255)
+        assert participant.moves_applied == 1
+
+
+class TestRenderScreen:
+    def test_render_respects_local_layout_and_z(self, wired):
+        participant, feeder, sender = wired
+        a = WindowRecord(1, 0, 0, 0, 20, 20)
+        b = WindowRecord(2, 0, 10, 10, 20, 20)
+        send_payload(feeder, sender, wmi(a, b))
+        participant.process_incoming()
+        participant.windows[1].surface.fill((255, 0, 0, 255))
+        participant.windows[2].surface.fill((0, 255, 0, 255))
+        screen = participant.render_screen()
+        assert screen.get_pixel(15, 15) == (0, 255, 0, 255)  # b on top
+        assert screen.get_pixel(5, 5) == (255, 0, 0, 255)
+        assert screen.get_pixel(600, 600) == (0, 0, 0, 255)  # blanked
+
+
+class TestHipSendPath:
+    def test_hip_uses_hip_payload_type(self, wired, clock):
+        participant, feeder, _sender = wired
+        send_wmi_first = WindowManagerInfo((REC,)).encode()
+        sender = RtpSender(PT_REMOTING, ssrc=9, now=clock.now)
+        feeder.send_packet(sender.next_packet(send_wmi_first).encode())
+        participant.process_incoming()
+        participant.click(1, 5, 5)
+        packets = [RtpPacket.decode(p) for p in feeder.receive_packets()]
+        assert packets
+        assert all(p.payload_type == 100 for p in packets)
+
+    def test_click_transforms_to_ah_coords(self, wired):
+        participant, feeder, sender = wired
+        send_payload(feeder, sender, wmi(REC))
+        participant.process_incoming()
+        participant.press_mouse(1, 5, 7)
+        from repro.core.hip import MousePressed
+
+        packet = RtpPacket.decode(feeder.receive_packets()[0])
+        msg = MousePressed.decode(packet.payload)
+        assert (msg.left, msg.top) == (105, 107)  # window at (100,100)
+
+    def test_type_text_splits_long_strings(self, wired):
+        participant, feeder, sender = wired
+        send_payload(feeder, sender, wmi(REC))
+        participant.process_incoming()
+        participant.type_text(1, "x" * 5000)
+        packets = feeder.receive_packets()
+        assert len(packets) > 1

@@ -1,0 +1,234 @@
+"""Tests for the update scheduler: backlog coalescing, pacing, NACKs."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.codecs.base import default_registry
+from repro.net.channel import ChannelConfig, duplex_reliable, duplex_lossy
+from repro.net.ratecontrol import TokenBucket
+from repro.rtp.clock import SimulatedClock
+from repro.rtp.packet import RtpPacket
+from repro.rtp.session import RtpSender
+from repro.sharing.capture import CapturedFrame, UpdateOp
+from repro.sharing.config import PT_REMOTING, SharingConfig
+from repro.sharing.encoder import FrameEncoder
+from repro.sharing.sender import UpdateScheduler
+from repro.sharing.transport import DatagramTransport, StreamTransport
+from repro.surface.framebuffer import WHITE
+from repro.surface.geometry import Rect
+from repro.surface.window import WindowManager
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+def make_scheduler(clock, config=None, bandwidth=0, rate_bps=None,
+                   reliable=True, send_buffer=256 * 1024):
+    cfg = config or SharingConfig()
+    manager = WindowManager(640, 480)
+    window = manager.create_window(Rect(0, 0, 200, 200))
+    manager.harvest_damage()
+    channel_config = ChannelConfig(delay=0.01, bandwidth_bps=bandwidth)
+    if reliable:
+        link = duplex_reliable(channel_config, clock.now, send_buffer=send_buffer)
+        transport = StreamTransport(link.forward, link.backward)
+        receiver = StreamTransport(link.backward, link.forward)
+    else:
+        link = duplex_lossy(channel_config, clock.now)
+        transport = DatagramTransport(link.forward, link.backward)
+        receiver = DatagramTransport(link.backward, link.forward)
+    sender = RtpSender(PT_REMOTING, now=clock.now, rng=random.Random(0))
+    encoder = FrameEncoder(sender, default_registry(), cfg, clock.now)
+    limiter = TokenBucket(rate_bps, clock.now) if rate_bps else None
+    scheduler = UpdateScheduler(transport, encoder, manager, cfg, clock.now, limiter)
+    return scheduler, manager, window, receiver
+
+
+def frame_for(window, rect: Rect) -> CapturedFrame:
+    return CapturedFrame(
+        updates=[
+            UpdateOp(
+                window.window_id,
+                window.rect.left + rect.left,
+                window.rect.top + rect.top,
+                window.surface.read_rect(rect),
+            )
+        ]
+    )
+
+
+class TestImmediateSend:
+    def test_clear_path_sends_now(self, clock):
+        scheduler, _m, window, receiver = make_scheduler(clock)
+        scheduler.submit(frame_for(window, Rect(0, 0, 10, 10)))
+        assert scheduler.packets_sent > 0
+        assert scheduler.queue_depth == 0
+        clock.advance(0.02)
+        assert receiver.receive_packets()
+
+    def test_empty_frame_ignored(self, clock):
+        scheduler, _m, _w, _r = make_scheduler(clock)
+        scheduler.submit(CapturedFrame())
+        assert scheduler.packets_sent == 0
+
+
+class TestCoalescing:
+    def test_backlogged_frames_coalesce(self, clock):
+        # 80 kb/s: a full-window PNG takes a while to drain.
+        scheduler, _m, window, _r = make_scheduler(clock, bandwidth=80_000)
+        window.fill(WHITE)
+        scheduler.submit(frame_for(window, Rect(0, 0, 200, 200)))
+        sent_first = scheduler.packets_sent
+        # While the link is busy, submit 10 more frames for one region.
+        for i in range(10):
+            window.fill((i, i, i, 255), Rect(0, 0, 50, 50))
+            scheduler.submit(frame_for(window, Rect(0, 0, 50, 50)))
+        assert scheduler.frames_coalesced == 10
+        assert scheduler.has_pending
+        # Only the original packets went out so far.
+        assert scheduler.packets_sent == sent_first
+        # Once the link drains, exactly one fresh update goes out.
+        clock.advance(5.0)
+        scheduler.pump()
+        assert not scheduler.has_pending
+
+    def test_coalesced_send_uses_latest_pixels(self, clock):
+        scheduler, _m, window, receiver = make_scheduler(clock, bandwidth=100_000)
+        window.fill(WHITE)
+        scheduler.submit(frame_for(window, Rect(0, 0, 200, 200)))
+        # Stale intermediate states while blocked:
+        for value in (10, 20, 30):
+            window.fill((value, 0, 0, 255), Rect(0, 0, 8, 8))
+            scheduler.submit(frame_for(window, Rect(0, 0, 8, 8)))
+        clock.advance(10.0)
+        scheduler.pump()
+        clock.advance(1.0)
+        packets = [RtpPacket.decode(p) for p in receiver.receive_packets()]
+        # Reassemble every region update and decode the last 8x8 one.
+        from repro.core.fragmentation import UpdateReassembler
+
+        registry = default_registry()
+        reassembler = UpdateReassembler()
+        small_updates = []
+        for packet in packets:
+            result = reassembler.push(
+                packet.payload, packet.marker, packet.timestamp
+            )
+            if result is not None:
+                pixels = registry.by_payload_type(result.content_pt).decode(
+                    result.data
+                )
+                if pixels.shape[:2] == (8, 8):
+                    small_updates.append(pixels)
+        # Exactly one coalesced update for the 8x8 region, newest content.
+        assert len(small_updates) == 1
+        assert (small_updates[0][0, 0] == (30, 0, 0, 255)).all()
+
+    def test_coalescing_disabled_queues_everything(self, clock):
+        cfg = SharingConfig(backlog_coalescing=False)
+        scheduler, _m, window, _r = make_scheduler(
+            clock, config=cfg, bandwidth=80_000, send_buffer=4096
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            window.draw_pixels(
+                0, 0, rng.integers(0, 256, (100, 100, 4)).astype(np.uint8)
+            )
+            scheduler.submit(frame_for(window, Rect(0, 0, 100, 100)))
+        assert scheduler.frames_coalesced == 0
+        assert scheduler.queue_depth > 0  # stale frames stay queued
+
+    def test_window_info_survives_coalescing(self, clock):
+        from repro.sharing.capture import window_manager_info
+
+        scheduler, manager, window, receiver = make_scheduler(
+            clock, bandwidth=50_000
+        )
+        window.fill(WHITE)
+        scheduler.submit(frame_for(window, Rect(0, 0, 200, 200)))
+        frame = CapturedFrame(window_info=window_manager_info(manager))
+        scheduler.submit(frame)  # coalesced while blocked
+        clock.advance(20.0)
+        scheduler.pump()
+        clock.advance(1.0)
+        packets = [RtpPacket.decode(p) for p in receiver.receive_packets()]
+        types = {p.payload[0] for p in packets}
+        assert 1 in types  # WindowManagerInfo made it out
+
+
+class TestRatePacing:
+    def test_rate_limited_udp(self, clock):
+        scheduler, _m, window, _r = make_scheduler(
+            clock, reliable=False, rate_bps=200_000
+        )
+        window.fill(WHITE)
+        # Submit a burst far exceeding one second of budget.
+        for i in range(30):
+            window.fill((i, 0, 0, 255), Rect(0, 0, 100, 100))
+            scheduler.submit(frame_for(window, Rect(0, 0, 100, 100)))
+            scheduler.pump()
+        bytes_first_burst = scheduler.bytes_sent
+        assert bytes_first_burst <= 200_000 / 8 + 10_000  # burst cap
+        # After time passes, pending data drains at the configured rate.
+        clock.advance(1.0)
+        scheduler.pump()
+        assert scheduler.bytes_sent > bytes_first_burst
+
+
+class TestFullRefresh:
+    def test_full_refresh_supersedes_pending(self, clock):
+        scheduler, _m, window, _r = make_scheduler(clock, bandwidth=50_000)
+        window.fill(WHITE)
+        scheduler.submit(frame_for(window, Rect(0, 0, 200, 200)))
+        scheduler.submit(frame_for(window, Rect(0, 0, 10, 10)))  # pending
+        scheduler.submit_full_refresh()
+        assert not scheduler.has_pending  # pending absorbed by refresh
+
+    def test_full_refresh_contains_wmi(self, clock):
+        scheduler, _m, _w, receiver = make_scheduler(clock)
+        scheduler.submit_full_refresh()
+        clock.advance(0.1)
+        packets = [RtpPacket.decode(p) for p in receiver.receive_packets()]
+        assert packets[0].payload[0] == 1  # WMI first
+
+
+class TestRetransmission:
+    def test_retransmit_from_cache(self, clock):
+        scheduler, _m, window, receiver = make_scheduler(clock, reliable=False)
+        scheduler.submit(frame_for(window, Rect(0, 0, 20, 20)))
+        clock.advance(0.1)
+        originals = receiver.receive_packets()
+        assert originals
+        seqs = [RtpPacket.decode(p).sequence_number for p in originals]
+        count = scheduler.retransmit(seqs)
+        assert count == len(seqs)
+        clock.advance(0.1)
+        replays = receiver.receive_packets()
+        assert sorted(replays) == sorted(originals)
+
+    def test_retransmit_unknown_seq_ignored(self, clock):
+        scheduler, _m, _w, _r = make_scheduler(clock, reliable=False)
+        assert scheduler.retransmit([12345]) == 0
+
+    def test_cache_disabled_when_no_retransmissions(self, clock):
+        cfg = SharingConfig(retransmissions=False)
+        scheduler, _m, window, receiver = make_scheduler(clock, config=cfg)
+        scheduler.submit(frame_for(window, Rect(0, 0, 10, 10)))
+        clock.advance(0.1)
+        seqs = [
+            RtpPacket.decode(p).sequence_number
+            for p in receiver.receive_packets()
+        ]
+        assert scheduler.retransmit(seqs) == 0
+
+
+class TestStaleness:
+    def test_staleness_recorded(self, clock):
+        scheduler, _m, window, _r = make_scheduler(clock)
+        scheduler.submit(frame_for(window, Rect(0, 0, 10, 10)))
+        assert scheduler.updates_sent_stale_after
+        assert all(s >= 0 for s in scheduler.updates_sent_stale_after)

@@ -1,0 +1,192 @@
+"""Tests for the SIP session-setup subset."""
+
+import random
+
+import pytest
+
+from repro.sdp import build_ah_offer, negotiate, parse_sdp
+from repro.sip.dialog import DialogState, SipEndpoint
+from repro.sip.messages import SipError, SipMessage
+
+
+class TestMessageFormat:
+    def test_request_roundtrip(self):
+        msg = SipMessage.request(
+            "INVITE",
+            "sip:participant@example.com",
+            {"Call-Id": "abc@host", "Cseq": "1 INVITE", "From": "<sip:ah@h>;tag=1",
+             "To": "<sip:participant@example.com>", "Via": "SIP/2.0/TCP h"},
+            body="v=0\r\n",
+        )
+        parsed = SipMessage.parse(msg.serialize())
+        assert parsed.method == "INVITE"
+        assert parsed.uri == "sip:participant@example.com"
+        assert parsed.body == "v=0\r\n"
+        assert parsed.header("call-id") == "abc@host"
+
+    def test_response_roundtrip(self):
+        msg = SipMessage.response(200, "OK", {"Cseq": "1 INVITE"})
+        parsed = SipMessage.parse(msg.serialize())
+        assert parsed.status_code == 200
+        assert parsed.reason == "OK"
+        assert not parsed.is_request
+
+    def test_content_length_written(self):
+        msg = SipMessage.request("BYE", "sip:x@y", {}, body="hello")
+        assert "Content-Length: 5" in msg.serialize()
+
+    def test_sdp_content_type_defaulted(self):
+        msg = SipMessage.request("INVITE", "sip:x@y", {}, body="v=0")
+        assert "Content-Type: application/sdp" in msg.serialize()
+
+    def test_header_name_folding(self):
+        msg = SipMessage.parse("INVITE sip:a@b SIP/2.0\r\nCALL-ID: x\r\n\r\n")
+        assert msg.header("Call-Id") == "x"
+
+    def test_cseq_parse(self):
+        msg = SipMessage.response(200, "OK", {"Cseq": "42 INVITE"})
+        assert msg.cseq() == (42, "INVITE")
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(SipError):
+            SipMessage.request("REGISTER", "sip:x@y", {})
+
+    def test_malformed_start_line(self):
+        with pytest.raises(SipError):
+            SipMessage.parse("NOT A SIP LINE\r\n\r\n")
+
+    def test_missing_required_header(self):
+        msg = SipMessage.parse("INVITE sip:a@b SIP/2.0\r\n\r\n")
+        with pytest.raises(SipError):
+            msg.require_header("Call-Id")
+
+
+def wired_pair():
+    """Two endpoints connected by direct in-memory delivery."""
+    inboxes = {"ah": [], "p": []}
+    ah = SipEndpoint(
+        "sip:ah@host-a", send=lambda t: inboxes["p"].append(t),
+        rng=random.Random(1),
+    )
+    participant = SipEndpoint(
+        "sip:p@host-b", send=lambda t: inboxes["ah"].append(t),
+        rng=random.Random(2),
+    )
+
+    def pump():
+        progressed = True
+        while progressed:
+            progressed = False
+            while inboxes["ah"]:
+                ah.receive(inboxes["ah"].pop(0))
+                progressed = True
+            while inboxes["p"]:
+                participant.receive(inboxes["p"].pop(0))
+                progressed = True
+
+    return ah, participant, pump
+
+
+class TestDialog:
+    def test_full_call_setup(self):
+        ah, participant, pump = wired_pair()
+        offer = build_ah_offer().to_string()
+        ah.invite("sip:p@host-b", offer)
+        pump()
+        assert participant.state is DialogState.RINGING
+        assert participant.remote_sdp == offer
+        # Participant negotiates and answers.
+        agreed = negotiate(parse_sdp(participant.remote_sdp))
+        answer = f"v=0\r\n; negotiated transport={agreed.transport}"
+        participant.accept(answer)
+        pump()
+        assert ah.state is DialogState.ESTABLISHED
+        assert participant.state is DialogState.ESTABLISHED
+        assert ah.remote_sdp == answer
+
+    def test_established_callbacks_fire(self):
+        got = {}
+        ah, participant, pump = wired_pair()
+        ah.on_established = lambda sdp: got.setdefault("ah", sdp)
+        participant.on_established = lambda sdp: got.setdefault("p", sdp)
+        ah.invite("sip:p@host-b", "OFFER")
+        pump()
+        participant.accept("ANSWER")
+        pump()
+        assert got == {"ah": "ANSWER", "p": "OFFER"}
+
+    def test_reject_terminates(self):
+        ah, participant, pump = wired_pair()
+        ah.invite("sip:p@host-b", "OFFER")
+        pump()
+        participant.reject()
+        pump()
+        assert ah.state is DialogState.TERMINATED
+        assert participant.state is DialogState.TERMINATED
+
+    def test_bye_teardown(self):
+        ended = []
+        ah, participant, pump = wired_pair()
+        participant.on_terminated = lambda: ended.append("p")
+        ah.invite("sip:p@host-b", "OFFER")
+        pump()
+        participant.accept("ANSWER")
+        pump()
+        ah.bye()
+        pump()
+        assert ah.state is DialogState.TERMINATED
+        assert participant.state is DialogState.TERMINATED
+        assert ended == ["p"]
+
+    def test_cannot_invite_twice(self):
+        ah, _participant, pump = wired_pair()
+        ah.invite("sip:p@host-b", "OFFER")
+        with pytest.raises(SipError):
+            ah.invite("sip:p@host-b", "OFFER")
+
+    def test_cannot_accept_without_invite(self):
+        _ah, participant, _pump = wired_pair()
+        with pytest.raises(SipError):
+            participant.accept("ANSWER")
+
+    def test_cannot_bye_before_established(self):
+        ah, _participant, _pump = wired_pair()
+        with pytest.raises(SipError):
+            ah.bye()
+
+    def test_dialog_identifiers_consistent(self):
+        ah, participant, pump = wired_pair()
+        ah.invite("sip:p@host-b", "OFFER")
+        pump()
+        participant.accept("ANSWER")
+        pump()
+        assert ah.call_id == participant.call_id
+        assert ah.remote_tag == participant.local_tag
+        assert participant.remote_tag == ah.local_tag
+
+
+class TestSipPlusSharingSession:
+    def test_sdp_negotiated_via_sip_builds_session(self):
+        """Full setup flow: SIP handshake carries the section 10 SDP,
+        and the negotiated parameters configure a working session."""
+        from repro import quick_session
+
+        ah_sip, p_sip, pump = wired_pair()
+        result = {}
+        p_sip.on_established = lambda sdp: result.setdefault("offer", sdp)
+        ah_sip.invite("sip:p@host-b", build_ah_offer().to_string())
+        pump()
+        agreed = negotiate(parse_sdp(p_sip.remote_sdp), prefer_transport="tcp")
+        p_sip.accept("v=0\r\n")
+        pump()
+        assert agreed.transport == "tcp"
+        # Build the media session the SDP described (simulated link).
+        ah, participant, clock = quick_session()
+        from repro.surface import Rect
+
+        ah.windows.create_window(Rect(0, 0, 50, 40))
+        for _ in range(30):
+            ah.advance(0.02)
+            clock.advance(0.02)
+            participant.process_incoming()
+        assert participant.converged_with(ah.windows)

@@ -1,0 +1,77 @@
+"""Tests for session trace recording."""
+
+import pytest
+
+from repro.rtp.clock import SimulatedClock
+from repro.stats.trace import SessionTrace
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture
+def trace(clock):
+    return SessionTrace(clock.now)
+
+
+class TestRecording:
+    def test_event_carries_time_and_attrs(self, clock, trace):
+        clock.advance(1.5)
+        event = trace.record("update-sent", seq=42, bytes=100)
+        assert event.time == 1.5
+        assert event.attrs == {"seq": 42, "bytes": 100}
+        assert len(trace) == 1
+
+    def test_iteration_in_order(self, clock, trace):
+        for i in range(5):
+            trace.record("tick", i=i)
+            clock.advance(0.1)
+        assert [e.attrs["i"] for e in trace] == list(range(5))
+
+
+class TestQueries:
+    def test_filter_by_kind(self, trace):
+        trace.record("a")
+        trace.record("b")
+        trace.record("a")
+        assert trace.count("a") == 2
+        assert len(trace.events("b")) == 1
+        assert len(trace.events()) == 3
+
+    def test_first_last(self, clock, trace):
+        trace.record("x", n=1)
+        clock.advance(1)
+        trace.record("x", n=2)
+        assert trace.first("x").attrs["n"] == 1
+        assert trace.last("x").attrs["n"] == 2
+        assert trace.first("missing") is None
+
+    def test_between(self, clock, trace):
+        for _ in range(5):
+            trace.record("t")
+            clock.advance(1.0)
+        assert len(trace.between(1.0, 3.0)) == 2
+
+    def test_span(self, clock, trace):
+        trace.record("start")
+        clock.advance(2.5)
+        trace.record("end")
+        assert trace.span("start", "end") == pytest.approx(2.5)
+        assert trace.span("start", "missing") is None
+
+    def test_rate_per_second(self, clock, trace):
+        for _ in range(11):
+            trace.record("pkt")
+            clock.advance(0.1)
+        assert trace.rate_per_second("pkt") == pytest.approx(10.0)
+
+    def test_rate_degenerate(self, trace):
+        trace.record("only-one")
+        assert trace.rate_per_second("only-one") == 0.0
+
+    def test_to_rows(self, clock, trace):
+        trace.record("e", value=7)
+        rows = trace.to_rows()
+        assert rows == [{"time": 0.0, "kind": "e", "value": 7}]

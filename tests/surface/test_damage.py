@@ -1,0 +1,85 @@
+"""Tests for tile-based change detection."""
+
+import numpy as np
+import pytest
+
+from repro.surface.damage import TileDiffer, shrink_to_changed_rows
+from repro.surface.framebuffer import Framebuffer, WHITE
+from repro.surface.geometry import Rect
+
+
+class TestTileDiffer:
+    def test_first_frame_full_damage(self):
+        differ = TileDiffer(64, 64, tile=16)
+        frame = Framebuffer(64, 64)
+        damage = differ.diff(frame)
+        assert damage.area == 64 * 64
+
+    def test_no_change_no_damage(self):
+        differ = TileDiffer(64, 64, tile=16)
+        frame = Framebuffer(64, 64)
+        differ.diff(frame)
+        assert differ.diff(frame).is_empty()
+
+    def test_single_pixel_damages_one_tile(self):
+        differ = TileDiffer(64, 64, tile=16)
+        frame = Framebuffer(64, 64)
+        differ.diff(frame)
+        frame.put_pixel(20, 20, WHITE)
+        damage = differ.diff(frame)
+        assert damage.area == 16 * 16
+        assert damage.bounds() == Rect(16, 16, 16, 16)
+
+    def test_changes_in_two_tiles(self):
+        differ = TileDiffer(64, 64, tile=16)
+        frame = Framebuffer(64, 64)
+        differ.diff(frame)
+        frame.put_pixel(0, 0, WHITE)
+        frame.put_pixel(60, 60, WHITE)
+        damage = differ.diff(frame)
+        assert damage.area == 2 * 16 * 16
+
+    def test_reset_forces_full(self):
+        differ = TileDiffer(32, 32)
+        frame = Framebuffer(32, 32)
+        differ.diff(frame)
+        differ.reset()
+        assert differ.diff(frame).area == 32 * 32
+
+    def test_size_mismatch_rejected(self):
+        differ = TileDiffer(32, 32)
+        with pytest.raises(ValueError):
+            differ.diff(Framebuffer(16, 16))
+
+    def test_bad_tile_rejected(self):
+        with pytest.raises(ValueError):
+            TileDiffer(32, 32, tile=0)
+
+    def test_edge_tiles_clipped(self):
+        differ = TileDiffer(50, 50, tile=32)
+        frame = Framebuffer(50, 50)
+        differ.diff(frame)
+        frame.put_pixel(49, 49, WHITE)
+        damage = differ.diff(frame)
+        assert damage.bounds() == Rect(32, 32, 18, 18)
+
+
+class TestShrinkToChangedRows:
+    def test_tightens_rows(self):
+        before = Framebuffer(32, 32)
+        after = before.copy()
+        after.fill(WHITE, Rect(0, 10, 32, 3))
+        tight = shrink_to_changed_rows(before, after, Rect(0, 0, 32, 32))
+        assert tight == Rect(0, 10, 32, 3)
+
+    def test_identical_gives_empty(self):
+        before = Framebuffer(16, 16)
+        after = before.copy()
+        assert shrink_to_changed_rows(before, after, Rect(0, 0, 16, 16)).is_empty()
+
+    def test_out_of_bounds_rect(self):
+        before = Framebuffer(8, 8)
+        after = before.copy()
+        assert shrink_to_changed_rows(
+            before, after, Rect(100, 100, 5, 5)
+        ).is_empty()

@@ -1,0 +1,150 @@
+"""Tests for RGBA framebuffers."""
+
+import numpy as np
+import pytest
+
+from repro.surface.framebuffer import BLACK, WHITE, Framebuffer
+from repro.surface.geometry import Rect
+
+
+class TestConstruction:
+    def test_fill_default_black(self):
+        fb = Framebuffer(4, 3)
+        assert fb.get_pixel(0, 0) == BLACK
+        assert (fb.width, fb.height) == (4, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Framebuffer(0, 5)
+
+    def test_from_array_copies(self):
+        src = np.zeros((2, 2, 4), dtype=np.uint8)
+        fb = Framebuffer.from_array(src)
+        src[0, 0] = 255
+        assert fb.get_pixel(0, 0) == (0, 0, 0, 0)
+
+    def test_from_array_bad_shape(self):
+        with pytest.raises(ValueError):
+            Framebuffer.from_array(np.zeros((2, 2, 3), dtype=np.uint8))
+
+    def test_from_array_bad_dtype(self):
+        with pytest.raises(ValueError):
+            Framebuffer.from_array(np.zeros((2, 2, 4), dtype=np.float32))
+
+
+class TestFillAndPixels:
+    def test_fill_rect(self):
+        fb = Framebuffer(10, 10)
+        fb.fill(WHITE, Rect(2, 2, 3, 3))
+        assert fb.get_pixel(2, 2) == WHITE
+        assert fb.get_pixel(4, 4) == WHITE
+        assert fb.get_pixel(5, 5) == BLACK
+
+    def test_fill_clips_to_bounds(self):
+        fb = Framebuffer(5, 5)
+        fb.fill(WHITE, Rect(3, 3, 100, 100))
+        assert fb.get_pixel(4, 4) == WHITE
+
+    def test_put_pixel_out_of_bounds_ignored(self):
+        fb = Framebuffer(3, 3)
+        fb.put_pixel(99, 99, WHITE)  # no exception
+
+
+class TestReadWrite:
+    def test_roundtrip(self, noise_image):
+        fb = Framebuffer(64, 64)
+        written = fb.write_rect(5, 7, noise_image)
+        assert written == Rect(5, 7, noise_image.shape[1], noise_image.shape[0])
+        back = fb.read_rect(written)
+        assert np.array_equal(back, noise_image)
+
+    def test_write_clips(self, noise_image):
+        fb = Framebuffer(20, 20)
+        written = fb.write_rect(10, 10, noise_image)
+        assert written == Rect(10, 10, 10, 10)
+        assert np.array_equal(fb.read_rect(written), noise_image[:10, :10])
+
+    def test_write_fully_outside(self, noise_image):
+        fb = Framebuffer(5, 5)
+        assert fb.write_rect(100, 100, noise_image).is_empty()
+
+    def test_write_negative_origin_clips(self, noise_image):
+        fb = Framebuffer(50, 50)
+        written = fb.write_rect(-5, -3, noise_image)
+        assert written == Rect(0, 0, noise_image.shape[1] - 5, noise_image.shape[0] - 3)
+        assert np.array_equal(fb.read_rect(written), noise_image[3:, 5:])
+
+    def test_read_outside_is_empty(self):
+        fb = Framebuffer(5, 5)
+        assert fb.read_rect(Rect(10, 10, 5, 5)).size == 0
+
+
+class TestCopyRect:
+    def test_simple_move(self, noise_image):
+        fb = Framebuffer(100, 100)
+        fb.write_rect(0, 0, noise_image)
+        src = Rect(0, 0, noise_image.shape[1], noise_image.shape[0])
+        fb.copy_rect(src, 50, 50)
+        moved = fb.read_rect(Rect(50, 50, src.width, src.height))
+        assert np.array_equal(moved, noise_image)
+
+    def test_overlapping_move_is_safe(self):
+        """Source and destination rectangles may overlap (section 5.2.3)."""
+        fb = Framebuffer(10, 40)
+        for y in range(40):
+            fb.fill((y, y, y, 255), Rect(0, y, 10, 1))
+        before = fb.read_rect(Rect(0, 0, 10, 30))
+        fb.copy_rect(Rect(0, 0, 10, 30), 0, 5)
+        after = fb.read_rect(Rect(0, 5, 10, 30))
+        assert np.array_equal(before, after)
+
+
+class TestScroll:
+    def test_scroll_up(self):
+        fb = Framebuffer(4, 10)
+        for y in range(10):
+            fb.fill((y * 10, 0, 0, 255), Rect(0, y, 4, 1))
+        fb.scroll(Rect(0, 0, 4, 10), -3)
+        # Row 0 now holds what was row 3.
+        assert fb.get_pixel(0, 0) == (30, 0, 0, 255)
+        assert fb.get_pixel(0, 6) == (90, 0, 0, 255)
+
+    def test_scroll_down(self):
+        fb = Framebuffer(4, 10)
+        for y in range(10):
+            fb.fill((0, y * 10, 0, 255), Rect(0, y, 4, 1))
+        fb.scroll(Rect(0, 0, 4, 10), 2)
+        assert fb.get_pixel(0, 2) == (0, 0, 0, 255)
+        assert fb.get_pixel(0, 9) == (0, 70, 0, 255)
+
+    def test_scroll_entire_height_noop(self):
+        fb = Framebuffer(4, 4)
+        fb.fill(WHITE)
+        fb.scroll(Rect(0, 0, 4, 4), 4)
+        assert fb.get_pixel(0, 0) == WHITE
+
+
+class TestComparison:
+    def test_identical(self, noise_image):
+        a = Framebuffer.from_array(noise_image)
+        b = Framebuffer.from_array(noise_image)
+        assert a.identical_to(b)
+        b.put_pixel(0, 0, (1, 2, 3, 4))
+        assert not a.identical_to(b)
+
+    def test_diff_rect(self, noise_image):
+        a = Framebuffer.from_array(noise_image)
+        b = a.copy()
+        assert not a.diff_rect(b, a.bounds)
+        b.put_pixel(5, 5, (9, 9, 9, 9))
+        assert a.diff_rect(b, Rect(0, 0, 10, 10))
+        assert not a.diff_rect(b, Rect(10, 10, 10, 10))
+
+    def test_mean_abs_error(self):
+        a = Framebuffer(2, 2, fill=(10, 10, 10, 255))
+        b = Framebuffer(2, 2, fill=(12, 10, 10, 255))
+        assert a.mean_abs_error(b) == pytest.approx(0.5)
+
+    def test_mean_abs_error_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Framebuffer(2, 2).mean_abs_error(Framebuffer(3, 3))

@@ -1,0 +1,202 @@
+"""Tests for pixel geometry primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.surface.geometry import EMPTY_RECT, MAX_COORD, Point, Rect, Size
+
+coords = st.integers(min_value=0, max_value=2000)
+sizes = st.integers(min_value=0, max_value=1500)
+
+
+def rects():
+    return st.builds(Rect, coords, coords, sizes, sizes)
+
+
+class TestPoint:
+    def test_basic(self):
+        p = Point(3, 4)
+        assert p.as_tuple() == (3, 4)
+
+    def test_translated(self):
+        assert Point(5, 5).translated(-2, 3) == Point(3, 8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Point(-1, 0)
+
+    def test_translate_below_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Point(0, 0).translated(-1, 0)
+
+    def test_out_of_u32_rejected(self):
+        with pytest.raises(ValueError):
+            Point(MAX_COORD + 1, 0)
+
+
+class TestSize:
+    def test_area(self):
+        assert Size(3, 7).area == 21
+
+    def test_empty(self):
+        assert Size(0, 10).is_empty()
+        assert not Size(1, 1).is_empty()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Size(-1, 1)
+
+
+class TestRectBasics:
+    def test_edges(self):
+        r = Rect(10, 20, 30, 40)
+        assert (r.right, r.bottom) == (40, 60)
+        assert r.area == 1200
+
+    def test_from_points_any_order(self):
+        r1 = Rect.from_points(Point(1, 2), Point(5, 9))
+        r2 = Rect.from_points(Point(5, 9), Point(1, 2))
+        assert r1 == r2 == Rect(1, 2, 4, 7)
+
+    def test_from_edges(self):
+        assert Rect.from_edges(1, 2, 5, 9) == Rect(1, 2, 4, 7)
+
+    def test_from_edges_out_of_order(self):
+        with pytest.raises(ValueError):
+            Rect.from_edges(5, 2, 1, 9)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 5)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(MAX_COORD, 0, 2, 1)
+
+
+class TestContainment:
+    def test_contains_point_half_open(self):
+        r = Rect(10, 10, 5, 5)
+        assert r.contains_point(10, 10)
+        assert r.contains_point(14, 14)
+        assert not r.contains_point(15, 10)
+        assert not r.contains_point(10, 15)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 100, 100)
+        assert outer.contains_rect(Rect(10, 10, 10, 10))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(95, 0, 10, 10))
+
+    def test_empty_rect_contained_everywhere(self):
+        assert Rect(50, 50, 10, 10).contains_rect(EMPTY_RECT)
+
+
+class TestIntersection:
+    def test_overlap(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 10, 10)
+        assert a.intersection(b) == Rect(5, 5, 5, 5)
+
+    def test_disjoint_is_empty(self):
+        assert Rect(0, 0, 5, 5).intersection(Rect(10, 10, 5, 5)).is_empty()
+
+    def test_touching_edges_not_intersecting(self):
+        a = Rect(0, 0, 5, 5)
+        b = Rect(5, 0, 5, 5)
+        assert not a.intersects(b)
+        assert a.intersection(b).is_empty()
+
+    @given(rects(), rects())
+    def test_intersection_commutative(self, a: Rect, b: Rect):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(rects(), rects())
+    def test_intersection_contained_in_both(self, a: Rect, b: Rect):
+        clip = a.intersection(b)
+        if not clip.is_empty():
+            assert a.contains_rect(clip)
+            assert b.contains_rect(clip)
+
+
+class TestSubtract:
+    def test_hole_in_middle_yields_four(self):
+        outer = Rect(0, 0, 100, 100)
+        pieces = outer.subtract(Rect(25, 25, 50, 50))
+        assert len(pieces) == 4
+        assert sum(p.area for p in pieces) == 100 * 100 - 50 * 50
+
+    def test_disjoint_returns_self(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.subtract(Rect(50, 50, 5, 5)) == [r]
+
+    def test_full_cover_returns_nothing(self):
+        r = Rect(10, 10, 5, 5)
+        assert r.subtract(Rect(0, 0, 100, 100)) == []
+
+    @given(rects(), rects())
+    def test_subtract_area_conservation(self, a: Rect, b: Rect):
+        pieces = a.subtract(b)
+        expected = a.area - a.intersection(b).area
+        assert sum(p.area for p in pieces) == expected
+
+    @given(rects(), rects())
+    def test_subtract_pieces_disjoint_from_hole(self, a: Rect, b: Rect):
+        for piece in a.subtract(b):
+            assert not piece.intersects(b)
+            assert a.contains_rect(piece)
+
+
+class TestUnionBounds:
+    def test_bounding_box(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(20, 30, 5, 5)
+        assert a.union_bounds(b) == Rect(0, 0, 25, 35)
+
+    def test_with_empty(self):
+        a = Rect(5, 5, 10, 10)
+        assert a.union_bounds(EMPTY_RECT) == a
+        assert EMPTY_RECT.union_bounds(a) == a
+
+
+class TestTiles:
+    def test_exact_tiling(self):
+        tiles = list(Rect(0, 0, 64, 32).tiles(32))
+        assert len(tiles) == 2
+        assert all(t.area == 32 * 32 for t in tiles)
+
+    def test_clipped_edge_tiles(self):
+        tiles = list(Rect(0, 0, 50, 50).tiles(32))
+        assert len(tiles) == 4
+        assert sum(t.area for t in tiles) == 2500
+
+    def test_bad_tile_size(self):
+        with pytest.raises(ValueError):
+            list(Rect(0, 0, 10, 10).tiles(0))
+
+    @given(
+        st.builds(
+            Rect,
+            st.integers(0, 100),
+            st.integers(0, 100),
+            st.integers(0, 120),
+            st.integers(0, 120),
+        ),
+        st.integers(min_value=4, max_value=64),
+    )
+    def test_tiles_cover_exactly(self, r: Rect, tile: int):
+        tiles = list(r.tiles(tile))
+        assert sum(t.area for t in tiles) == r.area
+        for t in tiles:
+            assert r.contains_rect(t)
+
+
+class TestTranslation:
+    def test_translated(self):
+        assert Rect(5, 5, 3, 3).translated(10, -2) == Rect(15, 3, 3, 3)
+
+    def test_clamped_to(self):
+        assert Rect(5, 5, 100, 100).clamped_to(Rect(0, 0, 50, 50)) == Rect(
+            5, 5, 45, 45
+        )

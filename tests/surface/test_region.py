@@ -1,0 +1,147 @@
+"""Tests for the banded region algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.surface.geometry import Rect
+from repro.surface.region import Region
+
+small_rects = st.builds(
+    Rect,
+    st.integers(0, 100),
+    st.integers(0, 100),
+    st.integers(0, 60),
+    st.integers(0, 60),
+)
+rect_lists = st.lists(small_rects, max_size=6)
+
+
+def brute_force_area(rects: list[Rect]) -> int:
+    """Reference union area by pixel marking."""
+    cells = set()
+    for r in rects:
+        for y in range(r.top, r.bottom):
+            for x in range(r.left, r.right):
+                cells.add((x, y))
+    return len(cells)
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert Region().is_empty()
+        assert Region.empty().area == 0
+        assert not Region.empty()
+
+    def test_from_rect(self):
+        region = Region.from_rect(Rect(1, 2, 3, 4))
+        assert region.area == 12
+        assert len(region) == 1
+
+    def test_from_empty_rect(self):
+        assert Region.from_rect(Rect(0, 0, 0, 5)).is_empty()
+
+    def test_overlapping_rects_merge(self):
+        region = Region([Rect(0, 0, 10, 10), Rect(5, 0, 10, 10)])
+        assert region.area == 150
+
+    def test_adjacent_rects_coalesce(self):
+        region = Region([Rect(0, 0, 10, 10), Rect(10, 0, 10, 10)])
+        assert region.area == 200
+        assert len(region) == 1  # same band, touching spans merge
+
+    def test_vertical_coalescing(self):
+        region = Region([Rect(0, 0, 10, 5), Rect(0, 5, 10, 5)])
+        assert len(region) == 1
+        assert region.rects[0] == Rect(0, 0, 10, 10)
+
+
+class TestEquality:
+    def test_construction_order_irrelevant(self):
+        a = Region([Rect(0, 0, 5, 5), Rect(10, 10, 5, 5)])
+        b = Region([Rect(10, 10, 5, 5), Rect(0, 0, 5, 5)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @given(rect_lists)
+    def test_canonical_form(self, rects):
+        assert Region(rects) == Region(list(reversed(rects)))
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = Region.from_rect(Rect(0, 0, 10, 10))
+        b = Region.from_rect(Rect(20, 20, 10, 10))
+        assert a.union(b).area == 200
+
+    def test_intersect(self):
+        a = Region.from_rect(Rect(0, 0, 10, 10))
+        b = Region.from_rect(Rect(5, 5, 10, 10))
+        assert a.intersect(b).area == 25
+
+    def test_subtract(self):
+        a = Region.from_rect(Rect(0, 0, 10, 10))
+        result = a.subtract_rect(Rect(0, 0, 10, 5))
+        assert result.area == 50
+        assert result.bounds() == Rect(0, 5, 10, 5)
+
+    def test_contains_point(self):
+        region = Region([Rect(0, 0, 5, 5), Rect(10, 10, 5, 5)])
+        assert region.contains_point(2, 2)
+        assert region.contains_point(12, 12)
+        assert not region.contains_point(7, 7)
+
+    @given(rect_lists)
+    @settings(max_examples=40)
+    def test_union_area_matches_brute_force(self, rects):
+        assert Region(rects).area == brute_force_area(rects)
+
+    @given(rect_lists, small_rects)
+    @settings(max_examples=40)
+    def test_subtract_never_contains_hole(self, rects, hole):
+        result = Region(rects).subtract_rect(hole)
+        for r in result:
+            assert not r.intersects(hole)
+
+    @given(rect_lists, small_rects)
+    @settings(max_examples=40)
+    def test_subtract_union_partition(self, rects, hole):
+        """(A - B) and (A ∩ B) partition A."""
+        region = Region(rects)
+        minus = region.subtract_rect(hole)
+        inter = region.intersect_rect(hole)
+        assert minus.area + inter.area == region.area
+
+    @given(rect_lists, rect_lists)
+    @settings(max_examples=40)
+    def test_union_is_commutative(self, a, b):
+        assert Region(a).union(Region(b)) == Region(b).union(Region(a))
+
+    @given(rect_lists)
+    @settings(max_examples=40)
+    def test_rects_are_disjoint(self, rects):
+        region = Region(rects)
+        rs = region.rects
+        for i in range(len(rs)):
+            for j in range(i + 1, len(rs)):
+                assert not rs[i].intersects(rs[j])
+
+
+class TestHelpers:
+    def test_bounds(self):
+        region = Region([Rect(5, 5, 5, 5), Rect(20, 10, 5, 5)])
+        assert region.bounds() == Rect(5, 5, 20, 10)
+
+    def test_translated(self):
+        region = Region.from_rect(Rect(5, 5, 5, 5)).translated(-5, 10)
+        assert region.bounds() == Rect(0, 15, 5, 5)
+
+    def test_simplified_under_cap_unchanged(self):
+        region = Region([Rect(0, 0, 5, 5), Rect(10, 10, 5, 5)])
+        assert region.simplified(4) is region
+
+    def test_simplified_over_cap_becomes_bounds(self):
+        rects = [Rect(i * 20, i * 20, 5, 5) for i in range(5)]
+        region = Region(rects)
+        simplified = region.simplified(2)
+        assert len(simplified) == 1
+        assert simplified.bounds() == region.bounds()

@@ -1,0 +1,102 @@
+"""Tests for participant-side view scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.surface.scale import downscale, fit_factor, upscale
+
+
+def flat(h, w, value):
+    out = np.empty((h, w, 4), dtype=np.uint8)
+    out[:, :] = value
+    return out
+
+
+class TestDownscale:
+    def test_factor_one_is_copy(self, noise_image):
+        out = downscale(noise_image, 1)
+        assert np.array_equal(out, noise_image)
+        out[0, 0] = 0  # must be a copy
+        assert not np.array_equal(out, noise_image)
+
+    def test_halves_dimensions(self):
+        img = flat(40, 60, (100, 150, 200, 255))
+        out = downscale(img, 2)
+        assert out.shape == (20, 30, 4)
+        assert (out == (100, 150, 200, 255)).all()
+
+    def test_box_filter_averages(self):
+        img = np.zeros((2, 2, 4), dtype=np.uint8)
+        img[0, 0] = (255, 0, 0, 255)
+        img[0, 1] = (0, 255, 0, 255)
+        img[1, 0] = (0, 0, 255, 255)
+        img[1, 1] = (255, 255, 255, 255)
+        out = downscale(img, 2)
+        assert out.shape == (1, 1, 4)
+        assert tuple(out[0, 0][:3]) == (128, 128, 128)
+
+    def test_ragged_edges_cropped(self):
+        img = flat(41, 61, (9, 9, 9, 255))
+        out = downscale(img, 4)
+        assert out.shape == (10, 15, 4)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            downscale(flat(3, 3, (0, 0, 0, 255)), 4)
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            downscale(flat(4, 4, (0, 0, 0, 255)), 0)
+
+    @given(st.integers(1, 4), st.integers(8, 32), st.integers(8, 32))
+    @settings(max_examples=20)
+    def test_shape_property(self, factor, h, w):
+        img = flat(h, w, (50, 60, 70, 255))
+        out = downscale(img, factor)
+        assert out.shape == (h // factor, w // factor, 4)
+
+
+class TestUpscale:
+    def test_doubles(self):
+        img = np.arange(16, dtype=np.uint8).reshape(2, 2, 4)
+        out = upscale(img, 2)
+        assert out.shape == (4, 4, 4)
+        assert np.array_equal(out[0, 0], img[0, 0])
+        assert np.array_equal(out[1, 1], img[0, 0])
+        assert np.array_equal(out[3, 3], img[1, 1])
+
+    def test_roundtrip_with_downscale(self):
+        img = flat(8, 8, (40, 80, 120, 255))
+        assert np.array_equal(downscale(upscale(img, 3), 3), img)
+
+
+class TestFitFactor:
+    def test_already_fits(self):
+        assert fit_factor(640, 480, 1280, 1024) == 1
+
+    def test_exact_halving(self):
+        assert fit_factor(1280, 1024, 640, 512) == 2
+
+    def test_asymmetric_constraint(self):
+        assert fit_factor(1280, 200, 640, 640) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fit_factor(0, 10, 10, 10)
+
+
+class TestParticipantScaledView:
+    def test_render_scaled_view(self):
+        from repro import quick_session
+        from repro.surface import Rect
+
+        ah, participant, clock = quick_session()
+        ah.windows.create_window(Rect(0, 0, 400, 300))
+        for _ in range(30):
+            ah.advance(0.02)
+            clock.advance(0.02)
+            participant.process_incoming()
+        view = participant.render_scaled_view(640, 512)
+        assert view.width == 640 and view.height == 512

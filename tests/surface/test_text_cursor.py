@@ -1,0 +1,122 @@
+"""Tests for the bitmap font and pointer icons."""
+
+import numpy as np
+import pytest
+
+from repro.surface.cursor import PointerState, arrow_cursor, ibeam_cursor
+from repro.surface.framebuffer import BLACK, Framebuffer, WHITE
+from repro.surface.geometry import Rect
+from repro.surface.text import char_cell_size, draw_text, glyph_bitmap, render_char
+
+
+class TestFont:
+    def test_known_glyph(self):
+        assert glyph_bitmap("A") != glyph_bitmap("B")
+
+    def test_case_folds(self):
+        assert glyph_bitmap("a") == glyph_bitmap("A")
+
+    def test_unknown_uses_fallback(self):
+        assert glyph_bitmap("é") == glyph_bitmap("€")
+
+    def test_multichar_rejected(self):
+        with pytest.raises(ValueError):
+            glyph_bitmap("ab")
+
+    def test_render_char_shape(self):
+        cell = render_char("X", (0, 0, 0, 255), (255, 255, 255, 255))
+        assert cell.shape == (8, 6, 4)
+
+    def test_render_char_scale(self):
+        cell = render_char("X", (0, 0, 0, 255), (255, 255, 255, 255), scale=2)
+        assert cell.shape == (16, 12, 4)
+
+    def test_render_contains_fg_and_bg(self):
+        cell = render_char("X", (1, 2, 3, 255), (9, 8, 7, 255))
+        flat = cell.reshape(-1, 4)
+        assert (flat == (1, 2, 3, 255)).all(axis=1).any()
+        assert (flat == (9, 8, 7, 255)).all(axis=1).any()
+
+    def test_draw_text_returns_painted_rect(self):
+        fb = Framebuffer(100, 20, fill=BLACK)
+        rect = draw_text(fb, 2, 3, "HI", WHITE, BLACK)
+        cell_w, cell_h = char_cell_size()
+        assert rect == Rect(2, 3, 2 * cell_w, cell_h)
+
+    def test_draw_text_changes_pixels(self):
+        fb = Framebuffer(100, 20, fill=BLACK)
+        draw_text(fb, 0, 0, "W", WHITE, BLACK)
+        assert (fb.array == 255).any()
+
+    def test_distinct_text_distinct_pixels(self):
+        a = Framebuffer(60, 10, fill=BLACK)
+        b = Framebuffer(60, 10, fill=BLACK)
+        draw_text(a, 0, 0, "AAAA", WHITE, BLACK)
+        draw_text(b, 0, 0, "BBBB", WHITE, BLACK)
+        assert not a.identical_to(b)
+
+
+class TestCursors:
+    def test_arrow_shape(self):
+        img = arrow_cursor()
+        assert img.shape[2] == 4
+        assert (img[:, :, 3] == 255).any()  # some opaque pixels
+        assert (img[:, :, 3] == 0).any()  # some transparent
+
+    def test_ibeam_differs(self):
+        assert arrow_cursor().shape != ibeam_cursor().shape or not np.array_equal(
+            arrow_cursor(), ibeam_cursor()
+        )
+
+
+class TestPointerState:
+    def test_initial_state_dirty(self):
+        state = PointerState()
+        moved, dirty = state.take_pending()
+        assert dirty  # new image must be announced
+        assert not moved
+
+    def test_move_flags(self):
+        state = PointerState()
+        state.take_pending()
+        state.move_to(10, 20)
+        moved, dirty = state.take_pending()
+        assert moved and not dirty
+        # No further changes pending.
+        assert state.take_pending() == (False, False)
+
+    def test_move_to_same_place_not_flagged(self):
+        state = PointerState()
+        state.take_pending()
+        state.move_to(0, 0)
+        assert state.take_pending() == (False, False)
+
+    def test_set_image_flags_dirty(self):
+        state = PointerState()
+        state.take_pending()
+        state.set_image(ibeam_cursor())
+        moved, dirty = state.take_pending()
+        assert dirty and not moved
+
+    def test_set_bad_image_rejected(self):
+        state = PointerState()
+        with pytest.raises(ValueError):
+            state.set_image(np.zeros((4, 4, 3), dtype=np.uint8))
+
+    def test_paint_onto_composites_opaque_only(self):
+        state = PointerState()
+        state.move_to(2, 2)
+        frame = Framebuffer(40, 40, fill=(7, 7, 7, 255))
+        rect = state.paint_onto(frame)
+        assert not rect.is_empty()
+        # The arrow tip pixel is opaque black.
+        assert frame.get_pixel(2, 2) == (0, 0, 0, 255)
+        # A transparent pointer pixel leaves the background intact.
+        assert frame.get_pixel(11, 2) == (7, 7, 7, 255)
+
+    def test_paint_clips_at_edge(self):
+        state = PointerState()
+        state.move_to(38, 38)
+        frame = Framebuffer(40, 40)
+        rect = state.paint_onto(frame)
+        assert rect.right <= 40 and rect.bottom <= 40

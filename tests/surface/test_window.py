@@ -1,0 +1,196 @@
+"""Tests for the virtual window manager: z-order, groups, damage."""
+
+import pytest
+
+from repro.surface.framebuffer import BLACK, WHITE
+from repro.surface.geometry import Rect
+from repro.surface.window import (
+    NO_GROUP,
+    WindowError,
+    WindowManager,
+    layout_signature,
+)
+
+
+@pytest.fixture
+def wm() -> WindowManager:
+    return WindowManager(1280, 1024)
+
+
+class TestLifecycle:
+    def test_create_assigns_ids(self, wm):
+        a = wm.create_window(Rect(0, 0, 100, 100))
+        b = wm.create_window(Rect(10, 10, 50, 50))
+        assert a.window_id != b.window_id
+        assert len(wm) == 2
+
+    def test_explicit_id(self, wm):
+        w = wm.create_window(Rect(0, 0, 10, 10), window_id=42)
+        assert w.window_id == 42
+        with pytest.raises(WindowError):
+            wm.create_window(Rect(0, 0, 10, 10), window_id=42)
+
+    def test_close(self, wm):
+        w = wm.create_window(Rect(0, 0, 10, 10))
+        wm.close_window(w.window_id)
+        assert not wm.has(w.window_id)
+        with pytest.raises(WindowError):
+            wm.get(w.window_id)
+
+    def test_empty_window_rejected(self, wm):
+        with pytest.raises(WindowError):
+            wm.create_window(Rect(0, 0, 0, 10))
+
+    def test_new_window_fully_damaged(self, wm):
+        w = wm.create_window(Rect(5, 5, 30, 20))
+        assert w.peek_damage().area == 600
+
+
+class TestZOrder:
+    def test_new_windows_on_top(self, wm):
+        a = wm.create_window(Rect(0, 0, 10, 10))
+        b = wm.create_window(Rect(0, 0, 10, 10))
+        assert wm.window_ids() == [a.window_id, b.window_id]
+        assert wm.top_window() is b
+
+    def test_raise(self, wm):
+        a = wm.create_window(Rect(0, 0, 10, 10))
+        b = wm.create_window(Rect(0, 0, 10, 10))
+        wm.raise_window(a.window_id)
+        assert wm.window_ids() == [b.window_id, a.window_id]
+
+    def test_lower(self, wm):
+        a = wm.create_window(Rect(0, 0, 10, 10))
+        b = wm.create_window(Rect(0, 0, 10, 10))
+        wm.lower_window(b.window_id)
+        assert wm.window_ids() == [b.window_id, a.window_id]
+
+    def test_window_at_respects_stacking(self, wm):
+        a = wm.create_window(Rect(0, 0, 100, 100))
+        b = wm.create_window(Rect(50, 50, 100, 100))
+        assert wm.window_at(75, 75) is b
+        assert wm.window_at(25, 25) is a
+        assert wm.window_at(500, 500) is None
+        wm.raise_window(a.window_id)
+        assert wm.window_at(75, 75) is a
+
+
+class TestGeometry:
+    def test_move_preserves_surface(self, wm):
+        w = wm.create_window(Rect(0, 0, 20, 20))
+        w.fill(WHITE)
+        wm.move_window(w.window_id, 300, 400)
+        assert w.rect == Rect(300, 400, 20, 20)
+        assert w.surface.get_pixel(5, 5) == WHITE
+
+    def test_resize_keeps_image(self, wm):
+        """Participants MUST keep the existing window image (5.2.1) —
+        the AH-side store behaves identically."""
+        w = wm.create_window(Rect(0, 0, 20, 20))
+        w.fill(WHITE)
+        wm.resize_window(w.window_id, 30, 10)
+        assert w.surface.get_pixel(15, 5) == WHITE or w.surface.get_pixel(
+            19, 5
+        ) == WHITE
+        assert w.surface.get_pixel(25, 5) == BLACK  # fresh area blank
+
+    def test_resize_marks_exposed_damage(self, wm):
+        w = wm.create_window(Rect(0, 0, 20, 20))
+        w.take_damage()
+        wm.resize_window(w.window_id, 30, 20)
+        damage = w.take_damage()
+        assert damage.area == 10 * 20
+
+    def test_resize_zero_rejected(self, wm):
+        w = wm.create_window(Rect(0, 0, 20, 20))
+        with pytest.raises(WindowError):
+            wm.resize_window(w.window_id, 0, 10)
+
+
+class TestEvents:
+    def test_observer_sequence(self, wm):
+        events = []
+        wm.add_observer(lambda e: events.append(e.kind))
+        w = wm.create_window(Rect(0, 0, 10, 10))
+        wm.move_window(w.window_id, 5, 5)
+        wm.resize_window(w.window_id, 20, 20)
+        wm.raise_window(w.window_id)  # already top: no event
+        wm.close_window(w.window_id)
+        assert events == ["created", "moved", "resized", "closed"]
+
+    def test_noop_move_no_event(self, wm):
+        events = []
+        w = wm.create_window(Rect(5, 5, 10, 10))
+        wm.add_observer(lambda e: events.append(e.kind))
+        wm.move_window(w.window_id, 5, 5)
+        assert events == []
+
+
+class TestVisibility:
+    def test_visible_region_fully_exposed(self, wm):
+        w = wm.create_window(Rect(10, 10, 100, 100))
+        assert wm.visible_region(w.window_id).area == 100 * 100
+
+    def test_visible_region_occluded(self, wm):
+        a = wm.create_window(Rect(0, 0, 100, 100))
+        wm.create_window(Rect(0, 0, 100, 50))  # covers top half of a
+        assert wm.visible_region(a.window_id).area == 100 * 50
+
+    def test_visible_region_clipped_to_screen(self, wm):
+        w = wm.create_window(Rect(1230, 0, 100, 50))
+        assert wm.visible_region(w.window_id).area == 50 * 50
+
+    def test_shared_region_union(self, wm):
+        wm.create_window(Rect(0, 0, 10, 10))
+        wm.create_window(Rect(5, 5, 10, 10))
+        assert wm.shared_region().area == 175
+
+
+class TestDamageHarvest:
+    def test_only_visible_damage_reported(self, wm):
+        a = wm.create_window(Rect(0, 0, 100, 100))
+        b = wm.create_window(Rect(0, 0, 100, 50))
+        wm.harvest_damage()  # clear initial
+        a.fill(WHITE)  # whole window damaged, top half hidden by b
+        harvested = wm.harvest_damage()
+        assert harvested[a.window_id].area == 100 * 50
+        assert b.window_id not in harvested
+
+    def test_harvest_clears(self, wm):
+        a = wm.create_window(Rect(0, 0, 10, 10))
+        wm.harvest_damage()
+        a.fill(WHITE)
+        assert wm.harvest_damage()
+        assert wm.harvest_damage() == {}
+
+
+class TestComposite:
+    def test_blanks_background(self, wm):
+        wm.create_window(Rect(0, 0, 10, 10), fill=WHITE)
+        screen = wm.composite()
+        assert screen.get_pixel(5, 5) == WHITE  # window content shown
+        # Outside any window: blanked (section 2 requirement).
+        assert screen.get_pixel(500, 500) == BLACK
+
+    def test_z_order_respected(self, wm):
+        a = wm.create_window(Rect(0, 0, 20, 20))
+        b = wm.create_window(Rect(10, 10, 20, 20))
+        a.fill((255, 0, 0, 255))
+        b.fill((0, 255, 0, 255))
+        screen = wm.composite()
+        assert screen.get_pixel(15, 15) == (0, 255, 0, 255)
+        assert screen.get_pixel(5, 5) == (255, 0, 0, 255)
+
+
+class TestLayoutSignature:
+    def test_signature_changes_with_geometry(self, wm):
+        w = wm.create_window(Rect(0, 0, 10, 10), group_id=3)
+        s1 = layout_signature(wm.geometries())
+        wm.move_window(w.window_id, 1, 0)
+        assert layout_signature(wm.geometries()) != s1
+
+    def test_group_id_recorded(self, wm):
+        w = wm.create_window(Rect(0, 0, 10, 10), group_id=7)
+        assert w.group_id == 7
+        plain = wm.create_window(Rect(0, 0, 10, 10))
+        assert plain.group_id == NO_GROUP

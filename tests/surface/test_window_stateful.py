@@ -1,0 +1,138 @@
+"""Stateful property test: WindowManager invariants under any op sequence."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.surface.geometry import Rect
+from repro.surface.window import WindowManager
+
+SCREEN_W, SCREEN_H = 800, 600
+
+
+class WindowManagerMachine(RuleBasedStateMachine):
+    """Random create/move/resize/restack/close sequences."""
+
+    def __init__(self):
+        super().__init__()
+        self.wm = WindowManager(SCREEN_W, SCREEN_H)
+
+    # -- Rules ------------------------------------------------------------
+
+    @rule(
+        left=st.integers(0, SCREEN_W - 20),
+        top=st.integers(0, SCREEN_H - 20),
+        width=st.integers(1, 300),
+        height=st.integers(1, 300),
+        group=st.integers(0, 255),
+    )
+    def create(self, left, top, width, height, group):
+        if len(self.wm) < 8:
+            self.wm.create_window(
+                Rect(left, top, width, height), group_id=group
+            )
+
+    @precondition(lambda self: len(self.wm) > 0)
+    @rule(index=st.integers(0, 7), dx=st.integers(-50, 50),
+          dy=st.integers(-50, 50))
+    def move(self, index, dx, dy):
+        ids = self.wm.window_ids()
+        wid = ids[index % len(ids)]
+        rect = self.wm.get(wid).rect
+        self.wm.move_window(
+            wid, max(0, rect.left + dx), max(0, rect.top + dy)
+        )
+
+    @precondition(lambda self: len(self.wm) > 0)
+    @rule(index=st.integers(0, 7), width=st.integers(1, 300),
+          height=st.integers(1, 300))
+    def resize(self, index, width, height):
+        ids = self.wm.window_ids()
+        self.wm.resize_window(ids[index % len(ids)], width, height)
+
+    @precondition(lambda self: len(self.wm) > 0)
+    @rule(index=st.integers(0, 7))
+    def raise_one(self, index):
+        ids = self.wm.window_ids()
+        self.wm.raise_window(ids[index % len(ids)])
+
+    @precondition(lambda self: len(self.wm) > 0)
+    @rule(index=st.integers(0, 7))
+    def lower_one(self, index):
+        ids = self.wm.window_ids()
+        self.wm.lower_window(ids[index % len(ids)])
+
+    @precondition(lambda self: len(self.wm) > 0)
+    @rule(index=st.integers(0, 7))
+    def close(self, index):
+        ids = self.wm.window_ids()
+        self.wm.close_window(ids[index % len(ids)])
+
+    @precondition(lambda self: len(self.wm) > 0)
+    @rule()
+    def harvest(self):
+        self.wm.harvest_damage()
+
+    # -- Invariants ------------------------------------------------------------
+
+    @invariant()
+    def ids_unique(self):
+        ids = self.wm.window_ids()
+        assert len(ids) == len(set(ids))
+
+    @invariant()
+    def stack_matches_index(self):
+        for wid in self.wm.window_ids():
+            assert self.wm.get(wid).window_id == wid
+
+    @invariant()
+    def geometry_snapshot_consistent(self):
+        geometries = self.wm.geometries()
+        assert [g.window_id for g in geometries] == self.wm.window_ids()
+        for g in geometries:
+            window = self.wm.get(g.window_id)
+            assert window.rect == g.rect
+            assert window.surface.width == g.rect.width
+            assert window.surface.height == g.rect.height
+
+    @invariant()
+    def visible_regions_disjoint_and_within(self):
+        ids = self.wm.window_ids()
+        regions = {wid: self.wm.visible_region(wid) for wid in ids}
+        for wid, region in regions.items():
+            window = self.wm.get(wid)
+            clipped = window.rect.intersection(self.wm.screen)
+            # Visible region stays inside the window's on-screen part.
+            assert region.intersect_rect(clipped).area == region.area
+        # Visible regions of distinct windows never overlap.
+        id_list = list(ids)
+        for i in range(len(id_list)):
+            for j in range(i + 1, len(id_list)):
+                inter = regions[id_list[i]].intersect(regions[id_list[j]])
+                assert inter.is_empty()
+
+    @invariant()
+    def visible_union_is_shared_region(self):
+        total = self.wm.shared_region()
+        union_area = sum(
+            self.wm.visible_region(wid).area for wid in self.wm.window_ids()
+        )
+        assert union_area == total.area
+
+    @invariant()
+    def top_window_fully_visible(self):
+        top = self.wm.top_window()
+        if top is not None:
+            on_screen = top.rect.intersection(self.wm.screen)
+            assert self.wm.visible_region(top.window_id).area == on_screen.area
+
+
+TestWindowManagerStateful = WindowManagerMachine.TestCase
+TestWindowManagerStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

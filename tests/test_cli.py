@@ -1,0 +1,53 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDemo:
+    def test_demo_runs_and_converges(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "converged pixel-exact: True" in out
+        assert "final convergence: True" in out
+        assert "HIP flows back" in out
+
+
+class TestOffer:
+    def test_offer_prints_sdp(self, capsys):
+        assert main(["offer"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("v=0")
+        assert "a=rtpmap:99 remoting/90000" in out
+        assert "retransmissions=yes" in out
+
+    def test_offer_options(self, capsys):
+        assert main(
+            ["offer", "--port", "7000", "--no-retransmissions",
+             "--codecs", "png,zlib"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "m=application 7000 RTP/AVP" in out
+        assert "retransmissions=no" in out
+        assert "codecs=png,zlib" in out
+
+
+class TestInfo:
+    def test_info_lists_registries(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "WindowManagerInfo" in out
+        assert "127  KeyTyped" in out
+        assert "png (lossless)" in out
+        assert "lossy-dct (lossy)" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,66 @@
+"""Every shipped example must run to completion and report success.
+
+Examples are part of the public API surface; this guard runs each one
+in a subprocess and checks both the exit code and the success markers
+it prints.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, substrings that must appear, substrings that must NOT appear)
+CASES = [
+    (
+        "quickstart.py",
+        ["pixel-exact convergence: True", "still pixel-exact: True"],
+        ["False"],
+    ),
+    (
+        "collaborative_editing.py",
+        ["final convergence: {'alice': True, 'bob': True, 'carol': True}"],
+        [],
+    ),
+    (
+        "lossy_network.py",
+        ["early converged: True", "converged: True"],
+        ["converged: False", "converged=False"],
+    ),
+    (
+        "remote_desktop_tcp.py",
+        ["editor window pixel-exact: True", "photo index at AH: 1"],
+        [],
+    ),
+    (
+        "multicast_classroom.py",
+        ["barbara converged: True"],
+        ["converged=False"],
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "script,expect,forbid", CASES, ids=[c[0] for c in CASES]
+)
+def test_example_runs(script, expect, forbid):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example: {path}"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in expect:
+        assert marker in result.stdout, (
+            f"{script}: expected {marker!r} in output:\n{result.stdout}"
+        )
+    for marker in forbid:
+        assert marker not in result.stdout, (
+            f"{script}: unexpected {marker!r} in output:\n{result.stdout}"
+        )
