@@ -14,8 +14,8 @@ transmitted packet.
 import pytest
 
 from repro.apps.animation import AnimationApp
+from repro.obs import Instrumentation
 from repro.sharing.config import SharingConfig
-from repro.stats.metrics import LatencyRecorder
 from repro.surface.geometry import Rect
 
 from sessions import run_rounds, tcp_session
@@ -26,16 +26,21 @@ DT = 1 / 30
 
 def _animation_session(coalescing: bool):
     config = SharingConfig(backlog_coalescing=coalescing, adaptive_codec=True)
+    obs = Instrumentation()
     clock, ah, participant = tcp_session(
-        config=config, bandwidth_bps=2_000_000, send_buffer=64 * 1024
+        config=config, bandwidth_bps=2_000_000, send_buffer=64 * 1024,
+        instrumentation=obs,
     )
     win = ah.windows.create_window(Rect(0, 0, 480, 360))
     ah.apps.attach(AnimationApp(win, fps=30, balls=4))
     rounds = int(SECONDS / DT)
     run_rounds(clock, ah, [participant], rounds, dt=DT)
     scheduler = ah.sessions["p1"].scheduler
-    staleness = LatencyRecorder()
-    staleness.extend(scheduler.updates_sent_stale_after)
+    # The scheduler's staleness histogram is maintained by the shared
+    # Instrumentation — no hand-built recorder needed.
+    (staleness,) = obs.registry.find(
+        "scheduler.update_staleness_seconds", peer="p1"
+    )
     return scheduler, staleness
 
 

@@ -12,7 +12,34 @@ from collections import OrderedDict
 
 import pytest
 
+from repro.obs import Instrumentation
+
 _ROWS: "OrderedDict[str, list[dict]]" = OrderedDict()
+
+
+@pytest.fixture
+def instrumentation():
+    """A fresh Instrumentation; the session builders bind its clock."""
+    return Instrumentation()
+
+
+def snapshot_fields(snap: dict, *names: str) -> dict:
+    """Flatten selected metric totals from a snapshot into row fields.
+
+    Each ``name`` is summed across label sets (``scheduler.bytes_sent``
+    matches every ``scheduler.bytes_sent{...}`` series), so experiment
+    rows can quote session-wide totals without hand-walking the dict.
+    """
+    out: dict[str, float] = {}
+    for name in names:
+        total = 0
+        prefix = name + "{"
+        for table in ("counters", "gauges"):
+            for key, value in snap.get(table, {}).items():
+                if key == name or key.startswith(prefix):
+                    total += value
+        out[name] = total
+    return out
 
 
 class ExperimentRecorder:

@@ -1,4 +1,10 @@
-"""Shared session builders for the benchmark experiments."""
+"""Shared session builders for the benchmark experiments.
+
+Every builder accepts ``instrumentation=``: pass an
+:class:`repro.Instrumentation` built on no clock (the builder binds it
+to the session clock) and the whole stack — scheduler, RTP, jitter
+buffer, rate control, channels — reports into one snapshot.
+"""
 
 from __future__ import annotations
 
@@ -16,25 +22,30 @@ def tcp_session(
     bandwidth_bps: int = 0,
     send_buffer: int = 256 * 1024,
     screen=(1280, 1024),
+    instrumentation=None,
 ):
     """(clock, ah, participant) over one simulated TCP link."""
     clock = SimulatedClock()
+    if instrumentation is not None:
+        instrumentation.bind_clock(clock)
     cfg = config or SharingConfig()
     ah = ApplicationHost(
         screen_width=screen[0], screen_height=screen[1], config=cfg,
-        now=clock.now,
+        clock=clock, instrumentation=instrumentation,
     )
     link = duplex_reliable(
         ChannelConfig(delay=delay, bandwidth_bps=bandwidth_bps),
         clock.now,
         send_buffer=send_buffer,
+        instrumentation=instrumentation,
     )
     ah.add_participant("p1", StreamTransport(link.forward, link.backward))
     participant = Participant(
         "p1",
         StreamTransport(link.backward, link.forward),
-        now=clock.now,
+        clock=clock,
         config=cfg,
+        instrumentation=instrumentation,
     )
     participant.join()
     return clock, ah, participant
@@ -47,13 +58,19 @@ def udp_session(
     seed: int = 0,
     rate_bps: int | None = None,
     reorder_wait: float = 0.25,
+    instrumentation=None,
 ):
     """(clock, ah, participant) over one simulated UDP path."""
     clock = SimulatedClock()
+    if instrumentation is not None:
+        instrumentation.bind_clock(clock)
     cfg = config or SharingConfig()
-    ah = ApplicationHost(config=cfg, now=clock.now)
+    ah = ApplicationHost(
+        config=cfg, clock=clock, instrumentation=instrumentation
+    )
     link = duplex_lossy(
-        ChannelConfig(delay=delay, loss_rate=loss_rate, seed=seed), clock.now
+        ChannelConfig(delay=delay, loss_rate=loss_rate, seed=seed), clock.now,
+        instrumentation=instrumentation,
     )
     ah.add_participant(
         "p1", DatagramTransport(link.forward, link.backward), rate_bps=rate_bps
@@ -61,10 +78,11 @@ def udp_session(
     participant = Participant(
         "p1",
         DatagramTransport(link.backward, link.forward),
-        now=clock.now,
+        clock=clock,
         config=cfg,
         ah_supports_retransmissions=cfg.retransmissions,
         reorder_wait=reorder_wait,
+        instrumentation=instrumentation,
     )
     participant.join()
     return clock, ah, participant
@@ -78,9 +96,12 @@ def add_udp_participant(
     delay: float = 0.02,
     seed: int = 0,
     rate_bps: int | None = None,
+    instrumentation=None,
 ):
+    obs = instrumentation if instrumentation is not None else ah.obs
     link = duplex_lossy(
-        ChannelConfig(delay=delay, loss_rate=loss_rate, seed=seed), clock.now
+        ChannelConfig(delay=delay, loss_rate=loss_rate, seed=seed), clock.now,
+        instrumentation=obs.scoped(peer=name),
     )
     ah.add_participant(
         name, DatagramTransport(link.forward, link.backward), rate_bps=rate_bps
@@ -88,25 +109,29 @@ def add_udp_participant(
     participant = Participant(
         name,
         DatagramTransport(link.backward, link.forward),
-        now=clock.now,
+        clock=clock,
         config=ah.config,
         ah_supports_retransmissions=ah.config.retransmissions,
+        instrumentation=obs,
     )
     participant.join()
     return participant
 
 
 def add_tcp_participant(clock, ah, name: str, delay: float = 0.01,
-                        bandwidth_bps: int = 0):
+                        bandwidth_bps: int = 0, instrumentation=None):
+    obs = instrumentation if instrumentation is not None else ah.obs
     link = duplex_reliable(
-        ChannelConfig(delay=delay, bandwidth_bps=bandwidth_bps), clock.now
+        ChannelConfig(delay=delay, bandwidth_bps=bandwidth_bps), clock.now,
+        instrumentation=obs.scoped(peer=name),
     )
     ah.add_participant(name, StreamTransport(link.forward, link.backward))
     participant = Participant(
         name,
         StreamTransport(link.backward, link.forward),
-        now=clock.now,
+        clock=clock,
         config=ah.config,
+        instrumentation=obs,
     )
     participant.join()
     return participant

@@ -9,6 +9,7 @@ with a Picture Loss Indication.
 Run:  python examples/lossy_network.py
 """
 
+from repro import Instrumentation
 from repro.apps import TerminalApp
 from repro.net.channel import ChannelConfig, duplex_lossy
 from repro.rtp.clock import SimulatedClock
@@ -18,7 +19,8 @@ from repro.surface import Rect
 
 def attach_udp_participant(clock, ah, name, loss_rate, seed, rate_bps=None):
     link = duplex_lossy(
-        ChannelConfig(delay=0.02, loss_rate=loss_rate, seed=seed), clock.now
+        ChannelConfig(delay=0.02, loss_rate=loss_rate, seed=seed), clock.now,
+        instrumentation=ah.obs.scoped(peer=name),
     )
     ah.add_participant(
         name, DatagramTransport(link.forward, link.backward), rate_bps=rate_bps
@@ -26,9 +28,10 @@ def attach_udp_participant(clock, ah, name, loss_rate, seed, rate_bps=None):
     participant = Participant(
         name,
         DatagramTransport(link.backward, link.forward),
-        now=clock.now,
+        clock=clock,
         config=ah.config,
         ah_supports_retransmissions=ah.config.retransmissions,
+        instrumentation=ah.obs,
     )
     participant.join()  # UDP joiners announce themselves with a PLI
     return participant
@@ -36,7 +39,8 @@ def attach_udp_participant(clock, ah, name, loss_rate, seed, rate_bps=None):
 
 def main() -> None:
     clock = SimulatedClock()
-    ah = ApplicationHost(now=clock.now)
+    obs = Instrumentation(clock=clock)
+    ah = ApplicationHost(clock=clock, instrumentation=obs)
     window = ah.windows.create_window(Rect(40, 40, 480, 320), title="build log")
     terminal = TerminalApp(window)
     ah.apps.attach(terminal)
@@ -86,6 +90,23 @@ def main() -> None:
             f"{stats.region_update.wire_bytes/1024:.1f} KiB, "
             f"converged={participant.converged_with(ah.windows)}"
         )
+
+    # The whole recovery story, from the unified metrics snapshot: the
+    # channel layer counts the loss, the participants count the NACKs
+    # and PLIs, and the scheduler counts the replayed packets.
+    reg = obs.registry
+    print("snapshot of the loss/recovery machinery:")
+    print(
+        f"  channel dropped {reg.total('channel.datagrams_dropped'):.0f} of "
+        f"{reg.total('channel.datagrams_sent'):.0f} datagrams; "
+        f"jitter buffer skipped {reg.total('jitter.sequences_skipped'):.0f} "
+        f"sequences"
+    )
+    print(
+        f"  participants sent {reg.total('participant.nacks_sent'):.0f} NACKs "
+        f"/ {reg.total('participant.plis_sent'):.0f} PLIs; scheduler "
+        f"replayed {reg.total('scheduler.retransmit_packets'):.0f} packets"
+    )
 
 
 if __name__ == "__main__":

@@ -9,13 +9,16 @@ pixel, and finally types *from* the participant through the HIP channel.
 Run:  python examples/quickstart.py
 """
 
-from repro import quick_session
+from repro import Instrumentation, quick_session
 from repro.apps import TextEditorApp
 from repro.surface import Rect
 
 
 def main() -> None:
-    ah, participant, clock = quick_session()
+    # One Instrumentation object observes every layer of the session;
+    # quick_session binds it to the session clock.
+    obs = Instrumentation()
+    ah, participant, clock = quick_session(instrumentation=obs)
 
     # 1. The AH shares a window and runs an application in it.
     window = ah.windows.create_window(
@@ -52,6 +55,29 @@ def main() -> None:
         f"({stats.region_update.wire_bytes} bytes), "
         f"{stats.hip.packets} HIP packets"
     )
+
+    # 5. The same session, through the unified metrics snapshot: every
+    #    layer (scheduler, RTP, channel, participant) reported into one
+    #    registry; update-sent → update-applied latency is reconstructed
+    #    from the trace events.
+    snap = obs.snapshot()
+    reg = obs.registry
+    print(
+        f"snapshot: {len(snap['counters'])} counters, "
+        f"{snap['trace']['events']} trace events"
+    )
+    print(
+        f"  scheduler sent {reg.total('scheduler.packets_sent'):.0f} packets "
+        f"({reg.total('scheduler.bytes_sent'):.0f} bytes); participant "
+        f"applied {reg.total('participant.updates_applied'):.0f} updates"
+    )
+    latency = obs.update_latencies()
+    if latency.count:
+        summary = latency.summary()
+        print(
+            f"  update latency: p50 {summary['p50']*1000:.1f} ms, "
+            f"max {summary['max']*1000:.1f} ms over {latency.count} updates"
+        )
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from .rtp.clock import SimulatedClock
 from .net.channel import ChannelConfig, duplex_reliable
+from .obs import Instrumentation, MetricsRegistry, NULL, NullInstrumentation
 from .sharing.ah import ApplicationHost
 from .sharing.config import PointerMode, SharingConfig
 from .sharing.participant import Participant
@@ -39,6 +40,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ApplicationHost",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL",
+    "NullInstrumentation",
     "Participant",
     "PointerMode",
     "SharingConfig",
@@ -54,33 +59,43 @@ def quick_session(
     screen_height: int = 1024,
     delay: float = 0.01,
     bandwidth_bps: int = 0,
+    instrumentation: Instrumentation | None = None,
 ) -> tuple[ApplicationHost, Participant, SimulatedClock]:
     """One AH plus one TCP participant over a simulated link.
 
     The smallest useful session: returns the pair already connected
     (the participant will receive the initial full sync on the next
     ``advance``/``process_incoming`` round) and the shared clock that
-    drives the simulation.
+    drives the simulation.  Pass an :class:`Instrumentation` built on
+    the session clock to get metrics out of every layer; see
+    ``docs/OBSERVABILITY.md``.
     """
     clock = SimulatedClock()
+    if instrumentation is not None:
+        instrumentation.bind_clock(clock)
     cfg = config or SharingConfig()
     ah = ApplicationHost(
         screen_width=screen_width,
         screen_height=screen_height,
         config=cfg,
-        now=clock.now,
+        clock=clock,
+        instrumentation=instrumentation,
     )
     channel_config = ChannelConfig(delay=delay, bandwidth_bps=bandwidth_bps)
-    link = duplex_reliable(channel_config, clock.now)
+    link = duplex_reliable(
+        channel_config, clock.now,
+        instrumentation=instrumentation,
+    )
     ah_transport = StreamTransport(link.forward, link.backward)
     participant_transport = StreamTransport(link.backward, link.forward)
     participant = Participant(
         "participant-1",
         participant_transport,
-        now=clock.now,
+        clock=clock,
         config=cfg,
         screen_width=screen_width,
         screen_height=screen_height,
+        instrumentation=instrumentation,
     )
     ah.add_participant("participant-1", ah_transport)
     participant.join()

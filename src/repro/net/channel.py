@@ -23,6 +23,9 @@ import random
 from dataclasses import dataclass
 from typing import Callable
 
+from ..obs.clockutil import as_now
+from ..obs.instrumentation import NULL
+
 
 @dataclass(frozen=True, slots=True)
 class ChannelConfig:
@@ -54,9 +57,14 @@ class ChannelConfig:
 class LossyChannel:
     """One-directional datagram pipe with seeded impairments."""
 
-    def __init__(self, config: ChannelConfig, now: Callable[[], float]) -> None:
+    def __init__(
+        self,
+        config: ChannelConfig,
+        now: Callable[[], float],
+        instrumentation=None,
+    ) -> None:
         self.config = config
-        self._now = now
+        self._now = as_now(now)
         self._rng = random.Random(config.seed)
         self._in_flight: list[tuple[float, int, bytes]] = []
         self._counter = 0  # tie-break so heapq never compares bytes
@@ -65,16 +73,26 @@ class LossyChannel:
         self.datagrams_dropped = 0
         self.datagrams_oversize = 0
         self.bytes_sent = 0
+        obs = instrumentation if instrumentation is not None else NULL
+        self._c_sent = obs.counter("channel.datagrams_sent")
+        self._c_bytes = obs.counter("channel.bytes_sent")
+        self._c_dropped = obs.counter("channel.datagrams_dropped")
+        self._c_oversize = obs.counter("channel.datagrams_oversize")
+        self._g_in_flight = obs.gauge("channel.in_flight")
 
     def send(self, datagram: bytes) -> bool:
         """Queue a datagram; returns False when it was dropped."""
         self.datagrams_sent += 1
         self.bytes_sent += len(datagram)
+        self._c_sent.inc()
+        self._c_bytes.inc(len(datagram))
         if len(datagram) > self.config.mtu:
             self.datagrams_oversize += 1
+            self._c_oversize.inc()
             return False
         if self._rng.random() < self.config.loss_rate:
             self.datagrams_dropped += 1
+            self._c_dropped.inc()
             return False
         now = self._now()
         if self.config.bandwidth_bps > 0:
@@ -89,6 +107,7 @@ class LossyChannel:
             arrival += self._rng.uniform(0, self.config.jitter)
         heapq.heappush(self._in_flight, (arrival, self._counter, datagram))
         self._counter += 1
+        self._g_in_flight.set(len(self._in_flight))
         return True
 
     def receive_ready(self) -> list[bytes]:
@@ -97,6 +116,8 @@ class LossyChannel:
         out: list[bytes] = []
         while self._in_flight and self._in_flight[0][0] <= now:
             out.append(heapq.heappop(self._in_flight)[2])
+        if out:
+            self._g_in_flight.set(len(self._in_flight))
         return out
 
     def next_arrival(self) -> float | None:
@@ -124,17 +145,22 @@ class ReliableChannel:
         config: ChannelConfig,
         now: Callable[[], float],
         send_buffer: int = 256 * 1024,
+        instrumentation=None,
     ) -> None:
         if send_buffer <= 0:
             raise ValueError("send buffer must be positive")
         self.config = config
-        self._now = now
+        self._now = as_now(now)
         self.send_buffer = send_buffer
         self._in_flight: list[tuple[float, int, bytes]] = []
         self._counter = 0
         self._link_free_at = 0.0
         self.bytes_sent = 0
         self.sends_refused = 0
+        obs = instrumentation if instrumentation is not None else NULL
+        self._c_bytes = obs.counter("channel.bytes_sent")
+        self._c_refused = obs.counter("channel.sends_refused")
+        self._g_backlog = obs.gauge("channel.backlog_bytes")
 
     def _drain_level(self, now: float) -> int:
         """Bytes still queued ahead of the link at time ``now``."""
@@ -159,6 +185,7 @@ class ReliableChannel:
         now = self._now()
         if not self.can_send(len(data)):
             self.sends_refused += 1
+            self._c_refused.inc()
             return False
         if self.config.bandwidth_bps > 0:
             serialisation = len(data) * 8 / self.config.bandwidth_bps
@@ -171,6 +198,8 @@ class ReliableChannel:
         heapq.heappush(self._in_flight, (arrival, self._counter, data))
         self._counter += 1
         self.bytes_sent += len(data)
+        self._c_bytes.inc(len(data))
+        self._g_backlog.set(self._drain_level(now))
         return True
 
     def receive_ready(self) -> bytes:
@@ -194,7 +223,10 @@ class DuplexChannel:
 
 
 def duplex_lossy(
-    config: ChannelConfig, now: Callable[[], float], back_seed_offset: int = 1
+    config: ChannelConfig,
+    now: Callable[[], float],
+    back_seed_offset: int = 1,
+    instrumentation=None,
 ) -> DuplexChannel:
     """Symmetric lossy pair with independent loss processes."""
     back = ChannelConfig(
@@ -205,13 +237,23 @@ def duplex_lossy(
         mtu=config.mtu,
         seed=config.seed + back_seed_offset,
     )
-    return DuplexChannel(LossyChannel(config, now), LossyChannel(back, now))
+    obs = instrumentation if instrumentation is not None else NULL
+    return DuplexChannel(
+        LossyChannel(config, now, instrumentation=obs.scoped(dir="fwd")),
+        LossyChannel(back, now, instrumentation=obs.scoped(dir="back")),
+    )
 
 
 def duplex_reliable(
-    config: ChannelConfig, now: Callable[[], float], send_buffer: int = 256 * 1024
+    config: ChannelConfig,
+    now: Callable[[], float],
+    send_buffer: int = 256 * 1024,
+    instrumentation=None,
 ) -> DuplexChannel:
+    obs = instrumentation if instrumentation is not None else NULL
     return DuplexChannel(
-        ReliableChannel(config, now, send_buffer),
-        ReliableChannel(config, now, send_buffer),
+        ReliableChannel(config, now, send_buffer,
+                        instrumentation=obs.scoped(dir="fwd")),
+        ReliableChannel(config, now, send_buffer,
+                        instrumentation=obs.scoped(dir="back")),
     )

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..obs.clockutil import as_now
+from ..obs.instrumentation import NULL
+
 
 class TokenBucket:
     """Classic token bucket: ``rate_bps`` sustained, ``burst_bytes`` burst."""
@@ -20,11 +23,12 @@ class TokenBucket:
         rate_bps: int,
         now: Callable[[], float],
         burst_bytes: int | None = None,
+        instrumentation=None,
     ) -> None:
         if rate_bps <= 0:
             raise ValueError("rate must be positive")
         self.rate_bps = rate_bps
-        self._now = now
+        self._now = as_now(now)
         self.burst_bytes = burst_bytes if burst_bytes is not None else max(
             1500, rate_bps // 8 // 20  # ~50 ms worth by default
         )
@@ -34,6 +38,9 @@ class TokenBucket:
         self._last_refill = self._now()
         self.bytes_admitted = 0
         self.bytes_deferred = 0
+        obs = instrumentation if instrumentation is not None else NULL
+        self._c_admitted = obs.counter("ratecontrol.bytes_admitted")
+        self._c_deferred = obs.counter("ratecontrol.bytes_deferred")
 
     def _refill(self) -> None:
         now = self._now()
@@ -53,8 +60,10 @@ class TokenBucket:
         if size <= self._tokens:
             self._tokens -= size
             self.bytes_admitted += size
+            self._c_admitted.inc(size)
             return True
         self.bytes_deferred += size
+        self._c_deferred.inc(size)
         return False
 
     def available(self) -> int:

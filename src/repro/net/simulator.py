@@ -10,28 +10,81 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..obs.clockutil import resolve_clock
+from ..obs.instrumentation import NULL
 from ..rtp.clock import SimulatedClock
 
 
 class Simulation:
     """Drives one AH and its participants on a shared simulated clock."""
 
-    def __init__(self, ah, clock: SimulatedClock, dt: float = 0.02) -> None:
+    def __init__(
+        self,
+        ah,
+        clock: SimulatedClock = None,
+        dt: float = 0.02,
+        instrumentation=None,
+    ) -> None:
         if dt <= 0:
             raise ValueError("dt must be positive")
+        if clock is None or not callable(getattr(clock, "advance", None)):
+            raise TypeError(
+                "Simulation needs a clock with now() and advance()"
+            )
+        resolve_clock(clock, None, "Simulation")  # validates now()
         self.ah = ah
         self.clock = clock
         self.dt = dt
+        #: Where snapshots come from; defaults to the AH's own object so
+        #: one injection at AH construction covers the whole harness.
+        self.obs = (
+            instrumentation if instrumentation is not None
+            else getattr(ah, "obs", NULL)
+        )
         self.participants: list = []
         #: Callables invoked with the round index before each step.
         self.drivers: list[Callable[[int], None]] = []
         self.rounds_run = 0
+        #: (time, snapshot) pairs collected by :meth:`sample_every`.
+        self.samples: list[tuple[float, dict]] = []
+        self._sample_interval: float | None = None
+        self._sampler: Callable[[], dict] | None = None
+        self._next_sample = 0.0
 
     def add_participant(self, participant) -> None:
         self.participants.append(participant)
 
     def add_driver(self, driver: Callable[[int], None]) -> None:
         self.drivers.append(driver)
+
+    # -- Observability ----------------------------------------------------
+
+    def snapshot(self, events: bool = False) -> dict:
+        """The session's metrics snapshot plus simulation progress."""
+        snap = self.obs.snapshot(events=events)
+        snap["simulation"] = {
+            "time": self.clock.now(),
+            "rounds": self.rounds_run,
+            "dt": self.dt,
+        }
+        return snap
+
+    def sample_every(
+        self,
+        interval: float,
+        sampler: Callable[[], dict] | None = None,
+    ) -> None:
+        """Collect periodic snapshots into :attr:`samples`.
+
+        Every ``interval`` simulated seconds, ``sampler()`` (default
+        :meth:`snapshot`) is appended as ``(time, sample)``.  Call again
+        to change cadence; the next sample is rescheduled from now.
+        """
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self._sample_interval = interval
+        self._sampler = sampler
+        self._next_sample = self.clock.now() + interval
 
     # -- Stepping ---------------------------------------------------------
 
@@ -43,6 +96,13 @@ class Simulation:
         for participant in self.participants:
             participant.process_incoming()
         self.rounds_run += 1
+        if self._sample_interval is not None:
+            now = self.clock.now()
+            if now >= self._next_sample:
+                sampler = self._sampler or self.snapshot
+                self.samples.append((now, sampler()))
+                while self._next_sample <= now:
+                    self._next_sample += self._sample_interval
 
     def run(self, rounds: int) -> None:
         for _ in range(rounds):
@@ -56,13 +116,19 @@ class Simulation:
         condition: Callable[[], bool],
         timeout: float = 30.0,
     ) -> bool:
-        """Step until ``condition()`` holds; False when time runs out."""
+        """Step until ``condition()`` holds; False when time runs out.
+
+        The condition is evaluated once per round, including one final
+        time at the deadline, so a condition that becomes true on the
+        very last step is still observed.
+        """
         deadline = self.clock.now() + timeout
-        while self.clock.now() < deadline:
+        while True:
             if condition():
                 return True
+            if self.clock.now() >= deadline:
+                return False
             self.step()
-        return condition()
 
     def run_until_converged(self, timeout: float = 30.0,
                             screen_only: bool = False) -> bool:

@@ -1,0 +1,38 @@
+"""repro.obs — unified session observability.
+
+One :class:`Instrumentation` object per session: named counters,
+gauges and histograms in a :class:`MetricsRegistry`, structured trace
+events in a :class:`~repro.stats.trace.SessionTrace`, one
+JSON-serialisable :meth:`Instrumentation.snapshot`.  Inject it at
+``ApplicationHost`` / ``Participant`` construction; every layer below
+(scheduler, encoder, jitter buffer, RTP, RTCP, rate control, channels)
+reports through it.  The shared :data:`NULL` instance is the
+allocation-free off-switch.
+
+See ``docs/OBSERVABILITY.md`` for the metric-name catalogue and the
+snapshot schema.  ``python -m repro.obs --selftest`` smoke-checks the
+no-op overhead bound.
+"""
+
+from .clockutil import as_now, resolve_clock
+from .instrumentation import (
+    MESSAGE_CLASSES,
+    NULL,
+    Instrumentation,
+    NullInstrumentation,
+)
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, render_name
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MESSAGE_CLASSES",
+    "MetricsRegistry",
+    "NULL",
+    "NullInstrumentation",
+    "as_now",
+    "render_name",
+    "resolve_clock",
+]

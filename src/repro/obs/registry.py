@@ -1,0 +1,163 @@
+"""Metric primitives and the registry that names them.
+
+One :class:`MetricsRegistry` per session holds every named metric:
+
+* :class:`Counter` — monotonically increasing int (packets, bytes);
+* :class:`Gauge` — last-written float (queue depth, backlog);
+* :class:`Histogram` — sample distribution with percentile summaries
+  (update staleness, apply latency).
+
+Metrics are identified by a name plus a set of ``key=value`` labels
+(``peer``, ``side``, ``class``, ...).  Handles are get-or-create and
+stable, so hot paths resolve them once at construction time and then
+pay one attribute bump per event.  :meth:`MetricsRegistry.snapshot`
+renders everything into one JSON-serialisable dict.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..stats.metrics import LatencyRecorder
+
+#: Sorted ``(key, value)`` pairs — the canonical label encoding.
+Labels = tuple[tuple[str, object], ...]
+
+
+def render_name(name: str, labels: Labels) -> str:
+    """``name{k=v,...}`` rendering used by snapshots and docs."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-written value (levels, depths, sizes)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram(LatencyRecorder):
+    """A sample distribution; extends :class:`LatencyRecorder` with the
+    registry identity and an ``observe`` verb (negatives clamp to 0 so
+    float rounding near zero never raises on a hot path)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str = "", labels: Labels = ()) -> None:
+        super().__init__()
+        self.name = name
+        self.labels = labels
+
+    def observe(self, value: float) -> None:
+        self.record(value if value > 0 else 0.0)
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one session."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, Labels], Metric] = {}
+
+    # -- Handles -----------------------------------------------------------
+
+    def _get(self, cls: type, name: str, labels: dict) -> Metric:
+        key = (name, tuple(sorted(labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1])
+            self._metrics[key] = metric
+        elif type(metric) is not cls:
+            raise ValueError(
+                f"metric {render_name(*key)!r} already registered as "
+                f"{metric.kind}, not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- Queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def get(self, name: str, **labels) -> Metric | None:
+        """The exact metric, or None when never registered."""
+        return self._metrics.get((name, tuple(sorted(labels.items()))))
+
+    def find(self, name: str, **labels) -> list[Metric]:
+        """Every metric with this name whose labels include ``labels``."""
+        want = set(labels.items())
+        return [
+            m for (n, _), m in self._metrics.items()
+            if n == name and want <= set(m.labels)
+        ]
+
+    def total(self, name: str, **labels) -> float:
+        """Sum of matching counter/gauge values (histograms: counts)."""
+        out = 0.0
+        for metric in self.find(name, **labels):
+            out += metric.count if isinstance(metric, Histogram) else metric.value
+        return out
+
+    # -- Export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One JSON-serialisable dict: every metric, rendered name → value."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict[str, float]] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            full = render_name(name, labels)
+            if isinstance(metric, Counter):
+                counters[full] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[full] = metric.value
+            else:
+                histograms[full] = metric.summary()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }

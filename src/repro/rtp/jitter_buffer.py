@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..obs.clockutil import as_now
+from ..obs.instrumentation import NULL
 from .packet import RtpPacket
 from .sequence import seq_delta, seq_newer
 
@@ -32,12 +34,13 @@ class JitterBuffer:
         now: Callable[[], float],
         max_wait: float = 0.05,
         capacity: int = 512,
+        instrumentation=None,
     ) -> None:
         if max_wait < 0:
             raise ValueError("max_wait cannot be negative")
         if capacity <= 0:
             raise ValueError("capacity must be positive")
-        self._now = now
+        self._now = as_now(now)
         self.max_wait = max_wait
         self.capacity = capacity
         self._slots: dict[int, _Slot] = {}
@@ -46,6 +49,11 @@ class JitterBuffer:
         self._overflow: list[RtpPacket] = []
         self.packets_dropped_late = 0
         self.sequences_skipped = 0
+        obs = instrumentation if instrumentation is not None else NULL
+        self._c_buffered = obs.counter("jitter.packets_buffered")
+        self._c_late = obs.counter("jitter.packets_dropped_late")
+        self._c_skipped = obs.counter("jitter.sequences_skipped")
+        self._g_held = obs.gauge("jitter.held")
 
     def insert(self, packet: RtpPacket) -> None:
         """Add an arrival; duplicates and already-released seqs drop."""
@@ -53,6 +61,7 @@ class JitterBuffer:
         if self._next_seq is not None and not seq_newer(seq, self._next_seq) \
                 and seq != self._next_seq:
             self.packets_dropped_late += 1
+            self._c_late.inc()
             return
         if seq in self._slots:
             return  # duplicate
@@ -66,6 +75,8 @@ class JitterBuffer:
                 self._overflow.append(self._slots.pop(self._next_seq).packet)
                 self._next_seq = (self._next_seq + 1) % _SEQ_MOD
         self._slots[seq] = _Slot(packet, self._now())
+        self._c_buffered.inc()
+        self._g_held.set(len(self._slots) + len(self._overflow))
         if self._next_seq is None:
             self._next_seq = seq
 
@@ -92,6 +103,8 @@ class JitterBuffer:
                 self._skip_hole()
             else:
                 break
+        if out:
+            self._g_held.set(len(self._slots) + len(self._overflow))
         return out
 
     def _skip_hole(self) -> None:
@@ -103,6 +116,7 @@ class JitterBuffer:
         skipped = seq_delta(nearest, self._next_seq)
         if skipped > 0:
             self.sequences_skipped += skipped
+            self._c_skipped.inc(skipped)
         self._next_seq = nearest
 
     @property

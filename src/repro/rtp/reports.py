@@ -12,6 +12,8 @@ from __future__ import annotations
 import random
 from typing import Callable
 
+from ..obs.clockutil import as_now
+from ..obs.instrumentation import NULL
 from .rtcp import (
     ReceiverReport,
     ReportBlock,
@@ -37,6 +39,13 @@ def to_ntp(seconds: float) -> int:
     return ((whole & 0xFFFF_FFFF) << 32) | (frac & 0xFFFF_FFFF)
 
 
+def from_ntp(ntp: int) -> float:
+    """64-bit NTP timestamp → float seconds (inverse of :func:`to_ntp`)."""
+    whole = (ntp >> 32) & 0xFFFF_FFFF
+    frac = ntp & 0xFFFF_FFFF
+    return whole - _NTP_EPOCH_OFFSET + frac / (1 << 32)
+
+
 def middle_32(ntp: int) -> int:
     """The middle 32 bits of an NTP timestamp (the LSR field)."""
     return (ntp >> 16) & 0xFFFF_FFFF
@@ -59,12 +68,13 @@ class RtcpReporter:
         cname: str = "repro@localhost",
         interval: float = DEFAULT_INTERVAL,
         rng: random.Random | None = None,
+        instrumentation=None,
     ) -> None:
         if sender is None and receiver is None:
             raise ValueError("reporter needs a sender and/or a receiver")
         if interval <= 0:
             raise ValueError("interval must be positive")
-        self._now = now
+        self._now = as_now(now)
         self.sender = sender
         self.receiver = receiver
         self.cname = cname
@@ -76,6 +86,8 @@ class RtcpReporter:
         self._last_sr_ntp: int | None = None
         self._last_sr_arrival: float | None = None
         self.reports_sent = 0
+        obs = instrumentation if instrumentation is not None else NULL
+        self._c_reports = obs.counter("rtcp.reports_sent")
 
     def _draw_interval(self) -> float:
         return self.interval * self._rng.uniform(0.5, 1.5)
@@ -103,6 +115,7 @@ class RtcpReporter:
             return None
         self._next_due = now + self._draw_interval()
         self.reports_sent += 1
+        self._c_reports.inc()
         return self.build_compound()
 
     def build_compound(self) -> bytes:

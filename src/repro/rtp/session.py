@@ -12,6 +12,8 @@ import random
 from dataclasses import dataclass
 from typing import Callable
 
+from ..obs.clockutil import as_now
+from ..obs.instrumentation import NULL
 from .clock import DEFAULT_CLOCK_RATE, MediaClock
 from .packet import MAX_SEQ, RtpPacket
 from .sequence import GapDetector, ReceptionStats, SequenceTracker
@@ -37,16 +39,20 @@ class RtpSender:
         clock: MediaClock | None = None,
         now: Callable[[], float] | None = None,
         rng: random.Random | None = None,
+        instrumentation=None,
     ) -> None:
         r = rng or random
         self.payload_type = payload_type
         self.ssrc = ssrc if ssrc is not None else generate_ssrc(r)
         self.clock = clock or MediaClock(rng=r)
-        self._now = now or (lambda: 0.0)
+        self._now = as_now(now, default=lambda: 0.0)
         # Random initial sequence number per RFC 3550 section 5.1.
         self._next_seq = r.randrange(MAX_SEQ + 1)
         self.packets_sent = 0
         self.octets_sent = 0
+        obs = instrumentation if instrumentation is not None else NULL
+        self._c_packets = obs.counter("rtp.packets_sent", pt=payload_type)
+        self._c_octets = obs.counter("rtp.octets_sent", pt=payload_type)
 
     def next_packet(
         self,
@@ -73,6 +79,8 @@ class RtpSender:
         self._next_seq = (self._next_seq + 1) & MAX_SEQ
         self.packets_sent += 1
         self.octets_sent += len(payload)
+        self._c_packets.inc()
+        self._c_octets.inc(len(payload))
         return packet
 
     def current_timestamp(self) -> int:
@@ -97,13 +105,18 @@ class RtpReceiver:
         clock_rate: int = DEFAULT_CLOCK_RATE,
         now: Callable[[], float] | None = None,
         nack_window: int = 1024,
+        instrumentation=None,
     ) -> None:
-        self._now = now or (lambda: 0.0)
+        self._now = as_now(now, default=lambda: 0.0)
         self.tracker = SequenceTracker(clock_rate=clock_rate)
         self.gaps = GapDetector(max_tracked=nack_window)
         self.ssrc: int | None = None
         self.packets_received = 0
         self.octets_received = 0
+        obs = instrumentation if instrumentation is not None else NULL
+        self._c_packets = obs.counter("rtp.packets_received")
+        self._c_octets = obs.counter("rtp.octets_received")
+        self._c_invalid = obs.counter("rtp.packets_invalid")
 
     def receive(self, packet: RtpPacket) -> ReceivedPacket:
         """Validate and account for an arriving packet."""
@@ -117,6 +130,10 @@ class RtpReceiver:
             self.packets_received += 1
             self.octets_received += len(packet.payload)
             self.gaps.record(packet.sequence_number)
+            self._c_packets.inc()
+            self._c_octets.inc(len(packet.payload))
+        else:
+            self._c_invalid.inc()
         return ReceivedPacket(packet, arrival, valid)
 
     def missing_sequence_numbers(self) -> list[int]:

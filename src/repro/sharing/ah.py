@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from ..apps.base import AppHost
 from ..codecs.base import CodecRegistry, default_registry
 from ..net.ratecontrol import TokenBucket
+from ..obs.clockutil import resolve_clock
+from ..obs.instrumentation import NULL
 from ..rtp.feedback import GenericNack, PictureLossIndication
 from ..rtp.reports import RtcpReporter
 from ..rtp.rtcp import RtcpError, decode_compound
@@ -53,14 +55,19 @@ class ApplicationHost:
         screen_height: int = 1024,
         config: SharingConfig | None = None,
         registry: CodecRegistry | None = None,
-        now=None,
+        clock=None,
         floor_check: FloorCheck | None = None,
         rng: random.Random | None = None,
+        now=None,
+        instrumentation=None,
     ) -> None:
         self.config = config or SharingConfig()
         self.registry = registry or default_registry()
-        self._now = now or (lambda: 0.0)
+        self._now = resolve_clock(
+            clock, now, "ApplicationHost", default=lambda: 0.0
+        )
         self._rng = rng or random.Random(0)
+        self.obs = instrumentation if instrumentation is not None else NULL
 
         self.windows = WindowManager(screen_width, screen_height)
         self.apps = AppHost(self.windows)
@@ -84,6 +91,8 @@ class ApplicationHost:
         self.extension_handlers: dict = {}
         self.plis_received = 0
         self.nacks_received = 0
+        self._c_plis = self.obs.counter("ah.plis_received")
+        self._c_nacks = self.obs.counter("ah.nacks_received")
 
     # -- Participant management ------------------------------------------------
 
@@ -104,21 +113,33 @@ class ApplicationHost:
         """
         if participant_id in self.sessions:
             raise ValueError(f"participant {participant_id!r} already present")
-        sender = RtpSender(PT_REMOTING, now=self._now, rng=self._rng)
-        encoder = FrameEncoder(sender, self.registry, self.config, self._now)
+        obs = self.obs.scoped(peer=participant_id, side="ah")
+        sender = RtpSender(
+            PT_REMOTING, now=self._now, rng=self._rng,
+            instrumentation=obs,
+        )
+        encoder = FrameEncoder(
+            sender, self.registry, self.config, self._now,
+            instrumentation=obs,
+        )
         limiter = (
-            TokenBucket(rate_bps, now=self._now) if rate_bps else None
+            TokenBucket(rate_bps, now=self._now, instrumentation=obs)
+            if rate_bps
+            else None
         )
         scheduler = UpdateScheduler(
             transport, encoder, self.windows, self.config, self._now, limiter,
             pixel_reader=self.capture.read_window_rect,
+            instrumentation=obs,
         )
         hip_receiver = RtpReceiver(
-            clock_rate=self.config.clock_rate, now=self._now
+            clock_rate=self.config.clock_rate, now=self._now,
+            instrumentation=obs.scoped(stream="hip"),
         )
         reporter = RtcpReporter(
             self._now, sender=sender, receiver=hip_receiver,
             cname=f"ah/{participant_id}", rng=self._rng,
+            instrumentation=obs,
         )
         session = AhSession(
             participant_id, transport, scheduler, reporter, hip_receiver,
@@ -213,9 +234,13 @@ class ApplicationHost:
         for message in messages:
             if isinstance(message, PictureLossIndication):
                 self.plis_received += 1
+                self._c_plis.inc()
+                if self.obs.enabled:
+                    self.obs.event("pli.received", peer=session.participant_id)
                 session.scheduler.submit_full_refresh()
             elif isinstance(message, GenericNack):
                 self.nacks_received += 1
+                self._c_nacks.inc()
                 if self.config.retransmissions:
                     session.scheduler.retransmit(message.sequence_numbers())
 

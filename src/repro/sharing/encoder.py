@@ -18,9 +18,10 @@ from ..core.move_rectangle import MoveRectangle
 from ..core.registry import MSG_MOUSE_POINTER_INFO, MSG_REGION_UPDATE
 from ..core.fragmentation import fragment_update
 from ..core.window_info import WindowManagerInfo
+from ..obs.clockutil import as_now
+from ..obs.instrumentation import NULL
 from ..rtp.packet import RtpPacket
 from ..rtp.session import RtpSender
-from ..stats.metrics import TrafficStats
 from .capture import CapturedFrame, MoveOp, PointerOp, UpdateOp
 from .config import SharingConfig
 
@@ -42,18 +43,20 @@ class FrameEncoder:
         registry: CodecRegistry,
         config: SharingConfig,
         now,
+        instrumentation=None,
     ) -> None:
         self.sender = sender
         self.registry = registry
         self.config = config
-        self._now = now
+        self._now = as_now(now)
         self.selector = CodecSelector(
             registry,
             lossless_name=config.lossless_codec,
             lossy_name=config.lossy_codec,
             allow_lossy=config.adaptive_codec,
         )
-        self.stats = TrafficStats()
+        self._obs = instrumentation if instrumentation is not None else NULL
+        self.stats = self._obs.traffic_stats()
 
     # -- Whole frames -----------------------------------------------------
 
@@ -123,6 +126,15 @@ class FrameEncoder:
             )
             self.stats.region_update.add(len(fragment.payload), len(packet))
             out.append(StampedPacket(packet, capture_time))
+        if self._obs.enabled:
+            self._obs.event(
+                "update.sent",
+                rtp_ts=timestamp,
+                window=update.window_id,
+                bytes=len(data),
+                fragments=len(fragments),
+                capture=capture_time,
+            )
         return out
 
     def encode_pointer(

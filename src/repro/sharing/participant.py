@@ -45,13 +45,14 @@ from ..core.registry import (
     MSG_WINDOW_MANAGER_INFO,
 )
 from ..core.window_info import WindowManagerInfo, WindowRecord
+from ..obs.clockutil import resolve_clock
+from ..obs.instrumentation import NULL
 from ..rtp.feedback import PictureLossIndication, nacks_for
 from ..rtp.jitter_buffer import JitterBuffer
 from ..rtp.packet import RtpPacket
-from ..rtp.reports import RtcpReporter
+from ..rtp.reports import RtcpReporter, from_ntp
 from ..rtp.rtcp import SenderReport, decode_compound
 from ..rtp.session import RtpReceiver, RtpSender
-from ..stats.metrics import LatencyRecorder, TrafficStats
 from ..surface.framebuffer import BLACK, Framebuffer
 from ..surface.geometry import Point, Rect
 from .config import PT_HIP, PT_REMOTING, SharingConfig
@@ -80,7 +81,7 @@ class Participant:
         self,
         participant_id: str,
         transport: PacketTransport,
-        now,
+        clock=None,
         config: SharingConfig | None = None,
         registry: CodecRegistry | None = None,
         layout: LayoutPolicy | None = None,
@@ -91,10 +92,15 @@ class Participant:
         nack_retry_interval: float = 0.2,
         extension_handlers: dict | None = None,
         rng: random.Random | None = None,
+        now=None,
+        instrumentation=None,
     ) -> None:
         self.id = participant_id
         self.transport = transport
-        self._now = now
+        self._now = resolve_clock(clock, now, "Participant")
+        self._obs = (
+            instrumentation if instrumentation is not None else NULL
+        ).scoped(peer=participant_id, side="participant")
         self.config = config or SharingConfig()
         self.registry = registry or default_registry()
         self.layout = layout or OriginalLayout()
@@ -102,15 +108,23 @@ class Participant:
         self.ah_supports_retransmissions = ah_supports_retransmissions
 
         r = rng or random.Random()
-        self.hip_sender = RtpSender(PT_HIP, now=now, rng=r)
-        self.receiver = RtpReceiver(clock_rate=self.config.clock_rate, now=now)
+        self.hip_sender = RtpSender(
+            PT_HIP, now=self._now, rng=r, instrumentation=self._obs
+        )
+        self.receiver = RtpReceiver(
+            clock_rate=self.config.clock_rate, now=self._now,
+            instrumentation=self._obs.scoped(stream="remoting"),
+        )
         self.ssrc = self.hip_sender.ssrc
         self._media_ssrc = 0  # learned from the first remoting packet
         # Reordering only matters on unreliable paths; the wait must
         # exceed the path RTT for NACK retransmissions to arrive in time.
         self._jitter = (
             None if transport.reliable
-            else JitterBuffer(now=now, max_wait=reorder_wait)
+            else JitterBuffer(
+                now=self._now, max_wait=reorder_wait,
+                instrumentation=self._obs,
+            )
         )
         #: Message type → handler(payload, packet) for registered
         #: extension types (section 9); unhandled types are ignored.
@@ -121,11 +135,12 @@ class Participant:
         self._last_pli_time = float("-inf")
         #: Periodic RTCP: RRs on the remoting stream, SRs for HIP.
         self.reporter = RtcpReporter(
-            now,
+            self._now,
             sender=self.hip_sender,
             receiver=self.receiver,
             cname=f"participant/{participant_id}",
             rng=r,
+            instrumentation=self._obs,
         )
         self._reassembler = UpdateReassembler(MSG_REGION_UPDATE)
         self._pointer_reassembler = UpdateReassembler(MSG_MOUSE_POINTER_INFO)
@@ -136,14 +151,26 @@ class Participant:
         self.pointer_position: tuple[int, int] | None = None
         self.pointer_image: np.ndarray | None = None
 
-        self.stats = TrafficStats()
-        self.update_latency = LatencyRecorder()
+        self.stats = self._obs.traffic_stats()
+        self.update_latency = self._obs.latency_recorder(
+            "participant.update_latency_seconds"
+        )
         self.updates_applied = 0
         self.moves_applied = 0
         self.wmi_applied = 0
         self.plis_sent = 0
         self.nacks_sent = 0
         self.malformed_dropped = 0
+        self._c_updates = self._obs.counter("participant.updates_applied")
+        self._c_moves = self._obs.counter("participant.moves_applied")
+        self._c_wmi = self._obs.counter("participant.wmi_applied")
+        self._c_plis = self._obs.counter("participant.plis_sent")
+        self._c_nacks = self._obs.counter("participant.nacks_sent")
+        self._c_malformed = self._obs.counter("participant.malformed_dropped")
+        #: Last AH SenderReport: (wall seconds, RTP timestamp) — the
+        #: NTP↔RTP mapping that lets us turn update timestamps back
+        #: into send-side wall time (RFC 3550 section 6.4.1).
+        self._last_sr: tuple[float, int] | None = None
         self._dropped_seen = 0
         self._joined = False
 
@@ -197,6 +224,9 @@ class Participant:
         for message in messages:
             if isinstance(message, SenderReport):
                 self.reporter.saw_sender_report(message)
+                self._last_sr = (
+                    from_ntp(message.ntp_timestamp), message.rtp_timestamp
+                )
 
     def _apply_packet(self, packet: RtpPacket) -> int:
         """Apply one remoting packet; malformed input counts, never raises."""
@@ -204,6 +234,7 @@ class Participant:
             return self._apply_packet_unchecked(packet)
         except Exception:
             self.malformed_dropped += 1
+            self._c_malformed.inc()
             return 0
 
     def _apply_packet_unchecked(self, packet: RtpPacket) -> int:
@@ -252,6 +283,7 @@ class Participant:
 
     def _apply_window_info(self, info: WindowManagerInfo) -> None:
         self.wmi_applied += 1
+        self._c_wmi.inc()
         placements = self.layout.place(list(info.records), self.screen)
         new_windows: dict[int, LocalWindow] = {}
         for record in info.records:
@@ -281,6 +313,7 @@ class Participant:
         if window is None:
             return
         self.moves_applied += 1
+        self._c_moves.inc()
         ah = window.ah_rect
         src = Rect(
             msg.source_left - ah.left,
@@ -313,6 +346,38 @@ class Participant:
         ah = window.ah_rect
         window.surface.write_rect(left - ah.left, top - ah.top, pixels)
         self.updates_applied += 1
+        self._c_updates.inc()
+        latency = self._estimate_latency(rtp_timestamp)
+        if latency is not None:
+            self.update_latency.record(latency)
+        if self._obs.enabled:
+            self._obs.event(
+                "update.applied",
+                rtp_ts=rtp_timestamp,
+                window=window_id,
+                bytes=len(data),
+            )
+
+    def _estimate_latency(self, rtp_timestamp: int) -> float | None:
+        """AH-capture → local-apply delay via the last SR's NTP↔RTP map.
+
+        RFC 3550 SRs pair a wall-clock (NTP) instant with the stream's
+        RTP timestamp at that instant; with a shared simulation clock
+        that is enough to place any update's media timestamp on the
+        wall-clock axis.  Returns None before the first SR or when the
+        estimate is implausible (clock skew, timestamp wrap mid-gap).
+        """
+        if self._last_sr is None:
+            return None
+        sr_wall, sr_rtp = self._last_sr
+        diff = (rtp_timestamp - sr_rtp) & 0xFFFF_FFFF
+        if diff >= 1 << 31:
+            diff -= 1 << 32
+        sent_wall = sr_wall + diff / self.config.clock_rate
+        latency = self._now() - sent_wall
+        if 0.0 <= latency < 60.0:
+            return latency
+        return None
 
     def _apply_pointer(
         self, left: int, top: int, content_pt: int, image_data: bytes
@@ -378,7 +443,10 @@ class Participant:
         self._last_pli_time = self._now()
         self.transport.send_packet(encoded)
         self.plis_sent += 1
+        self._c_plis.inc()
         self.stats.rtcp.add(len(encoded), len(encoded))
+        if self._obs.enabled:
+            self._obs.event("pli.sent")
 
     def send_nack(self, missing: list[int]) -> None:
         """Report missing RTP packets (section 5.3.2)."""
@@ -388,7 +456,10 @@ class Participant:
         encoded = nack.encode()
         self.transport.send_packet(encoded)
         self.nacks_sent += 1
+        self._c_nacks.inc()
         self.stats.rtcp.add(len(encoded), len(encoded))
+        if self._obs.enabled:
+            self._obs.event("nack.sent", count=len(missing))
 
     # -- HIP send path ------------------------------------------------------------------
 

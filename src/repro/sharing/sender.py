@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..net.ratecontrol import TokenBucket
+from ..obs.clockutil import as_now
+from ..obs.instrumentation import NULL
 from ..surface.geometry import Rect
 from ..surface.region import Region
 from ..surface.window import WindowManager
@@ -63,12 +65,13 @@ class UpdateScheduler:
         now,
         rate_limiter: TokenBucket | None = None,
         pixel_reader=None,
+        instrumentation=None,
     ) -> None:
         self.transport = transport
         self.encoder = encoder
         self.manager = manager
         self.config = config
-        self._now = now
+        self._now = as_now(now)
         self.rate_limiter = rate_limiter
         #: (window, local_rect) → pixels; overridden by the AH so the
         #: in-band pointer model covers re-reads and full refreshes.
@@ -84,8 +87,16 @@ class UpdateScheduler:
         self.packets_sent = 0
         self.bytes_sent = 0
         self.keepalives_sent = 0
-        self._last_send_time = now()
+        self._last_send_time = self._now()
         self.updates_sent_stale_after: list[float] = []
+        obs = instrumentation if instrumentation is not None else NULL
+        self._c_packets = obs.counter("scheduler.packets_sent")
+        self._c_bytes = obs.counter("scheduler.bytes_sent")
+        self._c_keepalives = obs.counter("scheduler.keepalives_sent")
+        self._c_coalesced = obs.counter("scheduler.frames_coalesced")
+        self._c_retransmits = obs.counter("scheduler.retransmit_packets")
+        self._g_queue = obs.gauge("scheduler.queue_depth")
+        self._h_staleness = obs.histogram("scheduler.update_staleness_seconds")
 
     # -- Submission ------------------------------------------------------------
 
@@ -123,6 +134,7 @@ class UpdateScheduler:
     def _coalesce(self, frame: CapturedFrame) -> None:
         """Fold a frame into pending state: keep damage, drop stale data."""
         self.frames_coalesced += 1
+        self._c_coalesced.inc()
         pending = self._pending
         if frame.window_info is not None:
             pending.needs_window_info = True
@@ -178,8 +190,15 @@ class UpdateScheduler:
             sent += 1
             self.packets_sent += 1
             self.bytes_sent += len(encoded)
-            self._last_send_time = self._now()
-            self.updates_sent_stale_after.append(self._now() - stamped.capture_time)
+            now = self._now()
+            self._last_send_time = now
+            stale = now - stamped.capture_time
+            self.updates_sent_stale_after.append(stale)
+            self._c_packets.inc()
+            self._c_bytes.inc(len(encoded))
+            self._h_staleness.observe(stale)
+        if sent:
+            self._g_queue.set(len(self._queue))
         return sent
 
     def pump(self) -> int:
@@ -194,6 +213,7 @@ class UpdateScheduler:
             frame = self._materialise_pending()
             self._queue.extend(self.encoder.encode_frame(frame))
             sent += self.flush()
+        self._g_queue.set(len(self._queue))
         return sent
 
     def _materialise_pending(self) -> CapturedFrame:
@@ -243,6 +263,7 @@ class UpdateScheduler:
             self.transport.send_packet(encoded)
             self.retransmit_cache.store(packet.sequence_number, encoded)
             self.keepalives_sent += 1
+            self._c_keepalives.inc()
             self._last_send_time = now
 
     # -- Path state -----------------------------------------------------------------
@@ -271,6 +292,8 @@ class UpdateScheduler:
                 count += 1
                 self.bytes_sent += len(encoded)
                 self.encoder.stats.retransmit.add(0, len(encoded))
+        if count:
+            self._c_retransmits.inc(count)
         return count
 
     @property

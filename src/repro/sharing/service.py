@@ -42,14 +42,30 @@ class SharingService:
         uri: str = "sip:ah@host",
         channel_config: ChannelConfig | None = None,
         rng: random.Random | None = None,
+        rate_bps: int | None = None,
+        instrumentation=None,
     ) -> None:
+        if not callable(getattr(clock, "now", None)) or not callable(
+            getattr(clock, "advance", None)
+        ):
+            raise TypeError(
+                "SharingService needs a clock with now() and advance()"
+            )
         self.ah = ah
         self.clock = clock
         self.uri = uri
         self.channel_config = channel_config or ChannelConfig(delay=0.01)
         self._rng = rng or random.Random(7)
+        #: Token-bucket tier attached to UDP participants (section 4.3).
+        self.rate_bps = rate_bps
+        self.obs = (
+            instrumentation if instrumentation is not None
+            else getattr(ah, "obs", None)
+        )
         self._calls: dict[str, _Call] = {}
         #: Signalling wires: name → (to_remote, to_local) message queues.
+        #: Any sequence with pop(0) works; ``collections.deque`` keeps
+        #: the drain O(1) per message.
         self._signalling: dict[str, tuple[list[str], list[str]]] = {}
 
     # -- Inviting -------------------------------------------------------------
@@ -82,8 +98,11 @@ class SharingService:
         """
         for name, (_out, inbox) in list(self._signalling.items()):
             call = self._calls.get(name)
+            # deque.popleft is O(1); list.pop(0) would make a long drain
+            # quadratic, so prefer the former when the queue offers it.
+            pop = getattr(inbox, "popleft", None) or (lambda: inbox.pop(0))
             while inbox and call is not None:
-                call.sip.receive(inbox.pop(0))
+                call.sip.receive(pop())
                 if name not in self._calls:  # torn down mid-drain
                     break
 
@@ -93,17 +112,24 @@ class SharingService:
         """Participant answered: build the negotiated media path."""
         agreed = negotiate(parse_sdp(answer_sdp)) if answer_sdp.strip() else None
         transport_kind = agreed.transport if agreed else "tcp"
+        link_obs = self.obs.scoped(peer=name) if self.obs is not None else None
         if transport_kind == "udp":
-            link = duplex_lossy(self.channel_config, self.clock.now)
+            link = duplex_lossy(
+                self.channel_config, self.clock.now, instrumentation=link_obs
+            )
             ah_transport = DatagramTransport(link.forward, link.backward)
             p_transport = DatagramTransport(link.backward, link.forward)
+            self.ah.add_participant(name, ah_transport, rate_bps=self.rate_bps)
         else:
-            link = duplex_reliable(self.channel_config, self.clock.now)
+            link = duplex_reliable(
+                self.channel_config, self.clock.now, instrumentation=link_obs
+            )
             ah_transport = StreamTransport(link.forward, link.backward)
             p_transport = StreamTransport(link.backward, link.forward)
-        self.ah.add_participant(name, ah_transport)
+            self.ah.add_participant(name, ah_transport)
         participant = Participant(
-            name, p_transport, now=self.clock.now, config=self.ah.config
+            name, p_transport, clock=self.clock, config=self.ah.config,
+            instrumentation=self.obs,
         )
         participant.join()
         self._calls[name].participant = participant

@@ -1,12 +1,38 @@
-"""Metrics and measurement helpers for experiments."""
+"""Metrics and measurement helpers for experiments.
+
+The classes here predate :mod:`repro.obs` and are kept as thin,
+compatible adapters: construct them standalone as before, or obtain
+registry-backed instances from an
+:class:`~repro.obs.instrumentation.Instrumentation`
+(``obs.traffic_stats()``, ``obs.latency_recorder(...)``, ``obs.trace``).
+The observability names below re-export lazily from :mod:`repro.obs`.
+"""
 
 from .metrics import ByteCounter, LatencyRecorder, TrafficStats
 from .trace import SessionTrace, TraceEvent
 
 __all__ = [
     "ByteCounter",
+    "Instrumentation",
     "LatencyRecorder",
+    "MetricsRegistry",
+    "NULL",
+    "NullInstrumentation",
     "SessionTrace",
     "TraceEvent",
     "TrafficStats",
 ]
+
+_OBS_NAMES = frozenset(
+    {"Instrumentation", "MetricsRegistry", "NULL", "NullInstrumentation"}
+)
+
+
+def __getattr__(name):
+    # Lazy to avoid a circular import: repro.obs builds on the metric
+    # and trace primitives defined in this package.
+    if name in _OBS_NAMES:
+        from .. import obs
+
+        return getattr(obs, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -73,15 +73,29 @@ class SessionTrace:
             return None
         return end.time - start.time
 
-    def rate_per_second(self, kind: str) -> float:
-        """Average occurrences of ``kind`` per second of trace span."""
-        matching = self.events(kind)
-        if len(matching) < 2:
+    def rate_per_second(self, kind: str, window: float | None = None) -> float:
+        """Occurrences of ``kind`` per second of observation window.
+
+        The window defaults to the whole-trace span (first to last event
+        of *any* kind), so a burst of events recorded at one instant
+        inside a longer trace is still rated against the time actually
+        observed — the old first-to-last-of-kind span undercounted such
+        bursts (a single event always rated 0).  Defined edge cases:
+
+        * no matching events → 0.0;
+        * zero-length window (empty trace, a single event, or every
+          event at one timestamp) → 0.0 unless an explicit positive
+          ``window`` is passed, since no rate is derivable from an
+          instant.
+        """
+        count = sum(1 for e in self._events if e.kind == kind)
+        if count == 0:
             return 0.0
-        duration = matching[-1].time - matching[0].time
-        if duration <= 0:
+        if window is None:
+            window = self._events[-1].time - self._events[0].time
+        if window <= 0:
             return 0.0
-        return (len(matching) - 1) / duration
+        return count / window
 
     def to_rows(self) -> list[dict[str, Any]]:
         """Flat dict rows (time, kind, **attrs) for tabular export."""

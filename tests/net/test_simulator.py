@@ -64,3 +64,84 @@ class TestConvergence:
         ah, _p, clock = quick_session()
         sim = Simulation(ah, clock)
         assert not sim.run_until_converged(timeout=0.1)
+
+
+class TestObservability:
+    def test_snapshot_includes_simulation_progress(self):
+        from repro.obs import Instrumentation
+
+        obs = Instrumentation()
+        ah, participant, clock = quick_session(instrumentation=obs)
+        sim = Simulation(ah, clock, dt=0.02)
+        sim.add_participant(participant)
+        sim.run(5)
+        snap = sim.snapshot()
+        assert snap["simulation"]["rounds"] == 5
+        assert snap["simulation"]["time"] == pytest.approx(0.1)
+        assert snap["simulation"]["dt"] == pytest.approx(0.02)
+        # The simulation defaults to the AH's instrumentation.
+        assert snap["counters"] == obs.snapshot()["counters"]
+
+    def test_snapshot_without_instrumentation_still_works(self):
+        ah, _p, clock = quick_session()
+        sim = Simulation(ah, clock)
+        snap = sim.snapshot()
+        assert snap["counters"] == {}
+        assert snap["simulation"]["rounds"] == 0
+
+    def test_sample_every_collects_periodic_snapshots(self):
+        ah, participant, clock = quick_session()
+        sim = Simulation(ah, clock, dt=0.02)
+        sim.add_participant(participant)
+        sim.sample_every(0.1)
+        sim.run_seconds(1.0)
+        assert len(sim.samples) == 10
+        times = [t for t, _snap in sim.samples]
+        assert times == sorted(times)
+        assert all("simulation" in snap for _t, snap in sim.samples)
+
+    def test_sample_every_custom_sampler(self):
+        ah, _p, clock = quick_session()
+        sim = Simulation(ah, clock, dt=0.02)
+        sim.sample_every(0.1, sampler=lambda: {"rounds": sim.rounds_run})
+        sim.run_seconds(0.5)
+        assert len(sim.samples) == 5
+        rounds = [s["rounds"] for _t, s in sim.samples]
+        assert rounds == sorted(rounds)
+        # ~0.1 s apart at dt=0.02 → roughly every 5 rounds (float clock
+        # accumulation may shift a boundary by one round).
+        assert rounds[0] == 5
+        assert rounds[-1] == 25
+
+    def test_sample_every_rejects_bad_interval(self):
+        ah, _p, clock = quick_session()
+        sim = Simulation(ah, clock)
+        with pytest.raises(ValueError):
+            sim.sample_every(0)
+
+    def test_simulation_requires_advanceable_clock(self):
+        ah, _p, _clock = quick_session()
+        with pytest.raises(TypeError):
+            Simulation(ah, clock=lambda: 0.0)
+
+
+class TestRunUntilEdgeCases:
+    def test_true_condition_runs_zero_steps(self):
+        ah, _p, clock = quick_session()
+        sim = Simulation(ah, clock)
+        assert sim.run_until(lambda: True, timeout=0.0)
+        assert sim.rounds_run == 0
+
+    def test_condition_true_exactly_at_deadline_observed(self):
+        ah, _p, clock = quick_session()
+        sim = Simulation(ah, clock, dt=0.02)
+        # Becomes true only on the final step before the deadline; the
+        # loop must still evaluate it once more before giving up.
+        assert sim.run_until(lambda: clock.now() >= 0.1, timeout=0.1)
+
+    def test_timeout_consumes_expected_rounds(self):
+        ah, _p, clock = quick_session()
+        sim = Simulation(ah, clock, dt=0.02)
+        assert not sim.run_until(lambda: False, timeout=0.1)
+        assert sim.rounds_run == 5
+        assert clock.now() == pytest.approx(0.1)

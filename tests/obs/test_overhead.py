@@ -1,0 +1,19 @@
+"""The no-op instrumentation overhead bound, runnable from tier-1.
+
+Same check as ``python -m repro.obs --selftest``: the constructive
+worst-case cost of the NULL handles (per-op cost × ops the workload
+performs) must stay under 5 % of a bench_baseline-sized session's wall
+time.
+"""
+
+from repro.obs.__main__ import OVERHEAD_BUDGET, _null_op_cost, selftest
+
+
+def test_null_op_is_nanoseconds():
+    # Each no-op observability call must cost well under a microsecond.
+    assert _null_op_cost(samples=20_000) < 1e-6
+
+
+def test_selftest_overhead_under_budget():
+    assert 0 < OVERHEAD_BUDGET <= 0.05
+    assert selftest(rounds=150, verbose=False)

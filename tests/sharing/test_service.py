@@ -104,6 +104,26 @@ class TestCallLifecycle:
         with pytest.raises(ValueError):
             service.invite("eve", remote, [], inbox)
 
+    def test_signalling_queues_can_be_deques(self, setup):
+        # pump_signalling drains with popleft when the queue offers it
+        # (O(1) per message instead of list.pop(0)'s O(n)).
+        from collections import deque
+
+        clock, ah, service, _window, _editor = setup
+        remote_inbox: list[str] = []
+        service_inbox = deque()
+        remote = make_remote("grace", service_inbox)
+        service.invite("grace", remote, remote_inbox, service_inbox)
+        while remote_inbox:
+            remote.receive(remote_inbox.pop(0))
+        agreed = negotiate(parse_sdp(remote.remote_sdp))
+        remote.accept(f"v=0\r\ns=answer transport={agreed.transport}\r\n"
+                      + remote.remote_sdp)
+        service.pump_signalling()
+        assert not service_inbox  # fully drained
+        assert "grace" in service.active_calls()
+        assert "grace" in ah.sessions
+
     def test_typing_flows_through_sip_established_session(self, setup):
         clock, ah, service, window, editor = setup
         remote_inbox: list[str] = []

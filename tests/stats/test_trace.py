@@ -62,14 +62,39 @@ class TestQueries:
         assert trace.span("start", "missing") is None
 
     def test_rate_per_second(self, clock, trace):
+        # 11 events over a 1.0 s observed window → 11 events/second.
         for _ in range(11):
             trace.record("pkt")
             clock.advance(0.1)
-        assert trace.rate_per_second("pkt") == pytest.approx(10.0)
+        assert trace.rate_per_second("pkt") == pytest.approx(11.0)
+
+    def test_rate_single_burst_uses_whole_trace_window(self, clock, trace):
+        # A burst at one instant inside a longer trace must be rated
+        # against the trace's observation span, not the burst's own
+        # zero-length first-to-last-of-kind span.
+        trace.record("start")
+        clock.advance(1.0)
+        for _ in range(5):
+            trace.record("pkt")
+        clock.advance(1.0)
+        trace.record("end")
+        assert trace.rate_per_second("pkt") == pytest.approx(2.5)
+
+    def test_rate_no_matching_events(self, trace):
+        assert trace.rate_per_second("missing") == 0.0
 
     def test_rate_degenerate(self, trace):
+        # A lone event (zero-length window) has no derivable rate.
         trace.record("only-one")
         assert trace.rate_per_second("only-one") == 0.0
+
+    def test_rate_equal_timestamps(self, trace):
+        # Every event at one timestamp: window is zero → rate is 0.0 ...
+        for _ in range(3):
+            trace.record("pkt")
+        assert trace.rate_per_second("pkt") == 0.0
+        # ... unless the caller supplies an explicit window.
+        assert trace.rate_per_second("pkt", window=2.0) == pytest.approx(1.5)
 
     def test_to_rows(self, clock, trace):
         trace.record("e", value=7)
