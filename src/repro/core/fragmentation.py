@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..obs.instrumentation import NULL
 from .errors import FragmentationError
 from .header import COMMON_HEADER_LEN
 from .region_update import (
@@ -147,31 +148,89 @@ class UpdateReassembler:
     packets").  A new timestamp while a message is incomplete means
     packets were lost — the partial update is dropped and counted, and
     the caller may issue a NACK or PLI.
+
+    Two further expiry rules harden the path against stalled recovery:
+
+    * **Sequence continuity** — fragments of one update occupy
+      consecutive RTP sequence numbers.  When ``sequence_number`` is
+      supplied to :meth:`push`, a gap inside an open partial drops it
+      immediately.  Without this, a lost END fragment followed by a
+      same-timestamp update in the same window would be spliced into
+      the stale partial and decode as corrupt pixels.
+    * **Deadline** — a partial older than ``max_partial_age`` seconds
+      (needs ``now``) is dropped by :meth:`expire` or the next push, so
+      a lost END on an otherwise idle stream cannot buffer a partial
+      update forever.
+
+    Drops are counted by reason (``drops_by_reason`` and the
+    ``reassembly.updates_dropped{reason=...}`` counter family).
     """
 
-    def __init__(self, message_type: int = MSG_REGION_UPDATE) -> None:
+    _DROP_REASONS = (
+        "timestamp_change", "sequence_gap", "expired",
+        "orphan", "window_mismatch",
+    )
+
+    def __init__(
+        self,
+        message_type: int = MSG_REGION_UPDATE,
+        now=None,
+        max_partial_age: float | None = None,
+        instrumentation=None,
+    ) -> None:
         if message_type not in (MSG_REGION_UPDATE, MSG_MOUSE_POINTER_INFO):
             raise FragmentationError(
                 f"reassembler only handles update-shaped types: {message_type}"
             )
+        if max_partial_age is not None and max_partial_age <= 0:
+            raise FragmentationError("max_partial_age must be positive")
         self.message_type = message_type
+        self._now = now
+        self.max_partial_age = max_partial_age
         self._partial: _Partial | None = None
         self._partial_timestamp: int | None = None
+        self._partial_next_seq: int | None = None
+        self._partial_started: float | None = None
         self.updates_dropped = 0
+        self.drops_by_reason: dict[str, int] = {
+            reason: 0 for reason in self._DROP_REASONS
+        }
+        obs = instrumentation if instrumentation is not None else NULL
+        self._c_drops = {
+            reason: obs.counter("reassembly.updates_dropped", reason=reason)
+            for reason in self._DROP_REASONS
+        }
 
-    def push(self, payload: bytes, marker: bool,
-             timestamp: int) -> ReassembledUpdate | None:
+    def push(
+        self,
+        payload: bytes,
+        marker: bool,
+        timestamp: int,
+        sequence_number: int | None = None,
+    ) -> ReassembledUpdate | None:
         """Feed one RTP payload; returns a completed update when ready."""
         header, first, content_pt, (left, top, chunk) = parse_update_payload(
             payload, self.message_type
         )
         fragment_type = FragmentType.from_bits(marker, first)
 
+        self.expire()
         if self._partial is not None and (
             timestamp != self._partial_timestamp or first
         ):
             # Lost the tail of the previous update.
-            self._drop_partial()
+            self._drop_partial("timestamp_change")
+        if (
+            self._partial is not None
+            and sequence_number is not None
+            and self._partial_next_seq is not None
+            and sequence_number & 0xFFFF != self._partial_next_seq
+        ):
+            # A hole inside this update: its missing fragment can share
+            # timestamp and window with what follows, so splicing would
+            # silently corrupt pixels.  Drop the partial; the incoming
+            # fragment is then judged on its own (orphan unless START).
+            self._drop_partial("sequence_gap")
 
         if fragment_type is FragmentType.NOT_FRAGMENTED:
             return ReassembledUpdate(
@@ -185,21 +244,27 @@ class UpdateReassembler:
             partial.count = 1
             self._partial = partial
             self._partial_timestamp = timestamp
+            self._partial_next_seq = (
+                (sequence_number + 1) & 0xFFFF
+                if sequence_number is not None else None
+            )
+            self._partial_started = self._now() if self._now else None
             return None
 
         # Continuation or End: must extend an open partial.
         if self._partial is None or timestamp != self._partial_timestamp:
-            self.updates_dropped += 1
+            self._count_drop("orphan")
             return None  # orphan fragment — its start was lost
         if header.window_id != self._partial.window_id:
-            self._drop_partial()
+            self._drop_partial("window_mismatch")
             return None
         self._partial.chunks.append(chunk)
         self._partial.count += 1
+        if sequence_number is not None and self._partial_next_seq is not None:
+            self._partial_next_seq = (sequence_number + 1) & 0xFFFF
         if fragment_type is FragmentType.END:
             partial = self._partial
-            self._partial = None
-            self._partial_timestamp = None
+            self._clear_partial()
             return ReassembledUpdate(
                 self.message_type,
                 partial.window_id,
@@ -212,10 +277,38 @@ class UpdateReassembler:
             )
         return None
 
-    def _drop_partial(self) -> None:
+    def expire(self) -> bool:
+        """Drop a partial past its deadline; True when one was dropped.
+
+        Needs both a clock and ``max_partial_age``; otherwise only the
+        timestamp-change / sequence-gap rules apply.
+        """
+        if (
+            self._partial is None
+            or self._partial_started is None
+            or self.max_partial_age is None
+            or self._now is None
+        ):
+            return False
+        if self._now() - self._partial_started >= self.max_partial_age:
+            self._drop_partial("expired")
+            return True
+        return False
+
+    def _clear_partial(self) -> None:
         self._partial = None
         self._partial_timestamp = None
+        self._partial_next_seq = None
+        self._partial_started = None
+
+    def _drop_partial(self, reason: str) -> None:
+        self._clear_partial()
+        self._count_drop(reason)
+
+    def _count_drop(self, reason: str) -> None:
         self.updates_dropped += 1
+        self.drops_by_reason[reason] += 1
+        self._c_drops[reason].inc()
 
     @property
     def has_partial(self) -> bool:

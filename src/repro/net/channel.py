@@ -28,6 +28,96 @@ from ..obs.instrumentation import NULL
 
 
 @dataclass(frozen=True, slots=True)
+class FaultProfile:
+    """Scriptable impairments layered on top of a :class:`LossyChannel`.
+
+    The base channel keeps its i.i.d. ``loss_rate``; a fault profile
+    adds the correlated/bursty behaviour real access links exhibit,
+    which is what actually exercises loss-recovery state machines
+    (NACK retries, reassembly expiry, duplicate suppression):
+
+    * **Burst loss** — a Gilbert–Elliott two-state model: the link
+      flips between a *good* and a *bad* state with per-datagram
+      transition probabilities, each state dropping with its own rate.
+    * **Reordering** — a fraction of datagrams is held back by
+      ``reorder_delay`` extra seconds, overtaking later traffic.
+    * **Duplication** — a fraction of datagrams arrives twice (the
+      second copy after an independent delay draw).
+    * **Delay jitter spikes** — occasional large one-off latency
+      additions, modelling bufferbloat/wireless stalls.
+    """
+
+    #: Gilbert–Elliott transition probabilities (per datagram).
+    p_good_bad: float = 0.0
+    p_bad_good: float = 1.0
+    #: Loss rate while in each state.
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+    reorder_rate: float = 0.0
+    reorder_delay: float = 0.05
+    duplicate_rate: float = 0.0
+    jitter_spike_rate: float = 0.0
+    jitter_spike: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_bad", "p_bad_good", "loss_good", "loss_bad",
+                     "reorder_rate", "duplicate_rate", "jitter_spike_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.reorder_delay < 0 or self.jitter_spike < 0:
+            raise ValueError("extra delays cannot be negative")
+
+    @classmethod
+    def gilbert_elliott(cls, loss_rate: float,
+                        mean_burst: float = 3.0) -> "FaultProfile":
+        """A burst-loss profile with ``loss_rate`` average drop rate.
+
+        The bad state drops everything and lasts ``mean_burst``
+        datagrams on average; the good state is transparent.  With
+        stationary bad-state occupancy ``loss_rate``, the good→bad
+        transition probability follows from the balance equation.
+        """
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if mean_burst < 1.0:
+            raise ValueError("mean_burst must be >= 1 datagram")
+        p_bad_good = 1.0 / mean_burst
+        p_good_bad = (
+            loss_rate * p_bad_good / (1.0 - loss_rate) if loss_rate else 0.0
+        )
+        return cls(
+            p_good_bad=min(p_good_bad, 1.0),
+            p_bad_good=p_bad_good,
+            loss_good=0.0,
+            loss_bad=1.0,
+        )
+
+
+class GilbertElliott:
+    """The two-state Markov loss process of a :class:`FaultProfile`."""
+
+    __slots__ = ("profile", "_rng", "bad")
+
+    def __init__(self, profile: FaultProfile, rng: random.Random) -> None:
+        self.profile = profile
+        self._rng = rng
+        self.bad = False
+
+    def lose(self) -> bool:
+        """Advance one datagram through the chain; True means drop it."""
+        p = self.profile
+        if self.bad:
+            if self._rng.random() < p.p_bad_good:
+                self.bad = False
+        else:
+            if self._rng.random() < p.p_good_bad:
+                self.bad = True
+        rate = p.loss_bad if self.bad else p.loss_good
+        return rate > 0 and self._rng.random() < rate
+
+
+@dataclass(frozen=True, slots=True)
 class ChannelConfig:
     """Shared knobs for the simulated channels.
 
@@ -62,6 +152,7 @@ class LossyChannel:
         config: ChannelConfig,
         now: Callable[[], float],
         instrumentation=None,
+        faults: FaultProfile | None = None,
     ) -> None:
         self.config = config
         self._now = as_now(now)
@@ -71,14 +162,40 @@ class LossyChannel:
         self._link_free_at = 0.0
         self.datagrams_sent = 0
         self.datagrams_dropped = 0
+        self.datagrams_dropped_burst = 0
         self.datagrams_oversize = 0
+        self.datagrams_duplicated = 0
+        self.datagrams_reordered = 0
         self.bytes_sent = 0
+        self._faults: FaultProfile | None = None
+        self._gilbert: GilbertElliott | None = None
         obs = instrumentation if instrumentation is not None else NULL
         self._c_sent = obs.counter("channel.datagrams_sent")
         self._c_bytes = obs.counter("channel.bytes_sent")
         self._c_dropped = obs.counter("channel.datagrams_dropped")
+        self._c_dropped_burst = obs.counter("channel.datagrams_dropped_burst")
         self._c_oversize = obs.counter("channel.datagrams_oversize")
+        self._c_duplicated = obs.counter("channel.datagrams_duplicated")
+        self._c_reordered = obs.counter("channel.datagrams_reordered")
         self._g_in_flight = obs.gauge("channel.in_flight")
+        if faults is not None:
+            self.set_faults(faults)
+
+    @property
+    def faults(self) -> FaultProfile | None:
+        return self._faults
+
+    def set_faults(self, profile: FaultProfile | None) -> None:
+        """Install (or clear, with None) a fault profile mid-run.
+
+        The Gilbert–Elliott chain restarts in the good state; draws
+        come from the channel's seeded RNG, so a scripted fault
+        schedule stays fully deterministic.
+        """
+        self._faults = profile
+        self._gilbert = (
+            GilbertElliott(profile, self._rng) if profile is not None else None
+        )
 
     def send(self, datagram: bytes) -> bool:
         """Queue a datagram; returns False when it was dropped."""
@@ -94,6 +211,12 @@ class LossyChannel:
             self.datagrams_dropped += 1
             self._c_dropped.inc()
             return False
+        if self._gilbert is not None and self._gilbert.lose():
+            self.datagrams_dropped += 1
+            self.datagrams_dropped_burst += 1
+            self._c_dropped.inc()
+            self._c_dropped_burst.inc()
+            return False
         now = self._now()
         if self.config.bandwidth_bps > 0:
             serialisation = len(datagram) * 8 / self.config.bandwidth_bps
@@ -105,6 +228,27 @@ class LossyChannel:
         arrival = departure + self.config.delay
         if self.config.jitter > 0:
             arrival += self._rng.uniform(0, self.config.jitter)
+        faults = self._faults
+        if faults is not None:
+            if (faults.jitter_spike_rate > 0
+                    and self._rng.random() < faults.jitter_spike_rate):
+                arrival += faults.jitter_spike
+            if (faults.reorder_rate > 0
+                    and self._rng.random() < faults.reorder_rate):
+                arrival += faults.reorder_delay
+                self.datagrams_reordered += 1
+                self._c_reordered.inc()
+            if (faults.duplicate_rate > 0
+                    and self._rng.random() < faults.duplicate_rate):
+                copy_arrival = departure + self.config.delay
+                if self.config.jitter > 0:
+                    copy_arrival += self._rng.uniform(0, self.config.jitter)
+                heapq.heappush(
+                    self._in_flight, (copy_arrival, self._counter, datagram)
+                )
+                self._counter += 1
+                self.datagrams_duplicated += 1
+                self._c_duplicated.inc()
         heapq.heappush(self._in_flight, (arrival, self._counter, datagram))
         self._counter += 1
         self._g_in_flight.set(len(self._in_flight))
@@ -227,8 +371,14 @@ def duplex_lossy(
     now: Callable[[], float],
     back_seed_offset: int = 1,
     instrumentation=None,
+    faults: FaultProfile | None = None,
+    back_faults: FaultProfile | None = None,
 ) -> DuplexChannel:
-    """Symmetric lossy pair with independent loss processes."""
+    """Symmetric lossy pair with independent loss processes.
+
+    ``faults`` impairs the forward (AH→participant) direction,
+    ``back_faults`` the return path; either may be None.
+    """
     back = ChannelConfig(
         delay=config.delay,
         jitter=config.jitter,
@@ -239,8 +389,10 @@ def duplex_lossy(
     )
     obs = instrumentation if instrumentation is not None else NULL
     return DuplexChannel(
-        LossyChannel(config, now, instrumentation=obs.scoped(dir="fwd")),
-        LossyChannel(back, now, instrumentation=obs.scoped(dir="back")),
+        LossyChannel(config, now, instrumentation=obs.scoped(dir="fwd"),
+                     faults=faults),
+        LossyChannel(back, now, instrumentation=obs.scoped(dir="back"),
+                     faults=back_faults),
     )
 
 

@@ -8,6 +8,7 @@ reads as *what* it drives rather than *how* the loop works.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable
 
 from ..obs.clockutil import resolve_clock
@@ -50,6 +51,9 @@ class Simulation:
         self._sample_interval: float | None = None
         self._sampler: Callable[[], dict] | None = None
         self._next_sample = 0.0
+        #: Scripted one-shot events: (time, order, callback) heap.
+        self._scripted: list[tuple[float, int, Callable[[], None]]] = []
+        self._scripted_counter = 0
 
     def add_participant(self, participant) -> None:
         self.participants.append(participant)
@@ -86,9 +90,30 @@ class Simulation:
         self._sampler = sampler
         self._next_sample = self.clock.now() + interval
 
+    # -- Fault scripting ---------------------------------------------------
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once, at the first step where clock >= time.
+
+        The hook for scripted fault schedules: flip a channel's
+        :class:`~repro.net.channel.FaultProfile` on, clear it, change
+        an app's behaviour — all deterministically placed on the
+        simulated timeline.
+
+            sim.at(2.0, lambda: link.forward.set_faults(burst))
+            sim.at(6.0, lambda: link.forward.set_faults(None))
+        """
+        heapq.heappush(
+            self._scripted, (time, self._scripted_counter, callback)
+        )
+        self._scripted_counter += 1
+
     # -- Stepping ---------------------------------------------------------
 
     def step(self) -> None:
+        now = self.clock.now()
+        while self._scripted and self._scripted[0][0] <= now:
+            heapq.heappop(self._scripted)[2]()
         for driver in self.drivers:
             driver(self.rounds_run)
         self.ah.advance(self.dt)

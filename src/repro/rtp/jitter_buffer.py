@@ -47,12 +47,22 @@ class JitterBuffer:
         self._next_seq: int | None = None
         #: Packets force-released by capacity pressure, awaiting pop.
         self._overflow: list[RtpPacket] = []
+        #: Holes the recovery layer has given up on: released without
+        #: waiting and without counting into ``sequences_skipped`` (the
+        #: give-up already triggered its own refresh).
+        self._abandoned: set[int] = set()
+        #: Sequence numbers skipped since the last :meth:`drain_skipped`.
+        self._recent_skipped: list[int] = []
         self.packets_dropped_late = 0
         self.sequences_skipped = 0
+        self.sequences_abandoned = 0
+        self.duplicates = 0
         obs = instrumentation if instrumentation is not None else NULL
         self._c_buffered = obs.counter("jitter.packets_buffered")
         self._c_late = obs.counter("jitter.packets_dropped_late")
         self._c_skipped = obs.counter("jitter.sequences_skipped")
+        self._c_abandoned = obs.counter("jitter.sequences_abandoned")
+        self._c_duplicates = obs.counter("jitter.duplicates")
         self._g_held = obs.gauge("jitter.held")
 
     def insert(self, packet: RtpPacket) -> None:
@@ -64,7 +74,10 @@ class JitterBuffer:
             self._c_late.inc()
             return
         if seq in self._slots:
+            self.duplicates += 1
+            self._c_duplicates.inc()
             return  # duplicate
+        self._abandoned.discard(seq)  # a given-up packet showed up late
         while len(self._slots) >= self.capacity:
             # Buffer full: give up on the blocking hole and force the
             # run starting at the oldest held packet into the overflow
@@ -97,6 +110,13 @@ class JitterBuffer:
                 out.append(slot.packet)
                 self._next_seq = (self._next_seq + 1) % _SEQ_MOD
                 continue
+            if self._next_seq in self._abandoned:
+                # Recovery gave up on this hole: step past it now.
+                self._abandoned.discard(self._next_seq)
+                self.sequences_abandoned += 1
+                self._c_abandoned.inc()
+                self._next_seq = (self._next_seq + 1) % _SEQ_MOD
+                continue
             # Hole at _next_seq: has the oldest waiter timed out?
             oldest = min(s.arrival for s in self._slots.values())
             if self._now() - oldest >= self.max_wait:
@@ -115,9 +135,37 @@ class JitterBuffer:
         )
         skipped = seq_delta(nearest, self._next_seq)
         if skipped > 0:
+            for i in range(skipped):
+                seq = (self._next_seq + i) % _SEQ_MOD
+                self._abandoned.discard(seq)
+                self._recent_skipped.append(seq)
             self.sequences_skipped += skipped
             self._c_skipped.inc(skipped)
         self._next_seq = nearest
+
+    def abandon(self, sequence_numbers) -> None:
+        """Give up waiting for ``sequence_numbers`` (recovery exhausted).
+
+        Marked holes release immediately on the next :meth:`pop_ready`
+        without the ``max_wait`` timer and without counting into
+        ``sequences_skipped`` — the caller already arranged a refresh.
+        """
+        if self._next_seq is None:
+            return
+        for seq in sequence_numbers:
+            seq %= _SEQ_MOD
+            if seq == self._next_seq or seq_newer(seq, self._next_seq):
+                self._abandoned.add(seq)
+
+    def drain_skipped(self) -> list[int]:
+        """Sequence numbers skipped by timeout/capacity since last call.
+
+        The recovery layer uses this to cancel NACK retry state for
+        holes the buffer has already stepped past.
+        """
+        out = self._recent_skipped
+        self._recent_skipped = []
+        return out
 
     @property
     def held(self) -> int:

@@ -17,16 +17,70 @@ MAX_MISORDER = 100
 
 
 def seq_newer(a: int, b: int) -> bool:
-    """True when sequence number ``a`` is newer than ``b`` (mod 2^16)."""
+    """True when sequence number ``a`` is newer than ``b`` (mod 2^16).
+
+    At exactly half the sequence space apart the order is undefined by
+    RFC 3550; this implementation treats neither side as newer, so the
+    relation is deliberately non-total there (pinned by tests).
+    """
     return a != b and ((a - b) % _SEQ_MOD) < _SEQ_MOD // 2
 
 
 def seq_delta(a: int, b: int) -> int:
-    """Signed distance from ``b`` to ``a`` under shortest wraparound."""
+    """Signed distance from ``b`` to ``a`` under shortest wraparound.
+
+    The ambiguous half-range distance resolves to -2^15 (two's
+    complement convention), so ``seq_delta(a, b) == -seq_delta(b, a)``
+    holds everywhere *except* at exactly 2^15 apart.
+    """
     diff = (a - b) % _SEQ_MOD
     if diff >= _SEQ_MOD // 2:
         diff -= _SEQ_MOD
     return diff
+
+
+class SequenceExtender:
+    """Maps 16-bit sequence numbers onto the extended (unwrapped) axis.
+
+    Loss-recovery state must be keyed by *extended* sequence number:
+    after a 16-bit wraparound, packet ``seq & 0xFFFF`` names a
+    different packet than one cycle earlier, and keying on the bare
+    residue lets stale state alias fresh losses (the RetransmitCache
+    replay bug).  The extender anchors on the highest value seen and
+    resolves each input to the nearest cycle, so slightly-older
+    residues (reordering, retransmissions) extend backwards while
+    forward jumps advance the cycle count.
+    """
+
+    __slots__ = ("_highest",)
+
+    def __init__(self) -> None:
+        self._highest: int | None = None
+
+    @property
+    def highest(self) -> int | None:
+        """Highest extended sequence number observed so far."""
+        return self._highest
+
+    def extend(self, seq: int) -> int:
+        """Resolve ``seq`` to an extended sequence number.
+
+        Values above 0xFFFF are taken as already extended and re-anchor
+        the extender.  Negative results are clamped to the residue (a
+        backwards resolution past zero cannot precede the stream start).
+        """
+        if seq > 0xFFFF:
+            self._highest = max(self._highest or 0, seq)
+            return seq
+        if self._highest is None:
+            self._highest = seq
+            return seq
+        ext = self._highest + seq_delta(seq, self._highest & 0xFFFF)
+        if ext < 0:
+            ext += _SEQ_MOD
+        if ext > self._highest:
+            self._highest = ext
+        return ext
 
 
 @dataclass(slots=True)

@@ -57,6 +57,7 @@ from ..surface.framebuffer import BLACK, Framebuffer
 from ..surface.geometry import Point, Rect
 from .config import PT_HIP, PT_REMOTING, SharingConfig
 from .layout import LayoutPolicy, OriginalLayout
+from .recovery import RecoveryManager
 from .transport import PacketTransport, is_rtcp
 
 
@@ -90,6 +91,9 @@ class Participant:
         ah_supports_retransmissions: bool = True,
         reorder_wait: float = 0.25,
         nack_retry_interval: float = 0.2,
+        nack_backoff: float = 2.0,
+        nack_max_attempts: int = 4,
+        partial_update_deadline: float = 2.0,
         extension_handlers: dict | None = None,
         rng: random.Random | None = None,
         now=None,
@@ -130,7 +134,16 @@ class Participant:
         #: extension types (section 9); unhandled types are ignored.
         self.extension_handlers = dict(extension_handlers or {})
         self.nack_retry_interval = nack_retry_interval
-        self._nack_history: dict[int, float] = {}
+        #: The NACK retry state machine (section 5.3.2 hardening):
+        #: each missing extended sequence number walks NACK → backoff
+        #: retries → capped give-up + full-refresh degradation.
+        self.recovery = RecoveryManager(
+            now=self._now,
+            initial_interval=nack_retry_interval,
+            backoff=nack_backoff,
+            max_attempts=nack_max_attempts,
+            instrumentation=self._obs,
+        )
         self.pli_retry_interval = 1.0
         self._last_pli_time = float("-inf")
         #: Periodic RTCP: RRs on the remoting stream, SRs for HIP.
@@ -142,8 +155,18 @@ class Participant:
             rng=r,
             instrumentation=self._obs,
         )
-        self._reassembler = UpdateReassembler(MSG_REGION_UPDATE)
-        self._pointer_reassembler = UpdateReassembler(MSG_MOUSE_POINTER_INFO)
+        self._reassembler = UpdateReassembler(
+            MSG_REGION_UPDATE,
+            now=self._now,
+            max_partial_age=partial_update_deadline,
+            instrumentation=self._obs.scoped(stream="remoting"),
+        )
+        self._pointer_reassembler = UpdateReassembler(
+            MSG_MOUSE_POINTER_INFO,
+            now=self._now,
+            max_partial_age=partial_update_deadline,
+            instrumentation=self._obs.scoped(stream="pointer"),
+        )
 
         #: windowID → LocalWindow, plus z-order (bottom first).
         self.windows: dict[int, LocalWindow] = {}
@@ -202,12 +225,17 @@ class Participant:
             self._media_ssrc = packet.ssrc
             self.receiver.receive(packet)
             if self._jitter is not None:
+                self.recovery.note_arrival(packet.sequence_number)
                 self._jitter.insert(packet)
             else:
                 applied += self._apply_packet(packet)
         if self._jitter is not None:
             for packet in self._jitter.pop_ready():
                 applied += self._apply_packet(packet)
+            # A partial update whose END fragment is never coming must
+            # not stall reassembly forever (deadline expiry policy).
+            self._reassembler.expire()
+            self._pointer_reassembler.expire()
         self._maybe_request_recovery()
         report = self.reporter.poll()
         if report is not None:
@@ -253,7 +281,10 @@ class Participant:
             return 1
         if header.message_type == MSG_REGION_UPDATE:
             self.stats.region_update.add(len(payload), wire)
-            update = self._reassembler.push(payload, packet.marker, packet.timestamp)
+            update = self._reassembler.push(
+                payload, packet.marker, packet.timestamp,
+                sequence_number=packet.sequence_number,
+            )
             if update is not None:
                 self._apply_region_update(
                     update.window_id, update.content_pt,
@@ -264,7 +295,8 @@ class Participant:
         if header.message_type == MSG_MOUSE_POINTER_INFO:
             self.stats.pointer.add(len(payload), wire)
             update = self._pointer_reassembler.push(
-                payload, packet.marker, packet.timestamp
+                payload, packet.marker, packet.timestamp,
+                sequence_number=packet.sequence_number,
             )
             if update is not None:
                 self._apply_pointer(
@@ -419,22 +451,30 @@ class Participant:
         if dropped > self._dropped_seen:
             self._dropped_seen = dropped
             self.send_pli()
+        if self._jitter is not None:
+            # Holes the jitter buffer already stepped past (timeout or
+            # capacity pressure) are beyond saving: a retransmission
+            # would arrive as a late drop.  Cancel their retry state and
+            # stop reporting them as missing.
+            for seq in self._jitter.drain_skipped():
+                self.recovery.cancel(seq)
+                self.receiver.gaps.acknowledge(seq)
         if self.ah_supports_retransmissions:
-            now = self._now()
-            fresh = [
-                seq for seq in self.receiver.missing_sequence_numbers()
-                if now - self._nack_history.get(seq, -1e9)
-                >= self.nack_retry_interval
-            ]
-            if fresh:
-                for seq in fresh:
-                    self._nack_history[seq] = now
-                self.send_nack(fresh)
-                if len(self._nack_history) > 4096:
-                    cutoff = now - 10 * self.nack_retry_interval
-                    self._nack_history = {
-                        s: t for s, t in self._nack_history.items() if t >= cutoff
-                    }
+            actions = self.recovery.poll(
+                self.receiver.missing_sequence_numbers()
+            )
+            if actions.nack_now:
+                self.send_nack(actions.nack_now)
+            if actions.gave_up:
+                # Retries exhausted: degrade gracefully.  Release the
+                # jitter-buffer holes so later packets flow, stop
+                # NACKing these sequences, and ask the AH for a full
+                # window refresh to repair whatever the lost packets
+                # carried.
+                for seq in actions.gave_up:
+                    self.receiver.gaps.acknowledge(seq)
+                self._jitter.abandon(actions.gave_up)
+                self.send_pli()
 
     def send_pli(self) -> None:
         """Request a full refresh of the shared region (section 5.3.1)."""

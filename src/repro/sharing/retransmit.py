@@ -4,41 +4,97 @@
 ``retransmissions`` media-type parameter is ``yes``, the AH keeps the
 last N encoded RTP packets per UDP destination and replays the ones a
 NACK names.
+
+Entries are keyed by **extended** sequence number.  NACK FCI entries
+carry bare 16-bit PIDs, and after a sequence wraparound the same
+residue names a different packet: a cache keyed on ``seq & 0xFFFF``
+would happily replay a packet from 65536 sequence numbers ago, which
+the receiver's jitter buffer then accepts as filling a fresh hole —
+silent pixel corruption.  The cache extends stored sequence numbers
+internally (store order tracks the sender's monotonic stream), evicts
+the previous cycle's entry when a residue is reused, and refuses
+lookups that resolve more than half the sequence space behind the
+newest stored packet (counted as ``retransmit.stale_rejected``).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 
+from ..obs.instrumentation import NULL
+from ..rtp.sequence import SequenceExtender
+
+#: A 16-bit lookup never legitimately names a packet more than half the
+#: sequence space behind the newest one stored.
+STALE_WINDOW = 1 << 15
+
 
 class RetransmitCache:
-    """A bounded map of sequence number → encoded RTP packet bytes."""
+    """A bounded map of extended sequence number → encoded RTP packet."""
 
-    def __init__(self, capacity: int = 2048) -> None:
+    def __init__(self, capacity: int = 2048,
+                 instrumentation=None) -> None:
         if capacity < 0:
             raise ValueError("capacity cannot be negative")
         self.capacity = capacity
         self._packets: OrderedDict[int, bytes] = OrderedDict()
+        #: 16-bit residue → extended sequence number of the live entry.
+        self._by_residue: dict[int, int] = {}
+        self._extender = SequenceExtender()
         self.hits = 0
         self.misses = 0
+        self.stale_rejected = 0
+        obs = instrumentation if instrumentation is not None else NULL
+        self._c_hits = obs.counter("retransmit.cache_hits")
+        self._c_misses = obs.counter("retransmit.cache_misses")
+        self._c_stale = obs.counter("retransmit.stale_rejected")
 
     def store(self, sequence_number: int, encoded: bytes) -> None:
+        """Cache one just-sent packet.
+
+        ``sequence_number`` may be the 16-bit wire value (extended
+        internally relative to the newest stored packet) or an already
+        extended value.
+        """
         if self.capacity == 0:
             return
-        seq = sequence_number & 0xFFFF
-        if seq in self._packets:
-            del self._packets[seq]
-        self._packets[seq] = encoded
+        ext = self._extender.extend(sequence_number)
+        residue = ext & 0xFFFF
+        previous = self._by_residue.get(residue)
+        if previous is not None and previous != ext:
+            # Same residue, different cycle: the old packet is
+            # unreachable by any honest NACK — evict it.
+            self._packets.pop(previous, None)
+        if ext in self._packets:
+            del self._packets[ext]
+        self._packets[ext] = encoded
+        self._by_residue[residue] = ext
         while len(self._packets) > self.capacity:
-            self._packets.popitem(last=False)
+            evicted, _ = self._packets.popitem(last=False)
+            if self._by_residue.get(evicted & 0xFFFF) == evicted:
+                del self._by_residue[evicted & 0xFFFF]
 
     def lookup(self, sequence_number: int) -> bytes | None:
-        """The cached packet, or None when it has aged out."""
-        packet = self._packets.get(sequence_number & 0xFFFF)
+        """The cached packet, or None when it aged out or went stale."""
+        if sequence_number > 0xFFFF:
+            ext = sequence_number
+        else:
+            ext = self._by_residue.get(sequence_number & 0xFFFF)
+        packet = self._packets.get(ext) if ext is not None else None
+        if packet is not None:
+            highest = self._extender.highest or 0
+            if highest - ext > STALE_WINDOW:
+                # Previous-cycle leftover: replaying it would corrupt
+                # the receiver silently.  Treat as a miss.
+                self.stale_rejected += 1
+                self._c_stale.inc()
+                packet = None
         if packet is None:
             self.misses += 1
+            self._c_misses.inc()
         else:
             self.hits += 1
+            self._c_hits.inc()
         return packet
 
     def lookup_many(self, sequence_numbers: list[int]) -> list[bytes]:

@@ -78,8 +78,10 @@ class UpdateScheduler:
         self._read_pixels = pixel_reader or (
             lambda window, rect: window.surface.read_rect(rect)
         )
+        obs = instrumentation if instrumentation is not None else NULL
         self.retransmit_cache = RetransmitCache(
-            config.retransmit_cache_packets if config.retransmissions else 0
+            config.retransmit_cache_packets if config.retransmissions else 0,
+            instrumentation=obs,
         )
         self._queue: list[StampedPacket] = []  # encoded, awaiting path
         self._pending = _Pending()
@@ -89,7 +91,6 @@ class UpdateScheduler:
         self.keepalives_sent = 0
         self._last_send_time = self._now()
         self.updates_sent_stale_after: list[float] = []
-        obs = instrumentation if instrumentation is not None else NULL
         self._c_packets = obs.counter("scheduler.packets_sent")
         self._c_bytes = obs.counter("scheduler.bytes_sent")
         self._c_keepalives = obs.counter("scheduler.keepalives_sent")
@@ -253,6 +254,11 @@ class UpdateScheduler:
         """
         interval = self.config.keepalive_interval
         if interval <= 0 or self.transport.reliable:
+            return
+        if self._queue:
+            # Not idle — just starved.  A keepalive here would consume
+            # a sequence number *between* fragments of one update and
+            # trip the reassembler's continuity check downstream.
             return
         now = self._now()
         if now - self._last_send_time < interval:

@@ -136,6 +136,16 @@ class TestReassembler:
         with pytest.raises(FragmentationError):
             UpdateReassembler(1)
 
+    def test_drops_counted_by_reason(self):
+        reassembler = UpdateReassembler()
+        frags = fragments_for(bytes(300), max_payload=64)
+        reassembler.push(frags[1].payload, frags[1].marker, 100)
+        reassembler.push(frags[0].payload, frags[0].marker, 100)
+        reassembler.push(frags[0].payload, frags[0].marker, 200)
+        assert reassembler.drops_by_reason["orphan"] == 1
+        assert reassembler.drops_by_reason["timestamp_change"] == 1
+        assert reassembler.updates_dropped == 2
+
     @given(
         data=st.binary(min_size=0, max_size=2000),
         max_payload=st.integers(16, 300),
@@ -156,3 +166,146 @@ class TestReassembler:
         assert final.data == data
         assert (final.left, final.top) == (100, 200)
         assert final.content_pt == 42
+
+
+class TestSequenceContinuity:
+    """Fragments of one update occupy consecutive sequence numbers; a
+    gap inside an open partial means its missing fragment may share a
+    timestamp with what follows — the partial must be dropped, never
+    spliced."""
+
+    def test_consecutive_seqs_reassemble(self):
+        reassembler = UpdateReassembler()
+        data = bytes(range(256))
+        frags = fragments_for(data, max_payload=64)
+        result = None
+        for seq, frag in enumerate(frags, start=100):
+            result = reassembler.push(
+                frag.payload, frag.marker, 7, sequence_number=seq
+            )
+        assert result is not None and result.data == data
+
+    def test_gap_drops_partial(self):
+        """Same-timestamp splice: update A loses its END, update B (same
+        frame, same timestamp, same window) loses its START.  Without
+        the continuity check B's continuation extends A's partial."""
+        reassembler = UpdateReassembler()
+        a = fragments_for(bytes([1]) * 300, max_payload=64)
+        b = fragments_for(bytes([2]) * 300, max_payload=64)
+        seq = 10
+        for frag in a[:-1]:  # END of A lost
+            assert reassembler.push(
+                frag.payload, frag.marker, 55, sequence_number=seq
+            ) is None
+            seq += 1
+        seq += 1  # A's END consumed this sequence number on the wire
+        seq += 1  # B's START lost too
+        result = reassembler.push(
+            b[1].payload, b[1].marker, 55, sequence_number=seq
+        )
+        assert result is None
+        assert reassembler.drops_by_reason["sequence_gap"] == 1
+        # The incoming continuation is then judged alone: an orphan.
+        assert reassembler.drops_by_reason["orphan"] == 1
+        assert not reassembler.has_partial
+
+    def test_wire_wraparound_is_continuous(self):
+        reassembler = UpdateReassembler()
+        data = bytes(200)
+        frags = fragments_for(data, max_payload=64)
+        assert len(frags) >= 3
+        seqs = [(0xFFFF + i) & 0xFFFF for i in range(len(frags))]
+        result = None
+        for seq, frag in zip(seqs, frags):
+            result = reassembler.push(
+                frag.payload, frag.marker, 9, sequence_number=seq
+            )
+        assert result is not None and result.data == data
+
+    def test_without_seq_no_continuity_check(self):
+        """Callers that cannot supply sequence numbers keep the old
+        timestamp-only behaviour."""
+        reassembler = UpdateReassembler()
+        frags = fragments_for(bytes(300), max_payload=64)
+        reassembler.push(frags[0].payload, frags[0].marker, 1)
+        result = reassembler.push(frags[-1].payload, frags[-1].marker, 1)
+        assert result is not None
+        assert reassembler.updates_dropped == 0
+
+
+class TestPartialExpiry:
+    def make(self, max_age=2.0):
+        from repro.rtp.clock import SimulatedClock
+
+        clock = SimulatedClock()
+        reassembler = UpdateReassembler(
+            now=clock.now, max_partial_age=max_age
+        )
+        return clock, reassembler
+
+    def test_stalled_partial_expires(self):
+        """A lost END on an idle stream cannot buffer a partial forever."""
+        clock, reassembler = self.make(max_age=2.0)
+        frags = fragments_for(bytes(300), max_payload=64)
+        reassembler.push(frags[0].payload, frags[0].marker, 1,
+                         sequence_number=5)
+        clock.advance(2.5)
+        assert reassembler.expire()
+        assert not reassembler.has_partial
+        assert reassembler.drops_by_reason["expired"] == 1
+
+    def test_fresh_partial_survives_expire(self):
+        clock, reassembler = self.make(max_age=2.0)
+        frags = fragments_for(bytes(300), max_payload=64)
+        reassembler.push(frags[0].payload, frags[0].marker, 1,
+                         sequence_number=5)
+        clock.advance(1.0)
+        assert not reassembler.expire()
+        assert reassembler.has_partial
+
+    def test_push_applies_expiry_first(self):
+        """A late END for an expired partial is an orphan, not a splice."""
+        clock, reassembler = self.make(max_age=1.0)
+        frags = fragments_for(bytes(300), max_payload=64)
+        for seq, frag in enumerate(frags[:-1], start=10):
+            reassembler.push(frag.payload, frag.marker, 1,
+                             sequence_number=seq)
+        clock.advance(5.0)
+        result = reassembler.push(
+            frags[-1].payload, frags[-1].marker, 1,
+            sequence_number=10 + len(frags) - 1,
+        )
+        assert result is None
+        assert reassembler.drops_by_reason["expired"] == 1
+        assert reassembler.drops_by_reason["orphan"] == 1
+
+    def test_expire_noop_without_clock(self):
+        reassembler = UpdateReassembler()
+        frags = fragments_for(bytes(300), max_payload=64)
+        reassembler.push(frags[0].payload, frags[0].marker, 1)
+        assert not reassembler.expire()
+        assert reassembler.has_partial
+
+    def test_bad_max_age_rejected(self):
+        from repro.rtp.clock import SimulatedClock
+
+        with pytest.raises(FragmentationError):
+            UpdateReassembler(now=SimulatedClock().now, max_partial_age=0)
+
+    def test_drop_counters_reach_instrumentation(self):
+        from repro.obs import Instrumentation
+        from repro.rtp.clock import SimulatedClock
+
+        clock = SimulatedClock()
+        obs = Instrumentation(clock=clock.now)
+        reassembler = UpdateReassembler(
+            now=clock.now, max_partial_age=1.0, instrumentation=obs
+        )
+        frags = fragments_for(bytes(300), max_payload=64)
+        reassembler.push(frags[0].payload, frags[0].marker, 1)
+        clock.advance(2.0)
+        reassembler.expire()
+        snap = obs.snapshot()
+        assert snap["counters"][
+            "reassembly.updates_dropped{reason=expired}"
+        ] == 1

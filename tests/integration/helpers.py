@@ -50,8 +50,17 @@ def udp_pair(
     seed: int = 0,
     rate_bps: int | None = None,
     reorder_wait: float = 0.25,
+    faults=None,
+    instrumentation=None,
+    **participant_kwargs,
 ) -> Participant:
-    """Attach one UDP participant to ``ah`` over a simulated lossy path."""
+    """Attach one UDP participant to ``ah`` over a simulated lossy path.
+
+    ``faults`` installs a :class:`~repro.net.channel.FaultProfile` on
+    the forward (AH→participant) direction; extra keyword arguments are
+    forwarded to the :class:`Participant` constructor (e.g. to force
+    ``ah_supports_retransmissions`` against a non-retransmitting AH).
+    """
     link = duplex_lossy(
         ChannelConfig(
             delay=delay,
@@ -60,20 +69,26 @@ def udp_pair(
             seed=seed,
         ),
         clock.now,
+        faults=faults,
     )
     ah.add_participant(
         participant_id,
         DatagramTransport(link.forward, link.backward),
         rate_bps=rate_bps,
     )
+    participant_kwargs.setdefault(
+        "ah_supports_retransmissions", ah.config.retransmissions
+    )
     participant = Participant(
         participant_id,
         DatagramTransport(link.backward, link.forward),
         now=clock.now,
         config=ah.config,
-        ah_supports_retransmissions=ah.config.retransmissions,
         reorder_wait=reorder_wait,
+        instrumentation=instrumentation,
+        **participant_kwargs,
     )
+    participant.link = link
     participant.join()
     return participant
 

@@ -177,3 +177,138 @@ class TestLateJoiner:
         settle(clock, ah, [participant], 50)
         assert participant.plis_sent == 0  # TCP sync is connect-time
         assert participant.converged_with(ah.windows)
+
+
+def _snapshot_total(snap: dict, name: str) -> float:
+    """Sum a counter family across label sets in an obs snapshot."""
+    return sum(
+        value for key, value in snap["counters"].items()
+        if key == name or key.startswith(name + "{")
+    )
+
+
+class TestBurstLossRecovery:
+    """Acceptance: a scripted 10% Gilbert–Elliott burst-loss profile
+    with reordering, asserted through ``repro.obs`` snapshot counters."""
+
+    def test_fragment_stream_reconstructed_via_nack_retries(self, clock):
+        from repro.net.channel import FaultProfile
+        from repro.net.simulator import Simulation
+        from repro.obs import Instrumentation
+
+        obs = Instrumentation(clock=clock.now)
+        ah, _win, editor = editor_session(clock)
+        ge = FaultProfile.gilbert_elliott(0.10, mean_burst=3.0)
+        burst = FaultProfile(
+            p_good_bad=ge.p_good_bad,
+            p_bad_good=ge.p_bad_good,
+            reorder_rate=0.05,
+            reorder_delay=0.06,
+            duplicate_rate=0.03,
+        )
+        participant = udp_pair(
+            clock, ah, seed=11, instrumentation=obs
+        )
+        sim = Simulation(ah, clock, instrumentation=obs)
+        sim.add_participant(participant)
+
+        # Script the impairment window: clean join, then 8 seconds of
+        # bursty loss while the editor generates multi-fragment
+        # updates, then a clean tail to let recovery finish.
+        link = participant.link.forward
+        sim.at(1.0, lambda: link.set_faults(burst))
+        sim.at(9.0, lambda: link.set_faults(None))
+
+        def drive(i):
+            if i % 6 == 0 and i < 420:
+                editor.type_text(f"burst-loss line {i} " + "~" * 40 + "\n")
+
+        sim.add_driver(drive)
+        sim.run_seconds(14.0)
+        assert sim.run_until_converged(timeout=20.0)
+
+        # The impairment actually happened...
+        assert link.datagrams_dropped_burst > 10
+        assert link.datagrams_reordered > 0
+        assert link.datagrams_duplicated > 0
+        # ...and recovery worked through the NACK retry machine.
+        snap = sim.snapshot()
+        assert _snapshot_total(snap, "recovery.nacks_sent") > 0
+        assert _snapshot_total(snap, "recovery.retries") > 0
+        assert _snapshot_total(snap, "recovery.recovered") > 0
+        assert _snapshot_total(snap, "recovery.gave_up") == 0
+        assert ah.nacks_received > 0
+        # Fragmented updates crossed the faulty window intact.
+        assert participant.updates_applied > 0
+
+    def test_duplicates_suppressed_under_duplication(self, clock):
+        from repro.net.channel import FaultProfile
+        from repro.obs import Instrumentation
+
+        obs = Instrumentation(clock=clock.now)
+        ah, _win, editor = editor_session(clock)
+        participant = udp_pair(
+            clock, ah, seed=4, instrumentation=obs,
+            faults=FaultProfile(duplicate_rate=0.5),
+        )
+
+        def drive(i):
+            if i % 10 == 0 and i < 200:
+                editor.type_text(f"dup {i}\n")
+
+        run_session(clock, ah, [participant], 300, per_round=drive)
+        assert participant.converged_with(ah.windows)
+        snap = obs.snapshot()
+        assert _snapshot_total(snap, "jitter.duplicates") > 0
+
+
+class TestGiveUpDegradation:
+    """Acceptance: with retransmission disabled on the AH, the
+    participant provably gives up after its capped retries and
+    recovers via a full-update refresh."""
+
+    def test_capped_retries_then_refresh(self, clock):
+        from repro.net.channel import FaultProfile
+        from repro.net.simulator import Simulation
+        from repro.obs import Instrumentation
+
+        obs = Instrumentation(clock=clock.now)
+        # The AH silently ignores NACKs (retransmissions off) while the
+        # participant *believes* retransmissions are supported — the
+        # worst case for the retry machine.  A large reorder_wait keeps
+        # the jitter buffer from skipping the hole before the retry
+        # schedule exhausts, so only give-up can unblock delivery.
+        config = SharingConfig(retransmissions=False)
+        ah, _win, editor = editor_session(clock, config)
+        participant = udp_pair(
+            clock, ah, seed=17, instrumentation=obs,
+            ah_supports_retransmissions=True,
+            reorder_wait=30.0,
+        )
+        sim = Simulation(ah, clock, instrumentation=obs)
+        sim.add_participant(participant)
+        sim.run_seconds(1.0)
+        assert participant.converged_with(ah.windows)
+
+        # Script a total blackout around one update: every fragment of
+        # it is lost, then the link heals and only keepalives flow.
+        link = participant.link.forward
+        blackout = FaultProfile(loss_good=1.0, loss_bad=1.0)
+        sim.at(1.2, lambda: link.set_faults(blackout))
+        sim.at(1.21, lambda: editor.type_text("doomed update " * 30))
+        sim.at(1.5, lambda: link.set_faults(None))
+        sim.run_seconds(1.0)
+        assert not participant.converged_with(ah.windows)
+
+        # NACK retries fire into the void; after the cap the
+        # participant degrades to a PLI-driven full refresh.
+        assert sim.run_until_converged(timeout=30.0)
+        snap = sim.snapshot()
+        assert _snapshot_total(snap, "recovery.nacks_sent") > 0
+        assert _snapshot_total(snap, "recovery.retries") > 0
+        assert _snapshot_total(snap, "recovery.gave_up") > 0
+        assert _snapshot_total(snap, "recovery.recovered") == 0
+        assert _snapshot_total(snap, "jitter.sequences_abandoned") > 0
+        assert participant.recovery.pending == 0  # state fully drained
+        assert ah.plis_received > 0
+        assert ah.nacks_received > 0  # the AH heard and ignored them

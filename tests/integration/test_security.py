@@ -135,22 +135,25 @@ class TestResourceBounds:
         assert len(buf._slots) <= 32
         assert released + len(buf._slots) == 499
 
-    def test_nack_history_pruned(self, clock):
-        """The participant's NACK-dedup map cannot grow unboundedly."""
+    def test_recovery_state_pruned(self, clock):
+        """The participant's recovery-manager maps cannot grow unboundedly."""
         ah = ApplicationHost(now=clock.now)
         ah.windows.create_window(Rect(0, 0, 50, 50))
         from .helpers import udp_pair
 
         participant = udp_pair(clock, ah)
         settle(clock, ah, [participant], 20)
-        # Simulate a long-lived map and trigger the prune path with a
-        # genuine gap just past the live stream's highest sequence.
+        recovery = participant.recovery
+        # Simulate a long-lived recovered-seq memory and trigger the
+        # prune path with a genuine gap just past the live stream.
         for seq in range(5000):
-            participant._nack_history[seq] = -100.0
+            recovery._recovered_at[seq] = -100.0
         gaps = participant.receiver.gaps
         highest = gaps._highest
         assert highest is not None
         gaps.record((highest + 3) & 0xFFFF)  # leaves holes at +1, +2
         participant.process_incoming()
         assert participant.nacks_sent >= 1
-        assert len(participant._nack_history) < 5000
+        assert len(recovery._recovered_at) < 5000
+        # Pending retry state is bounded by the gap detector's window.
+        assert recovery.pending <= participant.receiver.gaps.max_tracked

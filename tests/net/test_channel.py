@@ -169,3 +169,158 @@ class TestDuplexHelpers:
         clock.advance(0.02)
         assert pair.forward.receive_ready() == b"ping"
         assert pair.backward.receive_ready() == b"pong"
+
+
+class TestFaultProfile:
+    def test_validation(self):
+        from repro.net.channel import FaultProfile
+
+        with pytest.raises(ValueError):
+            FaultProfile(p_good_bad=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(reorder_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultProfile(reorder_delay=-1)
+        with pytest.raises(ValueError):
+            FaultProfile.gilbert_elliott(1.0)
+        with pytest.raises(ValueError):
+            FaultProfile.gilbert_elliott(0.1, mean_burst=0.5)
+
+    def test_gilbert_elliott_balance(self):
+        """Stationary bad-state occupancy equals the requested rate."""
+        from repro.net.channel import FaultProfile
+
+        profile = FaultProfile.gilbert_elliott(0.10, mean_burst=4.0)
+        p_gb, p_bg = profile.p_good_bad, profile.p_bad_good
+        occupancy = p_gb / (p_gb + p_bg)
+        assert occupancy == pytest.approx(0.10)
+        assert p_bg == pytest.approx(0.25)  # 1 / mean_burst
+
+    def test_zero_loss_profile_never_enters_bad(self):
+        from repro.net.channel import FaultProfile
+
+        profile = FaultProfile.gilbert_elliott(0.0)
+        assert profile.p_good_bad == 0.0
+
+
+class TestGilbertElliott:
+    def test_long_run_statistics(self):
+        """Loss rate and burstiness converge to the profile over many
+        draws (seeded: exact values are stable)."""
+        import random
+
+        from repro.net.channel import FaultProfile, GilbertElliott
+
+        profile = FaultProfile.gilbert_elliott(0.10, mean_burst=3.0)
+        chain = GilbertElliott(profile, random.Random(42))
+        n = 50_000
+        losses = [chain.lose() for _ in range(n)]
+        rate = sum(losses) / n
+        assert 0.08 < rate < 0.12
+        # Bursts: mean run length of consecutive losses near mean_burst.
+        runs, current = [], 0
+        for lost in losses:
+            if lost:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        mean_run = sum(runs) / len(runs)
+        assert 2.0 < mean_run < 4.0  # i.i.d. 10% loss would give ~1.1
+
+    def test_deterministic_for_seed(self):
+        import random
+
+        from repro.net.channel import FaultProfile, GilbertElliott
+
+        profile = FaultProfile.gilbert_elliott(0.2)
+        a = GilbertElliott(profile, random.Random(7))
+        b = GilbertElliott(profile, random.Random(7))
+        assert [a.lose() for _ in range(500)] == [b.lose() for _ in range(500)]
+
+
+class TestChannelFaults:
+    def test_burst_loss_counted_separately(self, clock):
+        from repro.net.channel import FaultProfile
+
+        channel = LossyChannel(
+            ChannelConfig(delay=0, seed=3), clock.now,
+            faults=FaultProfile.gilbert_elliott(0.3, mean_burst=5.0),
+        )
+        for _ in range(2000):
+            channel.send(b"x")
+        assert channel.datagrams_dropped_burst > 0
+        assert channel.datagrams_dropped == channel.datagrams_dropped_burst
+
+    def test_duplication(self, clock):
+        from repro.net.channel import FaultProfile
+
+        channel = LossyChannel(
+            ChannelConfig(delay=0, seed=1), clock.now,
+            faults=FaultProfile(duplicate_rate=1.0),
+        )
+        channel.send(b"once")
+        clock.advance(0.001)
+        assert channel.receive_ready() == [b"once", b"once"]
+        assert channel.datagrams_duplicated == 1
+
+    def test_reordering_overtakes(self, clock):
+        from repro.net.channel import FaultProfile
+
+        channel = LossyChannel(
+            ChannelConfig(delay=0.01, seed=1), clock.now,
+            faults=FaultProfile(reorder_rate=0.0),
+        )
+        # Manually flip: first datagram held back, second goes normally.
+        channel.set_faults(FaultProfile(reorder_rate=1.0, reorder_delay=0.05))
+        channel.send(b"first")
+        channel.set_faults(None)
+        channel.send(b"second")
+        clock.advance(0.02)
+        assert channel.receive_ready() == [b"second"]
+        clock.advance(0.05)
+        assert channel.receive_ready() == [b"first"]
+        assert channel.datagrams_reordered == 1
+
+    def test_jitter_spike_delays(self, clock):
+        from repro.net.channel import FaultProfile
+
+        channel = LossyChannel(
+            ChannelConfig(delay=0.01, seed=1), clock.now,
+            faults=FaultProfile(jitter_spike_rate=1.0, jitter_spike=0.5),
+        )
+        channel.send(b"slow")
+        clock.advance(0.02)
+        assert channel.receive_ready() == []
+        clock.advance(0.5)
+        assert channel.receive_ready() == [b"slow"]
+
+    def test_set_faults_mid_run(self, clock):
+        from repro.net.channel import FaultProfile
+
+        channel = LossyChannel(ChannelConfig(delay=0, seed=9), clock.now)
+        assert channel.faults is None
+        for _ in range(100):
+            channel.send(b"x")
+        assert channel.datagrams_dropped == 0
+        profile = FaultProfile(loss_good=1.0, loss_bad=1.0)
+        channel.set_faults(profile)
+        assert channel.faults is profile
+        channel.send(b"x")
+        assert channel.datagrams_dropped == 1
+        channel.set_faults(None)
+        channel.send(b"x")
+        assert channel.datagrams_dropped == 1
+
+    def test_duplex_lossy_accepts_fault_profiles(self, clock):
+        from repro.net.channel import FaultProfile
+
+        pair = duplex_lossy(
+            ChannelConfig(delay=0, seed=2), clock.now,
+            faults=FaultProfile(duplicate_rate=1.0),
+        )
+        pair.forward.send(b"f")
+        pair.backward.send(b"b")
+        clock.advance(0.001)
+        assert pair.forward.receive_ready() == [b"f", b"f"]
+        assert pair.backward.receive_ready() == [b"b"]  # no back faults

@@ -145,3 +145,53 @@ class TestRunUntilEdgeCases:
         assert not sim.run_until(lambda: False, timeout=0.1)
         assert sim.rounds_run == 5
         assert clock.now() == pytest.approx(0.1)
+
+
+class TestScriptedEvents:
+    def test_at_fires_once_at_time(self):
+        sim, _editor, _p = build_sim()
+        fired = []
+        sim.at(0.1, lambda: fired.append(sim.clock.now()))
+        sim.run_seconds(0.3)
+        assert len(fired) == 1
+        assert fired[0] == pytest.approx(0.1, abs=sim.dt)
+
+    def test_events_fire_in_time_order(self):
+        sim, _editor, _p = build_sim()
+        order = []
+        sim.at(0.2, lambda: order.append("late"))
+        sim.at(0.1, lambda: order.append("early"))
+        sim.run_seconds(0.5)
+        assert order == ["early", "late"]
+
+    def test_same_time_preserves_registration_order(self):
+        sim, _editor, _p = build_sim()
+        order = []
+        sim.at(0.1, lambda: order.append("a"))
+        sim.at(0.1, lambda: order.append("b"))
+        sim.run_seconds(0.2)
+        assert order == ["a", "b"]
+
+    def test_past_event_fires_on_next_step(self):
+        sim, _editor, _p = build_sim()
+        sim.run_seconds(1.0)
+        fired = []
+        sim.at(0.5, lambda: fired.append(True))  # already in the past
+        sim.step()
+        assert fired == [True]
+
+    def test_event_can_reconfigure_channel_faults(self):
+        """The intended use: flip a fault profile on a schedule."""
+        from repro.net.channel import (
+            ChannelConfig, FaultProfile, LossyChannel,
+        )
+
+        sim, _editor, _p = build_sim()
+        channel = LossyChannel(ChannelConfig(delay=0), sim.clock.now)
+        burst = FaultProfile.gilbert_elliott(0.5)
+        sim.at(0.1, lambda: channel.set_faults(burst))
+        sim.at(0.2, lambda: channel.set_faults(None))
+        sim.run_seconds(0.15)
+        assert channel.faults is burst
+        sim.run_seconds(0.15)
+        assert channel.faults is None

@@ -115,3 +115,51 @@ class TestGenericNack:
         assert nack is not None
         decoded = decode_compound(nack.encode())[0]
         assert set(s & 0xFFFF for s in seqs) <= set(decoded.sequence_numbers())
+
+
+class TestPackEntriesEdgeCases:
+    """Table-driven pins for the PID+BLP boundary arithmetic.
+
+    BLP bit ``n`` covers ``PID + n + 1``; bit 15 is ``PID + 16``, and
+    ``PID + 17`` must start a fresh entry.  All offsets are mod 2^16.
+    """
+
+    def test_table(self):
+        cases = [
+            # (missing, expected entries)
+            ([100, 116], (NackEntry(100, 1 << 15),)),        # PID+16: last BLP bit
+            ([100, 117], (NackEntry(100, 0), NackEntry(117, 0))),  # PID+17 splits
+            ([100, 101], (NackEntry(100, 1 << 0),)),         # PID+1: first BLP bit
+            ([0xFFFF, 0x0000], (NackEntry(0xFFFF, 1 << 0),)),  # wrap inside BLP
+            ([0xFFF0, 0x0000], (NackEntry(0xFFF0, 1 << 15),)),  # PID+16 across wrap
+            ([0xFFF0, 0x0001], (NackEntry(0xFFF0, 0), NackEntry(0x0001, 0))),
+            (
+                [0xFFFE, 0xFFFF, 0x0000, 0x0001],
+                (NackEntry(0xFFFE, 0b111),),
+            ),
+        ]
+        for missing, expected in cases:
+            assert pack_nack_entries(missing) == expected, missing
+
+    def test_full_blp_window(self):
+        entries = pack_nack_entries([(0xFFF8 + i) & 0xFFFF for i in range(17)])
+        assert entries == (NackEntry(0xFFF8, 0xFFFF),)
+
+    def test_rotation_picks_oldest_across_wrap(self):
+        """[0, 0xFFFF] is the run 0xFFFF,0x0000 — not two entries
+        anchored at 0."""
+        assert pack_nack_entries([0, 0xFFFF]) == (NackEntry(0xFFFF, 1),)
+
+    def test_extended_inputs_reduced_mod_2_16(self):
+        assert pack_nack_entries([0x1_0005, 0x1_0006]) == (
+            NackEntry(5, 1),
+        )
+
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=40))
+    def test_pack_never_over_covers(self, seqs):
+        """Entries cover the requested seqs and nothing else."""
+        wanted = set(s & 0xFFFF for s in seqs)
+        covered = set()
+        for entry in pack_nack_entries(seqs):
+            covered.update(entry.sequence_numbers())
+        assert covered == wanted

@@ -99,3 +99,84 @@ class TestEdgeCases:
             JitterBuffer(now=clock.now, max_wait=-1)
         with pytest.raises(ValueError):
             JitterBuffer(now=clock.now, capacity=0)
+
+
+class TestAbandon:
+    def test_abandoned_hole_releases_without_wait(self, buf):
+        buf.insert(packet(1))
+        buf.pop_ready()
+        buf.insert(packet(3))  # hole at 2
+        assert buf.pop_ready() == []  # still within max_wait
+        buf.abandon([2])
+        assert seqs(buf.pop_ready()) == [3]
+        assert buf.sequences_abandoned == 1
+        # Abandoned holes do NOT count as skips — the recovery layer
+        # already arranged its own refresh; a skip would double-refresh.
+        assert buf.sequences_skipped == 0
+
+    def test_abandoned_packet_arriving_late_is_used(self, buf):
+        buf.insert(packet(1))
+        buf.pop_ready()
+        buf.insert(packet(3))
+        buf.abandon([2])
+        buf.insert(packet(2))  # the retransmission made it after all
+        assert seqs(buf.pop_ready()) == [2, 3]
+        assert buf.sequences_abandoned == 0
+
+    def test_abandon_ignores_already_released(self, buf):
+        buf.insert(packet(5))
+        buf.pop_ready()
+        buf.abandon([3, 4])  # behind the release point: no-op
+        buf.insert(packet(6))
+        assert seqs(buf.pop_ready()) == [6]
+        assert buf.sequences_abandoned == 0
+
+    def test_abandon_run_of_holes(self, buf):
+        buf.insert(packet(1))
+        buf.pop_ready()
+        buf.insert(packet(5))
+        buf.abandon([2, 3, 4])
+        assert seqs(buf.pop_ready()) == [5]
+        assert buf.sequences_abandoned == 3
+
+    def test_abandon_before_first_packet_noop(self, buf):
+        buf.abandon([1, 2])
+        buf.insert(packet(1))
+        assert seqs(buf.pop_ready()) == [1]
+
+
+class TestDrainSkipped:
+    def test_timeout_skip_reported(self, buf, clock):
+        buf.insert(packet(1))
+        buf.pop_ready()
+        buf.insert(packet(4))  # holes at 2, 3
+        clock.advance(0.06)
+        assert seqs(buf.pop_ready()) == [4]
+        assert buf.drain_skipped() == [2, 3]
+        assert buf.drain_skipped() == []  # drained
+
+    def test_capacity_skip_reported(self, clock):
+        buf = JitterBuffer(now=clock.now, max_wait=10.0, capacity=4)
+        buf.insert(packet(1))
+        buf.pop_ready()
+        for seq in (3, 4, 5, 6):
+            buf.insert(packet(seq))
+        buf.insert(packet(7))  # forces a skip of 2
+        buf.pop_ready()
+        assert buf.drain_skipped() == [2]
+
+    def test_abandoned_not_in_drain(self, buf):
+        buf.insert(packet(1))
+        buf.pop_ready()
+        buf.insert(packet(3))
+        buf.abandon([2])
+        buf.pop_ready()
+        assert buf.drain_skipped() == []
+
+
+class TestDuplicateCounter:
+    def test_duplicates_counted(self, buf):
+        buf.insert(packet(5))
+        buf.insert(packet(5))
+        buf.insert(packet(5))
+        assert buf.duplicates == 2

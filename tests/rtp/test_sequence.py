@@ -135,3 +135,170 @@ class TestGapDetector:
             detector.record(seq)
         missing = set(detector.missing())
         assert missing.isdisjoint(set(seqs))
+
+
+class TestHalfRangeBoundary:
+    """Pin the deliberately non-total behaviour at exactly 2^15 apart.
+
+    RFC 3550 leaves the half-range comparison undefined; the
+    implementation picks "neither is newer" and resolves the delta to
+    -2^15 (two's complement convention).  These tables keep anyone from
+    "fixing" that silently.
+    """
+
+    def test_neither_newer_at_half_range(self):
+        for a, b in [(0x8000, 0x0000), (0x0000, 0x8000),
+                     (0x9234, 0x1234), (0x1234, 0x9234)]:
+            assert not seq_newer(a, b), (a, b)
+
+    def test_delta_table(self):
+        cases = [
+            # (a, b, expected)
+            (0, 0, 0),
+            (1, 0, 1),
+            (0, 1, -1),
+            (0x7FFF, 0x0000, 0x7FFF),   # largest forward distance
+            (0x0000, 0x7FFF, -0x7FFF),
+            (0x8000, 0x0000, -0x8000),  # ambiguous: resolves negative
+            (0x0000, 0x8000, -0x8000),  # ...in both directions
+            (0x8001, 0x0000, -0x7FFF),
+            (0x0000, 0xFFFF, 1),        # wrap
+            (0xFFFF, 0x0000, -1),
+        ]
+        for a, b, expected in cases:
+            assert seq_delta(a, b) == expected, (a, b)
+
+    def test_delta_antisymmetric_except_half_range(self):
+        assert seq_delta(0x8000, 0) == seq_delta(0, 0x8000) == -0x8000
+
+    def test_newer_table_near_wrap(self):
+        cases = [
+            (0x0000, 0xFFFF, True),
+            (0xFFFF, 0x0000, False),
+            (0x0005, 0xFFF0, True),
+            (0xFFF0, 0x0005, False),
+            (0x7FFF, 0x0000, True),   # just inside half range
+            (0x0000, 0x7FFF, False),
+        ]
+        for a, b, expected in cases:
+            assert seq_newer(a, b) is expected, (a, b)
+
+
+class TestSequenceExtender:
+    def make(self):
+        from repro.rtp.sequence import SequenceExtender
+
+        return SequenceExtender()
+
+    def test_monotone_stream(self):
+        ext = self.make()
+        assert [ext.extend(s) for s in (10, 11, 12)] == [10, 11, 12]
+        assert ext.highest == 12
+
+    def test_wraparound_advances_cycle(self):
+        ext = self.make()
+        for seq in (0xFFFE, 0xFFFF):
+            ext.extend(seq)
+        assert ext.extend(0x0000) == 0x10000
+        assert ext.extend(0x0001) == 0x10001
+        assert ext.highest == 0x10001
+
+    def test_reordered_resolves_backwards(self):
+        ext = self.make()
+        ext.extend(0xFFFF)
+        ext.extend(0x0002)  # extended 0x10002
+        # Late straggler from before the wrap.
+        assert ext.extend(0xFFFD) == 0xFFFD
+        assert ext.highest == 0x10002  # unchanged by the straggler
+
+    def test_multiple_cycles(self):
+        ext = self.make()
+        seq = 0
+        # Strides of 0x4000 stay well inside the unambiguous half range.
+        for _ in range(3 * 4 + 1):
+            ext.extend(seq & 0xFFFF)
+            seq += 0x4000
+        assert ext.highest == 3 * 0x10000
+
+    def test_already_extended_reanchors(self):
+        ext = self.make()
+        ext.extend(5)
+        assert ext.extend(0x2_0005) == 0x2_0005
+        assert ext.extend(6) == 0x2_0006
+
+    def test_backwards_past_zero_clamps(self):
+        ext = self.make()
+        ext.extend(2)
+        # A residue "before the stream started" cannot go negative.
+        assert ext.extend(0xFFF0) >= 0
+
+
+class TestSequenceTrackerCycles:
+    """Cycle-boundary coverage: loss accounting through wraparound and
+    the MAX_DROPOUT / MAX_MISORDER restart heuristics."""
+
+    def test_loss_counted_across_wraparound(self):
+        from repro.rtp.sequence import SequenceTracker
+
+        tracker = SequenceTracker()
+        # 0xFFFD..0xFFFF then 2..4: seqs 0 and 1 lost across the wrap.
+        for seq in (0xFFFD, 0xFFFE, 0xFFFF, 2, 3, 4):
+            assert tracker.update(seq)
+        stats = tracker.stats()
+        assert tracker.extended_highest_seq == 0x10004
+        assert stats.packets_expected == 8
+        assert stats.packets_lost == 2
+
+    def test_multiple_cycles_extend(self):
+        from repro.rtp.sequence import SequenceTracker
+
+        tracker = SequenceTracker()
+        seq = 0xFF00
+        for _ in range(3 * 0x10000 // 0x100):
+            tracker.update(seq & 0xFFFF)
+            seq += 0x100  # strides below MAX_DROPOUT
+        assert tracker.extended_highest_seq >= 3 * 0x10000
+
+    def test_dropout_boundary(self):
+        from repro.rtp.sequence import MAX_DROPOUT, SequenceTracker
+
+        tracker = SequenceTracker()
+        tracker.update(0)
+        # Jump of MAX_DROPOUT-1 is accepted as (huge) loss...
+        assert tracker.update(MAX_DROPOUT - 1)
+        # ...but a jump of MAX_DROPOUT is suspicious.
+        tracker2 = SequenceTracker()
+        tracker2.update(0)
+        assert not tracker2.update(MAX_DROPOUT)
+
+    def test_restart_resets_loss_accounting(self):
+        from repro.rtp.sequence import SequenceTracker
+
+        tracker = SequenceTracker()
+        for seq in (10, 11, 12):
+            tracker.update(seq)
+        assert not tracker.update(40_000)   # rejected once
+        assert tracker.update(40_001)       # consecutive: restart accepted
+        stats = tracker.stats()
+        assert stats.packets_received == 1  # accounting restarted
+        assert stats.packets_lost == 0
+
+    def test_misorder_tolerated_near_wrap(self):
+        from repro.rtp.sequence import SequenceTracker
+
+        tracker = SequenceTracker()
+        for seq in (0xFFFE, 0xFFFF, 0x0000):
+            tracker.update(seq)
+        # A straggler from just before the wrap: within MAX_MISORDER.
+        assert tracker.update(0xFFFD)
+        assert tracker.extended_highest_seq == 0x10000
+        assert tracker.stats().packets_lost == 0
+
+    def test_wrap_not_double_counted_on_reorder(self):
+        from repro.rtp.sequence import SequenceTracker
+
+        tracker = SequenceTracker()
+        for seq in (0xFFFE, 0x0000, 0xFFFF, 0x0001):
+            tracker.update(seq)
+        assert tracker.extended_highest_seq == 0x10001
+        assert tracker.stats().packets_lost == 0

@@ -156,3 +156,61 @@ class TestRetransmitCache:
         cache.store(3, b"c")  # evicts 2, not 1
         assert cache.lookup(1) == b"a2"
         assert cache.lookup(2) is None
+
+
+class TestRetransmitCacheWraparound:
+    """Regression tests for the stale-replay wraparound bug.
+
+    The pre-fix cache was keyed by ``seq & 0xFFFF``: with capacity above
+    65536 (config allows any size), a first-cycle packet stored under a
+    residue was replayed for a current-cycle NACK naming the same
+    residue — 65536 sequence numbers of silent pixel corruption.
+    """
+
+    def test_stale_cycle_entry_not_replayed(self):
+        cache = RetransmitCache(capacity=70_000)
+        # First cycle: a full 65536-packet sweep.
+        for seq in range(0x10000):
+            cache.store(seq, b"old-%d" % seq)
+        # Second cycle: residues 0..10, but residue 5 was never sent
+        # (or its store was skipped) — the NACK for it must MISS, not
+        # resurrect b"old-5" from a cycle ago.
+        for seq in range(0x10000, 0x10005):
+            cache.store(seq, b"new-%d" % (seq & 0xFFFF))
+        for seq in range(0x10006, 0x1000B):
+            cache.store(seq, b"new-%d" % (seq & 0xFFFF))
+        assert cache.lookup(5) is None
+        assert cache.stale_rejected + cache.misses >= 1
+        # Residues actually re-sent resolve to the fresh bytes.
+        assert cache.lookup(4) == b"new-4"
+        assert cache.lookup(7) == b"new-7"
+
+    def test_same_residue_new_cycle_replaces(self):
+        cache = RetransmitCache(capacity=70_000)
+        cache.store(5, b"first-cycle")
+        for seq in range(6, 0x10000):
+            cache.store(seq, b".")
+        cache.store(0x10005, b"second-cycle")
+        assert cache.lookup(5) == b"second-cycle"
+        # The first-cycle packet is gone entirely, not shadowed.
+        assert cache.lookup(0x10005 - 0x10000) == b"second-cycle"
+
+    def test_wire_seq_store_extends_across_wrap(self):
+        """Stores arrive as bare 16-bit wire values; the cache must
+        extend them so wraparound does not reset its ordering."""
+        cache = RetransmitCache(capacity=8)
+        for seq in (0xFFFE, 0xFFFF, 0x0000, 0x0001):
+            cache.store(seq, b"s%d" % seq)
+        assert cache.lookup(0xFFFE) == b"s%d" % 0xFFFE
+        assert cache.lookup(0x0001) == b"s%d" % 0x0001
+        assert len(cache) == 4
+
+    def test_stale_lookup_counted(self):
+        cache = RetransmitCache(capacity=70_000)
+        for seq in range(0x10000 + 10):
+            cache.store(seq, b"x")
+        # Residue 11 still holds only the first-cycle entry; a NACK for
+        # it is half the sequence space behind the newest packet.
+        assert cache.lookup(11) is None
+        assert cache.stale_rejected == 1
+        assert cache.misses == 1
