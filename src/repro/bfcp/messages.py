@@ -16,7 +16,13 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from ..core.errors import ProtocolError
+
 BFCP_VERSION = 1
+
+#: Hard cap on TLV attributes per message; the appendix's five message
+#: types carry at most three.
+MAX_ATTRIBUTES = 64
 
 # Primitives (RFC 4582 section 5.1).
 PRIMITIVE_FLOOR_REQUEST = 1
@@ -51,7 +57,7 @@ STATUS_NAMES = {
 _COMMON = struct.Struct("!BBHIHH")
 
 
-class BfcpError(Exception):
+class BfcpError(ProtocolError):
     """Raised when a BFCP message cannot be parsed or built."""
 
 
@@ -103,18 +109,25 @@ class BfcpMessage:
     @classmethod
     def decode(cls, data: bytes) -> "BfcpMessage":
         if len(data) < _COMMON.size:
-            raise BfcpError(f"message too short: {len(data)} bytes")
+            raise BfcpError(f"message too short: {len(data)} bytes",
+                            reason="truncated")
         first, primitive, length_words, conf, trans, user = _COMMON.unpack_from(data)
         if first >> 5 != BFCP_VERSION:
-            raise BfcpError(f"unsupported BFCP version: {first >> 5}")
+            raise BfcpError(f"unsupported BFCP version: {first >> 5}",
+                            reason="bad_magic")
         end = _COMMON.size + length_words * 4
         if len(data) < end:
-            raise BfcpError("message shorter than its payload length")
+            raise BfcpError("message shorter than its payload length",
+                            reason="truncated")
         attributes: list[Attribute] = []
         offset = _COMMON.size
         while offset < end:
             if end - offset < 2:
-                raise BfcpError("truncated attribute header")
+                raise BfcpError("truncated attribute header",
+                                reason="truncated")
+            if len(attributes) >= MAX_ATTRIBUTES:
+                raise BfcpError(f"more than {MAX_ATTRIBUTES} attributes",
+                                reason="overflow")
             attr_first = data[offset]
             length = data[offset + 1]
             if length < 2 or offset + length > end:

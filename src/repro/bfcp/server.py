@@ -16,11 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..sharing.quarantine import QuarantinePolicy
 from .hid_status import HidStatus
 from .messages import (
     STATUS_ACCEPTED,
     STATUS_GRANTED,
     STATUS_RELEASED,
+    BfcpError,
     BfcpMessage,
     PRIMITIVE_FLOOR_RELEASE,
     PRIMITIVE_FLOOR_REQUEST,
@@ -54,11 +56,19 @@ class FloorControlServer:
         floor_id: int = 0,
         grant_duration: float | None = None,
         now: Callable[[], float] | None = None,
+        instrumentation=None,
+        quarantine: QuarantinePolicy | None = None,
     ) -> None:
         self.conference_id = conference_id
         self.floor_id = floor_id
         self.grant_duration = grant_duration
         self._now = now or (lambda: 0.0)
+        #: Malformed BFCP messages count against the sender's rejection
+        #: budget; a shared policy (e.g. the AH's) may be passed in so
+        #: garbage on any surface trips the same quarantine.
+        self.quarantine = quarantine or QuarantinePolicy(
+            now=self._now, instrumentation=instrumentation
+        )
         self._next_request_id = 1
         self._next_transaction = 1
         self.holder: FloorRequestRecord | None = None
@@ -72,7 +82,13 @@ class FloorControlServer:
     # -- Wire entry point ------------------------------------------------------
 
     def handle_message(self, participant_id: str, data: bytes) -> None:
-        message = BfcpMessage.decode(data)
+        if self.quarantine.is_quarantined(participant_id):
+            return
+        try:
+            message = BfcpMessage.decode(data)
+        except BfcpError as exc:
+            self.quarantine.record_rejection(participant_id, "bfcp", exc)
+            return
         self._participants[message.user_id] = participant_id
         if message.primitive == PRIMITIVE_FLOOR_REQUEST:
             self.request_floor(participant_id, message.user_id,

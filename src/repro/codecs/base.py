@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.errors import ProtocolError
+
 #: Dynamic RTP payload types (RFC 3551: 96-127 are dynamic).
 PT_PNG = 96
 PT_RAW = 97
@@ -23,9 +25,55 @@ PT_LOSSY_DCT = 99
 
 MAX_PAYLOAD_TYPE = 0x7F
 
+#: Hard caps on decoded image geometry.  A shared desktop is at most a
+#: few thousand pixels on a side; these bounds stop a hostile payload
+#: from declaring gigapixel dimensions and driving allocation.
+MAX_IMAGE_DIM = 32768
+MAX_IMAGE_PIXELS = 1 << 24  # 16 Mpx ≈ 64 MiB of RGBA
 
-class CodecError(Exception):
+
+class CodecError(ProtocolError):
     """Raised when encoding or decoding image payloads fails."""
+
+
+def check_decode_dims(width: int, height: int, what: str = "image") -> None:
+    """Reject hostile dimensions before any allocation happens."""
+    if width <= 0 or height <= 0:
+        raise CodecError(f"{what} has non-positive dimensions "
+                         f"{width}x{height}", reason="semantic")
+    if width > MAX_IMAGE_DIM or height > MAX_IMAGE_DIM:
+        raise CodecError(f"{what} dimension exceeds {MAX_IMAGE_DIM}",
+                         reason="overflow")
+    if width * height > MAX_IMAGE_PIXELS:
+        raise CodecError(f"{what} exceeds {MAX_IMAGE_PIXELS} pixels",
+                         reason="overflow")
+
+
+def bounded_decompress(data: bytes, expected: int, what: str = "stream",
+                       error_cls: type["CodecError"] | None = None) -> bytes:
+    """zlib-inflate at most ``expected`` bytes; reject bombs and trailers.
+
+    ``zlib.decompress`` with no bound lets a kilobyte of input expand to
+    gigabytes.  This decompresses with a hard output cap and requires the
+    stream to produce exactly ``expected`` bytes.
+    """
+    import zlib
+
+    err = error_cls or CodecError
+    decompressor = zlib.decompressobj()
+    try:
+        raw = decompressor.decompress(data, expected + 1)
+    except zlib.error as exc:
+        raise err(f"corrupt {what}: {exc}") from exc
+    if len(raw) > expected or decompressor.unconsumed_tail:
+        raise err(f"{what} inflates past the declared {expected} bytes",
+                  reason="overflow")
+    if len(raw) < expected:
+        raise err(f"{what} ends short of the declared {expected} bytes",
+                  reason="truncated")
+    if decompressor.unused_data:
+        raise err(f"trailing garbage after {what}")
+    return raw
 
 
 @dataclass(frozen=True, slots=True)

@@ -15,7 +15,14 @@ import zlib
 
 import numpy as np
 
-from .base import PT_LOSSY_DCT, CodecError, ImageCodec, _check_pixels
+from .base import (
+    PT_LOSSY_DCT,
+    CodecError,
+    ImageCodec,
+    _check_pixels,
+    bounded_decompress,
+    check_decode_dims,
+)
 
 _HEADER = struct.Struct("!IIB")  # width, height, quality
 BLOCK = 8
@@ -173,25 +180,23 @@ class LossyDctCodec(ImageCodec):
 
     def decode(self, data: bytes) -> np.ndarray:
         if len(data) < _HEADER.size:
-            raise CodecError("lossy payload too short for header")
+            raise CodecError("lossy payload too short for header",
+                             reason="truncated")
         w, h, quality = _HEADER.unpack_from(data)
         if w == 0 or h == 0:
-            raise CodecError("lossy payload has empty dimensions")
+            raise CodecError("lossy payload has empty dimensions",
+                             reason="semantic")
         if not 1 <= quality <= 100:
-            raise CodecError(f"corrupt quality field: {quality}")
-        try:
-            raw = zlib.decompress(data[_HEADER.size :])
-        except zlib.error as exc:
-            raise CodecError(f"entropy stage inflate failed: {exc}") from exc
+            raise CodecError(f"corrupt quality field: {quality}",
+                             reason="semantic")
+        check_decode_dims(w, h, "lossy payload")
 
         padded_h = h + (BLOCK - h % BLOCK) % BLOCK
         padded_w = w + (BLOCK - w % BLOCK) % BLOCK
         n_blocks = (padded_h // BLOCK) * (padded_w // BLOCK)
         plane_bytes = n_blocks * BLOCK * BLOCK * 2
-        if len(raw) != plane_bytes * 3:
-            raise CodecError(
-                f"coefficient payload {len(raw)} != expected {plane_bytes * 3}"
-            )
+        raw = bounded_decompress(data[_HEADER.size:], plane_bytes * 3,
+                                 "entropy stage")
         luma_q, chroma_q = _scaled_tables(quality)
         planes = []
         for channel in range(3):

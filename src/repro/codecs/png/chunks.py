@@ -13,6 +13,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
+from ..base import CodecError
+
 #: The eight-byte PNG file signature.
 SIGNATURE = b"\x89PNG\r\n\x1a\n"
 
@@ -24,8 +26,13 @@ TYPE_IEND = b"IEND"
 COLOR_TYPE_RGBA = 6
 BIT_DEPTH_8 = 8
 
+#: The PNG spec caps chunk length at 2^31-1; a declared length beyond
+#: the datastream itself is rejected earlier by the truncation check,
+#: but cap the count of chunks to bound the iterator's work.
+MAX_CHUNKS = 4096
 
-class PngFormatError(Exception):
+
+class PngFormatError(CodecError):
     """Raised for malformed PNG datastreams."""
 
 
@@ -95,17 +102,23 @@ def iter_chunks(data: bytes) -> Iterator[Chunk]:
     CRC mismatch.
     """
     if not data.startswith(SIGNATURE):
-        raise PngFormatError("missing PNG signature")
+        raise PngFormatError("missing PNG signature", reason="bad_magic")
     offset = len(SIGNATURE)
+    count = 0
     while offset < len(data):
+        if count >= MAX_CHUNKS:
+            raise PngFormatError(f"more than {MAX_CHUNKS} chunks",
+                                 reason="overflow")
+        count += 1
         if len(data) < offset + 8:
-            raise PngFormatError("truncated chunk header")
+            raise PngFormatError("truncated chunk header", reason="truncated")
         (length,) = struct.unpack_from("!I", data, offset)
         chunk_type = data[offset + 4 : offset + 8]
         body_start = offset + 8
         body_end = body_start + length
         if len(data) < body_end + 4:
-            raise PngFormatError(f"truncated {chunk_type!r} chunk")
+            raise PngFormatError(f"truncated {chunk_type!r} chunk",
+                                 reason="truncated")
         body = data[body_start:body_end]
         (stored_crc,) = struct.unpack_from("!I", data, body_end)
         actual_crc = zlib.crc32(chunk_type + body) & 0xFFFF_FFFF
@@ -115,4 +128,4 @@ def iter_chunks(data: bytes) -> Iterator[Chunk]:
         offset = body_end + 4
         if chunk_type == TYPE_IEND:
             return
-    raise PngFormatError("datastream ended without IEND")
+    raise PngFormatError("datastream ended without IEND", reason="truncated")

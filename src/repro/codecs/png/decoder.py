@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import zlib
-
 import numpy as np
 
+from ..base import bounded_decompress, check_decode_dims
 from .chunks import (
     BIT_DEPTH_8,
     COLOR_TYPE_RGBA,
@@ -55,18 +54,12 @@ def decode_png(data: bytes) -> np.ndarray:
     if header.compression != 0 or header.filter_method != 0:
         raise PngFormatError("unknown compression/filter method")
 
-    try:
-        raw = zlib.decompress(bytes(idat))
-    except zlib.error as exc:
-        raise PngFormatError(f"IDAT inflate failed: {exc}") from exc
-
     width, height = header.width, header.height
+    check_decode_dims(width, height, "PNG image")
     stride = width * BPP
     expected = height * (stride + 1)
-    if len(raw) != expected:
-        raise PngFormatError(
-            f"decompressed size {len(raw)} != expected {expected}"
-        )
+    raw = bounded_decompress(bytes(idat), expected, "IDAT stream",
+                             error_cls=PngFormatError)
 
     out = np.empty((height, stride), dtype=np.uint8)
     prev = np.zeros(stride, dtype=np.uint8)

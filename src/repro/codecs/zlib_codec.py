@@ -12,7 +12,14 @@ import zlib
 
 import numpy as np
 
-from .base import PT_ZLIB, CodecError, ImageCodec, _check_pixels
+from .base import (
+    PT_ZLIB,
+    CodecError,
+    ImageCodec,
+    _check_pixels,
+    bounded_decompress,
+    check_decode_dims,
+)
 
 _DIMS = struct.Struct("!II")
 
@@ -36,17 +43,13 @@ class ZlibCodec(ImageCodec):
 
     def decode(self, data: bytes) -> np.ndarray:
         if len(data) < _DIMS.size:
-            raise CodecError("zlib payload too short for dimensions")
+            raise CodecError("zlib payload too short for dimensions",
+                             reason="truncated")
         w, h = _DIMS.unpack_from(data)
         if w == 0 or h == 0:
-            raise CodecError("zlib payload has empty dimensions")
-        try:
-            body = zlib.decompress(data[_DIMS.size :])
-        except zlib.error as exc:
-            raise CodecError(f"zlib decompression failed: {exc}") from exc
+            raise CodecError("zlib payload has empty dimensions",
+                             reason="semantic")
+        check_decode_dims(w, h, "zlib payload")
         expected = w * h * 4
-        if len(body) != expected:
-            raise CodecError(
-                f"decompressed length {len(body)} != {expected} for {w}x{h}"
-            )
+        body = bounded_decompress(data[_DIMS.size:], expected, "zlib payload")
         return np.frombuffer(body, dtype=np.uint8).reshape(h, w, 4).copy()

@@ -1,11 +1,92 @@
-"""Protocol-level exceptions for the remoting and HIP payload formats."""
+"""Protocol-level exceptions shared by every wire decoder.
+
+Section 8 of the draft warns that application sharing "inherently
+exposes the shared applications to risks by malicious participants".
+The first line of defence is that no decoder ever leaks a raw
+``struct.error`` / ``IndexError`` / ``UnicodeDecodeError`` to its
+caller: every wire surface (remoting, HIP, RTP, RTCP, SDP, SIP, BFCP,
+codec bitstreams) raises inside the :class:`ProtocolError` taxonomy, so
+ingress code can catch one exception family, classify it, and feed the
+quarantine counters (``docs/HARDENING.md``).
+
+The taxonomy groups violations into four buckets carried by the
+``reason`` attribute:
+
+``truncated``
+    The input ended before a declared or structurally required length.
+``overflow``
+    A declared size (fragment count, chunk length, string field, image
+    dimension) exceeds the hard cap this implementation enforces.
+``bad_magic``
+    A signature, version, or message-type discriminator is wrong — the
+    bytes are not the message the caller expected.
+``semantic``
+    Fields parse but violate protocol semantics (coordinates outside
+    the negotiated desktop, out-of-range enum values, invalid UTF-8).
+
+Domain-specific subclasses (``RtpError``, ``RtcpError``, ``SipError``,
+``SdpError``, ``BfcpError``, ``CodecError``, ...) live with their
+formats but all inherit :class:`ProtocolError`; raise sites pass
+``reason=`` to refine the bucket without changing their public class.
+"""
 
 from __future__ import annotations
 
+#: The classification buckets a :class:`ProtocolError` may carry.
+REASONS = ("truncated", "overflow", "bad_magic", "semantic", "malformed")
+
 
 class ProtocolError(Exception):
-    """Raised when a remoting/HIP message violates the wire format."""
+    """Raised when a wire message violates its format or semantics.
+
+    ``reason`` is one of :data:`REASONS`; subclasses may fix it as a
+    class attribute, and any raise site may override it per instance
+    with the ``reason=`` keyword.
+    """
+
+    reason: str = "malformed"
+
+    def __init__(self, *args, reason: str | None = None) -> None:
+        super().__init__(*args)
+        if reason is not None:
+            self.reason = reason
+
+
+class TruncatedMessageError(ProtocolError):
+    """Input ends before a declared or structurally required length."""
+
+    reason = "truncated"
+
+
+class MessageOverflowError(ProtocolError):
+    """A declared size exceeds the hard cap this implementation enforces."""
+
+    reason = "overflow"
+
+
+class BadMagicError(ProtocolError):
+    """Signature / version / message-type discriminator mismatch."""
+
+    reason = "bad_magic"
+
+
+class SemanticError(ProtocolError):
+    """Fields parse but violate protocol semantics."""
+
+    reason = "semantic"
 
 
 class FragmentationError(ProtocolError):
     """Raised when a fragment sequence cannot be reassembled."""
+
+
+def classify(exc: BaseException) -> str:
+    """The quarantine-counter ``reason=`` label for an exception.
+
+    :class:`ProtocolError` instances report their ``reason`` bucket;
+    anything else maps to ``malformed`` (callers should let non-protocol
+    exceptions propagate — this exists for counter labelling only).
+    """
+    if isinstance(exc, ProtocolError):
+        return exc.reason if exc.reason in REASONS else "malformed"
+    return "malformed"

@@ -168,8 +168,12 @@ class UpdateReassembler:
 
     _DROP_REASONS = (
         "timestamp_change", "sequence_gap", "expired",
-        "orphan", "window_mismatch",
+        "orphan", "window_mismatch", "oversize",
     )
+
+    #: Default cap on one reassembled update's accumulated bytes — a
+    #: 16 Mpx RGBA frame; a peer declaring more is feeding garbage.
+    DEFAULT_MAX_UPDATE_BYTES = 64 * 1024 * 1024
 
     def __init__(
         self,
@@ -177,6 +181,8 @@ class UpdateReassembler:
         now=None,
         max_partial_age: float | None = None,
         instrumentation=None,
+        bounds: tuple[int, int] | None = None,
+        max_update_bytes: int = DEFAULT_MAX_UPDATE_BYTES,
     ) -> None:
         if message_type not in (MSG_REGION_UPDATE, MSG_MOUSE_POINTER_INFO):
             raise FragmentationError(
@@ -187,6 +193,9 @@ class UpdateReassembler:
         self.message_type = message_type
         self._now = now
         self.max_partial_age = max_partial_age
+        self.bounds = bounds
+        self.max_update_bytes = max_update_bytes
+        self._partial_bytes = 0
         self._partial: _Partial | None = None
         self._partial_timestamp: int | None = None
         self._partial_next_seq: int | None = None
@@ -210,7 +219,7 @@ class UpdateReassembler:
     ) -> ReassembledUpdate | None:
         """Feed one RTP payload; returns a completed update when ready."""
         header, first, content_pt, (left, top, chunk) = parse_update_payload(
-            payload, self.message_type
+            payload, self.message_type, bounds=self.bounds
         )
         fragment_type = FragmentType.from_bits(marker, first)
 
@@ -243,6 +252,7 @@ class UpdateReassembler:
             partial.chunks.append(chunk)
             partial.count = 1
             self._partial = partial
+            self._partial_bytes = len(chunk)
             self._partial_timestamp = timestamp
             self._partial_next_seq = (
                 (sequence_number + 1) & 0xFFFF
@@ -258,6 +268,13 @@ class UpdateReassembler:
         if header.window_id != self._partial.window_id:
             self._drop_partial("window_mismatch")
             return None
+        self._partial_bytes += len(chunk)
+        if self._partial_bytes > self.max_update_bytes:
+            self._drop_partial("oversize")
+            raise FragmentationError(
+                f"update exceeds {self.max_update_bytes} bytes",
+                reason="overflow",
+            )
         self._partial.chunks.append(chunk)
         self._partial.count += 1
         if sequence_number is not None and self._partial_next_seq is not None:
@@ -297,6 +314,7 @@ class UpdateReassembler:
 
     def _clear_partial(self) -> None:
         self._partial = None
+        self._partial_bytes = 0
         self._partial_timestamp = None
         self._partial_next_seq = None
         self._partial_started = None

@@ -50,7 +50,8 @@ class CommonHeader:
     def decode(cls, data: bytes) -> "CommonHeader":
         if len(data) < COMMON_HEADER_LEN:
             raise ProtocolError(
-                f"payload too short for common header: {len(data)} bytes"
+                f"payload too short for common header: {len(data)} bytes",
+                reason="truncated",
             )
         msg_type, parameter, window_id = _HEADER.unpack_from(data)
         return cls(msg_type, parameter, window_id)

@@ -39,6 +39,10 @@ WHEEL_NOTCH = 120
 
 MAX_U32 = 0xFFFF_FFFF
 
+#: Hard cap on one KeyTyped payload's UTF-8 bytes.  The splitter keeps
+#: messages under the RTP MTU anyway; a larger body is hostile input.
+MAX_KEY_TYPED_BYTES = 16384
+
 
 def _check_window_id(window_id: int) -> None:
     if not 0 <= window_id <= 0xFFFF:
@@ -277,10 +281,16 @@ class KeyTyped(HipMessage):
                 f"expected type {cls.MESSAGE_TYPE}, got {header.message_type}"
             )
         raw = payload[COMMON_HEADER_LEN:]
+        if len(raw) > MAX_KEY_TYPED_BYTES:
+            raise ProtocolError(
+                f"KeyTyped body exceeds {MAX_KEY_TYPED_BYTES} bytes",
+                reason="overflow",
+            )
         try:
             text = raw.decode("utf-8")
         except UnicodeDecodeError as exc:
-            raise ProtocolError(f"KeyTyped carries invalid UTF-8: {exc}") from exc
+            raise ProtocolError(f"KeyTyped carries invalid UTF-8: {exc}",
+                                reason="semantic") from exc
         return cls(header.window_id, text)
 
 
@@ -308,6 +318,50 @@ def split_text_for_key_typed(
     if chunk or not messages:
         messages.append(KeyTyped(window_id, "".join(chunk)))
     return messages
+
+
+class KeyTypedAssembler:
+    """Reassemble KeyTyped text a peer split mid-UTF-8-sequence.
+
+    Section 6.8 requires splitting on code-point boundaries, but a
+    non-conforming (or hostile) participant may tear a multi-byte
+    sequence across packets.  A strict incremental UTF-8 decoder accepts
+    a legitimate continuation on the next push, rejects overlong and
+    invalid sequences outright, and pends at most 3 bytes — so the
+    per-sender reassembly buffer is bounded by construction.
+    """
+
+    def __init__(self) -> None:
+        import codecs as _codecs
+
+        self._decoder = _codecs.getincrementaldecoder("utf-8")("strict")
+
+    def push(self, raw: bytes) -> str:
+        """Feed one KeyTyped body; return the text completed so far.
+
+        Raises :class:`ProtocolError` (``semantic``) on invalid UTF-8 and
+        resets, so one poisoned packet cannot corrupt later ones.
+        """
+        if len(raw) > MAX_KEY_TYPED_BYTES:
+            self.reset()
+            raise ProtocolError(
+                f"KeyTyped body exceeds {MAX_KEY_TYPED_BYTES} bytes",
+                reason="overflow",
+            )
+        try:
+            return self._decoder.decode(raw)
+        except UnicodeDecodeError as exc:
+            self.reset()
+            raise ProtocolError(f"KeyTyped carries invalid UTF-8: {exc}",
+                                reason="semantic") from exc
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered waiting for a sequence's continuation (≤ 3)."""
+        return len(self._decoder.getstate()[0])
+
+    def reset(self) -> None:
+        self._decoder.reset()
 
 
 #: Decoder dispatch for all seven HIP message types.

@@ -61,9 +61,11 @@ class MousePointerInfo:
         )
 
     @classmethod
-    def decode_single(cls, payload: bytes) -> "MousePointerInfo":
+    def decode_single(cls, payload: bytes,
+                      bounds: tuple[int, int] | None = None
+                      ) -> "MousePointerInfo":
         header, first, pt, (left, top, data) = parse_update_payload(
-            payload, cls.MESSAGE_TYPE
+            payload, cls.MESSAGE_TYPE, bounds=bounds
         )
         if not first:
             raise ProtocolError("decode_single on a continuation fragment")

@@ -59,21 +59,33 @@ class MoveRectangle:
         )
 
     @classmethod
-    def decode(cls, payload: bytes) -> "MoveRectangle":
+    def decode(cls, payload: bytes,
+               bounds: tuple[int, int] | None = None) -> "MoveRectangle":
         header = CommonHeader.decode(payload)
         if header.message_type != MSG_MOVE_RECTANGLE:
             raise ProtocolError(
-                f"not a MoveRectangle payload: type {header.message_type}"
+                f"not a MoveRectangle payload: type {header.message_type}",
+                reason="bad_magic",
             )
         body = payload[COMMON_HEADER_LEN:]
         if len(body) != _BODY.size:
             raise ProtocolError(
-                f"MoveRectangle body must be {_BODY.size} bytes, got {len(body)}"
+                f"MoveRectangle body must be {_BODY.size} bytes, got {len(body)}",
+                reason="truncated" if len(body) < _BODY.size else "overflow",
             )
         src_left, src_top, width, height, dst_left, dst_top = _BODY.unpack(body)
-        return cls(
+        message = cls(
             header.window_id, src_left, src_top, width, height, dst_left, dst_top
         )
+        if bounds is not None:
+            bw, bh = bounds
+            if (src_left + width > bw or src_top + height > bh
+                    or dst_left + width > bw or dst_top + height > bh):
+                raise ProtocolError(
+                    f"MoveRectangle geometry outside desktop {bw}x{bh}",
+                    reason="semantic",
+                )
+        return message
 
     def overlaps(self) -> bool:
         """True when source and destination rectangles overlap."""

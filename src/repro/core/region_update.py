@@ -65,34 +65,60 @@ class RegionUpdate:
         return header.encode() + _COORDS.pack(self.left, self.top) + self.data
 
     @classmethod
-    def decode_single(cls, payload: bytes) -> "RegionUpdate":
-        header, first, pt, body = parse_update_payload(payload, cls.MESSAGE_TYPE)
+    def decode_single(cls, payload: bytes,
+                      bounds: tuple[int, int] | None = None) -> "RegionUpdate":
+        header, first, pt, body = parse_update_payload(
+            payload, cls.MESSAGE_TYPE, bounds=bounds
+        )
         if not first:
             raise ProtocolError("decode_single on a continuation fragment")
         left, top, data = body
         return cls(header.window_id, left, top, pt, data)
 
 
+def check_origin_bounds(left: int, top: int,
+                        bounds: tuple[int, int] | None, what: str) -> None:
+    """Reject an origin outside the negotiated desktop (section 8).
+
+    ``bounds`` is the negotiated ``(width, height)``; ``None`` skips the
+    check for callers that have not negotiated a desktop yet.
+    """
+    if bounds is None:
+        return
+    width, height = bounds
+    if left >= width or top >= height:
+        raise ProtocolError(
+            f"{what} origin {left},{top} outside desktop {width}x{height}",
+            reason="semantic",
+        )
+
+
 def parse_update_payload(
-    payload: bytes, expected_type: int
+    payload: bytes, expected_type: int,
+    bounds: tuple[int, int] | None = None,
 ) -> tuple[CommonHeader, bool, int, tuple[int, int, bytes]]:
     """Parse a RegionUpdate-shaped payload (also used by MousePointerInfo).
 
     Returns ``(common_header, first_packet, content_pt, (left, top, data))``.
     For continuation fragments (F=0), left/top are reported as 0 and the
-    body is everything after the common header.
+    body is everything after the common header.  With ``bounds`` set, a
+    first fragment whose origin lies outside the negotiated desktop is
+    rejected at decode time.
     """
     header = CommonHeader.decode(payload)
     if header.message_type != expected_type:
         raise ProtocolError(
-            f"expected message type {expected_type}, got {header.message_type}"
+            f"expected message type {expected_type}, got {header.message_type}",
+            reason="bad_magic",
         )
     first, content_pt = unpack_update_parameter(header.parameter)
     rest = payload[COMMON_HEADER_LEN:]
     if first:
         if len(rest) < SPECIFIC_HEADER_LEN:
-            raise ProtocolError("first fragment missing left/top header")
+            raise ProtocolError("first fragment missing left/top header",
+                                reason="truncated")
         left, top = _COORDS.unpack_from(rest)
+        check_origin_bounds(left, top, bounds, "update")
         return header, True, content_pt, (left, top, rest[SPECIFIC_HEADER_LEN:])
     return header, False, content_pt, (0, 0, rest)
 

@@ -21,6 +21,10 @@ _RECORD = struct.Struct("!HBBIIII")
 
 MAX_U32 = 0xFFFF_FFFF
 
+#: Hard cap on records per message — windowID is 16-bit, but no real
+#: window manager shares anywhere near this many windows at once.
+MAX_WINDOW_RECORDS = 512
+
 
 @dataclass(frozen=True, slots=True)
 class WindowRecord:
@@ -64,7 +68,7 @@ class WindowRecord:
     @classmethod
     def decode(cls, data: bytes, offset: int = 0) -> "WindowRecord":
         if len(data) < offset + WINDOW_RECORD_LEN:
-            raise ProtocolError("truncated window record")
+            raise ProtocolError("truncated window record", reason="truncated")
         window_id, group_id, reserved, left, top, width, height = (
             _RECORD.unpack_from(data, offset)
         )
@@ -98,13 +102,20 @@ class WindowManagerInfo:
         header = CommonHeader.decode(payload)
         if header.message_type != MSG_WINDOW_MANAGER_INFO:
             raise ProtocolError(
-                f"not a WindowManagerInfo payload: type {header.message_type}"
+                f"not a WindowManagerInfo payload: type {header.message_type}",
+                reason="bad_magic",
             )
         body = payload[COMMON_HEADER_LEN:]
         if len(body) % WINDOW_RECORD_LEN != 0:
             raise ProtocolError(
                 f"window record block of {len(body)} bytes is not a "
-                f"multiple of {WINDOW_RECORD_LEN}"
+                f"multiple of {WINDOW_RECORD_LEN}",
+                reason="truncated",
+            )
+        if len(body) // WINDOW_RECORD_LEN > MAX_WINDOW_RECORDS:
+            raise ProtocolError(
+                f"more than {MAX_WINDOW_RECORDS} window records",
+                reason="overflow",
             )
         records = tuple(
             WindowRecord.decode(body, offset)

@@ -1,0 +1,72 @@
+"""CLI: ``python -m repro.fuzz [--selftest] [--seed N] [--iterations N]``.
+
+Exit status 0 when every surface survived (and memory stayed inside the
+budget), 1 otherwise — failures print the (surface, seed, iteration,
+mutator, input-prefix) needed to replay them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .drivers import SURFACE_DRIVERS
+from .runner import MEMORY_BUDGET_BYTES, run_fuzz
+
+#: ``--selftest`` iteration count per surface: 8 decoder surfaces plus
+#: the e2e stage at 300 each ⇒ 2700 mutations, comfortably over the
+#: 2000-mutation acceptance floor while staying fast enough for CI.
+SELFTEST_ITERATIONS = 300
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Deterministic fuzzing of every wire decoder.",
+    )
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="run the fixed CI plan (all surfaces + e2e ingress)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--iterations", type=int, default=None,
+        help=f"mutations per surface (default {SELFTEST_ITERATIONS})",
+    )
+    parser.add_argument(
+        "--surface", action="append", choices=sorted(SURFACE_DRIVERS),
+        help="restrict to one surface (repeatable); disables the e2e stage",
+    )
+    args = parser.parse_args(argv)
+
+    iterations = args.iterations or SELFTEST_ITERATIONS
+    report = run_fuzz(
+        seed=args.seed,
+        iterations=iterations,
+        surfaces=args.surface,
+        e2e=args.surface is None,
+    )
+
+    for surface in report.surfaces:
+        status = "ok" if surface.ok else "FAIL"
+        print(
+            f"{surface.surface:16s} {status:4s} "
+            f"iterations={surface.iterations} accepted={surface.accepted} "
+            f"rejected={surface.rejected}"
+        )
+        for failure in surface.failures:
+            print(f"--- failure ---\n{failure}", file=sys.stderr)
+    print(
+        f"total={report.total_iterations} seed={report.seed} "
+        f"memory_peak={report.memory_peak / 1024 / 1024:.1f}MiB "
+        f"(budget {MEMORY_BUDGET_BYTES / 1024 / 1024:.0f}MiB)"
+    )
+    if not report.ok:
+        if report.memory_peak > MEMORY_BUDGET_BYTES:
+            print("memory budget exceeded", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Per-surface decode drivers.
+
+A driver feeds hostile bytes to one decoder surface and lets every
+exception escape: the runner treats :class:`ProtocolError` (and
+subclasses — every domain error) as the decoder doing its job, and
+anything else as a hardening bug.  Drivers therefore contain **no**
+``try`` blocks of their own.
+"""
+
+from __future__ import annotations
+
+from ..bfcp.messages import BfcpMessage
+from ..codecs.png.decoder import decode_png
+from ..core.header import COMMON_HEADER_LEN, CommonHeader
+from ..core.hip import KeyTypedAssembler, decode_hip
+from ..core.move_rectangle import MoveRectangle
+from ..core.region_update import parse_update_payload
+from ..core.registry import (
+    MSG_KEY_TYPED,
+    MSG_MOUSE_POINTER_INFO,
+    MSG_MOVE_RECTANGLE,
+    MSG_REGION_UPDATE,
+    MSG_WINDOW_MANAGER_INFO,
+)
+from ..core.window_info import WindowManagerInfo
+from ..rtp.packet import RtpPacket
+from ..rtp.rtcp import decode_compound
+from ..sdp.parser import parse_sdp
+from ..sip.messages import SipMessage
+from .corpus import DESKTOP_BOUNDS
+
+
+def drive_remoting(data: bytes) -> None:
+    header = CommonHeader.decode(data)
+    kind = header.message_type
+    if kind in (MSG_REGION_UPDATE, MSG_MOUSE_POINTER_INFO):
+        # The reassembler's wire-parse path: handles first fragments
+        # and continuations alike.
+        parse_update_payload(data, kind, bounds=DESKTOP_BOUNDS)
+    elif kind == MSG_MOVE_RECTANGLE:
+        MoveRectangle.decode(data, bounds=DESKTOP_BOUNDS)
+    elif kind == MSG_WINDOW_MANAGER_INFO:
+        WindowManagerInfo.decode(data)
+    # Unknown types are the receiver's "MAY ignore" case.
+
+
+def drive_hip(data: bytes) -> None:
+    decode_hip(data)
+    header = CommonHeader.decode(data)
+    if header.message_type == MSG_KEY_TYPED:
+        # Same body through the reassembly path the AH ingress uses.
+        KeyTypedAssembler().push(data[COMMON_HEADER_LEN:])
+
+
+def drive_rtp(data: bytes) -> None:
+    RtpPacket.decode(data)
+
+
+def drive_rtcp(data: bytes) -> None:
+    decode_compound(data)
+
+
+def drive_sdp(data: bytes) -> None:
+    # latin-1 maps every byte 1:1, so byte-level mutations reach the
+    # text parser undistorted.
+    parse_sdp(data.decode("latin-1"))
+
+
+def drive_sip(data: bytes) -> None:
+    SipMessage.parse(data.decode("latin-1"))
+
+
+def drive_bfcp(data: bytes) -> None:
+    BfcpMessage.decode(data)
+
+
+def drive_png(data: bytes) -> None:
+    decode_png(data)
+
+
+#: Surface name → (corpus key, driver).
+SURFACE_DRIVERS = {
+    "remoting": ("remoting", drive_remoting),
+    "hip": ("hip", drive_hip),
+    "rtp": ("rtp", drive_rtp),
+    "rtcp": ("rtcp", drive_rtcp),
+    "sdp": ("sdp", drive_sdp),
+    "sip": ("sip", drive_sip),
+    "bfcp": ("bfcp", drive_bfcp),
+    "png": ("png", drive_png),
+}

@@ -1,0 +1,77 @@
+"""Deterministic structure-aware mutators.
+
+Each mutator takes a seeded ``random.Random`` plus the packet bytes and
+returns a hostile variant.  The four families target the failure modes
+strict decoders must survive:
+
+* **truncate** — every length check must fire before the read;
+* **bit_flip** — corrupted magic/type/flag fields;
+* **length_inflate** — a declared size larger than the data behind it
+  (the classic heap-overread shape);
+* **splice** — two valid packets cut and joined, producing plausible
+  headers over the wrong body.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+
+def truncate(rng: random.Random, data: bytes, corpus) -> bytes:
+    if not data:
+        return data
+    return data[: rng.randrange(len(data))]
+
+
+def bit_flip(rng: random.Random, data: bytes, corpus) -> bytes:
+    if not data:
+        return data
+    out = bytearray(data)
+    for _ in range(rng.randint(1, 8)):
+        position = rng.randrange(len(out))
+        out[position] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+def length_inflate(rng: random.Random, data: bytes, corpus) -> bytes:
+    """Overwrite a random aligned field with a huge value.
+
+    Hits whatever integer happens to live there — a declared length, a
+    count, a dimension — which is exactly the point: any field a decoder
+    multiplies or allocates by must be capped.
+    """
+    width = rng.choice((1, 2, 4))
+    if len(data) < width:
+        return data
+    out = bytearray(data)
+    offset = rng.randrange(len(out) - width + 1)
+    huge = {
+        1: rng.choice((0x7F, 0xFF)),
+        2: rng.choice((0x7FFF, 0xFFFF)),
+        4: rng.choice((0x7FFF_FFFF, 0xFFFF_FFFF, 0x0100_0000)),
+    }[width]
+    struct.pack_into({1: "!B", 2: "!H", 4: "!I"}[width], out, offset, huge)
+    return bytes(out)
+
+
+def splice(rng: random.Random, data: bytes, corpus) -> bytes:
+    other = corpus[rng.randrange(len(corpus))]
+    if not data or not other:
+        return data + other
+    return data[: rng.randrange(1, len(data) + 1)] + other[
+        rng.randrange(len(other)) :
+    ]
+
+
+MUTATORS = (truncate, bit_flip, length_inflate, splice)
+
+
+def mutate(rng: random.Random, corpus: list[bytes]) -> tuple[str, bytes]:
+    """Pick a corpus packet and one mutator; ~5% pass through unmutated
+    (a valid packet must of course also survive the drivers)."""
+    data = corpus[rng.randrange(len(corpus))]
+    if rng.random() < 0.05:
+        return "identity", data
+    mutator = MUTATORS[rng.randrange(len(MUTATORS))]
+    return mutator.__name__, mutator(rng, data, corpus)

@@ -22,6 +22,11 @@ from .rtcp import PT_PSFB, PT_RTPFB, RtcpError, _header
 FMT_GENERIC_NACK = 1
 FMT_PLI = 1
 
+#: Hard cap on FCI entries per Generic NACK.  One entry covers 17
+#: sequence numbers, so 512 entries span more than half the 16-bit
+#: sequence space — anything bigger is hostile or corrupt.
+MAX_NACK_ENTRIES = 512
+
 _FB_HEADER = struct.Struct("!II")  # sender SSRC, media source SSRC
 
 
@@ -131,21 +136,26 @@ def nacks_for(sender_ssrc: int, media_ssrc: int,
 def decode_feedback(packet: bytes, pt: int, fmt: int):
     """Decode one feedback packet body (called from rtcp.decode_compound)."""
     if len(packet) < 12:
-        raise RtcpError("feedback packet too short")
+        raise RtcpError("feedback packet too short", reason="truncated")
     sender_ssrc, media_ssrc = _FB_HEADER.unpack_from(packet, 4)
     if pt == PT_PSFB:
         if fmt != FMT_PLI:
-            raise RtcpError(f"unsupported PSFB FMT: {fmt}")
+            raise RtcpError(f"unsupported PSFB FMT: {fmt}", reason="bad_magic")
         return PictureLossIndication(sender_ssrc, media_ssrc)
     if pt == PT_RTPFB:
         if fmt != FMT_GENERIC_NACK:
-            raise RtcpError(f"unsupported RTPFB FMT: {fmt}")
+            raise RtcpError(f"unsupported RTPFB FMT: {fmt}", reason="bad_magic")
         fci = packet[12:]
         if len(fci) % 4 != 0 or not fci:
-            raise RtcpError("malformed NACK FCI")
+            raise RtcpError("malformed NACK FCI", reason="truncated")
+        if len(fci) // 4 > MAX_NACK_ENTRIES:
+            raise RtcpError(
+                f"NACK carries more than {MAX_NACK_ENTRIES} FCI entries",
+                reason="overflow",
+            )
         entries = tuple(
             NackEntry(*struct.unpack_from("!HH", fci, i))
             for i in range(0, len(fci), 4)
         )
         return GenericNack(sender_ssrc, media_ssrc, entries)
-    raise RtcpError(f"not a feedback packet type: {pt}")
+    raise RtcpError(f"not a feedback packet type: {pt}", reason="bad_magic")

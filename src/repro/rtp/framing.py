@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import struct
 
+from ..core.errors import ProtocolError
+
 _LEN = struct.Struct("!H")
 #: RFC 4571 length field is 16 bits.
 MAX_FRAME = 0xFFFF
 
 
-class FramingError(Exception):
+class FramingError(ProtocolError):
     """Raised when a frame cannot be encoded or the stream is corrupt."""
 
 
@@ -23,7 +25,8 @@ def frame(packet: bytes) -> bytes:
     """Prefix ``packet`` with its RFC 4571 length header."""
     if len(packet) > MAX_FRAME:
         raise FramingError(
-            f"packet of {len(packet)} bytes exceeds RFC 4571 16-bit length"
+            f"packet of {len(packet)} bytes exceeds RFC 4571 16-bit length",
+            reason="overflow",
         )
     return _LEN.pack(len(packet)) + packet
 
@@ -49,7 +52,8 @@ class StreamDeframer:
         """Append stream bytes; return every now-complete packet."""
         self._buffer.extend(data)
         if len(self._buffer) > self.max_buffer:
-            raise FramingError("deframer buffer overflow — corrupt stream?")
+            raise FramingError("deframer buffer overflow — corrupt stream?",
+                               reason="overflow")
         packets: list[bytes] = []
         while True:
             if len(self._buffer) < 2:

@@ -11,6 +11,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from ..core.errors import ProtocolError
+
 RTP_VERSION = 2
 #: Fixed header length without CSRCs.
 RTP_HEADER_LEN = 12
@@ -23,7 +25,7 @@ MAX_CSRC_COUNT = 15
 _HEADER = struct.Struct("!BBHII")
 
 
-class RtpError(Exception):
+class RtpError(ProtocolError):
     """Raised when an RTP packet cannot be parsed or built."""
 
 
@@ -77,11 +79,13 @@ class RtpPacket:
     def decode(cls, data: bytes) -> "RtpPacket":
         """Parse a packet; raises :class:`RtpError` on malformed input."""
         if len(data) < RTP_HEADER_LEN:
-            raise RtpError(f"packet too short: {len(data)} bytes")
+            raise RtpError(f"packet too short: {len(data)} bytes",
+                           reason="truncated")
         first, second, seq, ts, ssrc = _HEADER.unpack_from(data)
         version = first >> 6
         if version != RTP_VERSION:
-            raise RtpError(f"unsupported RTP version: {version}")
+            raise RtpError(f"unsupported RTP version: {version}",
+                           reason="bad_magic")
         padding = bool(first & 0x20)
         extension = bool(first & 0x10)
         csrc_count = first & 0x0F
@@ -89,7 +93,8 @@ class RtpPacket:
         payload_type = second & 0x7F
         offset = RTP_HEADER_LEN
         if len(data) < offset + 4 * csrc_count:
-            raise RtpError("packet truncated inside CSRC list")
+            raise RtpError("packet truncated inside CSRC list",
+                           reason="truncated")
         csrcs = tuple(
             struct.unpack_from("!I", data, offset + 4 * i)[0]
             for i in range(csrc_count)
@@ -97,18 +102,22 @@ class RtpPacket:
         offset += 4 * csrc_count
         if extension:
             if len(data) < offset + 4:
-                raise RtpError("packet truncated inside extension header")
+                raise RtpError("packet truncated inside extension header",
+                               reason="truncated")
             ext_len_words = struct.unpack_from("!H", data, offset + 2)[0]
             offset += 4 + 4 * ext_len_words
             if len(data) < offset:
-                raise RtpError("packet truncated inside extension body")
+                raise RtpError("packet truncated inside extension body",
+                               reason="truncated")
         payload = data[offset:]
         if padding:
             if not payload:
-                raise RtpError("padding bit set but no payload")
+                raise RtpError("padding bit set but no payload",
+                               reason="truncated")
             pad_len = payload[-1]
             if pad_len == 0 or pad_len > len(payload):
-                raise RtpError(f"invalid padding length: {pad_len}")
+                raise RtpError(f"invalid padding length: {pad_len}",
+                               reason="semantic")
             payload = payload[:-pad_len]
         return cls(
             payload_type=payload_type,

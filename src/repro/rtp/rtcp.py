@@ -10,7 +10,15 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+from ..core.errors import ProtocolError
+
 RTCP_VERSION = 2
+
+#: Hard cap on packets inside one compound datagram; a datagram is at
+#: most 64 KiB so this only rejects pathological 4-byte-packet floods.
+MAX_COMPOUND_PACKETS = 64
+#: Hard cap on SDES items per chunk (RFC 3550 defines 8 item types).
+MAX_SDES_ITEMS = 32
 
 PT_SR = 200
 PT_RR = 201
@@ -25,7 +33,7 @@ SDES_NAME = 2
 SDES_TOOL = 6
 
 
-class RtcpError(Exception):
+class RtcpError(ProtocolError):
     """Raised when an RTCP packet cannot be parsed or built."""
 
 
@@ -60,6 +68,8 @@ class ReportBlock:
 
     @classmethod
     def decode(cls, data: bytes, offset: int) -> "ReportBlock":
+        if len(data) < offset + cls._STRUCT.size:
+            raise RtcpError("truncated report block", reason="truncated")
         ssrc, word2, ehsn, jitter, lsr, dlsr = cls._STRUCT.unpack_from(
             data, offset
         )
@@ -91,14 +101,22 @@ def _header(packet_type: int, count: int, body_len: int) -> bytes:
 def _parse_header(data: bytes, offset: int) -> tuple[int, int, int]:
     """Returns (count-or-subtype, packet_type, total_packet_bytes)."""
     if len(data) < offset + 4:
-        raise RtcpError("truncated RTCP header")
+        raise RtcpError("truncated RTCP header", reason="truncated")
     first, pt, length_words = struct.unpack_from("!BBH", data, offset)
     if first >> 6 != RTCP_VERSION:
-        raise RtcpError(f"bad RTCP version: {first >> 6}")
+        raise RtcpError(f"bad RTCP version: {first >> 6}", reason="bad_magic")
     total = (length_words + 1) * 4
     if len(data) < offset + total:
-        raise RtcpError("RTCP packet shorter than its length field")
+        raise RtcpError("RTCP packet shorter than its length field",
+                        reason="truncated")
     return first & 0x1F, pt, total
+
+
+def _require(data: bytes, offset: int, end: int, needed: int,
+             what: str) -> None:
+    """Bounds guard: ``needed`` bytes must fit inside [offset, end)."""
+    if offset + needed > end or offset + needed > len(data):
+        raise RtcpError(f"truncated {what}", reason="truncated")
 
 
 @dataclass(frozen=True, slots=True)
@@ -125,7 +143,12 @@ class SenderReport:
         return _header(PT_SR, len(self.reports), len(body)) + body
 
     @classmethod
-    def decode_body(cls, data: bytes, offset: int, count: int) -> "SenderReport":
+    def decode_body(cls, data: bytes, offset: int, count: int,
+                    end: int | None = None) -> "SenderReport":
+        if end is None:
+            end = len(data)
+        _require(data, offset, end, 24 + count * ReportBlock.SIZE,
+                 "sender report")
         ssrc, ntp, rtp_ts, pkts, octets = struct.unpack_from("!IQIII", data, offset)
         offset += 24
         reports = tuple(
@@ -148,7 +171,12 @@ class ReceiverReport:
         return _header(PT_RR, len(self.reports), len(body)) + body
 
     @classmethod
-    def decode_body(cls, data: bytes, offset: int, count: int) -> "ReceiverReport":
+    def decode_body(cls, data: bytes, offset: int, count: int,
+                    end: int | None = None) -> "ReceiverReport":
+        if end is None:
+            end = len(data)
+        _require(data, offset, end, 4 + count * ReportBlock.SIZE,
+                 "receiver report")
         (ssrc,) = struct.unpack_from("!I", data, offset)
         offset += 4
         reports = tuple(
@@ -190,6 +218,7 @@ class SourceDescription:
                     end: int) -> "SourceDescription":
         chunks = []
         for _ in range(count):
+            _require(data, offset, end, 4, "SDES chunk SSRC")
             (ssrc,) = struct.unpack_from("!I", data, offset)
             offset += 4
             items = []
@@ -201,9 +230,19 @@ class SourceDescription:
                     while offset % 4 != 0:
                         offset += 1
                     break
+                if len(items) >= MAX_SDES_ITEMS:
+                    raise RtcpError("too many SDES items", reason="overflow")
+                _require(data, offset, end, 1, "SDES item length")
                 length = data[offset]
                 offset += 1
-                value = data[offset : offset + length].decode("utf-8")
+                _require(data, offset, end, length, "SDES item value")
+                try:
+                    value = data[offset : offset + length].decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    raise RtcpError(
+                        f"SDES item carries invalid UTF-8: {exc}",
+                        reason="semantic",
+                    ) from exc
                 offset += length
                 items.append((item_type, value))
             chunks.append(SdesChunk(ssrc, tuple(items)))
@@ -231,6 +270,7 @@ class Bye:
     @classmethod
     def decode_body(cls, data: bytes, offset: int, count: int,
                     end: int) -> "Bye":
+        _require(data, offset, end, 4 * count, "BYE SSRC list")
         ssrcs = tuple(
             struct.unpack_from("!I", data, offset + 4 * i)[0] for i in range(count)
         )
@@ -238,7 +278,14 @@ class Bye:
         reason = ""
         if offset < end:
             length = data[offset]
-            reason = data[offset + 1 : offset + 1 + length].decode("utf-8")
+            _require(data, offset + 1, end, length, "BYE reason")
+            try:
+                reason = data[offset + 1 : offset + 1 + length].decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise RtcpError(
+                    f"BYE reason carries invalid UTF-8: {exc}",
+                    reason="semantic",
+                ) from exc
         return cls(ssrcs, reason)
 
 
@@ -256,13 +303,18 @@ def decode_compound(data: bytes) -> list[object]:
     packets: list[object] = []
     offset = 0
     while offset < len(data):
+        if len(packets) >= MAX_COMPOUND_PACKETS:
+            raise RtcpError(
+                f"compound datagram exceeds {MAX_COMPOUND_PACKETS} packets",
+                reason="overflow",
+            )
         count, pt, total = _parse_header(data, offset)
         body = offset + 4
         end = offset + total
         if pt == PT_SR:
-            packets.append(SenderReport.decode_body(data, body, count))
+            packets.append(SenderReport.decode_body(data, body, count, end))
         elif pt == PT_RR:
-            packets.append(ReceiverReport.decode_body(data, body, count))
+            packets.append(ReceiverReport.decode_body(data, body, count, end))
         elif pt == PT_SDES:
             packets.append(SourceDescription.decode_body(data, body, count, end))
         elif pt == PT_BYE:
@@ -270,7 +322,8 @@ def decode_compound(data: bytes) -> list[object]:
         elif pt in (PT_RTPFB, PT_PSFB):
             packets.append(feedback.decode_feedback(data[offset:end], pt, count))
         else:
-            raise RtcpError(f"unknown RTCP packet type: {pt}")
+            raise RtcpError(f"unknown RTCP packet type: {pt}",
+                            reason="bad_magic")
         offset = end
     return packets
 

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.errors import ProtocolError
 
-class SdpError(Exception):
+
+class SdpError(ProtocolError):
     """Raised on malformed SDP input or invalid construction."""
 
 

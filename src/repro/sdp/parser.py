@@ -4,9 +4,21 @@ from __future__ import annotations
 
 from .model import MediaDescription, RtpMap, SdpError, SessionDescription
 
+#: Hard cap on SDP document size; session descriptions are a few hundred
+#: bytes in practice, so 64 KiB rejects only hostile input.
+MAX_SDP_BYTES = 65536
+#: Hard cap on m= sections per document.
+MAX_MEDIA_SECTIONS = 32
+#: Hard cap on attribute lines per m= section.
+MAX_ATTRIBUTES = 256
+
 
 def parse_sdp(text: str) -> SessionDescription:
     """Parse an SDP document; tolerant of \\n or \\r\\n line endings."""
+    if len(text) > MAX_SDP_BYTES:
+        raise SdpError(
+            f"SDP document exceeds {MAX_SDP_BYTES} bytes", reason="overflow"
+        )
     session = SessionDescription()
     session.media = []
     current: MediaDescription | None = None
@@ -28,8 +40,11 @@ def parse_sdp(text: str) -> SessionDescription:
             if len(parts) != 6:
                 raise SdpError(f"malformed o= line: {value!r}")
             session.origin_user = parts[0]
-            session.session_id = int(parts[1])
-            session.session_version = int(parts[2])
+            try:
+                session.session_id = int(parts[1])
+                session.session_version = int(parts[2])
+            except ValueError:
+                raise SdpError(f"non-numeric o= field: {value!r}") from None
             session.origin_address = parts[5]
         elif key == "s":
             session.session_name = value
@@ -40,11 +55,22 @@ def parse_sdp(text: str) -> SessionDescription:
         elif key == "t":
             pass  # timing ignored in this subset
         elif key == "m":
+            if len(session.media) >= MAX_MEDIA_SECTIONS:
+                raise SdpError(
+                    f"more than {MAX_MEDIA_SECTIONS} m= sections",
+                    reason="overflow",
+                )
             current = _parse_media_line(value)
             session.media.append(current)
         elif key == "a":
             if current is None:
                 continue  # session-level attributes ignored in subset
+            if (len(current.attributes) + len(current.rtpmaps)
+                    + len(current.fmtp)) >= MAX_ATTRIBUTES:
+                raise SdpError(
+                    f"more than {MAX_ATTRIBUTES} attributes in one m= section",
+                    reason="overflow",
+                )
             _parse_attribute(current, value)
         # Unknown keys are ignored per SDP's extension philosophy.
     if not saw_version:
@@ -83,7 +109,9 @@ def _parse_attribute(media: MediaDescription, value: str) -> None:
         pt_str, _, params = payload.partition(" ")
         pt_str = pt_str.strip()
         # Tolerate the draft's own "a=fmtp: retransmissions=yes" (no PT).
-        if pt_str and pt_str.isdigit():
+        # isascii() matters: isdigit() alone accepts Unicode digits
+        # ('¹') that int() rejects.
+        if pt_str and pt_str.isascii() and pt_str.isdigit():
             media.fmtp[int(pt_str)] = params.strip()
         else:
             media.fmtp[-1] = (pt_str + " " + params).strip()

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..apps.base import AppHost
 from ..codecs.base import CodecRegistry, default_registry
+from ..core.errors import ProtocolError
 from ..net.ratecontrol import TokenBucket
 from ..obs.clockutil import resolve_clock
 from ..obs.instrumentation import NULL
@@ -30,6 +31,7 @@ from .capture import CapturePipeline
 from .config import PT_HIP, PT_REMOTING, PointerMode, SharingConfig
 from .encoder import FrameEncoder
 from .events import EventInjector, FloorCheck
+from .quarantine import QuarantinePolicy
 from .sender import UpdateScheduler
 from .transport import PacketTransport, is_rtcp
 
@@ -82,8 +84,22 @@ class ApplicationHost:
             max_update_rects=self.config.max_update_rects,
             pointer_in_band=self.config.pointer_mode is PointerMode.IN_BAND,
         )
+        #: Malformed packets count against the sending participant's
+        #: rejection budget; a tripped budget mutes that participant's
+        #: ingress for the cool-down while everyone else is served.
+        self.quarantine = QuarantinePolicy(
+            now=self._now,
+            budget=self.config.rejection_budget,
+            window=self.config.rejection_window,
+            cooldown=self.config.quarantine_cooldown,
+            instrumentation=self.obs,
+        )
         self.injector = EventInjector(
-            self.windows, self.apps, pointer=self.pointer, floor_check=floor_check
+            self.windows, self.apps, pointer=self.pointer,
+            floor_check=floor_check, instrumentation=self.obs,
+            on_malformed=lambda pid, exc: self.quarantine.record_rejection(
+                pid, "hip", exc
+            ),
         )
         self.sessions: dict[str, AhSession] = {}
         #: Message type → handler(participant_id, payload, packet) for
@@ -152,6 +168,7 @@ class ApplicationHost:
 
     def remove_participant(self, participant_id: str) -> None:
         self.sessions.pop(participant_id, None)
+        self.quarantine.forget(participant_id)
 
     # -- Desktop sharing ---------------------------------------------------
 
@@ -197,7 +214,12 @@ class ApplicationHost:
     def process_incoming(self) -> None:
         departed: list[str] = []
         for session in self.sessions.values():
+            quarantined = self.quarantine.is_quarantined(
+                session.participant_id
+            )
             for raw in session.transport.receive_packets():
+                if quarantined:
+                    continue  # drain but ignore until the cool-down ends
                 if is_rtcp(raw):
                     self._handle_rtcp(session, raw)
                 else:
@@ -210,7 +232,8 @@ class ApplicationHost:
     def _handle_rtp(self, session: AhSession, raw: bytes) -> None:
         try:
             packet = RtpPacket.decode(raw)
-        except Exception:
+        except ProtocolError as exc:
+            self.quarantine.record_rejection(session.participant_id, "rtp", exc)
             return
         if packet.payload_type != PT_HIP:
             return
@@ -222,14 +245,22 @@ class ApplicationHost:
                 try:
                     if handler(session.participant_id, packet.payload, packet):
                         return
-                except Exception:
-                    return  # extension bugs must not take down the AH
+                except ProtocolError as exc:
+                    # Malformed extension input counts like any other;
+                    # an extension *bug* (non-protocol error) propagates.
+                    self.quarantine.record_rejection(
+                        session.participant_id, "extension", exc
+                    )
+                    return
         self.injector.inject_payload(session.participant_id, packet.payload)
 
     def _handle_rtcp(self, session: AhSession, raw: bytes) -> None:
         try:
             messages = decode_compound(raw)
-        except RtcpError:
+        except RtcpError as exc:
+            self.quarantine.record_rejection(
+                session.participant_id, "rtcp", exc
+            )
             return
         for message in messages:
             if isinstance(message, PictureLossIndication):

@@ -50,6 +50,17 @@ class SharingConfig:
     #: sequence space moving so receivers detect tail loss and NACK it.
     #: 0 disables.
     keepalive_interval: float = 0.5
+    #: Quarantine policy (docs/HARDENING.md): a peer exceeding
+    #: ``rejection_budget`` malformed packets inside a sliding
+    #: ``rejection_window`` seconds is ignored for
+    #: ``quarantine_cooldown`` seconds.
+    rejection_budget: int = 16
+    rejection_window: float = 5.0
+    quarantine_cooldown: float = 30.0
+    #: Negotiated desktop bounds used to validate update/move geometry
+    #: at decode time (section 8 coordinate legitimacy).
+    max_desktop_width: int = 16384
+    max_desktop_height: int = 16384
 
     def __post_init__(self) -> None:
         if self.max_rtp_payload < 64:
@@ -62,3 +73,9 @@ class SharingConfig:
             raise ValueError("clock rate must be positive")
         if self.keepalive_interval < 0:
             raise ValueError("keepalive interval cannot be negative")
+        if self.rejection_budget < 1:
+            raise ValueError("rejection budget must be >= 1")
+        if self.rejection_window <= 0 or self.quarantine_cooldown <= 0:
+            raise ValueError("rejection window/cooldown must be positive")
+        if self.max_desktop_width < 1 or self.max_desktop_height < 1:
+            raise ValueError("desktop bounds must be positive")

@@ -20,8 +20,11 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..apps.base import AppHost
+from ..core.errors import ProtocolError
+from ..core.header import COMMON_HEADER_LEN, CommonHeader
 from ..core.hip import (
     HipMessage,
+    KeyTypedAssembler,
     KeyPressed,
     KeyReleased,
     KeyTyped,
@@ -31,11 +34,18 @@ from ..core.hip import (
     MouseWheelMoved,
     decode_hip,
 )
+from ..core.registry import MSG_KEY_TYPED
+from ..obs.instrumentation import NULL
 from ..surface.cursor import PointerState
 from ..surface.window import WindowManager
 
 #: (participant_id, kind) -> allowed; kind is "mouse" or "keyboard".
 FloorCheck = Callable[[str, str], bool]
+#: Hook the AH uses to route malformed HIP input into its quarantine.
+MalformedHook = Callable[[str, ProtocolError], None]
+
+#: Sentinel: a KeyTyped fragment was buffered, nothing to inject yet.
+_PENDING = object()
 
 
 @dataclass(slots=True)
@@ -58,6 +68,8 @@ class EventInjector:
         pointer: PointerState | None = None,
         floor_check: FloorCheck | None = None,
         raise_on_click: bool = True,
+        instrumentation=None,
+        on_malformed: MalformedHook | None = None,
     ) -> None:
         self.manager = manager
         self.apps = apps
@@ -67,24 +79,68 @@ class EventInjector:
         self.stats = EventStats()
         #: windowID that last received a click — keyboard focus.
         self.focus_window_id: int | None = None
+        self._obs = instrumentation if instrumentation is not None else NULL
+        self._on_malformed = on_malformed
+        #: Per-sender UTF-8 reassembly for KeyTyped split mid-sequence
+        #: (section 6.8 forbids it, hostile peers do it anyway).
+        self._keytyped: dict[str, KeyTypedAssembler] = {}
+        self.keytyped_dropped = 0
+        self._c_keytyped_dropped = self._obs.counter(
+            "hardening.keytyped_dropped"
+        )
 
     # -- Entry points ------------------------------------------------------
 
     def inject_payload(self, participant_id: str, payload: bytes) -> bool:
         """Decode and inject one HIP RTP payload; False if rejected.
 
-        Network input is untrusted: malformed payloads are counted and
-        dropped, never raised past this boundary.
+        Network input is untrusted: malformed payloads are counted,
+        reported to ``on_malformed``, and dropped — only
+        :class:`ProtocolError` is a "malformed packet"; anything else is
+        a local bug and propagates.
         """
         try:
-            message = decode_hip(payload)
-        except Exception:
+            message = self._decode(participant_id, payload)
+        except ProtocolError as exc:
             self.stats.rejected_malformed += 1
+            if self._on_malformed is not None:
+                self._on_malformed(participant_id, exc)
             return False
         if message is None:
             self.stats.rejected_unknown_type += 1
             return False
+        if message is _PENDING:
+            return True  # KeyTyped continuation buffered, nothing to inject
         return self.inject(participant_id, message)
+
+    def _decode(self, participant_id: str, payload: bytes):
+        """decode_hip, with KeyTyped routed through per-sender reassembly."""
+        header = CommonHeader.decode(payload)
+        if header.message_type != MSG_KEY_TYPED:
+            # A completed KeyTyped never spans other messages: any other
+            # type aborts a pending partial sequence.
+            assembler = self._keytyped.get(participant_id)
+            if assembler is not None and assembler.pending:
+                assembler.reset()
+                self._count_keytyped_drop(participant_id)
+            return decode_hip(payload)
+        assembler = self._keytyped.setdefault(
+            participant_id, KeyTypedAssembler()
+        )
+        try:
+            text = assembler.push(payload[COMMON_HEADER_LEN:])
+        except ProtocolError:
+            self._count_keytyped_drop(participant_id)
+            raise
+        if not text and assembler.pending:
+            return _PENDING  # no complete code point yet
+        return KeyTyped(header.window_id, text)
+
+    def _count_keytyped_drop(self, participant_id: str) -> None:
+        self.keytyped_dropped += 1
+        self._c_keytyped_dropped.inc()
+        if self._obs.enabled:
+            self._obs.event("keytyped.dropped", peer=participant_id)
 
     def inject(self, participant_id: str, message: HipMessage) -> bool:
         """Validate and regenerate one HIP event."""

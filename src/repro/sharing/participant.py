@@ -25,7 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..codecs.base import CodecRegistry, default_registry
+from ..codecs.base import CodecError, CodecRegistry, default_registry
+from ..core.errors import ProtocolError
 from ..core.header import CommonHeader
 from ..core.hip import (
     KeyPressed,
@@ -57,6 +58,7 @@ from ..surface.framebuffer import BLACK, Framebuffer
 from ..surface.geometry import Point, Rect
 from .config import PT_HIP, PT_REMOTING, SharingConfig
 from .layout import LayoutPolicy, OriginalLayout
+from .quarantine import QuarantinePolicy
 from .recovery import RecoveryManager
 from .transport import PacketTransport, is_rtcp
 
@@ -155,17 +157,35 @@ class Participant:
             rng=r,
             instrumentation=self._obs,
         )
+        #: Decode-time geometry validation against the negotiated
+        #: desktop (section 8): update origins outside these bounds are
+        #: rejected at ingress, before they reach app dispatch.
+        self._desktop_bounds = (
+            self.config.max_desktop_width, self.config.max_desktop_height
+        )
         self._reassembler = UpdateReassembler(
             MSG_REGION_UPDATE,
             now=self._now,
             max_partial_age=partial_update_deadline,
             instrumentation=self._obs.scoped(stream="remoting"),
+            bounds=self._desktop_bounds,
         )
         self._pointer_reassembler = UpdateReassembler(
             MSG_MOUSE_POINTER_INFO,
             now=self._now,
             max_partial_age=partial_update_deadline,
             instrumentation=self._obs.scoped(stream="pointer"),
+            bounds=self._desktop_bounds,
+        )
+        #: Malformed packets count against the upstream sender's
+        #: rejection budget; a tripped budget mutes the uplink for the
+        #: cool-down (the participant has one remote: the AH).
+        self.quarantine = QuarantinePolicy(
+            now=self._now,
+            budget=self.config.rejection_budget,
+            window=self.config.rejection_window,
+            cooldown=self.config.quarantine_cooldown,
+            instrumentation=self._obs,
         )
 
         #: windowID → LocalWindow, plus z-order (bottom first).
@@ -213,13 +233,16 @@ class Participant:
         """Drain the transport and apply everything; returns msg count."""
         applied = 0
         for raw in self.transport.receive_packets():
+            if self.quarantine.is_quarantined("remote"):
+                continue  # hostile upstream: drop unread until cool-down
             if is_rtcp(raw):
                 self._handle_rtcp(raw)
                 continue
             try:
                 packet = RtpPacket.decode(raw)
-            except Exception:
-                continue  # malformed packet: drop, never crash the UI
+            except ProtocolError as exc:
+                self._reject("rtp", exc)
+                continue
             if packet.payload_type != PT_REMOTING:
                 continue
             self._media_ssrc = packet.ssrc
@@ -243,11 +266,18 @@ class Participant:
             self.stats.rtcp.add(len(report), len(report))
         return applied
 
+    def _reject(self, surface: str, exc: ProtocolError) -> None:
+        """Count one malformed packet against the sender's budget."""
+        self.malformed_dropped += 1
+        self._c_malformed.inc()
+        self.quarantine.record_rejection("remote", surface, exc)
+
     def _handle_rtcp(self, raw: bytes) -> None:
         """Consume AH-side RTCP (SRs feed our RR's LSR/DLSR fields)."""
         try:
             messages = decode_compound(raw)
-        except Exception:
+        except ProtocolError as exc:
+            self._reject("rtcp", exc)
             return
         for message in messages:
             if isinstance(message, SenderReport):
@@ -257,12 +287,16 @@ class Participant:
                 )
 
     def _apply_packet(self, packet: RtpPacket) -> int:
-        """Apply one remoting packet; malformed input counts, never raises."""
+        """Apply one remoting packet.
+
+        Malformed input (:class:`ProtocolError`) is counted against the
+        sender's rejection budget and dropped; anything else is a local
+        bug and propagates — swallowing it here hid real defects.
+        """
         try:
             return self._apply_packet_unchecked(packet)
-        except Exception:
-            self.malformed_dropped += 1
-            self._c_malformed.inc()
+        except ProtocolError as exc:
+            self._reject("remoting", exc)
             return 0
 
     def _apply_packet_unchecked(self, packet: RtpPacket) -> int:
@@ -277,7 +311,9 @@ class Participant:
             return 1
         if header.message_type == MSG_MOVE_RECTANGLE:
             self.stats.move_rectangle.add(len(payload), wire)
-            self._apply_move(MoveRectangle.decode(payload))
+            self._apply_move(
+                MoveRectangle.decode(payload, bounds=self._desktop_bounds)
+            )
             return 1
         if header.message_type == MSG_REGION_UPDATE:
             self.stats.region_update.add(len(payload), wire)
@@ -344,9 +380,23 @@ class Participant:
         window = self.windows.get(msg.window_id)
         if window is None:
             return
+        ah = window.ah_rect
+        # Both rectangles must lie inside the target window: an origin
+        # above/left of it would turn into a negative surface index and
+        # silently wrap, a classic hostile-geometry corruption.
+        for left, top in (
+            (msg.source_left, msg.source_top),
+            (msg.dest_left, msg.dest_top),
+        ):
+            if (left < ah.left or top < ah.top
+                    or left + msg.width > ah.left + ah.width
+                    or top + msg.height > ah.top + ah.height):
+                raise ProtocolError(
+                    f"MoveRectangle geometry outside window {msg.window_id}",
+                    reason="semantic",
+                )
         self.moves_applied += 1
         self._c_moves.inc()
-        ah = window.ah_rect
         src = Rect(
             msg.source_left - ah.left,
             msg.source_top - ah.top,
@@ -373,9 +423,16 @@ class Participant:
             return  # un-negotiated codec: cannot render this update
         try:
             pixels = self.registry.by_payload_type(content_pt).decode(data)
-        except Exception:
-            return  # corrupt payload survives transport checks: skip
+        except CodecError as exc:
+            self._reject("codec", exc)
+            return  # corrupt payload survived transport checks: skip
         ah = window.ah_rect
+        if left < ah.left or top < ah.top:
+            # Negative surface offsets would wrap numpy indexing.
+            raise ProtocolError(
+                f"update origin {left},{top} above window {window_id}",
+                reason="semantic",
+            )
         window.surface.write_rect(left - ah.left, top - ah.top, pixels)
         self.updates_applied += 1
         self._c_updates.inc()
@@ -420,8 +477,9 @@ class Participant:
                 self.pointer_image = self.registry.by_payload_type(
                     content_pt
                 ).decode(image_data)
-            except Exception:
-                pass  # keep the stored image, per section 5.2.4
+            except CodecError as exc:
+                # Keep the stored image, per section 5.2.4.
+                self._reject("codec", exc)
 
     # -- Recovery -------------------------------------------------------------------
 

@@ -1,0 +1,106 @@
+"""Packet quarantine: degrade hostile senders instead of wedging.
+
+Section 8 of the draft warns that sharing "inherently exposes the
+shared applications to risks by malicious participants".  Strict
+decoders (``repro.core.errors``) turn hostile bytes into
+:class:`~repro.core.errors.ProtocolError`; this module decides what the
+ingress does next:
+
+* every rejected packet increments
+  ``hardening.packets_rejected{surface=,reason=}``;
+* a peer exceeding ``budget`` rejections inside a ``window``-second
+  sliding window is quarantined (``hardening.peers_quarantined``) and
+  its packets are dropped unread for ``cooldown`` seconds.
+
+The budget tolerates the occasional corrupt packet a lossy network
+produces; only a sustained stream of garbage — a fuzzer, a hostile
+peer, a badly broken implementation — trips the quarantine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.errors import classify
+from ..obs.instrumentation import NULL
+
+
+class QuarantinePolicy:
+    """Sliding-window rejection budget with per-peer cool-down.
+
+    One instance guards one ingress (a Participant's uplink, the AH's
+    participant set, the BFCP server's connections); peers are named by
+    whatever identifier that ingress has — participant id, "remote",
+    an SSRC.
+    """
+
+    def __init__(
+        self,
+        now,
+        budget: int = 16,
+        window: float = 5.0,
+        cooldown: float = 30.0,
+        instrumentation=None,
+    ) -> None:
+        if budget < 1:
+            raise ValueError("rejection budget must be >= 1")
+        if window <= 0 or cooldown <= 0:
+            raise ValueError("window and cooldown must be positive")
+        self._now = now
+        self.budget = budget
+        self.window = window
+        self.cooldown = cooldown
+        self._rejections: dict[str, deque[float]] = {}
+        self._quarantined_until: dict[str, float] = {}
+        self.packets_rejected = 0
+        self.peers_quarantined = 0
+        self._obs = instrumentation if instrumentation is not None else NULL
+        self._c_quarantined = self._obs.counter("hardening.peers_quarantined")
+
+    def record_rejection(self, peer: str, surface: str,
+                         exc: BaseException | None = None) -> bool:
+        """Count one rejected packet; True when ``peer`` just got
+        quarantined by it."""
+        reason = classify(exc) if exc is not None else "malformed"
+        self.packets_rejected += 1
+        self._obs.counter(
+            "hardening.packets_rejected", surface=surface, reason=reason
+        ).inc()
+        now = self._now()
+        history = self._rejections.setdefault(peer, deque())
+        history.append(now)
+        while history and history[0] <= now - self.window:
+            history.popleft()
+        if len(history) >= self.budget and not self.is_quarantined(peer):
+            self._quarantined_until[peer] = now + self.cooldown
+            history.clear()
+            self.peers_quarantined += 1
+            self._c_quarantined.inc()
+            if self._obs.enabled:
+                self._obs.event("peer.quarantined", peer=peer,
+                                surface=surface, cooldown=self.cooldown)
+            return True
+        return False
+
+    def is_quarantined(self, peer: str) -> bool:
+        """True while ``peer``'s cool-down has not elapsed."""
+        until = self._quarantined_until.get(peer)
+        if until is None:
+            return False
+        if self._now() >= until:
+            del self._quarantined_until[peer]
+            return False
+        return True
+
+    def forget(self, peer: str) -> None:
+        """Drop all state for a departed peer."""
+        self._rejections.pop(peer, None)
+        self._quarantined_until.pop(peer, None)
+
+    @property
+    def quarantined_peers(self) -> list[str]:
+        now = self._now()
+        return sorted(
+            peer for peer, until in self._quarantined_until.items()
+            if until > now
+        )

@@ -12,11 +12,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.errors import ProtocolError
+
 SIP_VERSION = "SIP/2.0"
 METHODS = ("INVITE", "ACK", "BYE", "OPTIONS", "CANCEL")
 
+#: Hard cap on one SIP message (head + body); session-setup messages are
+#: well under 4 KiB in practice.
+MAX_SIP_BYTES = 65536
+#: Hard cap on header lines per message.
+MAX_HEADERS = 128
 
-class SipError(Exception):
+
+class SipError(ProtocolError):
     """Raised on malformed SIP messages or protocol violations."""
 
 
@@ -100,17 +108,23 @@ class SipMessage:
 
     @classmethod
     def parse(cls, text: str) -> "SipMessage":
+        if len(text) > MAX_SIP_BYTES:
+            raise SipError(f"SIP message exceeds {MAX_SIP_BYTES} bytes",
+                           reason="overflow")
         head, _, body = text.partition("\r\n\r\n")
         if not _:
             head, _, body = text.partition("\n\n")
         lines = head.replace("\r\n", "\n").split("\n")
         if not lines or not lines[0].strip():
-            raise SipError("empty SIP message")
+            raise SipError("empty SIP message", reason="truncated")
         start = lines[0].strip()
         message = cls._parse_start_line(start)
         for line in lines[1:]:
             if not line.strip():
                 continue
+            if len(message.headers) >= MAX_HEADERS:
+                raise SipError(f"more than {MAX_HEADERS} header lines",
+                               reason="overflow")
             if ":" not in line:
                 raise SipError(f"malformed header line: {line!r}")
             name, _, value = line.partition(":")
@@ -135,10 +149,15 @@ class SipMessage:
                 code = int(parts[1])
             except ValueError as exc:
                 raise SipError(f"bad status code: {parts[1]!r}") from exc
+            if not 100 <= code <= 699:
+                raise SipError(f"status code out of range: {code}",
+                               reason="semantic")
             return cls(status_code=code, reason=parts[2])
         parts = start.split(" ")
         if len(parts) != 3 or parts[2] != SIP_VERSION:
-            raise SipError(f"malformed request line: {start!r}")
+            raise SipError(f"malformed request line: {start!r}",
+                           reason="bad_magic")
         if parts[0] not in METHODS:
-            raise SipError(f"unsupported method: {parts[0]}")
+            raise SipError(f"unsupported method: {parts[0]}",
+                           reason="bad_magic")
         return cls(method=parts[0], uri=parts[1])

@@ -1,0 +1,149 @@
+"""KeyTyped multi-packet UTF-8 reassembly and its ingress wiring."""
+
+import pytest
+
+from repro.apps.base import AppHost
+from repro.apps.text_editor import TextEditorApp
+from repro.core.errors import ProtocolError
+from repro.core.header import CommonHeader
+from repro.core.hip import KeyTyped, KeyTypedAssembler, MouseMoved
+from repro.core.registry import MSG_KEY_TYPED
+from repro.obs.instrumentation import Instrumentation
+from repro.sharing.events import EventInjector
+from repro.surface.geometry import Rect
+from repro.surface.window import WindowManager
+
+
+class TestAssembler:
+    def test_whole_text_passes_through(self):
+        assembler = KeyTypedAssembler()
+        assert assembler.push("héllo ✓".encode("utf-8")) == "héllo ✓"
+        assert assembler.pending == 0
+
+    def test_sequence_torn_across_packets_reassembles(self):
+        raw = "é".encode("utf-8")  # 2 bytes
+        assembler = KeyTypedAssembler()
+        assert assembler.push(raw[:1]) == ""
+        assert assembler.pending == 1
+        assert assembler.push(raw[1:]) == "é"
+        assert assembler.pending == 0
+
+    def test_four_byte_sequence_one_byte_at_a_time(self):
+        raw = "🎉".encode("utf-8")
+        assembler = KeyTypedAssembler()
+        for byte in raw[:-1]:
+            assert assembler.push(bytes([byte])) == ""
+        assert assembler.push(raw[-1:]) == "🎉"
+
+    def test_pending_is_bounded_by_construction(self):
+        assembler = KeyTypedAssembler()
+        assembler.push(b"\xf0\x9f\x8e")  # 3 of 4 bytes of an emoji
+        assert assembler.pending <= 3
+
+    def test_overlong_encoding_rejected(self):
+        # 0xC0 0xAF is the classic overlong '/' — must never decode.
+        assembler = KeyTypedAssembler()
+        with pytest.raises(ProtocolError) as excinfo:
+            assembler.push(b"\xc0\xaf")
+        assert excinfo.value.reason == "semantic"
+
+    def test_invalid_continuation_rejected_and_state_reset(self):
+        assembler = KeyTypedAssembler()
+        assembler.push(b"\xc3")  # first half of 'é'
+        with pytest.raises(ProtocolError):
+            assembler.push(b"\xff")
+        # After the reset a clean push works.
+        assert assembler.push(b"ok") == "ok"
+        assert assembler.pending == 0
+
+    def test_oversized_body_rejected(self):
+        from repro.core.hip import MAX_KEY_TYPED_BYTES
+
+        assembler = KeyTypedAssembler()
+        with pytest.raises(ProtocolError) as excinfo:
+            assembler.push(b"a" * (MAX_KEY_TYPED_BYTES + 1))
+        assert excinfo.value.reason == "overflow"
+
+
+def _injector(obs=None, rejections=None):
+    manager = WindowManager(800, 600)
+    window = manager.create_window(Rect(0, 0, 300, 200))
+    apps = AppHost(manager)
+    editor = TextEditorApp(window)
+    apps.attach(editor)
+    injector = EventInjector(
+        manager, apps, instrumentation=obs,
+        on_malformed=(
+            None if rejections is None
+            else lambda pid, exc: rejections.append((pid, exc.reason))
+        ),
+    )
+    # Give the window keyboard focus via a click.
+    injector.inject("p1", KeyTyped(window.window_id, ""))
+    return injector, editor, window
+
+
+def _key_typed_packet(window_id: int, body: bytes) -> bytes:
+    return CommonHeader(MSG_KEY_TYPED, 0, window_id).encode() + body
+
+
+class TestInjectorReassembly:
+    def test_torn_sequence_reaches_app_once_complete(self):
+        injector, editor, window = _injector()
+        raw = "é".encode("utf-8")
+        first = _key_typed_packet(window.window_id, raw[:1])
+        second = _key_typed_packet(window.window_id, raw[1:])
+        assert injector.inject_payload("p1", first) is True  # buffered
+        assert "".join(editor.lines) == ""
+        assert injector.inject_payload("p1", second) is True
+        assert "é" in "".join(editor.lines)
+
+    def test_senders_do_not_share_reassembly_state(self):
+        injector, editor, window = _injector()
+        raw = "é".encode("utf-8")
+        injector.inject_payload("p1", _key_typed_packet(window.window_id, raw[:1]))
+        # p2's complete message is unaffected by p1's pending bytes.
+        assert injector.inject_payload(
+            "p2", _key_typed_packet(window.window_id, b"x")
+        ) is True
+        assert injector.inject_payload(
+            "p1", _key_typed_packet(window.window_id, raw[1:])
+        ) is True
+        assert "é" in "".join(editor.lines)
+
+    def test_invalid_utf8_counts_drop_and_reports_malformed(self):
+        obs = Instrumentation()
+        rejections = []
+        injector, editor, window = _injector(obs, rejections)
+        bad = _key_typed_packet(window.window_id, b"\xc0\xaf")
+        assert injector.inject_payload("p1", bad) is False
+        assert injector.stats.rejected_malformed == 1
+        assert injector.keytyped_dropped == 1
+        assert rejections == [("p1", "semantic")]
+        assert obs.snapshot()["counters"]["hardening.keytyped_dropped"] == 1
+
+    def test_non_keytyped_message_aborts_pending_sequence(self):
+        obs = Instrumentation()
+        injector, editor, window = _injector(obs)
+        raw = "é".encode("utf-8")
+        injector.inject_payload("p1", _key_typed_packet(window.window_id, raw[:1]))
+        injector.inject_payload("p1", MouseMoved(window.window_id, 5, 5).encode())
+        assert injector.keytyped_dropped == 1
+        # The stale continuation byte alone is now an invalid start byte.
+        assert injector.inject_payload(
+            "p1", _key_typed_packet(window.window_id, raw[1:])
+        ) is False
+
+    def test_unexpected_exception_propagates(self):
+        injector, editor, window = _injector()
+
+        class Boom(RuntimeError):
+            pass
+
+        def exploding(msg):
+            raise Boom("handler bug")
+
+        injector._key_typed = exploding
+        packet = _key_typed_packet(window.window_id, b"x")
+        with pytest.raises(Boom):
+            injector.inject_payload("p1", packet)

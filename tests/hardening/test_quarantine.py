@@ -1,0 +1,126 @@
+"""QuarantinePolicy unit behaviour: budgets, windows, cool-downs."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.obs.instrumentation import Instrumentation
+from repro.sharing.quarantine import QuarantinePolicy
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestBudget:
+    def test_below_budget_never_quarantines(self, clock):
+        policy = QuarantinePolicy(clock, budget=5, window=10.0, cooldown=30.0)
+        for _ in range(4):
+            assert policy.record_rejection("p1", "rtp") is False
+        assert not policy.is_quarantined("p1")
+
+    def test_budget_trip_quarantines(self, clock):
+        policy = QuarantinePolicy(clock, budget=5, window=10.0, cooldown=30.0)
+        tripped = [policy.record_rejection("p1", "rtp") for _ in range(5)]
+        assert tripped == [False] * 4 + [True]
+        assert policy.is_quarantined("p1")
+        assert policy.quarantined_peers == ["p1"]
+
+    def test_peers_are_independent(self, clock):
+        policy = QuarantinePolicy(clock, budget=2, window=10.0, cooldown=30.0)
+        policy.record_rejection("bad", "rtp")
+        policy.record_rejection("bad", "rtp")
+        policy.record_rejection("good", "rtp")
+        assert policy.is_quarantined("bad")
+        assert not policy.is_quarantined("good")
+
+    def test_budget_validation(self, clock):
+        with pytest.raises(ValueError):
+            QuarantinePolicy(clock, budget=0)
+        with pytest.raises(ValueError):
+            QuarantinePolicy(clock, window=0)
+        with pytest.raises(ValueError):
+            QuarantinePolicy(clock, cooldown=-1)
+
+
+class TestSlidingWindow:
+    def test_old_rejections_age_out(self, clock):
+        policy = QuarantinePolicy(clock, budget=3, window=5.0, cooldown=30.0)
+        policy.record_rejection("p1", "rtp")
+        policy.record_rejection("p1", "rtp")
+        clock.t = 6.0  # both rejections now outside the window
+        assert policy.record_rejection("p1", "rtp") is False
+        assert not policy.is_quarantined("p1")
+
+    def test_sustained_garbage_trips_across_time(self, clock):
+        policy = QuarantinePolicy(clock, budget=3, window=5.0, cooldown=30.0)
+        for step in range(3):
+            clock.t = step * 1.0  # all inside one window
+            policy.record_rejection("p1", "rtp")
+        assert policy.is_quarantined("p1")
+
+
+class TestCooldown:
+    def test_quarantine_expires(self, clock):
+        policy = QuarantinePolicy(clock, budget=1, window=5.0, cooldown=10.0)
+        policy.record_rejection("p1", "rtp")
+        assert policy.is_quarantined("p1")
+        clock.t = 9.99
+        assert policy.is_quarantined("p1")
+        clock.t = 10.0
+        assert not policy.is_quarantined("p1")
+
+    def test_rejections_during_quarantine_do_not_extend_it(self, clock):
+        policy = QuarantinePolicy(clock, budget=1, window=5.0, cooldown=10.0)
+        policy.record_rejection("p1", "rtp")
+        clock.t = 5.0
+        assert policy.record_rejection("p1", "rtp") is False
+        clock.t = 10.0
+        assert not policy.is_quarantined("p1")
+
+    def test_forget_clears_everything(self, clock):
+        policy = QuarantinePolicy(clock, budget=1, window=5.0, cooldown=10.0)
+        policy.record_rejection("p1", "rtp")
+        policy.forget("p1")
+        assert not policy.is_quarantined("p1")
+        assert policy.quarantined_peers == []
+
+
+class TestMetrics:
+    def test_counters_carry_surface_and_reason(self, clock):
+        obs = Instrumentation()
+        policy = QuarantinePolicy(clock, budget=2, window=5.0, cooldown=10.0,
+                                  instrumentation=obs)
+        policy.record_rejection(
+            "p1", "rtp", ProtocolError("x", reason="truncated")
+        )
+        policy.record_rejection(
+            "p1", "rtcp", ProtocolError("x", reason="overflow")
+        )
+        counters = obs.snapshot()["counters"]
+        assert counters[
+            "hardening.packets_rejected{reason=truncated,surface=rtp}"
+        ] == 1
+        assert counters[
+            "hardening.packets_rejected{reason=overflow,surface=rtcp}"
+        ] == 1
+        assert counters["hardening.peers_quarantined"] == 1
+        assert policy.packets_rejected == 2
+        assert policy.peers_quarantined == 1
+
+    def test_rejection_without_exception_counts_as_malformed(self, clock):
+        obs = Instrumentation()
+        policy = QuarantinePolicy(clock, instrumentation=obs)
+        policy.record_rejection("p1", "bfcp")
+        counters = obs.snapshot()["counters"]
+        assert counters[
+            "hardening.packets_rejected{reason=malformed,surface=bfcp}"
+        ] == 1
