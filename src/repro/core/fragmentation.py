@@ -205,6 +205,7 @@ class UpdateReassembler:
             reason: 0 for reason in self._DROP_REASONS
         }
         obs = instrumentation if instrumentation is not None else NULL
+        self._obs = obs
         self._c_drops = {
             reason: obs.counter("reassembly.updates_dropped", reason=reason)
             for reason in self._DROP_REASONS
@@ -327,6 +328,13 @@ class UpdateReassembler:
         self.updates_dropped += 1
         self.drops_by_reason[reason] += 1
         self._c_drops[reason].inc()
+        if self._obs.enabled:
+            # reason="expired" is a flight-recorder sentinel.
+            self._obs.event(
+                "reassembly.dropped",
+                reason=reason,
+                message_type=self.message_type,
+            )
 
     @property
     def has_partial(self) -> bool:

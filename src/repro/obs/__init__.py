@@ -15,6 +15,8 @@ no-op overhead bound.
 """
 
 from .clockutil import as_now, resolve_clock
+from .export import chrome_trace, render_chrome_trace, render_json, render_prometheus
+from .flight import DEFAULT_SENTINELS, FlightRecorder
 from .instrumentation import (
     MESSAGE_CLASSES,
     NULL,
@@ -22,17 +24,29 @@ from .instrumentation import (
     NullInstrumentation,
 )
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, render_name
+from .spans import ABANDON_REASONS, NULL_SPANS, STAGES, SpanTracker, UpdateSpan
 
 __all__ = [
+    "ABANDON_REASONS",
     "Counter",
+    "DEFAULT_SENTINELS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Instrumentation",
     "MESSAGE_CLASSES",
     "MetricsRegistry",
     "NULL",
+    "NULL_SPANS",
     "NullInstrumentation",
+    "STAGES",
+    "SpanTracker",
+    "UpdateSpan",
     "as_now",
+    "chrome_trace",
+    "render_chrome_trace",
+    "render_json",
     "render_name",
+    "render_prometheus",
     "resolve_clock",
 ]

@@ -33,6 +33,7 @@ from ..sharing.config import SharingConfig
 from ..sharing.participant import Participant
 from ..sharing.transport import StreamTransport
 from ..surface.geometry import Rect
+from . import report
 from .instrumentation import NULL, Instrumentation
 
 OVERHEAD_BUDGET = 0.05
@@ -133,6 +134,39 @@ def selftest(rounds: int = 380, verbose: bool = True) -> bool:
     return ok
 
 
+def _run_report(args) -> int:
+    """--report: waterfall to stdout, optional exports, regression gate."""
+    obs = report.run_scenario(args.report, rounds=args.rounds)
+    payload = report.bench_payload(obs, args.report, args.rounds)
+    print(report.render_waterfall(payload))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"bench payload written to {args.json}")
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            fh.write(obs.export_chrome_trace())
+        print(f"chrome trace written to {args.chrome}")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(obs.export_prometheus())
+        print(f"prometheus exposition written to {args.prom}")
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = report.check_regression(payload, baseline)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            return 1
+        print(
+            "regression gate: PASS (e2e p95 within "
+            f"{report.REGRESSION_TOLERANCE:.0%} of baseline)"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -150,10 +184,35 @@ def main(argv: list[str] | None = None) -> int:
         "--snapshot", action="store_true",
         help="print the instrumented session's full metrics snapshot (JSON)",
     )
+    parser.add_argument(
+        "--report", metavar="SCENARIO", choices=report.SCENARIOS,
+        help="run a traced scenario (%s) and print the per-stage latency "
+             "waterfall" % "/".join(report.SCENARIOS),
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="with --report: also write the BENCH_trace.json payload here",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help="with --report: compare against a committed BENCH_trace.json "
+             "and exit 1 when e2e p95 regresses more than "
+             f"{report.REGRESSION_TOLERANCE:.0%}",
+    )
+    parser.add_argument(
+        "--chrome", metavar="PATH",
+        help="with --report: write a chrome://tracing span dump here",
+    )
+    parser.add_argument(
+        "--prom", metavar="PATH",
+        help="with --report: write the Prometheus text exposition here",
+    )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error(f"--rounds must be a positive integer, got {args.rounds}")
 
+    if args.report:
+        return _run_report(args)
     if args.snapshot:
         obs = Instrumentation()
         _run_session(obs, args.rounds)

@@ -1,0 +1,219 @@
+"""Exporters: Prometheus text exposition, JSON, and Chrome trace events.
+
+Three render targets for one session's observability state:
+
+* :func:`render_prometheus` — the text exposition format scraped by
+  Prometheus.  Counters become ``<ns>_<name>_total`` counter families,
+  gauges map directly, and sample-keeping histograms export as
+  *summary* families (``quantile=`` samples plus ``_sum``/``_count``).
+  Names and label names are sanitised to the exposition charset and
+  label values are escaped, so the output is scrape-clean (validated by
+  a strict parser test).
+* :func:`chrome_trace` — the Trace Event Format understood by
+  ``chrome://tracing`` / Perfetto: every completed update span renders
+  its stages as complete (``"ph": "X"``) events on per-stage tracks,
+  and every trace event becomes an instant event, so the update
+  waterfall and the anomaly history share one timeline.
+* :func:`render_json` — the :meth:`Instrumentation.snapshot` dict as a
+  stable, sorted JSON document.
+
+All three are exposed as ``Instrumentation.export_prometheus()`` /
+``.export_chrome_trace()`` / ``.export_json()``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_SANITISE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_SANITISE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Quantiles a histogram exports (Prometheus summary convention).
+SUMMARY_QUANTILES = ((0.5, 50.0), (0.95, 95.0), (0.99, 99.0))
+
+
+def prometheus_name(name: str, namespace: str = "repro") -> str:
+    """``scheduler.packets_sent`` → ``repro_scheduler_packets_sent``."""
+    sanitised = _NAME_SANITISE.sub("_", name)
+    full = f"{namespace}_{sanitised}" if namespace else sanitised
+    if not _NAME_OK.match(full):
+        full = "_" + full
+    return full
+
+
+def prometheus_label_name(name: str) -> str:
+    label = _LABEL_SANITISE.sub("_", name)
+    if not label or label[0].isdigit():
+        label = "_" + label
+    return label
+
+
+def escape_label_value(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _labels_inner(labels, extra: tuple[tuple[str, object], ...] = ()) -> str:
+    pairs = [
+        (prometheus_label_name(k), escape_label_value(v))
+        for k, v in (*labels, *extra)
+    ]
+    return ",".join(f'{k}="{v}"' for k, v in sorted(pairs))
+
+
+def _sample(name: str, labels_inner: str, value: float) -> str:
+    if labels_inner:
+        return f"{name}{{{labels_inner}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(
+    registry: MetricsRegistry, namespace: str = "repro"
+) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    families: dict[str, dict] = {}
+    for metric in registry:
+        if isinstance(metric, Counter):
+            fam = prometheus_name(metric.name, namespace) + "_total"
+            kind = "counter"
+        elif isinstance(metric, Gauge):
+            fam = prometheus_name(metric.name, namespace)
+            kind = "gauge"
+        else:
+            fam = prometheus_name(metric.name, namespace)
+            kind = "summary"
+        family = families.setdefault(
+            fam,
+            {"type": kind, "help": f"{metric.name} ({kind})", "samples": []},
+        )
+        inner = _labels_inner(metric.labels)
+        if isinstance(metric, Histogram):
+            for quantile, percentile in SUMMARY_QUANTILES:
+                q = metric.percentile(percentile)
+                if q is None:
+                    continue
+                family["samples"].append(
+                    _sample(
+                        fam,
+                        _labels_inner(
+                            metric.labels, (("quantile", quantile),)
+                        ),
+                        q,
+                    )
+                )
+            family["samples"].append(_sample(fam + "_sum", inner, metric.sum()))
+            family["samples"].append(
+                _sample(fam + "_count", inner, metric.count)
+            )
+        else:
+            family["samples"].append(_sample(fam, inner, metric.value))
+    lines: list[str] = []
+    for fam in sorted(families):
+        family = families[fam]
+        lines.append(f"# HELP {fam} {escape_help(family['help'])}")
+        lines.append(f"# TYPE {fam} {family['type']}")
+        lines.extend(sorted(family["samples"]))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- Chrome trace-event format ----------------------------------------------
+
+
+def chrome_trace(instrumentation) -> dict:
+    """``chrome://tracing``-loadable dict: spans as X events, trace
+    events as instants, one named track per pipeline stage."""
+    from .spans import STAGES
+
+    trace_events: list[dict] = []
+    tids = {stage: i + 1 for i, stage in enumerate(STAGES)}
+    trace_events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro session"},
+        }
+    )
+    for stage, tid in tids.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": f"stage:{stage}"},
+            }
+        )
+    for span in instrumentation.spans.completed:
+        category = (
+            "update" if span.outcome == "complete" else "update.abandoned"
+        )
+        for stage, (t0, t1) in span.stages.items():
+            trace_events.append(
+                {
+                    "name": stage,
+                    "cat": category,
+                    "ph": "X",
+                    "ts": round(t0 * 1e6, 3),
+                    "dur": round((t1 - t0) * 1e6, 3),
+                    "pid": 1,
+                    "tid": tids.get(stage, 0),
+                    "args": {
+                        "update_id": span.update_id,
+                        "recovered": span.recovered,
+                        "outcome": span.outcome,
+                        **span.attrs,
+                    },
+                }
+            )
+    for event in instrumentation.trace:
+        trace_events.append(
+            {
+                "name": event.kind,
+                "cat": "event",
+                "ph": "i",
+                "ts": round(event.time * 1e6, 3),
+                "pid": 1,
+                "tid": 0,
+                "s": "g",
+                "args": dict(event.attrs),
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def render_chrome_trace(instrumentation, indent: int | None = None) -> str:
+    return json.dumps(chrome_trace(instrumentation), indent=indent,
+                      default=str)
+
+
+def render_json(instrumentation, events: bool = False,
+                indent: int | None = 2) -> str:
+    """The session snapshot as one sorted JSON document."""
+    return json.dumps(
+        instrumentation.snapshot(events=events),
+        indent=indent,
+        sort_keys=True,
+        default=str,
+    )

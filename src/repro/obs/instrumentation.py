@@ -30,9 +30,12 @@ registry histogram that *is* a :class:`~repro.stats.metrics.LatencyRecorder`.
 
 from __future__ import annotations
 
+import json
+
 from ..stats.metrics import ByteCounter, LatencyRecorder, TrafficStats
 from ..stats.trace import SessionTrace
 from .clockutil import as_now
+from .flight import FlightRecorder
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 
 #: TrafficStats fields, which double as the ``class=`` label values.
@@ -86,6 +89,9 @@ class Instrumentation:
         self._now = as_now(clock, default=lambda: 0.0)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace = trace if trace is not None else SessionTrace(self._now)
+        #: Anomaly flight recorder, fed by :meth:`event`.
+        self.flight = FlightRecorder()
+        self._spans = None
 
     def now(self) -> float:
         return self._now()
@@ -120,7 +126,21 @@ class Instrumentation:
         self.registry.histogram(name, **labels).observe(value)
 
     def event(self, kind: str, **attrs) -> None:
-        self.trace.record(kind, **attrs)
+        ev = self.trace.record(kind, **attrs)
+        if self.flight is not None:
+            self.flight.observe(ev)
+
+    # -- Causal span tracing -----------------------------------------------
+
+    @property
+    def spans(self):
+        """The session's :class:`~repro.obs.spans.SpanTracker`, created
+        on first touch (so sessions that never trace pay nothing)."""
+        if self._spans is None:
+            from .spans import SpanTracker
+
+            self._spans = SpanTracker(self)
+        return self._spans
 
     # -- Label scoping -----------------------------------------------------
 
@@ -159,10 +179,33 @@ class Instrumentation:
         kinds: dict[str, int] = {}
         for e in self.trace:
             kinds[e.kind] = kinds.get(e.kind, 0) + 1
-        snap["trace"] = {"events": len(self.trace), "kinds": kinds}
+        snap["trace"] = {
+            "events": len(self.trace),
+            "kinds": dict(sorted(kinds.items())),
+        }
         if events:
             snap["events"] = self.trace.to_rows()
         return snap
+
+    def export_prometheus(self, namespace: str = "repro") -> str:
+        """The metrics registry in Prometheus text exposition format."""
+        from .export import render_prometheus
+
+        return render_prometheus(self.registry, namespace=namespace)
+
+    def export_json(self, events: bool = False,
+                    indent: int | None = 2) -> str:
+        """The session snapshot as one sorted JSON document."""
+        from .export import render_json
+
+        return render_json(self, events=events, indent=indent)
+
+    def export_chrome_trace(self, indent: int | None = None) -> str:
+        """Completed spans + trace events as a ``chrome://tracing`` /
+        Perfetto-loadable trace-event JSON document."""
+        from .export import render_chrome_trace
+
+        return render_chrome_trace(self, indent=indent)
 
     def update_latencies(
         self,
@@ -204,6 +247,14 @@ class _ScopedInstrumentation(Instrumentation):
     @property
     def trace(self) -> SessionTrace:  # type: ignore[override]
         return self._base.trace
+
+    @property
+    def flight(self) -> FlightRecorder:  # type: ignore[override]
+        return self._base.flight
+
+    @property
+    def spans(self):
+        return self._base.spans
 
     def counter(self, name: str, **labels) -> Counter:
         return self._base.counter(name, **{**self._labels, **labels})
@@ -269,6 +320,8 @@ class NullInstrumentation:
     """
 
     enabled = False
+    #: No flight recorder: :meth:`event` is a no-op anyway.
+    flight = None
 
     def now(self) -> float:
         return 0.0
@@ -297,6 +350,13 @@ class NullInstrumentation:
     def scoped(self, **labels) -> "NullInstrumentation":
         return self
 
+    @property
+    def spans(self):
+        """The shared no-op tracker (``begin``/``resolve`` → None)."""
+        from .spans import NULL_SPANS
+
+        return NULL_SPANS
+
     def traffic_stats(self, **labels) -> TrafficStats:
         return TrafficStats()
 
@@ -316,6 +376,19 @@ class NullInstrumentation:
 
     def update_latencies(self, *args, **kwargs) -> LatencyRecorder:
         return LatencyRecorder()
+
+    def export_prometheus(self, namespace: str = "repro") -> str:
+        return ""
+
+    def export_json(self, events: bool = False,
+                    indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(events=events), indent=indent,
+                          sort_keys=True)
+
+    def export_chrome_trace(self, indent: int | None = None) -> str:
+        return json.dumps(
+            {"traceEvents": [], "displayTimeUnit": "ms"}, indent=indent
+        )
 
 
 #: The shared no-op instance every component defaults to.

@@ -80,6 +80,32 @@ class Histogram(LatencyRecorder):
     def observe(self, value: float) -> None:
         self.record(value if value > 0 else 0.0)
 
+    def percentile(self, p: float) -> float | None:
+        """Like :meth:`LatencyRecorder.percentile`, but an empty
+        histogram answers ``None`` instead of a misleading 0.0 (a
+        single sample answers that sample, as before)."""
+        if not self._samples:
+            if not 0 <= p <= 100:
+                raise ValueError("percentile must be in [0, 100]")
+            return None
+        return super().percentile(p)
+
+    def percentiles(
+        self, ps: tuple[float, ...] = (50, 95, 99)
+    ) -> tuple[float | None, ...]:
+        """The requested percentiles in one sorted pass."""
+        return tuple(self.percentile(p) for p in ps)
+
+    def summary(self) -> dict[str, float]:
+        # Keep the all-zero dict for empty histograms so the snapshot
+        # JSON schema stays stable even with percentile() → None.
+        if not self._samples:
+            return {
+                "count": 0.0, "mean": 0.0, "p50": 0.0,
+                "p95": 0.0, "p99": 0.0, "max": 0.0,
+            }
+        return super().summary()
+
 
 Metric = Counter | Gauge | Histogram
 
@@ -148,7 +174,16 @@ class MetricsRegistry:
         counters: dict[str, int] = {}
         gauges: dict[str, float] = {}
         histograms: dict[str, dict[str, float]] = {}
-        for (name, labels), metric in sorted(self._metrics.items()):
+        # String-keyed sort: label values may mix types (ints, strs),
+        # which plain tuple comparison would TypeError on.
+        ordered = sorted(
+            self._metrics.items(),
+            key=lambda item: (
+                item[0][0],
+                tuple((k, str(v)) for k, v in item[0][1]),
+            ),
+        )
+        for (name, labels), metric in ordered:
             full = render_name(name, labels)
             if isinstance(metric, Counter):
                 counters[full] = metric.value

@@ -58,6 +58,7 @@ class JitterBuffer:
         self.sequences_abandoned = 0
         self.duplicates = 0
         obs = instrumentation if instrumentation is not None else NULL
+        self._obs = obs
         self._c_buffered = obs.counter("jitter.packets_buffered")
         self._c_late = obs.counter("jitter.packets_dropped_late")
         self._c_skipped = obs.counter("jitter.sequences_skipped")
@@ -115,6 +116,10 @@ class JitterBuffer:
                 self._abandoned.discard(self._next_seq)
                 self.sequences_abandoned += 1
                 self._c_abandoned.inc()
+                if self._obs.enabled:
+                    # Flight-recorder sentinel: an update gap released
+                    # without recovery.
+                    self._obs.event("jitter.abandoned", seq=self._next_seq)
                 self._next_seq = (self._next_seq + 1) % _SEQ_MOD
                 continue
             # Hole at _next_seq: has the oldest waiter timed out?

@@ -272,6 +272,12 @@ class ApplicationHost:
             elif isinstance(message, GenericNack):
                 self.nacks_received += 1
                 self._c_nacks.inc()
+                if self.obs.enabled:
+                    self.obs.event(
+                        "nack.received",
+                        peer=session.participant_id,
+                        count=len(message.sequence_numbers()),
+                    )
                 if self.config.retransmissions:
                     session.scheduler.retransmit(message.sequence_numbers())
 

@@ -28,10 +28,14 @@ from .config import SharingConfig
 
 @dataclass(frozen=True, slots=True)
 class StampedPacket:
-    """An RTP packet plus the capture time of the content it carries."""
+    """An RTP packet plus the capture time of the content it carries.
+
+    ``update_id`` joins the packet to its causal span (None for
+    non-traced packets and with observability off)."""
 
     packet: RtpPacket
     capture_time: float
+    update_id: int | None = None
 
 
 class FrameEncoder:
@@ -56,6 +60,7 @@ class FrameEncoder:
             allow_lossy=config.adaptive_codec,
         )
         self._obs = instrumentation if instrumentation is not None else NULL
+        self._spans = self._obs.spans
         self.stats = self._obs.traffic_stats()
 
     # -- Whole frames -----------------------------------------------------
@@ -106,8 +111,17 @@ class FrameEncoder:
     def encode_update(
         self, update: UpdateOp, capture_time: float
     ) -> list[StampedPacket]:
+        spans = self._spans
+        sid = None
+        if spans.enabled:
+            sid = spans.begin(window=update.window_id)
+            # The schedule stage covers capture/damage until encoding
+            # starts, measured against the session clock.
+            spans.mark(sid, "schedule", start=capture_time)
         codec = self.selector.select(update.pixels)
         data = codec.encode(update.pixels)
+        if sid is not None:
+            spans.mark(sid, "encode")
         fragments = fragment_update(
             MSG_REGION_UPDATE,
             update.window_id,
@@ -117,6 +131,8 @@ class FrameEncoder:
             data,
             self.config.max_rtp_payload,
         )
+        if sid is not None:
+            spans.mark(sid, "fragment")
         # "the timestamp SHALL be the same for all of those packets"
         timestamp = self.sender.current_timestamp()
         out = []
@@ -125,7 +141,15 @@ class FrameEncoder:
                 fragment.payload, marker=fragment.marker, timestamp=timestamp
             )
             self.stats.region_update.add(len(fragment.payload), len(packet))
-            out.append(StampedPacket(packet, capture_time))
+            out.append(StampedPacket(packet, capture_time, update_id=sid))
+        if sid is not None:
+            spans.bind_range(
+                sid,
+                self.sender.ssrc,
+                out[0].packet.sequence_number,
+                len(out),
+                rtp_timestamp=timestamp,
+            )
         if self._obs.enabled:
             self._obs.event(
                 "update.sent",
@@ -134,6 +158,7 @@ class FrameEncoder:
                 bytes=len(data),
                 fragments=len(fragments),
                 capture=capture_time,
+                update_id=sid,
             )
         return out
 

@@ -107,6 +107,9 @@ class Participant:
         self._obs = (
             instrumentation if instrumentation is not None else NULL
         ).scoped(peer=participant_id, side="participant")
+        #: Shared with the AH side of the session: arriving sequence
+        #: numbers resolve to the update span that sent them.
+        self._spans = self._obs.spans
         self.config = config or SharingConfig()
         self.registry = registry or default_registry()
         self.layout = layout or OriginalLayout()
@@ -247,8 +250,16 @@ class Participant:
                 continue
             self._media_ssrc = packet.ssrc
             self.receiver.receive(packet)
+            sid = None
+            if self._spans.enabled:
+                sid = self._spans.resolve(
+                    packet.ssrc, packet.sequence_number
+                )
+                if sid is not None:
+                    self._spans.mark(sid, "receive")
             if self._jitter is not None:
-                self.recovery.note_arrival(packet.sequence_number)
+                if self.recovery.note_arrival(packet.sequence_number):
+                    self._spans.recovered(sid)
                 self._jitter.insert(packet)
             else:
                 applied += self._apply_packet(packet)
@@ -317,6 +328,14 @@ class Participant:
             return 1
         if header.message_type == MSG_REGION_UPDATE:
             self.stats.region_update.add(len(payload), wire)
+            sid = None
+            if self._spans.enabled:
+                sid = self._spans.resolve(
+                    packet.ssrc, packet.sequence_number
+                )
+                # Widens per fragment: reassemble spans first fragment
+                # to the completing one.
+                self._spans.mark(sid, "reassemble")
             update = self._reassembler.push(
                 payload, packet.marker, packet.timestamp,
                 sequence_number=packet.sequence_number,
@@ -325,6 +344,7 @@ class Participant:
                 self._apply_region_update(
                     update.window_id, update.content_pt,
                     update.left, update.top, update.data, packet.timestamp,
+                    span_id=sid,
                 )
                 return 1
             return 0
@@ -415,17 +435,24 @@ class Participant:
         top: int,
         data: bytes,
         rtp_timestamp: int,
+        span_id: int | None = None,
     ) -> None:
         window = self.windows.get(window_id)
         if window is None:
+            self._spans.abandon(span_id, "no_window")
             return
         if not self.registry.supports(content_pt):
-            return  # un-negotiated codec: cannot render this update
+            # Un-negotiated codec: cannot render this update.
+            self._spans.abandon(span_id, "codec_unsupported")
+            return
         try:
             pixels = self.registry.by_payload_type(content_pt).decode(data)
         except CodecError as exc:
             self._reject("codec", exc)
+            self._spans.abandon(span_id, "codec_error")
             return  # corrupt payload survived transport checks: skip
+        if span_id is not None:
+            self._spans.mark(span_id, "decode")
         ah = window.ah_rect
         if left < ah.left or top < ah.top:
             # Negative surface offsets would wrap numpy indexing.
@@ -434,6 +461,9 @@ class Participant:
                 reason="semantic",
             )
         window.surface.write_rect(left - ah.left, top - ah.top, pixels)
+        if span_id is not None:
+            self._spans.mark(span_id, "apply")
+            self._spans.complete(span_id)
         self.updates_applied += 1
         self._c_updates.inc()
         latency = self._estimate_latency(rtp_timestamp)
@@ -445,6 +475,7 @@ class Participant:
                 rtp_ts=rtp_timestamp,
                 window=window_id,
                 bytes=len(data),
+                update_id=span_id,
             )
 
     def _estimate_latency(self, rtp_timestamp: int) -> float | None:
@@ -529,6 +560,12 @@ class Participant:
                 # NACKing these sequences, and ask the AH for a full
                 # window refresh to repair whatever the lost packets
                 # carried.
+                if self._spans.enabled:
+                    for seq in actions.gave_up:
+                        self._spans.abandon(
+                            self._spans.resolve(self._media_ssrc, seq),
+                            "give_up",
+                        )
                 for seq in actions.gave_up:
                     self.receiver.gaps.acknowledge(seq)
                 self._jitter.abandon(actions.gave_up)

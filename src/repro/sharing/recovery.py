@@ -104,6 +104,7 @@ class RecoveryManager:
         self.cancelled = 0
         self.duplicates_suppressed = 0
         obs = instrumentation if instrumentation is not None else NULL
+        self._obs = obs
         self._c_nacks = obs.counter("recovery.nacks_sent")
         self._c_retries = obs.counter("recovery.retries")
         self._c_recovered = obs.counter("recovery.recovered")
@@ -115,19 +116,25 @@ class RecoveryManager:
 
     # -- Inputs ------------------------------------------------------------
 
-    def note_arrival(self, seq: int) -> None:
-        """Record that packet ``seq`` arrived (original or retransmit)."""
+    def note_arrival(self, seq: int) -> bool:
+        """Record that packet ``seq`` arrived (original or retransmit).
+
+        Returns True when the arrival filled a tracked loss — i.e. this
+        packet is a NACK-driven recovery, which span tracing uses for
+        the ``recovered=yes`` e2e label."""
         ext = self._extender.extend(seq)
         state = self._pending.pop(ext, None)
         now = self._now()
         if state is not None:
             self._mark_recovered(ext, state, now)
-        elif ext in self._recovered_at:
+            return True
+        if ext in self._recovered_at:
             if now - self._recovered_at[ext] <= self.recovered_memory:
                 self.duplicates_suppressed += 1
                 self._c_duplicates.inc()
             else:
                 del self._recovered_at[ext]
+        return False
 
     def cancel(self, seq: int) -> None:
         """Stop tracking ``seq`` without a give-up (e.g. jitter buffer
@@ -181,6 +188,13 @@ class RecoveryManager:
                     self._c_retries.inc()
         self._g_pending.set(len(self._pending))
         self._prune_recovered(now)
+        if actions.gave_up and self._obs.enabled:
+            # Flight-recorder sentinel: retries exhausted → PLI degrade.
+            self._obs.event(
+                "recovery.gave_up",
+                count=len(actions.gave_up),
+                seqs=list(actions.gave_up),
+            )
         return actions
 
     # -- Internals ---------------------------------------------------------

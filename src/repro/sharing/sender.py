@@ -79,6 +79,7 @@ class UpdateScheduler:
             lambda window, rect: window.surface.read_rect(rect)
         )
         obs = instrumentation if instrumentation is not None else NULL
+        self._spans = obs.spans
         self.retransmit_cache = RetransmitCache(
             config.retransmit_cache_packets if config.retransmissions else 0,
             instrumentation=obs,
@@ -198,6 +199,9 @@ class UpdateScheduler:
             self._c_packets.inc()
             self._c_bytes.inc(len(encoded))
             self._h_staleness.observe(stale)
+            if stamped.update_id is not None:
+                # Widens per fragment: send spans first to last packet.
+                self._spans.mark(stamped.update_id, "send")
         if sent:
             self._g_queue.set(len(self._queue))
         return sent

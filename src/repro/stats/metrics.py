@@ -50,6 +50,9 @@ class LatencyRecorder:
     def max(self) -> float:
         return max(self._samples) if self._samples else 0.0
 
+    def sum(self) -> float:
+        return math.fsum(self._samples)
+
     def summary(self) -> dict[str, float]:
         return {
             "count": float(self.count),

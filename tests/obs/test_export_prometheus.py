@@ -1,0 +1,172 @@
+"""Strict validation of the Prometheus text exposition exporter.
+
+A small strict parser checks the grammar the Prometheus scraper
+enforces: metric/label name charsets, label-value escaping, HELP/TYPE
+comment lines (once per family, TYPE before any sample), counter
+``_total`` suffixes, and summary ``quantile``/``_sum``/``_count``
+structure.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.obs import Instrumentation
+from repro.obs.export import (
+    escape_label_value,
+    prometheus_label_name,
+    prometheus_name,
+)
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+# label pairs: name="value" with only \", \\ and \n escapes inside.
+LABEL_PAIR = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\["\\n])*)"'
+)
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse (strictly) into family → {type, help, samples}."""
+    families: dict[str, dict] = {}
+    current = None
+    assert text == "" or text.endswith("\n"), "must end with a newline"
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert METRIC_NAME.match(name), name
+            assert name not in families, f"duplicate HELP for {name}"
+            families[name] = {"help": help_text, "type": None, "samples": []}
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert name == current, "TYPE must follow its family's HELP"
+            assert families[name]["type"] is None, f"duplicate TYPE {name}"
+            assert kind in ("counter", "gauge", "summary", "histogram"), kind
+            families[name]["type"] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        m = SAMPLE.match(line)
+        assert m, f"unparseable sample line: {line!r}"
+        name, labels, value = m.group("name", "labels", "value")
+        base = re.sub(r"_(sum|count|total|bucket)$", "", name)
+        family = families.get(name) or families.get(base)
+        assert family is not None, f"sample {name} before its TYPE"
+        assert family["type"] is not None, f"sample {name} before TYPE line"
+        float(value)  # must parse
+        seen = {}
+        if labels:
+            consumed = LABEL_PAIR.sub("", labels).strip(",")
+            assert consumed == "", f"bad label syntax in {line!r}"
+            for pm in LABEL_PAIR.finditer(labels):
+                ln = pm.group("name")
+                assert LABEL_NAME.match(ln), ln
+                assert ln not in seen, f"duplicate label {ln} in {line!r}"
+                seen[ln] = pm.group("value")
+        family["samples"].append((name, seen, float(value)))
+    for name, family in families.items():
+        assert family["type"] is not None, f"family {name} missing TYPE"
+    return families
+
+
+@pytest.fixture
+def obs():
+    return Instrumentation()
+
+
+class TestExposition:
+    def test_counters_get_total_suffix(self, obs):
+        obs.counter("scheduler.packets_sent", peer="p1").inc(3)
+        families = parse_exposition(obs.export_prometheus())
+        fam = families["repro_scheduler_packets_sent_total"]
+        assert fam["type"] == "counter"
+        assert fam["samples"] == [
+            ("repro_scheduler_packets_sent_total", {"peer": "p1"}, 3.0)
+        ]
+
+    def test_gauge_and_summary_families(self, obs):
+        obs.gauge("jitter.held").set(4.5)
+        h = obs.histogram("update.e2e_seconds", recovered="no")
+        for v in (0.01, 0.02, 0.03):
+            h.observe(v)
+        families = parse_exposition(obs.export_prometheus())
+        assert families["repro_jitter_held"]["type"] == "gauge"
+        fam = families["repro_update_e2e_seconds"]
+        assert fam["type"] == "summary"
+        by_name = {}
+        for name, labels, value in fam["samples"]:
+            by_name.setdefault(name, []).append((labels, value))
+        quantiles = {
+            labels["quantile"]
+            for labels, _ in by_name["repro_update_e2e_seconds"]
+        }
+        assert quantiles == {"0.5", "0.95", "0.99"}
+        (sum_labels, sum_value), = by_name["repro_update_e2e_seconds_sum"]
+        assert sum_labels == {"recovered": "no"}
+        assert math.isclose(sum_value, 0.06)
+        (_, count_value), = by_name["repro_update_e2e_seconds_count"]
+        assert count_value == 3.0
+
+    def test_empty_histogram_skips_quantiles_keeps_count(self, obs):
+        obs.histogram("update.e2e_seconds", recovered="yes")
+        families = parse_exposition(obs.export_prometheus())
+        names = [s[0] for s in families["repro_update_e2e_seconds"]["samples"]]
+        assert "repro_update_e2e_seconds" not in names  # no quantile rows
+        assert "repro_update_e2e_seconds_count" in names
+        assert "repro_update_e2e_seconds_sum" in names
+
+    def test_label_value_escaping(self, obs):
+        hostile = 'quo"te\\back\nnewline'
+        obs.counter("hardening.rejections", reason=hostile).inc()
+        text = obs.export_prometheus()
+        families = parse_exposition(text)
+        fam = families["repro_hardening_rejections_total"]
+        (_, labels, _), = fam["samples"]
+        assert labels["reason"] == r"quo\"te\\back\nnewline"
+
+    def test_output_is_sorted_and_deterministic(self, obs):
+        obs.counter("b.metric").inc()
+        obs.counter("a.metric", z="1").inc()
+        obs.counter("a.metric", a="1").inc()
+        text = obs.export_prometheus()
+        assert text == obs.export_prometheus()
+        order = [
+            line.split("{")[0].split(" ")[0]
+            for line in text.splitlines()
+            if not line.startswith("#")
+        ]
+        assert order == sorted(order)
+
+    def test_whole_session_export_is_scrape_clean(self, obs):
+        # A real traced session's registry, not a synthetic one.
+        from repro.obs.report import run_scenario
+
+        session = run_scenario("baseline", rounds=40)
+        families = parse_exposition(session.export_prometheus())
+        assert "repro_spans_started_total" in families
+        assert "repro_update_stage_seconds" in families
+        for name in families:
+            assert METRIC_NAME.match(name)
+
+
+class TestHelpers:
+    def test_name_sanitisation(self):
+        assert prometheus_name("a.b-c/d") == "repro_a_b_c_d"
+        assert prometheus_name("x", namespace="") == "x"
+
+    def test_label_name_sanitisation(self):
+        assert prometheus_label_name("peer-id") == "peer_id"
+        assert prometheus_label_name("0bad") == "_0bad"
+
+    def test_escape(self):
+        assert escape_label_value('a"b\\c\nd') == r"a\"b\\c\nd"

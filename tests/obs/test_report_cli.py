@@ -1,0 +1,121 @@
+"""``python -m repro.obs --report``: waterfall, exports, regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+from repro.obs.report import REGRESSION_TOLERANCE, check_regression
+from repro.obs.spans import STAGES
+
+ROUNDS = 60
+
+
+@pytest.fixture(scope="module")
+def bench(tmp_path_factory):
+    """One baseline report run with every export flag set."""
+    out = tmp_path_factory.mktemp("bench")
+    paths = {
+        "json": out / "BENCH_trace.json",
+        "chrome": out / "trace.chrome.json",
+        "prom": out / "metrics.prom",
+    }
+    rc = main([
+        "--report", "baseline", "--rounds", str(ROUNDS),
+        "--json", str(paths["json"]),
+        "--chrome", str(paths["chrome"]),
+        "--prom", str(paths["prom"]),
+    ])
+    assert rc == 0
+    return paths
+
+
+class TestExports:
+    def test_json_payload_schema(self, bench):
+        payload = json.loads(bench["json"].read_text())
+        assert payload["bench"] == "trace"
+        assert payload["scenario"] == "baseline"
+        assert payload["rounds"] == ROUNDS
+        assert set(payload["stages"]) == set(STAGES)
+        for row in payload["stages"].values():
+            assert set(row) == {"count", "p50", "p95", "p99"}
+        assert set(payload["e2e"]) == {"no", "yes"}
+        assert payload["e2e"]["no"]["count"] > 0
+        assert payload["spans"]["completed"] > 0
+
+    def test_chrome_trace_is_loadable(self, bench):
+        doc = json.loads(bench["chrome"].read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases  # completed span stages
+        assert "M" in phases  # process/thread metadata
+
+    def test_prometheus_file(self, bench):
+        text = bench["prom"].read_text()
+        assert "repro_spans_started_total" in text
+        assert "repro_update_e2e_seconds_count" in text
+
+
+class TestRegressionGate:
+    def test_gate_passes_against_identical_seed(self, bench, capsys):
+        rc = main([
+            "--report", "baseline", "--rounds", str(ROUNDS),
+            "--baseline", str(bench["json"]),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "regression gate: PASS" in out
+        assert "REGRESSION:" not in out
+
+    def test_gate_fails_on_doctored_baseline(self, bench, tmp_path, capsys):
+        seed = json.loads(bench["json"].read_text())
+        seed["e2e"]["no"]["p95"] = 1e-6  # force a >25% regression
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(seed))
+        rc = main([
+            "--report", "baseline", "--rounds", str(ROUNDS),
+            "--baseline", str(doctored),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "REGRESSION: e2e recovered=no" in out
+
+    def test_waterfall_always_prints(self, bench, capsys):
+        rc = main(["--report", "baseline", "--rounds", str(ROUNDS)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "scenario: baseline" in out
+        for stage in STAGES:
+            assert stage in out
+        assert "e2e rec=no" in out
+        assert "e2e rec=yes" in out
+
+
+class TestCheckRegression:
+    def _payload(self, p95, count=10):
+        return {"e2e": {"no": {"count": count, "p50": p95, "p95": p95,
+                               "p99": p95}}}
+
+    def test_within_tolerance_passes(self):
+        base = self._payload(0.030)
+        now = self._payload(0.030 * (1 + REGRESSION_TOLERANCE) - 1e-9)
+        assert check_regression(now, base) == []
+
+    def test_above_tolerance_fails(self):
+        failures = check_regression(self._payload(0.050), self._payload(0.030))
+        assert len(failures) == 1
+        assert "recovered=no" in failures[0]
+
+    def test_samples_vanishing_fails(self):
+        failures = check_regression(
+            self._payload(None, count=0), self._payload(0.030)
+        )
+        assert failures == ["e2e recovered=no: no samples now (baseline had 10)"]
+
+    def test_labels_missing_from_baseline_are_ignored(self):
+        assert check_regression(self._payload(0.5), {"e2e": {}}) == []
+
+
+def test_unknown_scenario_is_rejected():
+    with pytest.raises(SystemExit):
+        main(["--report", "cosmic-rays"])

@@ -1,0 +1,129 @@
+"""SpanTracker unit behaviour: lifecycle, wire identity, rollups."""
+
+import pytest
+
+from repro.obs import Instrumentation
+from repro.obs.spans import NULL_SPANS, STAGES, SpanTracker
+
+
+@pytest.fixture
+def obs():
+    t = [0.0]
+    ins = Instrumentation(clock=lambda: t[0])
+    ins._tick = lambda dt: t.__setitem__(0, t[0] + dt)  # test hook
+    return ins
+
+
+class TestLifecycle:
+    def test_complete_rolls_up_histograms(self, obs):
+        spans = obs.spans
+        sid = spans.begin(window=7)
+        spans.mark(sid, "schedule", start=0.0, end=0.0)
+        obs._tick(0.01)
+        spans.mark(sid, "send")
+        obs._tick(0.05)
+        spans.mark(sid, "receive")
+        spans.mark(sid, "apply")
+        spans.complete(sid)
+
+        assert spans.open_spans == 0
+        span = spans.completed[0]
+        assert span.outcome == "complete"
+        assert span.attrs == {"window": 7}
+        # network derived from send.end → receive.start
+        assert span.stages["network"] == pytest.approx([0.01, 0.06])
+        assert span.e2e_seconds() == pytest.approx(0.06)
+        e2e = obs.registry.get("update.e2e_seconds", recovered="no")
+        assert e2e.count == 1
+        assert obs.registry.get("spans.completed", recovered="no").value == 1
+
+    def test_recovered_label_routes_to_yes_histogram(self, obs):
+        spans = obs.spans
+        sid = spans.begin()
+        spans.mark(sid, "send")
+        spans.recovered(sid)
+        spans.complete(sid)
+        assert obs.registry.get("update.e2e_seconds", recovered="yes").count == 1
+        assert obs.registry.get("update.e2e_seconds", recovered="no").count == 0
+
+    def test_abandon_counts_by_reason(self, obs):
+        spans = obs.spans
+        sid = spans.begin()
+        spans.abandon(sid, "give_up")
+        assert spans.completed[0].outcome == "abandoned:give_up"
+        assert obs.registry.get("spans.abandoned", reason="give_up").value == 1
+        # finishing twice is a no-op
+        spans.abandon(sid, "give_up")
+        assert obs.registry.get("spans.abandoned", reason="give_up").value == 1
+
+    def test_mark_widens_interval(self, obs):
+        spans = obs.spans
+        sid = spans.begin()
+        spans.mark(sid, "send", start=1.0, end=1.0)
+        spans.mark(sid, "send", start=3.0, end=3.0)
+        spans.mark(sid, "send", start=2.0, end=2.0)
+        assert spans.get_open(sid).stages["send"] == [1.0, 3.0]
+
+    def test_open_cap_evicts_oldest_as_abandoned(self, obs):
+        spans = SpanTracker(obs, max_open=2)
+        a = spans.begin()
+        spans.begin()
+        spans.begin()  # evicts a
+        assert spans.open_spans == 2
+        assert spans.get_open(a) is None
+        assert obs.registry.get("spans.abandoned", reason="evicted").value == 1
+
+
+class TestWireIdentity:
+    def test_resolve_by_sequence_range(self, obs):
+        spans = obs.spans
+        sid = spans.begin()
+        spans.bind_range(sid, ssrc=9, first_seq=100, count=3, rtp_timestamp=77)
+        assert spans.resolve(9, 100) == sid
+        assert spans.resolve(9, 102) == sid
+        assert spans.resolve(9, 103) is None
+        assert spans.resolve(8, 100) is None  # different stream
+        assert spans.get_open(sid).rtp_timestamp == 77
+
+    def test_resolve_survives_16bit_wraparound(self, obs):
+        spans = obs.spans
+        sid = spans.begin()
+        spans.bind_range(sid, ssrc=1, first_seq=0xFFFE, count=4)
+        # 0xFFFE, 0xFFFF, 0x0000, 0x0001 all belong to the span.
+        for seq in (0xFFFE, 0xFFFF, 0x0000, 0x0001):
+            assert spans.resolve(1, seq) == sid, hex(seq)
+        assert spans.resolve(1, 0x0002) is None
+
+    def test_finish_releases_index_entries(self, obs):
+        spans = obs.spans
+        sid = spans.begin()
+        spans.bind_range(sid, ssrc=1, first_seq=10, count=2)
+        spans.complete(sid)
+        assert spans.resolve(1, 10) is None
+
+
+class TestNullTracker:
+    def test_all_verbs_are_noops(self):
+        assert NULL_SPANS.enabled is False
+        assert NULL_SPANS.begin(window=1) is None
+        NULL_SPANS.mark(None, "send")
+        NULL_SPANS.bind_range(None, 1, 2, 3)
+        assert NULL_SPANS.resolve(1, 2) is None
+        NULL_SPANS.recovered(None)
+        NULL_SPANS.complete(None)
+        NULL_SPANS.abandon(None, "give_up")
+        assert NULL_SPANS.completed == ()
+
+    def test_live_tracker_ignores_none_ids(self, obs):
+        spans = obs.spans
+        spans.mark(None, "send")
+        spans.complete(None)
+        spans.abandon(None, "give_up")
+        assert len(spans.completed) == 0
+
+
+def test_stage_catalogue_is_the_pipeline_order():
+    assert STAGES == (
+        "schedule", "encode", "fragment", "send", "network",
+        "receive", "reassemble", "decode", "apply",
+    )

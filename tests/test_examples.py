@@ -31,6 +31,12 @@ CASES = [
         ["converged: False", "converged=False"],
     ),
     (
+        "traced_lossy_network.py",
+        ["converged: True", "complete causal chain: True"],
+        ["converged: False", "complete causal chain: False",
+         "recovered updates traced: 0"],
+    ),
+    (
         "remote_desktop_tcp.py",
         ["editor window pixel-exact: True", "photo index at AH: 1"],
         [],
