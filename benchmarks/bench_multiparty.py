@@ -31,7 +31,7 @@ ROUNDS = 120
 
 def _unicast_fleet(n: int):
     clock = SimulatedClock()
-    ah = ApplicationHost(config=SharingConfig(), now=clock.now)
+    ah = ApplicationHost(config=SharingConfig(), clock=clock.now)
     win = ah.windows.create_window(Rect(0, 0, 400, 300))
     editor = TextEditorApp(win)
     ah.apps.attach(editor)
@@ -72,7 +72,7 @@ def test_unicast_scaling(benchmark, experiment, n):
 
 def _multicast_fleet(n: int):
     clock = SimulatedClock()
-    ah = ApplicationHost(config=SharingConfig(), now=clock.now)
+    ah = ApplicationHost(config=SharingConfig(), clock=clock.now)
     win = ah.windows.create_window(Rect(0, 0, 400, 300))
     editor = TextEditorApp(win)
     ah.apps.attach(editor)
@@ -89,7 +89,7 @@ def _multicast_fleet(n: int):
         participant = Participant(
             f"m{i}",
             MulticastReceiverTransport(member, feedback.backward),
-            now=clock.now,
+            clock=clock.now,
             config=ah.config,
         )
         participant.join()

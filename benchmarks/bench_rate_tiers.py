@@ -30,7 +30,7 @@ TIERS = {
 
 def _tiered_session():
     clock = SimulatedClock()
-    ah = ApplicationHost(config=SharingConfig(), now=clock.now)
+    ah = ApplicationHost(config=SharingConfig(), clock=clock.now)
     win = ah.windows.create_window(Rect(0, 0, 320, 240))
     ah.apps.attach(AnimationApp(win, fps=30, balls=3))
     participants = {}

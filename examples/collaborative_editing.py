@@ -30,7 +30,7 @@ def attach_tcp_participant(clock, ah, name, layout, screen):
     participant = Participant(
         name,
         StreamTransport(link.backward, link.forward),
-        now=clock.now,
+        clock=clock.now,
         config=ah.config,
         layout=layout,
         screen_width=screen[0],
@@ -43,7 +43,7 @@ def attach_tcp_participant(clock, ah, name, layout, screen):
 def main() -> None:
     clock = SimulatedClock()
     floor = FloorControlServer()
-    ah = ApplicationHost(now=clock.now, floor_check=floor.floor_check)
+    ah = ApplicationHost(clock=clock.now, floor_check=floor.floor_check)
 
     editor_window = ah.windows.create_window(
         Rect(220, 150, 350, 450), group_id=1, title="shared notes"

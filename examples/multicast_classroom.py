@@ -49,7 +49,7 @@ class Classroom:
         student = Participant(
             name,
             MulticastReceiverTransport(member_channel, feedback.backward),
-            now=self.clock.now,
+            clock=self.clock.now,
             config=self.ah.config,
         )
         student.join()  # PLI announces the newcomer
@@ -80,7 +80,7 @@ class Classroom:
 
 def main() -> None:
     clock = SimulatedClock()
-    ah = ApplicationHost(now=clock.now)
+    ah = ApplicationHost(clock=clock.now)
     window = ah.windows.create_window(Rect(60, 40, 560, 400), title="live demo")
     terminal = TerminalApp(window)
     ah.apps.attach(terminal)

@@ -49,7 +49,7 @@ def main() -> None:
 
         try:
             # --- The shared desktop ---------------------------------------
-            ah = ApplicationHost(now=monotonic_now)
+            ah = ApplicationHost(clock=monotonic_now)
             editor_win = ah.windows.create_window(
                 Rect(100, 80, 360, 280), group_id=1, title="notes"
             )
@@ -65,7 +65,7 @@ def main() -> None:
             participant = Participant(
                 "remote",
                 TcpSocketTransport(client_conn),
-                now=monotonic_now,
+                clock=monotonic_now,
                 config=ah.config,
             )
             participant.join()

@@ -1,0 +1,72 @@
+"""Content-addressed cache of encoded update payloads.
+
+Screen content repeats: a toolbar repaint, a blinking cursor cell, or
+the same damage rectangle fanned out to N destinations all produce
+byte-identical pixel blocks.  Encoding is deterministic (codec
+selection included), so the encoded payload can be keyed by the pixel
+content itself and shared across every per-destination
+:class:`~repro.sharing.encoder.FrameEncoder` of a session.
+
+The cache is a bounded LRU.  Keys hash the raw pixel bytes plus the
+array shape (two blocks with equal bytes but different geometry encode
+differently).  Values keep the selected codec's payload type alongside
+the encoded bytes because the receive side needs it to pick a decoder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+#: Digest size for cache keys.  16 bytes of blake2b keeps accidental
+#: collision probability negligible (~2^-64 at billions of entries)
+#: while halving key storage vs the full digest.
+_DIGEST_SIZE = 16
+
+
+class EncodeCache:
+    """Bounded LRU mapping pixel-content digests to encoded payloads."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 0:
+            raise ValueError("cache size cannot be negative")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[bytes, tuple[int, bytes]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(pixels: np.ndarray) -> bytes:
+        """Content address of an update's pixel block."""
+        digest = hashlib.blake2b(
+            np.ascontiguousarray(pixels), digest_size=_DIGEST_SIZE
+        )
+        digest.update(repr(pixels.shape).encode())
+        return digest.digest()
+
+    def get(self, key: bytes) -> tuple[int, bytes] | None:
+        """Look up ``(payload_type, encoded)`` for a key, LRU-touching it."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: bytes, payload_type: int, data: bytes) -> None:
+        """Insert an encoded payload, evicting least-recently-used first."""
+        if self.max_entries == 0:
+            return
+        self._entries[key] = (payload_type, data)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -21,7 +21,9 @@ from .filters import (
     FILTER_UP,
     apply_filter,
     choose_filter,
+    filter_image,
     undo_filter,
+    unfilter_image,
 )
 
 
@@ -78,6 +80,8 @@ __all__ = [
     "choose_filter",
     "decode_png",
     "encode_png",
+    "filter_image",
     "iter_chunks",
     "undo_filter",
+    "unfilter_image",
 ]

@@ -15,7 +15,7 @@ from .chunks import (
     PngFormatError,
     iter_chunks,
 )
-from .filters import BPP, undo_filter
+from .filters import BPP, unfilter_image
 
 
 def decode_png(data: bytes) -> np.ndarray:
@@ -61,18 +61,9 @@ def decode_png(data: bytes) -> np.ndarray:
     raw = bounded_decompress(bytes(idat), expected, "IDAT stream",
                              error_cls=PngFormatError)
 
-    out = np.empty((height, stride), dtype=np.uint8)
-    prev = np.zeros(stride, dtype=np.uint8)
-    offset = 0
-    for y in range(height):
-        filter_type = raw[offset]
-        offset += 1
-        row = np.frombuffer(raw, dtype=np.uint8, count=stride, offset=offset)
-        offset += stride
-        try:
-            recon = undo_filter(filter_type, row, prev)
-        except ValueError as exc:
-            raise PngFormatError(str(exc)) from exc
-        out[y] = recon
-        prev = recon
+    scanlines = np.frombuffer(raw, dtype=np.uint8).reshape(height, 1 + stride)
+    try:
+        out = unfilter_image(scanlines[:, 0], scanlines[:, 1:])
+    except ValueError as exc:
+        raise PngFormatError(str(exc)) from exc
     return out.reshape(height, width, BPP)

@@ -1,0 +1,179 @@
+"""Scalar reference implementations of the PNG filter pipeline.
+
+These are the pre-vectorisation row-at-a-time/byte-at-a-time kernels,
+kept for three jobs:
+
+* **equivalence pinning** — tests assert the vectorised hot path in
+  :mod:`repro.codecs.png.filters` is byte-identical to these across all
+  five filter types and edge cases;
+* **benchmark baseline** — ``benchmarks/bench_encode_path.py`` measures
+  the vectorised path against this one on the same machine, making the
+  speedup claim (and its CI gate) hardware-independent;
+* **fallback** — a straight-line scalar path with no whole-image
+  temporaries, usable when memory is tighter than time.
+
+Note the scalar fallback still compresses its ``bytearray`` directly —
+``zlib.compress`` accepts any buffer, so the historical
+``bytes(filtered)`` copy of the whole filtered image is gone here too.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from .chunks import (
+    SIGNATURE,
+    TYPE_IDAT,
+    TYPE_IEND,
+    Chunk,
+    ImageHeader,
+    PngFormatError,
+)
+from .filters import (
+    ALL_FILTERS,
+    BPP,
+    FILTER_AVERAGE,
+    FILTER_NONE,
+    FILTER_PAETH,
+    FILTER_SUB,
+    FILTER_UP,
+    _paeth_predictor,
+    _shift_left,
+)
+
+
+def scalar_apply_filter(
+    filter_type: int, row: np.ndarray, prev: np.ndarray
+) -> np.ndarray:
+    """Filter one scanline (reference; identical to the historical code)."""
+    if filter_type == FILTER_NONE:
+        return row.copy()
+    a = _shift_left(row)
+    if filter_type == FILTER_SUB:
+        return (row.astype(np.int16) - a).astype(np.uint8)
+    if filter_type == FILTER_UP:
+        return (row.astype(np.int16) - prev).astype(np.uint8)
+    if filter_type == FILTER_AVERAGE:
+        avg = (a.astype(np.int16) + prev.astype(np.int16)) // 2
+        return (row.astype(np.int16) - avg).astype(np.uint8)
+    if filter_type == FILTER_PAETH:
+        c = _shift_left(prev)
+        pred = _paeth_predictor(a, prev, c)
+        return (row.astype(np.int16) - pred).astype(np.uint8)
+    raise ValueError(f"unknown filter type: {filter_type}")
+
+
+def scalar_undo_filter(
+    filter_type: int, filtered: np.ndarray, prev: np.ndarray
+) -> np.ndarray:
+    """Reconstruct one scanline with per-byte loops (reference)."""
+    if filter_type == FILTER_NONE:
+        return filtered.copy()
+    if filter_type == FILTER_UP:
+        return ((filtered.astype(np.int16) + prev) % 256).astype(np.uint8)
+    if filter_type == FILTER_SUB:
+        lanes = filtered.reshape(-1, BPP).astype(np.uint64)
+        return (np.cumsum(lanes, axis=0) % 256).astype(np.uint8).reshape(-1)
+
+    row = filtered.astype(np.int16).copy()
+    n = len(row)
+    if filter_type == FILTER_AVERAGE:
+        prev16 = prev.astype(np.int16)
+        for i in range(n):
+            left = row[i - BPP] if i >= BPP else 0
+            row[i] = (row[i] + (left + prev16[i]) // 2) % 256
+        return row.astype(np.uint8)
+    if filter_type == FILTER_PAETH:
+        prev16 = prev.astype(np.int16)
+        for i in range(n):
+            a = int(row[i - BPP]) if i >= BPP else 0
+            b = int(prev16[i])
+            c = int(prev16[i - BPP]) if i >= BPP else 0
+            p = a + b - c
+            pa, pb, pc = abs(p - a), abs(p - b), abs(p - c)
+            if pa <= pb and pa <= pc:
+                pred = a
+            elif pb <= pc:
+                pred = b
+            else:
+                pred = c
+            row[i] = (row[i] + pred) % 256
+        return row.astype(np.uint8)
+    raise ValueError(f"unknown filter type: {filter_type}")
+
+
+def scalar_choose_filter(
+    row: np.ndarray, prev: np.ndarray
+) -> tuple[int, np.ndarray]:
+    """Per-row MSAD minimisation over five materialised candidates."""
+    best_type = FILTER_NONE
+    best_row: np.ndarray | None = None
+    best_score: int | None = None
+    for filter_type in ALL_FILTERS:
+        candidate = scalar_apply_filter(filter_type, row, prev)
+        signed = candidate.astype(np.int16)
+        signed = np.where(signed > 127, 256 - signed, signed)
+        score = int(np.abs(signed).sum())
+        if best_score is None or score < best_score:
+            best_type, best_row, best_score = filter_type, candidate, score
+    assert best_row is not None
+    return best_type, best_row
+
+
+def encode_png_scalar(
+    pixels: np.ndarray,
+    compression_level: int = 6,
+    adaptive_filter: bool = True,
+    fixed_filter: int = FILTER_NONE,
+    idat_chunk_size: int = 1 << 20,
+) -> bytes:
+    """Row-at-a-time PNG encode (reference/fallback path)."""
+    if pixels.ndim != 3 or pixels.shape[2] != 4 or pixels.dtype != np.uint8:
+        raise PngFormatError(f"encoder needs (h, w, 4) uint8, got {pixels.shape}")
+    height, width = pixels.shape[:2]
+    if height == 0 or width == 0:
+        raise PngFormatError("cannot encode an empty image")
+
+    rows = pixels.reshape(height, width * 4)
+    filtered = bytearray()
+    prev = np.zeros(width * 4, dtype=np.uint8)
+    for y in range(height):
+        row = rows[y]
+        if adaptive_filter:
+            filter_type, out = scalar_choose_filter(row, prev)
+        else:
+            filter_type = fixed_filter
+            out = scalar_apply_filter(filter_type, row, prev)
+        filtered.append(filter_type)
+        filtered.extend(out.tobytes())
+        prev = row
+
+    compressed = zlib.compress(filtered, compression_level)
+
+    parts = [SIGNATURE, Chunk(b"IHDR", ImageHeader(width, height).encode()).encode()]
+    for start in range(0, len(compressed), idat_chunk_size):
+        parts.append(
+            Chunk(TYPE_IDAT, compressed[start : start + idat_chunk_size]).encode()
+        )
+    parts.append(Chunk(TYPE_IEND, b"").encode())
+    return b"".join(parts)
+
+
+def unfilter_rows_scalar(
+    raw: bytes, height: int, stride: int
+) -> np.ndarray:
+    """Row-at-a-time reconstruction of a decompressed IDAT stream."""
+    out = np.empty((height, stride), dtype=np.uint8)
+    prev = np.zeros(stride, dtype=np.uint8)
+    offset = 0
+    for y in range(height):
+        filter_type = raw[offset]
+        offset += 1
+        row = np.frombuffer(raw, dtype=np.uint8, count=stride, offset=offset)
+        offset += stride
+        recon = scalar_undo_filter(filter_type, row, prev)
+        out[y] = recon
+        prev = recon
+    return out

@@ -219,12 +219,15 @@ class UpdateReassembler:
         sequence_number: int | None = None,
     ) -> ReassembledUpdate | None:
         """Feed one RTP payload; returns a completed update when ready."""
+        # Age out a stale partial before parsing: a malformed payload
+        # raises out of push(), and must not leave an already-expired
+        # partial resident (holding memory and absorbing later
+        # continuations that happen to share its timestamp).
+        self.expire()
         header, first, content_pt, (left, top, chunk) = parse_update_payload(
             payload, self.message_type, bounds=self.bounds
         )
         fragment_type = FragmentType.from_bits(marker, first)
-
-        self.expire()
         if self._partial is not None and (
             timestamp != self._partial_timestamp or first
         ):
@@ -278,7 +281,10 @@ class UpdateReassembler:
             )
         self._partial.chunks.append(chunk)
         self._partial.count += 1
-        if sequence_number is not None and self._partial_next_seq is not None:
+        # Adopt the fragment's sequence numbering even when the START
+        # arrived without one: later continuations are then held to
+        # continuity instead of being spliced blindly.
+        if sequence_number is not None:
             self._partial_next_seq = (sequence_number + 1) & 0xFFFF
         if fragment_type is FragmentType.END:
             partial = self._partial

@@ -122,7 +122,7 @@ def _fuzz_participant(rng: random.Random, iterations: int) -> SurfaceReport:
     participant = Participant(
         "fuzz",
         transport,
-        now=lambda: clock[0],
+        clock=lambda: clock[0],
         config=SharingConfig(rejection_budget=1_000_000),
     )
     participant.join()

@@ -81,13 +81,18 @@ def _run_session(instrumentation, rounds: int, dt: float = 0.01) -> float:
 
 
 def _count_ops(obs: Instrumentation) -> int:
-    """Observability operations the instrumented run performed."""
+    """Observability operations the instrumented run performed.
+
+    Counts *calls*, not accumulated values: a byte counter bumped with
+    ``inc(1400)`` once per packet is one no-op-able operation, not
+    1400 of them.
+    """
     ops = 0
     for metric in obs.registry:
         if metric.kind == "histogram":
             ops += metric.count
         else:
-            ops += 1 if metric.kind == "gauge" else metric.value
+            ops += metric.calls
     ops += len(obs.trace)
     return int(ops)
 

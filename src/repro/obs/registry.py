@@ -33,36 +33,47 @@ def render_name(name: str, labels: Labels) -> str:
 
 
 class Counter:
-    """A monotonically increasing tally."""
+    """A monotonically increasing tally.
 
-    __slots__ = ("name", "labels", "value")
+    ``calls`` counts ``inc()`` invocations separately from the
+    accumulated ``value`` — a byte counter bumped once per packet is
+    one observability operation, not ``n`` of them, and the overhead
+    selftest bounds cost per *call*.
+    """
+
+    __slots__ = ("name", "labels", "value", "calls")
     kind = "counter"
 
     def __init__(self, name: str, labels: Labels = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0
+        self.calls = 0
 
     def inc(self, n: int = 1) -> None:
         self.value += n
+        self.calls += 1
 
 
 class Gauge:
     """A last-written value (levels, depths, sizes)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "calls")
     kind = "gauge"
 
     def __init__(self, name: str, labels: Labels = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self.calls = 0
 
     def set(self, value: float) -> None:
         self.value = value
+        self.calls += 1
 
     def add(self, delta: float) -> None:
         self.value += delta
+        self.calls += 1
 
 
 class Histogram(LatencyRecorder):

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..apps.base import AppHost
 from ..codecs.base import CodecRegistry, default_registry
+from ..codecs.cache import EncodeCache
 from ..core.errors import ProtocolError
 from ..net.ratecontrol import TokenBucket
 from ..obs.clockutil import resolve_clock
@@ -70,6 +71,14 @@ class ApplicationHost:
         )
         self._rng = rng or random.Random(0)
         self.obs = instrumentation if instrumentation is not None else NULL
+        #: One content-addressed encode cache for the whole session:
+        #: the same damaged block fanned out to N destinations (or
+        #: repeated over time) is encoded once.
+        self.encode_cache = (
+            EncodeCache(self.config.encode_cache_entries)
+            if self.config.encode_cache_entries
+            else None
+        )
 
         self.windows = WindowManager(screen_width, screen_height)
         self.apps = AppHost(self.windows)
@@ -136,7 +145,7 @@ class ApplicationHost:
         )
         encoder = FrameEncoder(
             sender, self.registry, self.config, self._now,
-            instrumentation=obs,
+            instrumentation=obs, cache=self.encode_cache,
         )
         limiter = (
             TokenBucket(rate_bps, now=self._now, instrumentation=obs)

@@ -61,6 +61,10 @@ class SharingConfig:
     #: at decode time (section 8 coordinate legitimacy).
     max_desktop_width: int = 16384
     max_desktop_height: int = 16384
+    #: Entries in the session-wide content-addressed encode cache
+    #: (identical update pixel blocks reuse one encode across all
+    #: destinations; docs/PERFORMANCE.md).  0 disables caching.
+    encode_cache_entries: int = 256
 
     def __post_init__(self) -> None:
         if self.max_rtp_payload < 64:
@@ -79,3 +83,5 @@ class SharingConfig:
             raise ValueError("rejection window/cooldown must be positive")
         if self.max_desktop_width < 1 or self.max_desktop_height < 1:
             raise ValueError("desktop bounds must be positive")
+        if self.encode_cache_entries < 0:
+            raise ValueError("encode cache size cannot be negative")

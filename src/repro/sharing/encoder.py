@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..codecs.base import CodecRegistry
+from ..codecs.cache import EncodeCache
 from ..codecs.selector import CodecSelector
 from ..core.mouse_pointer import MousePointerInfo
 from ..core.move_rectangle import MoveRectangle
@@ -48,6 +49,7 @@ class FrameEncoder:
         config: SharingConfig,
         now,
         instrumentation=None,
+        cache: EncodeCache | None = None,
     ) -> None:
         self.sender = sender
         self.registry = registry
@@ -59,9 +61,14 @@ class FrameEncoder:
             lossy_name=config.lossy_codec,
             allow_lossy=config.adaptive_codec,
         )
+        #: Session-wide content-addressed cache (shared across the
+        #: per-destination encoders; see ApplicationHost).
+        self.cache = cache
         self._obs = instrumentation if instrumentation is not None else NULL
         self._spans = self._obs.spans
         self.stats = self._obs.traffic_stats()
+        self._c_cache_hit = self._obs.counter("encoder.cache_hit")
+        self._c_cache_miss = self._obs.counter("encoder.cache_miss")
 
     # -- Whole frames -----------------------------------------------------
 
@@ -89,7 +96,10 @@ class FrameEncoder:
         self, info: WindowManagerInfo, capture_time: float
     ) -> list[StampedPacket]:
         payload = info.encode()
-        packet = self.sender.next_packet(payload, marker=False)
+        # Single-packet message: Table 2 needs marker=1 + FirstPacket=1
+        # to read as Not Fragmented (marker=0 would decode as Start
+        # Fragment and strand the receiver's reassembler).
+        packet = self.sender.next_packet(payload, marker=True)
         self.stats.window_info.add(len(payload), len(packet))
         return [StampedPacket(packet, capture_time)]
 
@@ -104,7 +114,8 @@ class FrameEncoder:
             dest_top=move.dest_top,
         )
         payload = message.encode()
-        packet = self.sender.next_packet(payload, marker=False)
+        # Same Table 2 rule as window info: one packet, marker=1.
+        packet = self.sender.next_packet(payload, marker=True)
         self.stats.move_rectangle.add(len(payload), len(packet))
         return [StampedPacket(packet, capture_time)]
 
@@ -118,14 +129,13 @@ class FrameEncoder:
             # The schedule stage covers capture/damage until encoding
             # starts, measured against the session clock.
             spans.mark(sid, "schedule", start=capture_time)
-        codec = self.selector.select(update.pixels)
-        data = codec.encode(update.pixels)
+        payload_type, data = self._encode_pixels(update.pixels)
         if sid is not None:
             spans.mark(sid, "encode")
         fragments = fragment_update(
             MSG_REGION_UPDATE,
             update.window_id,
-            codec.payload_type,
+            payload_type,
             update.left,
             update.top,
             data,
@@ -161,6 +171,28 @@ class FrameEncoder:
                 update_id=sid,
             )
         return out
+
+    def _encode_pixels(self, pixels: np.ndarray) -> tuple[int, bytes]:
+        """Select a codec and encode, going through the shared cache.
+
+        Codec selection is a pure function of the pixels (and session
+        config), so identical blocks — repeated damage, or the same
+        update fanned out to every destination — reuse one encode.
+        """
+        cache = self.cache
+        if cache is None:
+            codec = self.selector.select(pixels)
+            return codec.payload_type, codec.encode(pixels)
+        key = cache.key(pixels)
+        entry = cache.get(key)
+        if entry is not None:
+            self._c_cache_hit.inc()
+            return entry
+        codec = self.selector.select(pixels)
+        data = codec.encode(pixels)
+        cache.put(key, codec.payload_type, data)
+        self._c_cache_miss.inc()
+        return codec.payload_type, data
 
     def encode_pointer(
         self, pointer: PointerOp, capture_time: float

@@ -599,7 +599,9 @@ class Participant:
     # -- HIP send path ------------------------------------------------------------------
 
     def _send_hip(self, payload: bytes) -> None:
-        packet = self.hip_sender.next_packet(payload, marker=False)
+        # HIP messages always fit one packet; Table 2 decodes
+        # marker=1 + FirstPacket=1 as Not Fragmented.
+        packet = self.hip_sender.next_packet(payload, marker=True)
         encoded = packet.encode()
         if self.transport.send_packet(encoded):
             self.stats.hip.add(len(payload), len(encoded))

@@ -1,0 +1,211 @@
+"""The vectorised PNG filter pipeline is bit-identical to the scalar one.
+
+The encode hot path (``filter_image``/``encode_png``) and decode hot
+path (``unfilter_image``) are whole-image NumPy kernels; these tests
+pin them byte-for-byte against the retained scalar references in
+:mod:`repro.codecs.png.reference` across every filter type, row-0 and
+first-column edge cases, and adversarial content.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs.png import decode_png, encode_png
+from repro.codecs.png.filters import (
+    ALL_FILTERS,
+    BPP,
+    apply_filter,
+    choose_filter,
+    filter_image,
+    undo_filter,
+    unfilter_image,
+)
+from repro.codecs.png.reference import (
+    encode_png_scalar,
+    scalar_apply_filter,
+    scalar_choose_filter,
+    scalar_undo_filter,
+    unfilter_rows_scalar,
+)
+
+
+def _rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _corpus() -> list[tuple[str, np.ndarray]]:
+    rng = _rng(7)
+    ui = np.zeros((48, 64, 4), dtype=np.uint8)
+    ui[:, :, 3] = 255
+    ui[8:16, 4:60] = (200, 200, 210, 255)  # a "toolbar"
+    ui[20:44, 8:56] = (255, 255, 255, 255)  # a "document"
+    ui[22:42:4, 10:50] = (30, 30, 30, 255)  # "text" lines
+    photo = rng.integers(0, 256, size=(48, 64, 4), dtype=np.uint8)
+    grad = np.empty((48, 64, 4), dtype=np.uint8)
+    for ch in range(4):
+        grad[:, :, ch] = (
+            np.add.outer(np.arange(48), np.arange(64)) * (ch + 1)
+        ) % 256
+    flat = np.full((48, 64, 4), 137, dtype=np.uint8)
+    tiny = rng.integers(0, 256, size=(1, 1, 4), dtype=np.uint8)
+    one_row = rng.integers(0, 256, size=(1, 64, 4), dtype=np.uint8)
+    one_col = rng.integers(0, 256, size=(48, 1, 4), dtype=np.uint8)
+    return [
+        ("ui", ui), ("photo", photo), ("grad", grad), ("flat", flat),
+        ("tiny", tiny), ("one_row", one_row), ("one_col", one_col),
+    ]
+
+
+class TestFilterEquivalence:
+    @pytest.mark.parametrize("filter_type", ALL_FILTERS)
+    def test_apply_filter_matches_scalar(self, filter_type):
+        rng = _rng(filter_type)
+        row = rng.integers(0, 256, 64 * BPP, dtype=np.uint8)
+        prev = rng.integers(0, 256, 64 * BPP, dtype=np.uint8)
+        got = apply_filter(filter_type, row, prev)
+        want = scalar_apply_filter(filter_type, row, prev)
+        assert got.tolist() == want.tolist()
+
+    @pytest.mark.parametrize("filter_type", ALL_FILTERS)
+    def test_apply_filter_row0(self, filter_type):
+        # Row 0: the prev scanline is all zeros by spec.
+        row = _rng(filter_type + 10).integers(0, 256, 32 * BPP, dtype=np.uint8)
+        zeros = np.zeros_like(row)
+        got = apply_filter(filter_type, row, zeros)
+        want = scalar_apply_filter(filter_type, row, zeros)
+        assert got.tolist() == want.tolist()
+
+    @pytest.mark.parametrize("filter_type", ALL_FILTERS)
+    def test_undo_filter_matches_scalar(self, filter_type):
+        rng = _rng(filter_type + 20)
+        filtered = rng.integers(0, 256, 64 * BPP, dtype=np.uint8)
+        prev = rng.integers(0, 256, 64 * BPP, dtype=np.uint8)
+        got = undo_filter(filter_type, filtered, prev)
+        want = scalar_undo_filter(filter_type, filtered, prev)
+        assert got.tolist() == want.tolist()
+
+    @pytest.mark.parametrize("filter_type", ALL_FILTERS)
+    def test_undo_filter_row0(self, filter_type):
+        filtered = _rng(filter_type + 30).integers(
+            0, 256, 32 * BPP, dtype=np.uint8
+        )
+        zeros = np.zeros_like(filtered)
+        got = undo_filter(filter_type, filtered, zeros)
+        want = scalar_undo_filter(filter_type, filtered, zeros)
+        assert got.tolist() == want.tolist()
+
+    @pytest.mark.parametrize("filter_type", ALL_FILTERS)
+    def test_roundtrip_per_row(self, filter_type):
+        rng = _rng(filter_type + 40)
+        row = rng.integers(0, 256, 48 * BPP, dtype=np.uint8)
+        prev = rng.integers(0, 256, 48 * BPP, dtype=np.uint8)
+        filtered = apply_filter(filter_type, row, prev)
+        assert undo_filter(filter_type, filtered, prev).tolist() == row.tolist()
+
+    def test_choose_filter_matches_scalar(self):
+        rng = _rng(50)
+        for _ in range(8):
+            row = rng.integers(0, 256, 40 * BPP, dtype=np.uint8)
+            prev = rng.integers(0, 256, 40 * BPP, dtype=np.uint8)
+            got_t, got_row = choose_filter(row, prev)
+            want_t, want_row = scalar_choose_filter(row, prev)
+            assert got_t == want_t
+            assert got_row.tolist() == want_row.tolist()
+
+    def test_choose_filter_tie_breaks_to_lower_type(self):
+        # A constant row ties None/Sub/Up/Average/Paeth scores in
+        # various ways; both paths must resolve ties identically.
+        row = np.zeros(16 * BPP, dtype=np.uint8)
+        prev = np.zeros_like(row)
+        got_t, _ = choose_filter(row, prev)
+        want_t, _ = scalar_choose_filter(row, prev)
+        assert got_t == want_t
+
+
+class TestWholeImageEquivalence:
+    @pytest.mark.parametrize("name,img", _corpus())
+    def test_filter_image_matches_scalar_rows(self, name, img):
+        h = img.shape[0]
+        rows = img.reshape(h, -1)
+        filtered = filter_image(rows)
+        prev = np.zeros(rows.shape[1], dtype=np.uint8)
+        for y in range(h):
+            want_t, want_row = scalar_choose_filter(rows[y], prev)
+            assert int(filtered[y, 0]) == want_t, f"{name} row {y}"
+            assert filtered[y, 1:].tolist() == want_row.tolist()
+            prev = rows[y]
+
+    @pytest.mark.parametrize("name,img", _corpus())
+    def test_unfilter_image_matches_scalar(self, name, img):
+        h, w = img.shape[:2]
+        rows = img.reshape(h, -1)
+        filtered = filter_image(rows)
+        raw = filtered.tobytes()
+        want = unfilter_rows_scalar(raw, h, w * BPP)
+        got = unfilter_image(filtered[:, 0], filtered[:, 1:])
+        assert got.tolist() == want.tolist()
+        assert got.tolist() == rows.tolist()
+
+    @pytest.mark.parametrize("filter_type", ALL_FILTERS)
+    def test_unfilter_single_forced_filter(self, filter_type):
+        # Every row forced to one filter exercises each batched kernel
+        # (and the Up-run / Sub-batch fast paths) in isolation.
+        img = _rng(filter_type + 60).integers(
+            0, 256, size=(12, 16, 4), dtype=np.uint8
+        )
+        rows = img.reshape(12, -1)
+        filtered = filter_image(rows, adaptive_filter=False,
+                                fixed_filter=filter_type)
+        assert (filtered[:, 0] == filter_type).all()
+        got = unfilter_image(filtered[:, 0], filtered[:, 1:])
+        assert got.tolist() == rows.tolist()
+
+    def test_unfilter_rejects_unknown_type(self):
+        types = np.array([0, 5], dtype=np.uint8)
+        filtered = np.zeros((2, 4 * BPP), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            unfilter_image(types, filtered)
+
+    def test_workspace_reuse_is_stateless(self):
+        # Two different images through the same cached workspace must
+        # not leak state between calls.
+        rng = _rng(70)
+        img1 = rng.integers(0, 256, size=(20, 24, 4), dtype=np.uint8)
+        img2 = rng.integers(0, 256, size=(20, 24, 4), dtype=np.uint8)
+        rows1, rows2 = img1.reshape(20, -1), img2.reshape(20, -1)
+        first = filter_image(rows1).copy()
+        filter_image(rows2)
+        again = filter_image(rows1)
+        assert first.tolist() == again.tolist()
+
+
+class TestEncodeEquivalence:
+    @pytest.mark.parametrize("name,img", _corpus())
+    def test_encode_png_identical_to_scalar(self, name, img):
+        assert encode_png(img) == encode_png_scalar(img)
+
+    @pytest.mark.parametrize("name,img", _corpus())
+    def test_roundtrip_exact(self, name, img):
+        assert (decode_png(encode_png(img)) == img).all()
+
+    @pytest.mark.parametrize("filter_type", ALL_FILTERS)
+    def test_fixed_filter_identical_to_scalar(self, filter_type):
+        img = _rng(filter_type + 80).integers(
+            0, 256, size=(10, 12, 4), dtype=np.uint8
+        )
+        got = encode_png(img, adaptive_filter=False, fixed_filter=filter_type)
+        want = encode_png_scalar(
+            img, adaptive_filter=False, fixed_filter=filter_type
+        )
+        assert got == want
+        assert (decode_png(got) == img).all()
+
+    def test_non_contiguous_input(self):
+        base = _rng(90).integers(0, 256, size=(24, 40, 4), dtype=np.uint8)
+        view = base[::2, ::2]  # non-contiguous slices
+        assert not view.flags.c_contiguous
+        assert encode_png(view) == encode_png_scalar(
+            np.ascontiguousarray(view)
+        )

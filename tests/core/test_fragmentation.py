@@ -309,3 +309,61 @@ class TestPartialExpiry:
         assert snap["counters"][
             "reassembly.updates_dropped{reason=expired}"
         ] == 1
+
+
+class TestExpiryBeforeParse:
+    def test_malformed_payload_still_expires_stale_partial(self):
+        """expire() must run before payload parsing: a malformed packet
+        (which raises out of push) must not leave an already-expired
+        partial resident, where it would absorb later continuations."""
+        from repro.core.errors import ProtocolError
+        from repro.rtp.clock import SimulatedClock
+
+        clock = SimulatedClock()
+        reassembler = UpdateReassembler(now=clock.now, max_partial_age=1.0)
+        frags = fragments_for(bytes(300), max_payload=64)
+        reassembler.push(frags[0].payload, frags[0].marker, 1,
+                         sequence_number=10)
+        assert reassembler.has_partial
+        clock.advance(5.0)  # partial is now past its deadline
+        with pytest.raises(ProtocolError):
+            reassembler.push(b"\x01", False, 1, sequence_number=11)
+        assert not reassembler.has_partial
+        assert reassembler.drops_by_reason["expired"] == 1
+
+
+class TestLateSequenceAdoption:
+    def test_continuation_seq_adopted_after_none_start(self):
+        """A START without a sequence number followed by numbered
+        continuations: numbering is adopted at the first numbered
+        fragment, so a later gap is caught instead of spliced."""
+        reassembler = UpdateReassembler()
+        data_a = bytes([1]) * 300
+        data_b = bytes([2]) * 300
+        a = fragments_for(data_a, max_payload=64)
+        b = fragments_for(data_b, max_payload=64)
+        assert len(a) >= 3
+        # START arrives from a path that cannot supply numbering.
+        reassembler.push(a[0].payload, a[0].marker, 5)
+        # Numbered continuation: its numbering should now bind.
+        reassembler.push(a[1].payload, a[1].marker, 5, sequence_number=101)
+        # A same-timestamp continuation from another update with a gap
+        # must now drop the partial rather than splice.
+        result = reassembler.push(
+            b[2].payload, b[2].marker, 5, sequence_number=150
+        )
+        assert result is None
+        assert reassembler.drops_by_reason["sequence_gap"] == 1
+        assert not reassembler.has_partial
+
+    def test_adopted_numbering_allows_contiguous_finish(self):
+        reassembler = UpdateReassembler()
+        data = bytes(range(256)) * 2
+        frags = fragments_for(data, max_payload=64)
+        reassembler.push(frags[0].payload, frags[0].marker, 5)
+        result = None
+        for seq, frag in enumerate(frags[1:], start=201):
+            result = reassembler.push(
+                frag.payload, frag.marker, 5, sequence_number=seq
+            )
+        assert result is not None and result.data == data

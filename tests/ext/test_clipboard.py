@@ -55,7 +55,7 @@ class TestRegistryIntegration:
 class TestEndToEnd:
     def _session(self, with_extension: bool):
         clock = SimulatedClock()
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         ah.windows.create_window(Rect(0, 0, 100, 100))
         clipboard = ClipboardSync()
         participant = tcp_pair(clock, ah)

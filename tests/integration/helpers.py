@@ -30,7 +30,7 @@ def tcp_pair(
     participant = Participant(
         participant_id,
         StreamTransport(link.backward, link.forward),
-        now=clock.now,
+        clock=clock.now,
         config=ah.config,
         layout=layout,
         screen_width=screen[0],
@@ -82,7 +82,7 @@ def udp_pair(
     participant = Participant(
         participant_id,
         DatagramTransport(link.backward, link.forward),
-        now=clock.now,
+        clock=clock.now,
         config=ah.config,
         reorder_wait=reorder_wait,
         instrumentation=instrumentation,

@@ -22,7 +22,7 @@ def clock():
 
 class TestSingleParticipantTcp:
     def test_initial_sync_pixel_exact(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(220, 150, 350, 450), group_id=1)
         editor = TextEditorApp(win)
         editor.type_text("INITIAL STATE")
@@ -33,7 +33,7 @@ class TestSingleParticipantTcp:
         assert participant.z_order == ah.windows.window_ids()
 
     def test_incremental_updates_converge(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(0, 0, 300, 200))
         editor = TextEditorApp(win)
         ah.apps.attach(editor)
@@ -48,7 +48,7 @@ class TestSingleParticipantTcp:
         assert participant.updates_applied > 5
 
     def test_window_lifecycle_propagates(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         first = ah.windows.create_window(Rect(0, 0, 100, 100))
         participant = tcp_pair(clock, ah)
         settle(clock, ah, [participant], 30)
@@ -65,7 +65,7 @@ class TestSingleParticipantTcp:
         assert set(participant.windows) == {second.window_id}
 
     def test_move_and_resize_propagate(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(0, 0, 100, 100))
         participant = tcp_pair(clock, ah)
         settle(clock, ah, [participant], 30)
@@ -79,7 +79,7 @@ class TestSingleParticipantTcp:
         assert participant.converged_with(ah.windows)
 
     def test_z_order_change_propagates(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         a = ah.windows.create_window(Rect(0, 0, 100, 100))
         b = ah.windows.create_window(Rect(50, 50, 100, 100))
         participant = tcp_pair(clock, ah)
@@ -92,7 +92,7 @@ class TestSingleParticipantTcp:
 
 class TestHipRoundTrip:
     def test_remote_typing_appears_on_ah(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(100, 100, 400, 300))
         editor = TextEditorApp(win)
         ah.apps.attach(editor)
@@ -109,7 +109,7 @@ class TestHipRoundTrip:
         # Lossless-only so the photographic content still converges
         # pixel-exact (adaptive lossy is exercised separately below).
         ah = ApplicationHost(
-            config=SharingConfig(adaptive_codec=False), now=clock.now
+            config=SharingConfig(adaptive_codec=False), clock=clock.now
         )
         win = ah.windows.create_window(Rect(0, 0, 320, 240))
         viewer = PhotoViewerApp(win)
@@ -125,7 +125,7 @@ class TestHipRoundTrip:
     def test_adaptive_lossy_close_but_inexact_on_photos(self, clock):
         """With adaptive codecs on, photo content arrives lossily —
         visually close (small mean error) but not bit-exact."""
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(0, 0, 320, 240))
         ah.apps.attach(PhotoViewerApp(win))
         participant = tcp_pair(clock, ah)
@@ -135,7 +135,7 @@ class TestHipRoundTrip:
         assert local.surface.mean_abs_error(win.surface) < 6.0
 
     def test_out_of_window_event_rejected_at_ah(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(100, 100, 50, 50))
         editor = TextEditorApp(win)
         ah.apps.attach(editor)
@@ -146,7 +146,7 @@ class TestHipRoundTrip:
         assert ah.injector.stats.rejected_out_of_window == 1
 
     def test_wheel_round_trip(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(0, 0, 320, 240))
         viewer = PhotoViewerApp(win)
         ah.apps.attach(viewer)
@@ -160,7 +160,7 @@ class TestHipRoundTrip:
 class TestMultiParticipant:
     def test_three_participants_with_different_layouts(self, clock):
         """Figures 3-5: same session, three layout policies."""
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         for rect, group in (
             (Rect(220, 150, 350, 450), 1),
             (Rect(850, 320, 160, 150), 2),
@@ -186,7 +186,7 @@ class TestMultiParticipant:
         same-process windows together, mid-session."""
         from repro.sharing.layout import GroupedLayout
 
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         a = ah.windows.create_window(Rect(220, 150, 120, 100), group_id=1)
         b = ah.windows.create_window(Rect(280, 230, 120, 100), group_id=1)
         c = ah.windows.create_window(Rect(850, 320, 120, 100), group_id=2)
@@ -203,7 +203,7 @@ class TestMultiParticipant:
 
     def test_mixed_tcp_udp_session(self, clock):
         """Section 4.2: TCP and UDP participants in one session."""
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(0, 0, 200, 150))
         term = TerminalApp(win)
         ah.apps.attach(term)
@@ -224,7 +224,7 @@ class TestMultiParticipant:
 class TestPointerModels:
     def test_explicit_pointer_reaches_participant(self, clock):
         config = SharingConfig(pointer_mode=PointerMode.EXPLICIT)
-        ah = ApplicationHost(config=config, now=clock.now)
+        ah = ApplicationHost(config=config, clock=clock.now)
         win = ah.windows.create_window(Rect(0, 0, 300, 300))
         board_app = __import__(
             "repro.apps.whiteboard", fromlist=["WhiteboardApp"]
@@ -239,7 +239,7 @@ class TestPointerModels:
 
     def test_in_band_pointer_mode_sends_no_pointer_messages(self, clock):
         config = SharingConfig(pointer_mode=PointerMode.IN_BAND)
-        ah = ApplicationHost(config=config, now=clock.now)
+        ah = ApplicationHost(config=config, clock=clock.now)
         ah.windows.create_window(Rect(0, 0, 100, 100))
         participant = tcp_pair(clock, ah)
         settle(clock, ah, [participant], 40)

@@ -17,7 +17,7 @@ def clock():
 
 
 def editor_session(clock, config=None):
-    ah = ApplicationHost(config=config or SharingConfig(), now=clock.now)
+    ah = ApplicationHost(config=config or SharingConfig(), clock=clock.now)
     win = ah.windows.create_window(Rect(50, 50, 400, 300))
     editor = TextEditorApp(win)
     ah.apps.attach(editor)

@@ -42,7 +42,7 @@ def multicast_session(clock, ah, names, loss_rate=0.0):
         feedback_links[name] = feedback
         transport = MulticastReceiverTransport(member_channel, feedback.backward)
         participant = Participant(
-            name, transport, now=clock.now, config=ah.config,
+            name, transport, clock=clock.now, config=ah.config,
         )
         participants.append(participant)
     return group, participants, feedback_links
@@ -50,7 +50,7 @@ def multicast_session(clock, ah, names, loss_rate=0.0):
 
 class TestMulticastSession:
     def test_one_send_many_receivers(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(0, 0, 250, 180))
         editor = TextEditorApp(win)
         ah.apps.attach(editor)
@@ -85,7 +85,7 @@ class TestMulticastSession:
 class TestFloorControlledSession:
     def test_only_floor_holder_controls(self, clock):
         floor_server = FloorControlServer()
-        ah = ApplicationHost(now=clock.now, floor_check=floor_server.floor_check)
+        ah = ApplicationHost(clock=clock.now, floor_check=floor_server.floor_check)
         win = ah.windows.create_window(Rect(0, 0, 400, 300))
         editor = TextEditorApp(win)
         ah.apps.attach(editor)
@@ -102,7 +102,7 @@ class TestFloorControlledSession:
 
     def test_floor_handover(self, clock):
         floor_server = FloorControlServer()
-        ah = ApplicationHost(now=clock.now, floor_check=floor_server.floor_check)
+        ah = ApplicationHost(clock=clock.now, floor_check=floor_server.floor_check)
         win = ah.windows.create_window(Rect(0, 0, 400, 300))
         editor = TextEditorApp(win)
         ah.apps.attach(editor)
@@ -123,7 +123,7 @@ class TestFloorControlledSession:
         """Appendix A: the AH may temporarily block HID events without
         revoking the floor."""
         floor_server = FloorControlServer()
-        ah = ApplicationHost(now=clock.now, floor_check=floor_server.floor_check)
+        ah = ApplicationHost(clock=clock.now, floor_check=floor_server.floor_check)
         win = ah.windows.create_window(Rect(0, 0, 400, 300))
         editor = TextEditorApp(win)
         ah.apps.attach(editor)

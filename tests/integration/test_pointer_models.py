@@ -25,7 +25,7 @@ def clock():
 
 def pointer_session(clock, mode: PointerMode):
     config = SharingConfig(pointer_mode=mode, adaptive_codec=False)
-    ah = ApplicationHost(config=config, now=clock.now)
+    ah = ApplicationHost(config=config, clock=clock.now)
     win = ah.windows.create_window(Rect(100, 100, 400, 300))
     ah.apps.attach(WhiteboardApp(win))
     participant = tcp_pair(clock, ah)

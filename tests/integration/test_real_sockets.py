@@ -43,14 +43,14 @@ class TestRealTcp:
                 time.sleep(0.001)
             assert server_conn is not None
             try:
-                ah = ApplicationHost(now=monotonic_now)
+                ah = ApplicationHost(clock=monotonic_now)
                 win = ah.windows.create_window(Rect(10, 10, 200, 150))
                 editor = TextEditorApp(win)
                 ah.apps.attach(editor)
                 participant = Participant(
                     "tcp-live",
                     TcpSocketTransport(client_conn),
-                    now=monotonic_now,
+                    clock=monotonic_now,
                     config=ah.config,
                 )
                 ah.add_participant(
@@ -79,7 +79,7 @@ class TestDisconnect:
                     server_conn = conns[0]
                 time.sleep(0.001)
             assert server_conn is not None
-            ah = ApplicationHost(now=monotonic_now)
+            ah = ApplicationHost(clock=monotonic_now)
             ah.windows.create_window(Rect(0, 0, 80, 60))
             ah.add_participant("leaver", TcpSocketTransport(server_conn))
             assert "leaver" in ah.sessions
@@ -95,7 +95,7 @@ class TestDisconnect:
 class TestRealUdp:
     def test_session_over_loopback_udp(self):
         with UdpEndpoint() as ah_sock, UdpEndpoint() as p_sock:
-            ah = ApplicationHost(now=monotonic_now)
+            ah = ApplicationHost(clock=monotonic_now)
             win = ah.windows.create_window(Rect(0, 0, 160, 120))
             editor = TextEditorApp(win)
             ah.apps.attach(editor)
@@ -105,7 +105,7 @@ class TestRealUdp:
             participant = Participant(
                 "udp-live",
                 UdpSocketTransport(p_sock, ah_sock.address),
-                now=monotonic_now,
+                clock=monotonic_now,
                 config=ah.config,
                 reorder_wait=0.05,
             )

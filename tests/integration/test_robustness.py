@@ -33,7 +33,7 @@ def raw_link(clock):
     link = duplex_reliable(ChannelConfig(delay=0.0), clock.now)
     feeder = StreamTransport(link.forward, link.backward)
     participant = Participant(
-        "victim", StreamTransport(link.backward, link.forward), now=clock.now
+        "victim", StreamTransport(link.backward, link.forward), clock=clock.now
     )
     return feeder, participant
 
@@ -83,7 +83,7 @@ class TestAhRobustness:
     @settings(max_examples=50)
     def test_garbage_to_ah(self, payloads):
         clock = SimulatedClock()
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         ah.windows.create_window(Rect(0, 0, 50, 50))
         link = duplex_reliable(ChannelConfig(delay=0.0), clock.now)
         ah.add_participant("p1", StreamTransport(link.forward, link.backward))
@@ -96,7 +96,7 @@ class TestAhRobustness:
     @settings(max_examples=50)
     def test_hip_shaped_garbage(self, body):
         clock = SimulatedClock()
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         ah.windows.create_window(Rect(0, 0, 50, 50))
         link = duplex_reliable(ChannelConfig(delay=0.0), clock.now)
         ah.add_participant("p1", StreamTransport(link.forward, link.backward))
@@ -110,7 +110,7 @@ class TestAhRobustness:
             pytest.fail(f"AH crashed on malformed HIP input: {exc!r}")
 
     def test_rtcp_shaped_garbage(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         link = duplex_reliable(ChannelConfig(delay=0.0), clock.now)
         ah.add_participant("p1", StreamTransport(link.forward, link.backward))
         attacker = StreamTransport(link.backward, link.forward)
@@ -123,7 +123,7 @@ class TestAhRobustness:
 class TestSessionSurvivesChaos:
     def test_session_keeps_working_after_garbage(self, clock):
         """A session hit by garbage keeps converging afterwards."""
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(0, 0, 200, 150))
         editor = TextEditorApp(win)
         ah.apps.attach(editor)

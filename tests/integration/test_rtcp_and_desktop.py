@@ -20,7 +20,7 @@ def clock():
 
 class TestPeriodicRtcp:
     def test_reports_flow_both_ways(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(0, 0, 200, 150))
         editor = TextEditorApp(win)
         ah.apps.attach(editor)
@@ -37,7 +37,7 @@ class TestPeriodicRtcp:
         assert participant.reporter.reports_sent >= 2
 
     def test_participant_rr_reflects_loss(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(0, 0, 200, 150))
         editor = TextEditorApp(win)
         ah.apps.attach(editor)
@@ -59,7 +59,7 @@ class TestPeriodicRtcp:
         stream once the participant has sent events."""
         from repro.rtp.rtcp import decode_compound
 
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(0, 0, 200, 150))
         editor = TextEditorApp(win)
         ah.apps.attach(editor)
@@ -75,7 +75,7 @@ class TestPeriodicRtcp:
         assert blocks[0].ssrc == participant.hip_sender.ssrc
 
     def test_participant_learns_sr_timebase(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         ah.windows.create_window(Rect(0, 0, 100, 100))
         participant = tcp_pair(clock, ah)
         run_session(clock, ah, [participant], 1000)
@@ -87,7 +87,7 @@ class TestPeriodicRtcp:
 class TestDesktopSharing:
     def test_share_desktop_single_full_screen_window(self, clock):
         ah = ApplicationHost(
-            screen_width=800, screen_height=600, now=clock.now
+            screen_width=800, screen_height=600, clock=clock.now
         )
         desktop = ah.share_desktop()
         assert desktop.rect == Rect(0, 0, 800, 600)
@@ -98,7 +98,7 @@ class TestDesktopSharing:
     def test_desktop_updates_propagate(self, clock):
         ah = ApplicationHost(
             screen_width=640, screen_height=480,
-            config=SharingConfig(adaptive_codec=False), now=clock.now
+            config=SharingConfig(adaptive_codec=False), clock=clock.now
         )
         desktop = ah.share_desktop()
         participant = tcp_pair(clock, ah, screen=(640, 480))

@@ -54,7 +54,7 @@ class TestUnpredictableInitialValues:
 
 class TestInputValidationSurface:
     def test_event_outside_every_window_never_reaches_app(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(500, 500, 100, 100))
         editor = TextEditorApp(win)
         ah.apps.attach(editor)
@@ -69,7 +69,7 @@ class TestInputValidationSurface:
         assert ah.injector.stats.rejected_out_of_window == 5
 
     def test_events_for_closed_window_rejected(self, clock):
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         win = ah.windows.create_window(Rect(0, 0, 100, 100))
         editor = TextEditorApp(win)
         ah.apps.attach(editor)
@@ -87,7 +87,7 @@ class TestInputValidationSurface:
         """With BFCP wired, a participant who never requested the floor
         controls nothing — deny is the default state."""
         floor = FloorControlServer()
-        ah = ApplicationHost(now=clock.now, floor_check=floor.floor_check)
+        ah = ApplicationHost(clock=clock.now, floor_check=floor.floor_check)
         win = ah.windows.create_window(Rect(0, 0, 200, 150))
         editor = TextEditorApp(win)
         ah.apps.attach(editor)
@@ -137,7 +137,7 @@ class TestResourceBounds:
 
     def test_recovery_state_pruned(self, clock):
         """The participant's recovery-manager maps cannot grow unboundedly."""
-        ah = ApplicationHost(now=clock.now)
+        ah = ApplicationHost(clock=clock.now)
         ah.windows.create_window(Rect(0, 0, 50, 50))
         from .helpers import udp_pair
 

@@ -30,7 +30,7 @@ class SessionMachine(RuleBasedStateMachine):
             screen_width=SCREEN_W,
             screen_height=SCREEN_H,
             config=SharingConfig(adaptive_codec=False),
-            now=self.clock.now,
+            clock=self.clock.now,
         )
         link = duplex_reliable(ChannelConfig(delay=0.0), self.clock.now)
         self.ah.add_participant(
@@ -39,7 +39,7 @@ class SessionMachine(RuleBasedStateMachine):
         self.participant = Participant(
             "p",
             StreamTransport(link.backward, link.forward),
-            now=self.clock.now,
+            clock=self.clock.now,
             config=self.ah.config,
             screen_width=SCREEN_W,
             screen_height=SCREEN_H,

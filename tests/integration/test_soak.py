@@ -97,7 +97,7 @@ class RandomDriver:
 @pytest.mark.parametrize("seed", [1, 7, 42])
 def test_soak_tcp(seed):
     clock = SimulatedClock()
-    ah = ApplicationHost(now=clock.now, config=SharingConfig(adaptive_codec=False))
+    ah = ApplicationHost(clock=clock.now, config=SharingConfig(adaptive_codec=False))
     window = ah.windows.create_window(Rect(50, 50, 300, 200))
     ah.apps.attach(TextEditorApp(window))
     participant = tcp_pair(clock, ah)
@@ -118,7 +118,7 @@ def test_soak_tcp(seed):
 @pytest.mark.parametrize("seed", [3, 11])
 def test_soak_udp_with_loss(seed):
     clock = SimulatedClock()
-    ah = ApplicationHost(now=clock.now, config=SharingConfig(adaptive_codec=False))
+    ah = ApplicationHost(clock=clock.now, config=SharingConfig(adaptive_codec=False))
     window = ah.windows.create_window(Rect(50, 50, 300, 200))
     ah.apps.attach(TextEditorApp(window))
     participant = udp_pair(clock, ah, loss_rate=0.05, seed=seed)
@@ -135,7 +135,7 @@ def test_soak_udp_with_loss(seed):
 
 def test_soak_two_participants_mixed():
     clock = SimulatedClock()
-    ah = ApplicationHost(now=clock.now, config=SharingConfig(adaptive_codec=False))
+    ah = ApplicationHost(clock=clock.now, config=SharingConfig(adaptive_codec=False))
     window = ah.windows.create_window(Rect(50, 50, 300, 200))
     ah.apps.attach(TextEditorApp(window))
     tcp_p = tcp_pair(clock, ah, "tcp")

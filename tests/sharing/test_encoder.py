@@ -46,7 +46,9 @@ class TestEncodeOps:
         packets = encoder.encode_move(move, 0.0)
         assert len(packets) == 1
         assert packets[0].packet.payload[0] == MSG_MOVE_RECTANGLE
-        assert not packets[0].packet.marker
+        # Table 2: single-packet messages carry marker=1 (Not
+        # Fragmented); marker=0 would read as Start Fragment.
+        assert packets[0].packet.marker
 
     def test_small_update_one_packet_marker_set(self, encoder):
         update = UpdateOp(1, 5, 6, white_pixels(8, 8))
@@ -153,3 +155,78 @@ class TestEncodeFrame:
         assert encoder.stats.window_info.packets == 1
         assert encoder.stats.region_update.packets >= 1
         assert encoder.stats.total_wire_bytes() > 0
+
+
+class TestTable2MarkerBits:
+    """Single-packet messages must carry marker=1 (Table 2).
+
+    marker=1 + FirstPacket=1 decodes as Not Fragmented; emitting
+    marker=0 on a single-packet message reads as Start Fragment and
+    strands the receiver's reassembler waiting for a tail that never
+    comes.
+    """
+
+    def test_window_info_marker_set(self, encoder):
+        info = WindowManagerInfo((WindowRecord(1, 0, 0, 0, 10, 10),))
+        (stamped,) = encoder.encode_window_info(info, 0.0)
+        assert stamped.packet.marker
+
+    def test_move_marker_set(self, encoder):
+        (stamped,) = encoder.encode_move(MoveOp(1, 0, 0, 10, 10, 5, 5), 0.0)
+        assert stamped.packet.marker
+
+    def test_single_packet_update_is_not_fragmented(self, encoder):
+        from repro.core.fragmentation import FragmentType
+        from repro.core.header import unpack_update_parameter
+
+        (stamped,) = encoder.encode_update(
+            UpdateOp(1, 0, 0, white_pixels(8, 8)), 0.0
+        )
+        first, _pt = unpack_update_parameter(stamped.packet.payload[1])
+        assert (
+            FragmentType.from_bits(stamped.packet.marker, first)
+            is FragmentType.NOT_FRAGMENTED
+        )
+
+    def test_single_packet_pointer_is_not_fragmented(self, encoder):
+        from repro.core.fragmentation import FragmentType
+        from repro.core.header import unpack_update_parameter
+
+        (stamped,) = encoder.encode_pointer(PointerOp(3, 4, None), 0.0)
+        first, _pt = unpack_update_parameter(stamped.packet.payload[1])
+        assert (
+            FragmentType.from_bits(stamped.packet.marker, first)
+            is FragmentType.NOT_FRAGMENTED
+        )
+
+    def test_fragmented_update_start_and_end_bits(self, encoder):
+        from repro.core.fragmentation import FragmentType
+        from repro.core.header import unpack_update_parameter
+
+        packets = encoder.encode_update(
+            UpdateOp(1, 0, 0, synthetic_photo(80, 80, seed=1)), 0.0
+        )
+        assert len(packets) > 2
+        kinds = []
+        for stamped in packets:
+            first, _pt = unpack_update_parameter(stamped.packet.payload[1])
+            kinds.append(FragmentType.from_bits(stamped.packet.marker, first))
+        assert kinds[0] is FragmentType.START
+        assert kinds[-1] is FragmentType.END
+        assert all(k is FragmentType.CONTINUATION for k in kinds[1:-1])
+
+    def test_reassembler_accepts_every_single_packet_shape(self, encoder):
+        """End-to-end: each single-packet message type round-trips
+        through the Table 2 decode path without stranding a partial."""
+        reassembler = UpdateReassembler(MSG_REGION_UPDATE)
+        (stamped,) = encoder.encode_update(
+            UpdateOp(1, 0, 0, white_pixels(8, 8)), 0.0
+        )
+        done = reassembler.push(
+            stamped.packet.payload,
+            stamped.packet.marker,
+            stamped.packet.timestamp,
+            sequence_number=stamped.packet.sequence_number,
+        )
+        assert done is not None
+        assert done.fragment_count == 1

@@ -30,7 +30,7 @@ def wired(clock):
     participant = Participant(
         "p1",
         StreamTransport(link.backward, link.forward),
-        now=clock.now,
+        clock=clock.now,
         config=SharingConfig(),
     )
     sender = RtpSender(PT_REMOTING, ssrc=7, now=clock.now)
@@ -183,3 +183,15 @@ class TestHipSendPath:
         participant.type_text(1, "x" * 5000)
         packets = feeder.receive_packets()
         assert len(packets) > 1
+
+    def test_hip_messages_carry_marker(self, wired, clock):
+        # Single-packet HIP messages are Not Fragmented per Table 2:
+        # the marker bit must be set.
+        participant, feeder, _sender = wired
+        sender = RtpSender(PT_REMOTING, ssrc=9, now=clock.now)
+        feeder.send_packet(sender.next_packet(wmi(REC)).encode())
+        participant.process_incoming()
+        participant.click(1, 5, 5)
+        packets = [RtpPacket.decode(p) for p in feeder.receive_packets()]
+        assert packets
+        assert all(p.marker for p in packets)

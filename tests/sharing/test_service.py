@@ -16,7 +16,7 @@ from repro.surface.geometry import Rect
 @pytest.fixture
 def setup():
     clock = SimulatedClock()
-    ah = ApplicationHost(now=clock.now)
+    ah = ApplicationHost(clock=clock.now)
     window = ah.windows.create_window(Rect(10, 10, 200, 150))
     editor = TextEditorApp(window)
     ah.apps.attach(editor)
