@@ -1,0 +1,178 @@
+"""Asyncio SessionServer capacity benchmark + regression gate.
+
+Hosts ``--sessions`` concurrent sharing sessions (default 220) inside
+one :class:`repro.sharing.server.SessionServer`, joins one SIP-signalled
+participant to each, then drives a scrolling-terminal workload for
+``--sim-seconds`` of shared virtual time.  Headline numbers:
+
+* ``sessions_per_core`` — session-seconds of simulation delivered per
+  core-second of CPU (``sessions * sim_seconds / cpu_seconds``); the
+  hardware-robust capacity figure the gate rides on.
+* ``p95_update_s`` — 95th-percentile update.sent→update.applied latency
+  in *virtual* time, reconstructed from the obs trace; this measures
+  protocol behaviour, not host speed, so it is near-deterministic.
+* ``converged`` — sessions whose participant is pixel-exact at the end.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_session_server.py \
+        --json BENCH_sessions.new.json --baseline BENCH_sessions.json
+
+Exits non-zero when the run hosts fewer sessions than the baseline's
+``gate.min_sessions``, delivers less than ``gate.min_sessions_per_core``,
+or exceeds ``gate.max_p95_update_s``.  Refresh the committed seed with
+``--json BENCH_sessions.json`` (no ``--baseline``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.terminal import TerminalApp  # noqa: E402
+from repro.obs import Instrumentation  # noqa: E402
+from repro.sharing import SharingConfig  # noqa: E402
+from repro.sharing.server import SessionServer  # noqa: E402
+from repro.surface.geometry import Rect  # noqa: E402
+
+TICK = 0.05  # virtual seconds advanced per scheduling round
+LINE_EVERY = 0.5  # terminal output cadence, virtual seconds
+
+
+async def run_bench(sessions: int, sim_seconds: float, obs) -> dict:
+    async with SessionServer(tick=TICK, obs=obs) as server:
+        t_host0 = time.perf_counter()
+        apps = []
+        for _ in range(sessions):
+            code = server.host(
+                screen_width=160,
+                screen_height=120,
+                config=SharingConfig(adaptive_codec=False),
+            )
+            session = server.session(code)
+            window = session.ah.windows.create_window(Rect(4, 4, 140, 100))
+            terminal = TerminalApp(window)
+            session.ah.apps.attach(terminal)
+            apps.append((code, terminal))
+        joined = await asyncio.gather(
+            *(server.join(code, "viewer", timeout=30) for code, _ in apps)
+        )
+        host_join_wall = time.perf_counter() - t_host0
+
+        t_end = server.clock.now() + sim_seconds
+        next_line = server.clock.now()
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        while server.clock.now() < t_end:
+            if server.clock.now() >= next_line:
+                stamp = f"[{server.clock.now():6.2f}] build output line"
+                for _, terminal in apps:
+                    terminal.append_line(stamp)
+                next_line += LINE_EVERY
+            await asyncio.sleep(0)
+        wall = time.perf_counter() - wall0
+        cpu = time.process_time() - cpu0
+
+        converged = sum(
+            1
+            for (code, _), j in zip(apps, joined)
+            if j.participant.converged_with(server.session(code).ah.windows)
+        )
+        latency = obs.update_latencies()
+        return {
+            "sessions": sessions,
+            "sim_seconds": sim_seconds,
+            "host_join_wall_s": host_join_wall,
+            "run_wall_s": wall,
+            "run_cpu_s": cpu,
+            "sessions_per_core": sessions * sim_seconds / cpu,
+            "sessions_per_wall": sessions * sim_seconds / wall,
+            "p95_update_s": latency.percentile(95),
+            "mean_update_s": latency.mean(),
+            "update_samples": latency.count,
+            "converged": converged,
+        }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write results to this path")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed BENCH_sessions.json to gate against")
+    parser.add_argument("--sessions", type=int, default=220)
+    parser.add_argument("--sim-seconds", type=float, default=5.0)
+    args = parser.parse_args(argv)
+
+    obs = Instrumentation()
+    run = asyncio.run(run_bench(args.sessions, args.sim_seconds, obs))
+    results = {
+        "bench": "session-server",
+        "gate": {
+            "min_sessions": 200,
+            "min_sessions_per_core": 60.0,
+            "max_p95_update_s": 0.5,
+        },
+        "run": run,
+    }
+
+    print(
+        f"{run['sessions']} sessions x {run['sim_seconds']:.1f}s virtual:"
+        f" hosted+joined in {run['host_join_wall_s']:.2f}s wall"
+    )
+    print(
+        f"  capacity: {run['sessions_per_core']:.1f} session-s/core-s"
+        f" ({run['sessions_per_wall']:.1f} per wall-s,"
+        f" cpu {run['run_cpu_s']:.2f}s / wall {run['run_wall_s']:.2f}s)"
+    )
+    print(
+        f"  update latency: p95 {run['p95_update_s'] * 1e3:.1f} ms"
+        f" (mean {run['mean_update_s'] * 1e3:.1f} ms,"
+        f" n={run['update_samples']})"
+    )
+    print(f"  converged: {run['converged']}/{run['sessions']}")
+
+    if args.json:
+        args.json.write_text(json.dumps(results, indent=2, sort_keys=True))
+        print(f"wrote {args.json}")
+
+    if args.baseline:
+        gate = json.loads(args.baseline.read_text()).get("gate", {})
+        failures = []
+        if run["sessions"] < gate.get("min_sessions", 200):
+            failures.append(
+                f"hosted {run['sessions']} sessions,"
+                f" gate needs >= {gate['min_sessions']}"
+            )
+        floor = float(gate.get("min_sessions_per_core", 0.0))
+        if run["sessions_per_core"] < floor:
+            failures.append(
+                f"{run['sessions_per_core']:.1f} session-s/core-s"
+                f" below the {floor:.1f} floor"
+            )
+        cap = float(gate.get("max_p95_update_s", float("inf")))
+        if run["p95_update_s"] > cap:
+            failures.append(
+                f"p95 update latency {run['p95_update_s']:.3f}s"
+                f" above the {cap:.3f}s cap"
+            )
+        if failures:
+            for failure in failures:
+                print(f"GATE FAIL: {failure}")
+            return 1
+        print(
+            f"gate ok: {run['sessions']} sessions,"
+            f" {run['sessions_per_core']:.1f} session-s/core-s,"
+            f" p95 {run['p95_update_s']:.3f}s"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,24 +1,28 @@
 #!/usr/bin/env python3
 """Quickstart: share a text editor with one participant.
 
-Builds the smallest useful session — one Application Host running a
-synthetic text editor, one TCP participant over a simulated link — then
+Builds the smallest useful session with the two public factories —
+``repro.sharing.host()`` makes a SIP-signalled service around one
+Application Host, ``repro.sharing.join()`` runs the full INVITE →
+negotiate → ACK handshake and returns the wired participant — then
 drives typing on the AH, shows the participant converging pixel-for-
 pixel, and finally types *from* the participant through the HIP channel.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Instrumentation, quick_session
+from repro import Instrumentation
 from repro.apps import TextEditorApp
+from repro.sharing import host, join
 from repro.surface import Rect
 
 
 def main() -> None:
     # One Instrumentation object observes every layer of the session;
-    # quick_session binds it to the session clock.
+    # host() binds it to the session clock.
     obs = Instrumentation()
-    ah, participant, clock = quick_session(instrumentation=obs)
+    service = host(obs=obs)
+    ah = service.ah
 
     # 1. The AH shares a window and runs an application in it.
     window = ah.windows.create_window(
@@ -28,26 +32,30 @@ def main() -> None:
     ah.apps.attach(editor)
     print(f"AH shares window {window.window_id} at {window.rect.as_tuple()}")
 
-    # 2. Drive the session: the AH captures damage, encodes RegionUpdate
+    # 2. A participant joins through SIP signalling: the service owns
+    #    the signalling queues, negotiates SDP and wires the media path.
+    participant = join(service, "alice")
+    kind = "tcp" if ah.sessions["alice"].transport.reliable else "udp"
+    print(f"alice joined; negotiated media transport: {kind}")
+
+    # 3. Drive the session: the AH captures damage, encodes RegionUpdate
     #    messages and ships them; the participant decodes and applies.
     def run(rounds: int) -> None:
         for _ in range(rounds):
-            ah.advance(0.02)
-            clock.advance(0.02)
-            participant.process_incoming()
+            service.advance(0.02)
 
     editor.type_text("Hello from the Application Host!\n")
     run(50)
     print(f"participant now has windows {sorted(participant.windows)}")
     print(f"pixel-exact convergence: {participant.converged_with(ah.windows)}")
 
-    # 3. The participant controls the application through HIP messages.
+    # 4. The participant controls the application through HIP messages.
     participant.type_text(window.window_id, "...and hello back over HIP!")
     run(50)
     print(f"editor text on the AH:\n---\n{editor.text()}\n---")
     print(f"still pixel-exact: {participant.converged_with(ah.windows)}")
 
-    # 4. A peek at the traffic that made this happen.
+    # 5. A peek at the traffic that made this happen.
     stats = participant.stats
     print(
         f"traffic: {stats.window_info.packets} WindowManagerInfo, "
@@ -56,7 +64,7 @@ def main() -> None:
         f"{stats.hip.packets} HIP packets"
     )
 
-    # 5. The same session, through the unified metrics snapshot: every
+    # 6. The same session, through the unified metrics snapshot: every
     #    layer (scheduler, RTP, channel, participant) reported into one
     #    registry; update-sent → update-applied latency is reconstructed
     #    from the trace events.

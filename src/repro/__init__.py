@@ -31,9 +31,14 @@ from __future__ import annotations
 from .rtp.clock import SimulatedClock
 from .net.channel import ChannelConfig, duplex_reliable
 from .obs import Instrumentation, MetricsRegistry, NULL, NullInstrumentation
+from .obs.instrumentation import resolve_obs as _resolve_obs
+from .sharing import host, join
 from .sharing.ah import ApplicationHost
 from .sharing.config import PointerMode, SharingConfig
 from .sharing.participant import Participant
+from .sharing.server import SessionServer
+from .sharing.service import SharingService
+from .sharing.signalling import SignallingBinding
 from .sharing.transport import StreamTransport
 
 __version__ = "1.0.0"
@@ -46,8 +51,13 @@ __all__ = [
     "NullInstrumentation",
     "Participant",
     "PointerMode",
+    "SessionServer",
     "SharingConfig",
+    "SharingService",
+    "SignallingBinding",
     "SimulatedClock",
+    "host",
+    "join",
     "quick_session",
     "__version__",
 ]
@@ -59,6 +69,7 @@ def quick_session(
     screen_height: int = 1024,
     delay: float = 0.01,
     bandwidth_bps: int = 0,
+    obs: Instrumentation | None = None,
     instrumentation: Instrumentation | None = None,
 ) -> tuple[ApplicationHost, Participant, SimulatedClock]:
     """One AH plus one TCP participant over a simulated link.
@@ -66,25 +77,28 @@ def quick_session(
     The smallest useful session: returns the pair already connected
     (the participant will receive the initial full sync on the next
     ``advance``/``process_incoming`` round) and the shared clock that
-    drives the simulation.  Pass an :class:`Instrumentation` built on
-    the session clock to get metrics out of every layer; see
-    ``docs/OBSERVABILITY.md``.
+    drives the simulation.  Pass an :class:`Instrumentation` as ``obs=``
+    to get metrics out of every layer; see ``docs/OBSERVABILITY.md``.
+    For a SIP-signalled session use :func:`repro.sharing.host` /
+    :func:`repro.sharing.join`; for many concurrent sessions in one
+    process use :class:`repro.SessionServer`.
     """
+    obs = _resolve_obs(obs, instrumentation, "quick_session", default=None)
     clock = SimulatedClock()
-    if instrumentation is not None:
-        instrumentation.bind_clock(clock)
+    if obs is not None:
+        obs.bind_clock(clock)
     cfg = config or SharingConfig()
     ah = ApplicationHost(
         screen_width=screen_width,
         screen_height=screen_height,
         config=cfg,
         clock=clock,
-        instrumentation=instrumentation,
+        obs=obs,
     )
     channel_config = ChannelConfig(delay=delay, bandwidth_bps=bandwidth_bps)
     link = duplex_reliable(
         channel_config, clock.now,
-        instrumentation=instrumentation,
+        instrumentation=obs,
     )
     ah_transport = StreamTransport(link.forward, link.backward)
     participant_transport = StreamTransport(link.backward, link.forward)
@@ -95,7 +109,7 @@ def quick_session(
         config=cfg,
         screen_width=screen_width,
         screen_height=screen_height,
-        instrumentation=instrumentation,
+        obs=obs,
     )
     ah.add_participant("participant-1", ah_transport)
     participant.join()

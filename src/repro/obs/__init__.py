@@ -22,6 +22,7 @@ from .instrumentation import (
     NULL,
     Instrumentation,
     NullInstrumentation,
+    resolve_obs,
 )
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, render_name
 from .spans import ABANDON_REASONS, NULL_SPANS, STAGES, SpanTracker, UpdateSpan
@@ -49,4 +50,5 @@ __all__ = [
     "render_name",
     "render_prometheus",
     "resolve_clock",
+    "resolve_obs",
 ]

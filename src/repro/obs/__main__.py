@@ -46,7 +46,7 @@ def _run_session(instrumentation, rounds: int, dt: float = 0.01) -> float:
         instrumentation.bind_clock(clock)
     config = SharingConfig(adaptive_codec=False)
     ah = ApplicationHost(
-        config=config, clock=clock, instrumentation=instrumentation
+        config=config, clock=clock, obs=instrumentation
     )
     link = duplex_reliable(
         ChannelConfig(delay=0.02), clock.now, instrumentation=instrumentation
@@ -57,7 +57,7 @@ def _run_session(instrumentation, rounds: int, dt: float = 0.01) -> float:
         StreamTransport(link.backward, link.forward),
         clock=clock,
         config=config,
-        instrumentation=instrumentation,
+        obs=instrumentation,
     )
     participant.join()
     editor = TextEditorApp(ah.windows.create_window(Rect(10, 10, 300, 200)))

@@ -56,8 +56,7 @@ def run_scenario(
     obs.spans  # force span tracing on before the session is built
     config = SharingConfig(adaptive_codec=False)
     ah = ApplicationHost(
-        config=config, clock=clock, rng=random.Random(3),
-        instrumentation=obs,
+        config=config, clock=clock, rng=random.Random(3), obs=obs,
     )
 
     if name == "baseline":
@@ -89,7 +88,7 @@ def run_scenario(
         config=config,
         ah_supports_retransmissions=config.retransmissions,
         rng=random.Random(7),
-        instrumentation=obs,
+        obs=obs,
     )
     participant.join()
 

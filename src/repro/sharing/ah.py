@@ -19,7 +19,7 @@ from ..codecs.cache import EncodeCache
 from ..core.errors import ProtocolError
 from ..net.ratecontrol import TokenBucket
 from ..obs.clockutil import resolve_clock
-from ..obs.instrumentation import NULL
+from ..obs.instrumentation import NULL, resolve_obs
 from ..rtp.feedback import GenericNack, PictureLossIndication
 from ..rtp.reports import RtcpReporter
 from ..rtp.rtcp import RtcpError, decode_compound
@@ -62,6 +62,7 @@ class ApplicationHost:
         floor_check: FloorCheck | None = None,
         rng: random.Random | None = None,
         now=None,
+        obs=None,
         instrumentation=None,
     ) -> None:
         self.config = config or SharingConfig()
@@ -70,7 +71,7 @@ class ApplicationHost:
             clock, now, "ApplicationHost", default=lambda: 0.0
         )
         self._rng = rng or random.Random(0)
-        self.obs = instrumentation if instrumentation is not None else NULL
+        self.obs = resolve_obs(obs, instrumentation, "ApplicationHost")
         #: One content-addressed encode cache for the whole session:
         #: the same damaged block fanned out to N destinations (or
         #: repeated over time) is encoded once.

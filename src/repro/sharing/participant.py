@@ -47,7 +47,7 @@ from ..core.registry import (
 )
 from ..core.window_info import WindowManagerInfo, WindowRecord
 from ..obs.clockutil import resolve_clock
-from ..obs.instrumentation import NULL
+from ..obs.instrumentation import NULL, resolve_obs
 from ..rtp.feedback import PictureLossIndication, nacks_for
 from ..rtp.jitter_buffer import JitterBuffer
 from ..rtp.packet import RtpPacket
@@ -99,14 +99,15 @@ class Participant:
         extension_handlers: dict | None = None,
         rng: random.Random | None = None,
         now=None,
+        obs=None,
         instrumentation=None,
     ) -> None:
         self.id = participant_id
         self.transport = transport
         self._now = resolve_clock(clock, now, "Participant")
-        self._obs = (
-            instrumentation if instrumentation is not None else NULL
-        ).scoped(peer=participant_id, side="participant")
+        self._obs = resolve_obs(obs, instrumentation, "Participant").scoped(
+            peer=participant_id, side="participant"
+        )
         #: Shared with the AH side of the session: arriving sequence
         #: numbers resolve to the update span that sent them.
         self._spans = self._obs.spans

@@ -1,0 +1,49 @@
+"""repro.sharing.server — asyncio multi-session hosting.
+
+One :class:`SessionServer` process hosts hundreds of independent
+sharing sessions: a join-code :class:`SessionRegistry`, one
+:class:`HostedSession` (AH + :class:`SessionCore` + task group) per
+code, a signalling front door (INVITE/BYE through the existing SIP/SDP
+stack), and cooperative transport adapters so per-session work never
+blocks the event loop.  The synchronous
+:class:`~repro.sharing.service.SharingService` wraps the same
+:class:`SessionCore` for single-session use.
+
+See ``docs/API.md`` for the public surface and
+``benchmarks/bench_session_server.py`` for the sessions-per-core and
+p95-latency gates.
+"""
+
+from .aio import AsyncTransport, CooperativeTransport, DEFAULT_BUDGET
+from .core import CoreCall, SessionCore
+from .errors import (
+    DuplicateJoinCode,
+    DuplicateParticipant,
+    JoinFailed,
+    ServerError,
+    SessionClosed,
+    UnknownJoinCode,
+)
+from .registry import CODE_ALPHABET, SessionRegistry
+from .session import HostedSession, SessionState
+from .server import JoinedParticipant, SessionServer
+
+__all__ = [
+    "AsyncTransport",
+    "CODE_ALPHABET",
+    "CooperativeTransport",
+    "CoreCall",
+    "DEFAULT_BUDGET",
+    "DuplicateJoinCode",
+    "DuplicateParticipant",
+    "HostedSession",
+    "JoinFailed",
+    "JoinedParticipant",
+    "ServerError",
+    "SessionClosed",
+    "SessionCore",
+    "SessionRegistry",
+    "SessionServer",
+    "SessionState",
+    "UnknownJoinCode",
+]

@@ -1,0 +1,67 @@
+"""Error taxonomy for the multi-session hosting server.
+
+All server-level failures derive from :class:`ServerError` so callers
+can catch the family; the leaf classes carry the join code / name that
+failed, mirroring the strict taxonomy the wire decoders use
+(:mod:`repro.core.errors`).
+"""
+
+from __future__ import annotations
+
+
+class ServerError(Exception):
+    """Base class for session-server failures."""
+
+
+class UnknownJoinCode(ServerError):
+    """The join code names no hosted session (never issued, or closed)."""
+
+    def __init__(self, code: str) -> None:
+        super().__init__(f"unknown join code {code!r}")
+        self.code = code
+
+
+class DuplicateJoinCode(ServerError):
+    """An explicitly requested join code is already registered."""
+
+    def __init__(self, code: str) -> None:
+        super().__init__(f"join code {code!r} already registered")
+        self.code = code
+
+
+class DuplicateParticipant(ServerError):
+    """A participant name is already present (or joining) in a session."""
+
+    def __init__(self, code: str, name: str) -> None:
+        super().__init__(
+            f"participant {name!r} already in session {code!r}"
+        )
+        self.code = code
+        self.name = name
+
+
+class SessionClosed(ServerError):
+    """The target session closed before (or while) the operation ran."""
+
+    def __init__(self, code: str, detail: str = "") -> None:
+        message = f"session {code!r} is closed"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+        self.code = code
+
+
+class JoinFailed(ServerError):
+    """Signalling toward the session ended without establishing media.
+
+    Raised for BYE-during-join races, rejected INVITEs, and joins that
+    outlive their timeout.
+    """
+
+    def __init__(self, code: str, name: str, reason: str) -> None:
+        super().__init__(
+            f"join of {name!r} to session {code!r} failed: {reason}"
+        )
+        self.code = code
+        self.name = name
+        self.reason = reason

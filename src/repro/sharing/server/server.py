@@ -1,0 +1,323 @@
+"""The asyncio multi-session hosting server.
+
+One :class:`SessionServer` process hosts hundreds of independent
+sharing sessions: a :class:`~repro.sharing.server.registry.SessionRegistry`
+keyed by join codes, one :class:`~repro.sharing.server.session.HostedSession`
+per hosted AH with its own task group, and a signalling front door —
+:meth:`join` runs the INVITE/answer handshake through the existing
+SIP/SDP stack and resolves once media is wired, :meth:`leave` BYEs.
+
+Time: all sessions share the server clock.  In the default virtual-time
+mode a dedicated clock-pump task advances a
+:class:`~repro.rtp.clock.SimulatedClock` by ``tick`` per scheduling
+round, so a 200-session simulation runs as fast as the hardware allows;
+pass ``realtime=True`` to pace against the wall clock instead
+(``time.monotonic``).
+
+Usage::
+
+    async with SessionServer() as server:
+        code = server.host()                 # returns the join code
+        viewer = await server.join(code, "alice")
+        ...
+        await server.leave(code, "alice")    # last leave closes the session
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+
+from ...net.channel import ChannelConfig
+from ...obs.instrumentation import NULL, resolve_obs
+from ...rtp.clock import SimulatedClock
+from ..config import SharingConfig
+from ..participant import Participant
+from .errors import JoinFailed, ServerError, SessionClosed, UnknownJoinCode
+from .registry import SessionRegistry
+from .session import HostedSession, SessionState
+
+
+class _MonotonicClock:
+    """The wall clock, shaped like :class:`SimulatedClock` (read-only)."""
+
+    @staticmethod
+    def now() -> float:
+        return time.monotonic()
+
+    def __call__(self) -> float:
+        return time.monotonic()
+
+
+class JoinedParticipant:
+    """The caller's handle on one joined participant."""
+
+    __slots__ = ("server", "code", "name", "participant", "peer", "binding")
+
+    def __init__(self, server: "SessionServer", code: str, name: str,
+                 participant: Participant, peer) -> None:
+        self.server = server
+        self.code = code
+        self.name = name
+        self.participant = participant
+        self.peer = peer
+        self.binding = peer.binding
+
+    async def leave(self) -> None:
+        await self.server.leave(self.code, self.name)
+
+
+class SessionServer:
+    """Host many signalled sharing sessions in one asyncio process."""
+
+    def __init__(
+        self,
+        clock: SimulatedClock | None = None,
+        tick: float = 0.02,
+        realtime: bool = False,
+        channel_config: ChannelConfig | None = None,
+        rng: random.Random | None = None,
+        obs=None,
+        instrumentation=None,
+        cooperative_budget: int | None = 256,
+        join_timeout: float = 5.0,
+    ) -> None:
+        self.realtime = realtime
+        if clock is not None:
+            self.clock = clock
+        else:
+            self.clock = _MonotonicClock() if realtime else SimulatedClock()
+        self.tick = tick
+        self.channel_config = channel_config or ChannelConfig(delay=0.01)
+        self._rng = rng or random.Random(2007)
+        self.obs = resolve_obs(obs, instrumentation, "SessionServer")
+        if self.obs is not NULL:
+            self.obs.bind_clock(self.clock)
+        self.registry = SessionRegistry(
+            rng=random.Random(self._rng.randrange(1 << 30)), obs=self.obs
+        )
+        self.cooperative_budget = cooperative_budget
+        #: Wall-clock bound on one join handshake.
+        self.join_timeout = join_timeout
+        self._running = False
+        self._clock_task: asyncio.Task | None = None
+        self._c_joins = self.obs.counter("server.joins")
+        self._c_join_failures = self.obs.counter("server.join_failures")
+        self._c_leaves = self.obs.counter("server.leaves")
+        self._h_join_wall = self.obs.histogram("server.join_wall_seconds")
+
+    # -- Lifecycle ----------------------------------------------------------
+
+    async def start(self) -> "SessionServer":
+        if self._running:
+            return self
+        self._running = True
+        if not self.realtime:
+            self._clock_task = asyncio.create_task(
+                self._clock_pump(), name="server-clock"
+            )
+        return self
+
+    async def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        leftovers: list[asyncio.Task] = []
+        for _code, session in list(self.registry):
+            leftovers.extend(session._tasks)
+            session.close(reason="server_stop")
+        if leftovers:
+            await asyncio.gather(*leftovers, return_exceptions=True)
+        if self._clock_task is not None:
+            self._clock_task.cancel()
+            try:
+                await self._clock_task
+            except asyncio.CancelledError:
+                pass
+            self._clock_task = None
+        await asyncio.sleep(0)  # let cancelled session tasks unwind
+
+    async def __aenter__(self) -> "SessionServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    async def _clock_pump(self) -> None:
+        """Advance shared virtual time once per scheduling round.
+
+        ``sleep(0)`` parks us at the back of the ready queue, so every
+        session task gets one iteration per clock tick — uniform
+        progress without per-session timers.
+        """
+        while self._running:
+            self.clock.advance(self.tick)
+            await asyncio.sleep(0)
+
+    # -- Hosting ------------------------------------------------------------
+
+    def host(
+        self,
+        code: str | None = None,
+        config: SharingConfig | None = None,
+        screen_width: int = 1280,
+        screen_height: int = 1024,
+        channel_config: ChannelConfig | None = None,
+        rate_bps: int | None = None,
+        close_when_empty: bool = True,
+    ) -> str:
+        """Create and start a hosted session; returns its join code.
+
+        ``close_when_empty`` unregisters the session after the last
+        participant leaves (the default lobby behaviour); pass False
+        for long-lived rooms with stable codes.
+        """
+        if not self._running:
+            raise ServerError("server not started (use `async with` or start())")
+        # host() runs synchronously on the loop, so issuing the code and
+        # registering below cannot interleave with another host().
+        issued = (
+            self.registry.normalise(code) if code is not None
+            else self.registry.issue_code()
+        )
+        session = HostedSession(
+            issued,
+            self.clock,
+            config=config,
+            screen_width=screen_width,
+            screen_height=screen_height,
+            channel_config=channel_config or self.channel_config,
+            rate_bps=rate_bps,
+            rng=random.Random(self._rng.randrange(1 << 30)),
+            obs=self.obs,
+            cooperative_budget=self.cooperative_budget,
+            close_when_empty=close_when_empty,
+            tick=self.tick,
+        )
+        self.registry.register(session, issued)
+        session.on_close = self.registry.remove
+        session.start(realtime=self.realtime)
+        if self.obs.enabled:
+            self.obs.event("server.session_hosted", session=issued)
+        return issued
+
+    def session(self, code: str) -> HostedSession:
+        """The hosted session behind ``code`` (:class:`UnknownJoinCode`)."""
+        return self.registry.lookup(code)
+
+    # -- The signalling front door ------------------------------------------
+
+    async def join(
+        self,
+        code: str,
+        name: str,
+        prefer_transport: str = "tcp",
+        timeout: float | None = None,
+    ) -> JoinedParticipant:
+        """Join ``name`` to the session behind ``code``.
+
+        Runs the full INVITE → negotiate → answer → ACK handshake via
+        the session's signalling pump and resolves once the media path
+        is wired.  Raises :class:`UnknownJoinCode`,
+        :class:`DuplicateParticipant`, or :class:`JoinFailed` (covering
+        the BYE-during-join race and handshake timeouts).
+        """
+        session = self.session(code)
+        started = time.monotonic()
+        peer = session.add_peer(name, prefer_transport)  # may raise
+        done: asyncio.Future = asyncio.get_running_loop().create_future()
+
+        def watcher(event: str, call) -> None:
+            if not done.done():
+                done.set_result(event)
+
+        call = session.core.call_for(name)
+        assert call is not None
+        call.watchers.append(watcher)
+        try:
+            event = await asyncio.wait_for(
+                self._race_close(session, done),
+                timeout if timeout is not None else self.join_timeout,
+            )
+        except asyncio.TimeoutError:
+            self._c_join_failures.inc()
+            session.core.abort(name)
+            session.drop_peer(name)
+            raise JoinFailed(code, name, "handshake timeout") from None
+        if event != "established":
+            self._c_join_failures.inc()
+            session.drop_peer(name)
+            reason = (
+                "session closed during join"
+                if event == "closed" else "terminated during handshake"
+            )
+            raise JoinFailed(code, name, reason)
+        participant = session.core.participant_for(name)
+        assert participant is not None
+        self._c_joins.inc()
+        self._h_join_wall.observe(time.monotonic() - started)
+        if self.obs.enabled:
+            self.obs.event("server.join", session=session.code, peer=name)
+        return JoinedParticipant(self, session.code, name, participant, peer)
+
+    @staticmethod
+    async def _race_close(session: HostedSession, done: asyncio.Future) -> str:
+        """Resolve with the call outcome or the session's close."""
+        closed = asyncio.ensure_future(session.closed_event.wait())
+        try:
+            await asyncio.wait(
+                [done, closed], return_when=asyncio.FIRST_COMPLETED
+            )
+            if done.done():
+                return done.result()
+            return "closed"
+        finally:
+            closed.cancel()
+            done.cancel()
+
+    async def leave(self, code: str, name: str) -> None:
+        """BYE ``name`` out of the session (server-initiated hang-up)."""
+        try:
+            session = self.session(code)
+        except UnknownJoinCode:
+            return  # already gone: leave is idempotent
+        session.core.hang_up(name)
+        session.drop_peer(name)
+        self._c_leaves.inc()
+        if self.obs.enabled:
+            self.obs.event("server.leave", session=session.code, peer=name)
+        # Let the session's pumps deliver the BYE and run cleanup.
+        await asyncio.sleep(0)
+        session._maybe_close_when_empty()
+
+    def close_session(self, code: str) -> None:
+        """Tear a whole session down (host hangs up the meeting)."""
+        self.session(code).close(reason="host_closed")
+
+    # -- Introspection ------------------------------------------------------
+
+    def codes(self) -> list[str]:
+        return self.registry.codes()
+
+    def sessions(self) -> dict[str, dict]:
+        """The ``server.sessions`` snapshot: one row per hosted session."""
+        return {
+            code: session.snapshot()
+            for code, session in self.registry
+            if isinstance(session, HostedSession)
+        }
+
+    async def until(self, predicate, timeout: float = 10.0) -> None:
+        """Run the server until ``predicate()`` is true (wall timeout).
+
+        The await itself is what lets the session tasks run; tests and
+        benchmarks use this instead of hand-rolled pump loops.
+        """
+        deadline = time.monotonic() + timeout
+        while not predicate():
+            if time.monotonic() > deadline:
+                raise asyncio.TimeoutError(
+                    "predicate not reached within timeout"
+                )
+            await asyncio.sleep(0)

@@ -1,48 +1,52 @@
 """SIP-managed sharing service: signalling drives the media session.
 
-Glues a :class:`~repro.sip.dialog.SipEndpoint` per prospective
-participant to the :class:`~repro.sharing.ah.ApplicationHost`: the AH
-INVITEs with its section 10 SDP offer; when the participant answers,
-the negotiated transport is built (simulated link) and the participant
-joins the media session; BYE from either side removes them.
+:class:`SharingService` is the single-session, synchronous face of the
+hosting core: one :class:`~repro.sharing.ah.ApplicationHost` whose
+participant lifecycle is driven by SIP (the "integrated into the
+existing IETF session model" story of section 2), runnable end to end
+on simulated links.  All of the actual machinery — endpoints, bindings,
+negotiated media wiring, participant lifecycle — lives in
+:class:`~repro.sharing.server.core.SessionCore`, which the asyncio
+:class:`~repro.sharing.server.SessionServer` drives at
+hundreds-of-sessions scale; this class is a thin wrapper that adds the
+synchronous ``advance`` loop and the deprecated call shims.
 
-This is the "integrated into the existing IETF session model" story of
-section 2, runnable end to end.
+Public API::
+
+    service = SharingService(ah, clock)
+    binding = service.invite("alice", remote_endpoint)  # service owns queues
+    ...
+    service.advance(0.02)
+
+The historical 4-argument ``invite(name, remote, remote_inbox,
+local_inbox)`` form — caller-supplied message queues — keeps working
+for one release with a :class:`DeprecationWarning`, as does
+``instrumentation=`` for ``obs=``.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+import warnings
 
-from ..net.channel import ChannelConfig, duplex_lossy, duplex_reliable
+from ..net.channel import ChannelConfig
 from ..rtp.clock import SimulatedClock
-from ..sdp import build_ah_offer, negotiate, parse_sdp
-from ..sip.dialog import DialogState, SipEndpoint
-from .ah import ApplicationHost
-from .participant import Participant
-from .transport import DatagramTransport, StreamTransport
+from .server.core import SessionCore
+from .signalling import SignallingBinding
 
 
-@dataclass(slots=True)
-class _Call:
-    """One participant's signalling + media state."""
-
-    sip: SipEndpoint
-    participant: Participant | None = None
-
-
-class SharingService:
+class SharingService(SessionCore):
     """An AH with SIP-signalled participant lifecycle (simulated links)."""
 
     def __init__(
         self,
-        ah: ApplicationHost,
+        ah,
         clock: SimulatedClock,
         uri: str = "sip:ah@host",
         channel_config: ChannelConfig | None = None,
         rng: random.Random | None = None,
         rate_bps: int | None = None,
+        obs=None,
         instrumentation=None,
     ) -> None:
         if not callable(getattr(clock, "now", None)) or not callable(
@@ -51,118 +55,57 @@ class SharingService:
             raise TypeError(
                 "SharingService needs a clock with now() and advance()"
             )
-        self.ah = ah
-        self.clock = clock
-        self.uri = uri
-        self.channel_config = channel_config or ChannelConfig(delay=0.01)
-        self._rng = rng or random.Random(7)
-        #: Token-bucket tier attached to UDP participants (section 4.3).
-        self.rate_bps = rate_bps
-        self.obs = (
-            instrumentation if instrumentation is not None
-            else getattr(ah, "obs", None)
+        super().__init__(
+            ah,
+            clock,
+            uri=uri,
+            channel_config=channel_config,
+            rng=rng,
+            rate_bps=rate_bps,
+            obs=obs,
+            instrumentation=instrumentation,
         )
-        self._calls: dict[str, _Call] = {}
-        #: Signalling wires: name → (to_remote, to_local) message queues.
-        #: Any sequence with pop(0) works; ``collections.deque`` keeps
-        #: the drain O(1) per message.
-        self._signalling: dict[str, tuple[list[str], list[str]]] = {}
 
-    # -- Inviting -------------------------------------------------------------
+    # -- Inviting (with the legacy 4-argument shim) -------------------------
 
-    def invite(self, name: str, remote: SipEndpoint,
-               remote_inbox: list[str], local_inbox: list[str]) -> None:
-        """Start signalling toward a remote SIP endpoint.
+    def invite(
+        self,
+        name: str,
+        remote=None,
+        remote_inbox=None,
+        local_inbox=None,
+        binding: SignallingBinding | None = None,
+    ) -> SignallingBinding:
+        """Start signalling toward a remote party; returns the binding.
 
-        The caller supplies the remote endpoint plus the two in-memory
-        message queues standing in for the SIP transport.
+        New form: ``invite(name, remote)`` — the service creates and
+        owns the signalling queues; drive the remote side through the
+        returned :class:`~repro.sharing.signalling.SignallingBinding`.
+
+        Deprecated form: ``invite(name, remote, remote_inbox,
+        local_inbox)`` — the caller's two queues are wrapped in a
+        binding unchanged (the remote endpoint keeps whatever ``send``
+        it was built with).
         """
-        if name in self._calls:
-            raise ValueError(f"call {name!r} already exists")
-        endpoint = SipEndpoint(
-            self.uri,
-            send=remote_inbox.append,
-            rng=self._rng,
-            on_established=lambda sdp, n=name: self._on_answer(n, sdp),
-            on_terminated=lambda n=name: self._on_bye(n),
-        )
-        self._calls[name] = _Call(endpoint)
-        self._signalling[name] = (remote_inbox, local_inbox)
-        endpoint.invite(remote.uri, build_ah_offer().to_string())
-
-    def pump_signalling(self) -> None:
-        """Deliver queued SIP messages to our endpoints.
-
-        A delivered BYE tears the call down, which mutates the call
-        tables — iterate over a snapshot.
-        """
-        for name, (_out, inbox) in list(self._signalling.items()):
-            call = self._calls.get(name)
-            # deque.popleft is O(1); list.pop(0) would make a long drain
-            # quadratic, so prefer the former when the queue offers it.
-            pop = getattr(inbox, "popleft", None) or (lambda: inbox.pop(0))
-            while inbox and call is not None:
-                call.sip.receive(pop())
-                if name not in self._calls:  # torn down mid-drain
-                    break
-
-    # -- Media wiring -------------------------------------------------------------
-
-    def _on_answer(self, name: str, answer_sdp: str) -> None:
-        """Participant answered: build the negotiated media path."""
-        agreed = negotiate(parse_sdp(answer_sdp)) if answer_sdp.strip() else None
-        transport_kind = agreed.transport if agreed else "tcp"
-        link_obs = self.obs.scoped(peer=name) if self.obs is not None else None
-        if transport_kind == "udp":
-            link = duplex_lossy(
-                self.channel_config, self.clock.now, instrumentation=link_obs
+        if remote_inbox is not None or local_inbox is not None:
+            warnings.warn(
+                "SharingService.invite(name, remote, remote_inbox, "
+                "local_inbox) is deprecated; call invite(name, remote) and "
+                "use the returned SignallingBinding",
+                DeprecationWarning,
+                stacklevel=2,
             )
-            ah_transport = DatagramTransport(link.forward, link.backward)
-            p_transport = DatagramTransport(link.backward, link.forward)
-            self.ah.add_participant(name, ah_transport, rate_bps=self.rate_bps)
-        else:
-            link = duplex_reliable(
-                self.channel_config, self.clock.now, instrumentation=link_obs
+            if remote_inbox is None or local_inbox is None:
+                raise TypeError(
+                    "legacy invite needs both remote_inbox and local_inbox"
+                )
+            if binding is not None:
+                raise TypeError("pass either inboxes or a binding, not both")
+            binding = SignallingBinding(
+                name, to_remote=remote_inbox, to_service=local_inbox
             )
-            ah_transport = StreamTransport(link.forward, link.backward)
-            p_transport = StreamTransport(link.backward, link.forward)
-            self.ah.add_participant(name, ah_transport)
-        participant = Participant(
-            name, p_transport, clock=self.clock, config=self.ah.config,
-            instrumentation=self.obs,
-        )
-        participant.join()
-        self._calls[name].participant = participant
-
-    def _on_bye(self, name: str) -> None:
-        self.ah.remove_participant(name)
-        call = self._calls.pop(name, None)
-        self._signalling.pop(name, None)
-        if call is not None:
-            call.participant = None
-
-    # -- Session control ---------------------------------------------------------
-
-    def hang_up(self, name: str) -> None:
-        call = self._calls.get(name)
-        if call is not None and call.sip.state is DialogState.ESTABLISHED:
-            call.sip.bye()  # on_terminated removes the participant
-
-    def participant_for(self, name: str) -> Participant | None:
-        call = self._calls.get(name)
-        return call.participant if call else None
-
-    def active_calls(self) -> list[str]:
-        return [
-            name for name, call in self._calls.items()
-            if call.sip.state is DialogState.ESTABLISHED
-        ]
-
-    def advance(self, dt: float) -> None:
-        """One service round: signalling, media, participants."""
-        self.pump_signalling()
-        self.ah.advance(dt)
-        self.clock.advance(dt)
-        for call in self._calls.values():
-            if call.participant is not None:
-                call.participant.process_incoming()
+            # Legacy callers wired their endpoint's send themselves;
+            # don't re-attach it to the binding.
+            remote_uri = getattr(remote, "uri", None) or str(remote)
+            return super().invite(name, remote_uri, binding=binding)
+        return super().invite(name, remote, binding=binding)

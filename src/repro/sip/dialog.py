@@ -55,6 +55,17 @@ class SipEndpoint:
         #: Pending inbound INVITE awaiting accept()/reject().
         self._pending_invite: SipMessage | None = None
 
+    def attach_transport(self, send: Callable[[str], None]) -> None:
+        """Re-point this endpoint's outbound signalling path.
+
+        Service-owned signalling (a
+        :class:`~repro.sharing.signalling.SignallingBinding`) creates
+        the message queues *after* the caller built their endpoint, so
+        the binding attaches itself here rather than requiring the
+        ``send`` callable at construction time.
+        """
+        self._send = send
+
     # -- Identity helpers ------------------------------------------------------
 
     def _from_header(self) -> str:

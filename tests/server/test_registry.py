@@ -1,0 +1,90 @@
+"""SessionRegistry: join-code issue/normalise/register/remove semantics."""
+
+import random
+
+import pytest
+
+from repro.obs import Instrumentation
+from repro.sharing.server import (
+    CODE_ALPHABET,
+    DuplicateJoinCode,
+    SessionRegistry,
+    UnknownJoinCode,
+)
+
+
+class TestCodes:
+    def test_issue_code_uses_unambiguous_alphabet(self):
+        registry = SessionRegistry(rng=random.Random(1))
+        for _ in range(50):
+            code = registry.issue_code()
+            assert len(code) == 6
+            assert all(c in CODE_ALPHABET for c in code)
+            for forbidden in "01OIL":
+                assert forbidden not in code
+
+    def test_issue_code_is_deterministic_with_seeded_rng(self):
+        a = SessionRegistry(rng=random.Random(7))
+        b = SessionRegistry(rng=random.Random(7))
+        assert [a.issue_code() for _ in range(5)] == [
+            b.issue_code() for _ in range(5)
+        ]
+
+    def test_issued_codes_avoid_live_collisions(self):
+        registry = SessionRegistry(rng=random.Random(3), code_length=4)
+        seen = set()
+        for _ in range(200):
+            code = registry.register(object())
+            assert code not in seen
+            seen.add(code)
+
+    def test_normalise_tolerates_case_dashes_spaces(self):
+        assert SessionRegistry.normalise("ab-cd 3f") == "ABCD3F"
+
+    def test_short_code_length_rejected(self):
+        with pytest.raises(ValueError):
+            SessionRegistry(code_length=3)
+
+
+class TestRegistration:
+    def test_register_lookup_remove_roundtrip(self):
+        registry = SessionRegistry(rng=random.Random(5))
+        session = object()
+        code = registry.register(session)
+        assert registry.lookup(code) is session
+        assert registry.lookup(code.lower()) is session  # case-insensitive
+        assert code in registry
+        registry.remove(code)
+        assert len(registry) == 0
+        with pytest.raises(UnknownJoinCode):
+            registry.lookup(code)
+
+    def test_explicit_code_must_be_unique(self):
+        registry = SessionRegistry(rng=random.Random(5))
+        registry.register(object(), "ROOM42")
+        with pytest.raises(DuplicateJoinCode):
+            registry.register(object(), "room-42")  # normalises to the same
+
+    def test_unknown_code_error_carries_the_code(self):
+        registry = SessionRegistry(rng=random.Random(5))
+        with pytest.raises(UnknownJoinCode) as excinfo:
+            registry.lookup("NOPE99")
+        assert excinfo.value.code == "NOPE99"
+
+    def test_remove_unknown_code_is_noop(self):
+        registry = SessionRegistry(rng=random.Random(5))
+        registry.remove("NEVER1")  # must not raise: BYE races hit this
+
+    def test_empty_explicit_code_rejected(self):
+        registry = SessionRegistry(rng=random.Random(5))
+        with pytest.raises(ValueError):
+            registry.register(object(), "  -")
+
+    def test_registry_feeds_server_sessions_gauge(self):
+        obs = Instrumentation()
+        registry = SessionRegistry(rng=random.Random(5), obs=obs)
+        code_a = registry.register(object())
+        registry.register(object())
+        assert obs.registry.total("server.sessions") == 2
+        registry.remove(code_a)
+        assert obs.registry.total("server.sessions") == 1

@@ -1,0 +1,152 @@
+"""The redesigned public surface: factories, __all__, deprecation shims."""
+
+import random
+import warnings
+
+import pytest
+
+import repro
+import repro.sharing
+from repro.apps.text_editor import TextEditorApp
+from repro.obs import Instrumentation
+from repro.rtp.clock import SimulatedClock
+from repro.sharing import (
+    ApplicationHost,
+    Participant,
+    SharingConfig,
+    SharingService,
+    SignallingBinding,
+    host,
+    join,
+)
+from repro.sharing.transport import DatagramTransport
+from repro.sip.dialog import SipEndpoint
+from repro.surface.geometry import Rect
+
+
+def small_host(**kwargs):
+    return host(
+        config=SharingConfig(adaptive_codec=False),
+        screen_width=320,
+        screen_height=240,
+        **kwargs,
+    )
+
+
+class TestFactories:
+    def test_host_builds_clock_ah_and_service(self):
+        service = small_host()
+        assert isinstance(service, SharingService)
+        assert isinstance(service.clock, SimulatedClock)
+        assert service.ah.windows.screen.width == 320
+
+    def test_join_establishes_and_converges(self):
+        service = small_host()
+        window = service.ah.windows.create_window(Rect(10, 10, 160, 120))
+        editor = TextEditorApp(window)
+        service.ah.apps.attach(editor)
+        viewer = join(service, "alice")
+        assert isinstance(viewer, Participant)
+        editor.type_text("through the factory api")
+        for _ in range(400):
+            service.advance(0.02)
+            if viewer.converged_with(service.ah.windows):
+                break
+        assert viewer.converged_with(service.ah.windows)
+
+    def test_join_udp_preference_pins_datagram_media(self):
+        service = small_host()
+        join(service, "alice", prefer_transport="udp")
+        assert not service.ah.sessions["alice"].transport.reliable
+
+    def test_join_failure_raises_with_round_budget(self):
+        service = small_host()
+        with pytest.raises(RuntimeError, match="did not establish"):
+            join(service, "mute", max_rounds=0)  # no rounds to handshake
+        # Inviting the same name twice is rejected outright.
+        service.invite("alice")
+        with pytest.raises(ValueError, match="already exists"):
+            service.invite("alice")
+
+    def test_top_level_exports(self):
+        assert repro.host is repro.sharing.host
+        assert repro.join is repro.sharing.join
+        for name in ("host", "join", "SessionServer", "SharingService",
+                     "SignallingBinding"):
+            assert name in repro.sharing.__all__
+        for name in ("host", "join", "quick_session"):
+            assert name in repro.__all__
+
+    def test_host_binds_obs_clock(self):
+        obs = Instrumentation()
+        service = small_host(obs=obs)
+        join(service, "alice")
+        service.advance(0.02)
+        assert obs.registry.total("scheduler.packets_sent") > 0
+
+
+class TestInviteShim:
+    def test_modern_invite_returns_service_owned_binding(self):
+        service = small_host()
+        binding = service.invite("alice")
+        assert isinstance(binding, SignallingBinding)
+        assert binding.name == "alice"
+        assert service.binding_for("alice") is binding
+
+    def test_legacy_four_arg_invite_warns_and_still_works(self):
+        service = small_host()
+        to_remote, to_service = [], []
+        remote = SipEndpoint(
+            "sip:alice@remote",
+            send=to_service.append,
+            rng=random.Random(3),
+        )
+        with pytest.warns(DeprecationWarning, match="remote_inbox"):
+            service.invite("alice", remote, to_remote, to_service)
+        # The caller's own lists are the live queues.
+        assert to_remote, "INVITE should be queued in the caller's inbox"
+        binding = service.binding_for("alice")
+        assert binding.to_remote is to_remote
+        assert binding.to_service is to_service
+
+    def test_legacy_invite_requires_both_inboxes(self):
+        service = small_host()
+        with pytest.raises(TypeError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                service.invite("alice", None, [], None)
+
+
+class TestObsKwargShims:
+    def test_application_host_instrumentation_warns(self):
+        obs = Instrumentation()
+        with pytest.warns(DeprecationWarning, match="pass obs="):
+            ah = ApplicationHost(clock=SimulatedClock(), instrumentation=obs)
+        assert ah.obs is obs
+
+    def test_participant_instrumentation_warns(self):
+        from repro.net.channel import ChannelConfig, duplex_lossy
+
+        clock = SimulatedClock()
+        link = duplex_lossy(ChannelConfig(), clock.now)
+        obs = Instrumentation()
+        with pytest.warns(DeprecationWarning, match="pass obs="):
+            Participant(
+                "p", DatagramTransport(link.backward, link.forward),
+                clock=clock, instrumentation=obs,
+            )
+
+    def test_service_instrumentation_warns_and_obs_wins_when_both(self):
+        clock = SimulatedClock()
+        ah = ApplicationHost(clock=clock)
+        legacy, modern = Instrumentation(), Instrumentation()
+        with pytest.warns(DeprecationWarning):
+            service = SharingService(
+                ah, clock, obs=modern, instrumentation=legacy
+            )
+        assert service.obs is modern
+
+    def test_quick_session_instrumentation_warns(self):
+        obs = Instrumentation()
+        with pytest.warns(DeprecationWarning, match="quick_session"):
+            repro.quick_session(instrumentation=obs)

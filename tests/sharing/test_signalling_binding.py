@@ -1,0 +1,96 @@
+"""SignallingBinding: service-owned queues replacing hand-wired inboxes."""
+
+from collections import deque
+
+import pytest
+
+from repro.sharing import SignallingBinding
+
+
+class FakeEndpoint:
+    """Records received texts and the transport it was attached with."""
+
+    def __init__(self):
+        self.received = []
+        self.send = None
+
+    def attach_transport(self, send):
+        self.send = send
+
+    def receive(self, text):
+        self.received.append(text)
+
+
+class TestQueues:
+    def test_queues_default_to_deques(self):
+        binding = SignallingBinding("alice")
+        assert isinstance(binding.to_remote, deque)
+        assert isinstance(binding.to_service, deque)
+
+    def test_send_helpers_enqueue_in_each_direction(self):
+        binding = SignallingBinding("alice")
+        binding.send_to_remote("INVITE")
+        binding.send_to_service("200 OK")
+        assert list(binding.to_remote) == ["INVITE"]
+        assert list(binding.to_service) == ["200 OK"]
+
+    def test_legacy_list_queues_still_work(self):
+        # The deprecated 4-arg invite shim wraps caller-owned lists.
+        outbox, inbox = [], []
+        binding = SignallingBinding("bob", to_remote=outbox, to_service=inbox)
+        binding.send_to_remote("a")
+        binding.send_to_remote("b")
+        assert outbox == ["a", "b"]
+        endpoint = FakeEndpoint()
+        binding.attach_remote(endpoint)
+        assert binding.pump_remote() == 2
+        assert endpoint.received == ["a", "b"]
+        assert outbox == []
+
+
+class TestRemoteSide:
+    def test_attach_remote_wires_outbound_to_service_queue(self):
+        binding = SignallingBinding("alice")
+        endpoint = FakeEndpoint()
+        assert binding.attach_remote(endpoint) is endpoint
+        assert binding.remote is endpoint
+        endpoint.send("BYE")  # the attached transport
+        assert list(binding.to_service) == ["BYE"]
+
+    def test_pump_remote_without_endpoint_raises(self):
+        binding = SignallingBinding("alice")
+        binding.send_to_remote("INVITE")
+        with pytest.raises(ValueError):
+            binding.pump_remote()
+
+    def test_pump_remote_delivers_in_order_and_counts(self):
+        binding = SignallingBinding("alice")
+        endpoint = FakeEndpoint()
+        binding.attach_remote(endpoint)
+        for text in ("one", "two", "three"):
+            binding.send_to_remote(text)
+        assert binding.pump_remote() == 3
+        assert endpoint.received == ["one", "two", "three"]
+        assert binding.pump_remote() == 0  # idempotent when drained
+
+
+class TestServiceDrain:
+    def test_drain_delivers_all_when_receive_returns_true(self):
+        binding = SignallingBinding("alice")
+        for text in ("a", "b"):
+            binding.send_to_service(text)
+        seen = []
+        binding.drain_to_service(lambda t: seen.append(t) or True)
+        assert seen == ["a", "b"]
+        assert not binding.to_service
+
+    def test_drain_stops_when_receive_returns_false(self):
+        # The service returns False when a BYE tears the call down
+        # mid-drain; later messages must stay queued, not be lost.
+        binding = SignallingBinding("alice")
+        for text in ("BYE", "late"):
+            binding.send_to_service(text)
+        seen = []
+        binding.drain_to_service(lambda t: seen.append(t) and False)
+        assert seen == ["BYE"]
+        assert list(binding.to_service) == ["late"]

@@ -46,6 +46,12 @@ CASES = [
         ["barbara converged: True"],
         ["converged=False"],
     ),
+    (
+        "session_server.py",
+        ["hosting 8 sessions", "converged rooms: 8/8",
+         "sessions remaining: 0"],
+        [],
+    ),
 ]
 
 
