@@ -20,7 +20,7 @@ from repro import Instrumentation
 from repro.apps import TerminalApp
 from repro.net.channel import ChannelConfig, FaultProfile, duplex_lossy
 from repro.obs.report import PERCENTILES, bench_payload, render_waterfall
-from repro.obs.spans import STAGES
+from repro.obs.spans import OPTIONAL_STAGES, STAGES
 from repro.rtp.clock import SimulatedClock
 from repro.sharing import ApplicationHost, DatagramTransport, Participant
 from repro.surface import Rect
@@ -73,12 +73,17 @@ def main() -> None:
     print(f"recovered updates traced: {len(recovered)}")
     if recovered:
         span = recovered[0]
-        chain_complete = all(stage in span.stages for stage in STAGES)
+        chain_complete = all(
+            stage in span.stages
+            for stage in STAGES if stage not in OPTIONAL_STAGES
+        )
         print(f"complete causal chain: {chain_complete}")
         start = span.start
         print(f"stage timeline of update #{span.update_id} "
               f"(e2e {span.e2e_seconds() * 1e3:.1f} ms):")
         for stage in STAGES:
+            if stage not in span.stages:  # e.g. no relay in the path
+                continue
             t0, t1 = span.stages[stage]
             print(f"  {stage:<10} +{(t0 - start) * 1e3:7.1f} ms "
                   f"→ +{(t1 - start) * 1e3:7.1f} ms")

@@ -14,6 +14,7 @@ sharing protocol (CoNEXT 2007 / draft-boyaci-avt-app-sharing-00):
 * :mod:`repro.apps` — deterministic synthetic applications (workloads).
 * :mod:`repro.net` — simulated channels, rate control, real sockets.
 * :mod:`repro.sharing` — the Application Host and Participant.
+* :mod:`repro.relay` — the cascaded fan-out tier for huge audiences.
 * :mod:`repro.bfcp` — floor control (RFC 4582 subset, Appendix A).
 * :mod:`repro.sdp` — session description mapping (section 10).
 
@@ -32,6 +33,7 @@ from .rtp.clock import SimulatedClock
 from .net.channel import ChannelConfig, duplex_reliable
 from .obs import Instrumentation, MetricsRegistry, NULL, NullInstrumentation
 from .obs.instrumentation import resolve_obs as _resolve_obs
+from .relay import HostedRelay, RelayConfig, RelayNode, RelayTree
 from .sharing import host, join
 from .sharing.ah import ApplicationHost
 from .sharing.config import PointerMode, SharingConfig
@@ -45,12 +47,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ApplicationHost",
+    "HostedRelay",
     "Instrumentation",
     "MetricsRegistry",
     "NULL",
     "NullInstrumentation",
     "Participant",
     "PointerMode",
+    "RelayConfig",
+    "RelayNode",
+    "RelayTree",
     "SessionServer",
     "SharingConfig",
     "SharingService",

@@ -57,7 +57,10 @@ class MulticastGroup:
         to the network (not necessarily surviving loss)."""
         self.datagrams_sent += 1
         delivered = 0
-        for channel in self._subscribers.values():
+        # Snapshot: a delivery side effect may unsubscribe mid-fan-out
+        # (a relay dropping a departed viewer), and mutating the dict
+        # while iterating it would raise RuntimeError.
+        for channel in list(self._subscribers.values()):
             if channel.send(datagram):
                 delivered += 1
         return delivered

@@ -40,18 +40,27 @@ from dataclasses import dataclass, field
 
 from ..rtp.sequence import SequenceExtender
 
-#: Canonical stage order (the waterfall row order).
+#: Canonical stage order (the waterfall row order).  ``relay`` sits
+#: inside the network hop: each relay that forwards a fragment widens
+#: the interval, so a 2-level tree's relay stage spans first-hop
+#: forward to last-hop forward.
 STAGES = (
     "schedule",
     "encode",
     "fragment",
     "send",
     "network",
+    "relay",
     "receive",
     "reassemble",
     "decode",
     "apply",
 )
+
+#: Stages only present on some topologies: a direct AH→participant
+#: session has no ``relay`` hop, so completeness checks must not
+#: demand these.
+OPTIONAL_STAGES = ("relay",)
 
 #: Why a span was abandoned, for the ``spans.abandoned`` counter family.
 ABANDON_REASONS = (

@@ -1,0 +1,226 @@
+"""Relays as first-class hosted endpoints in the :class:`SessionServer`.
+
+A :class:`HostedRelay` is what a *relay* join code resolves to: a
+:class:`~repro.relay.node.RelayNode` hanging under a hosted session's
+AH (or under another hosted relay), its own asyncio pump task, and the
+leaf participants joined through it.  It quacks like a
+:class:`~repro.sharing.server.session.HostedSession` where the server
+cares — ``code``, ``state``, ``_tasks``, ``close(reason=...)``,
+``closed_event``, ``on_close``, ``snapshot()`` — so the registry,
+``stop()`` and introspection paths treat both uniformly.
+
+Relays are **media-plane** endpoints: joining through one wires RTP
+directly (no SIP handshake — signalling stays at the root session's
+front door), which is exactly the cascade model: the rendezvous
+negotiates once, then the tree scales distribution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from ..net.channel import ChannelConfig
+from ..obs.instrumentation import NULL
+from ..sharing.participant import Participant
+from ..sharing.server.errors import DuplicateParticipant, SessionClosed
+from ..sharing.server.session import HostedSession, SessionState
+from .node import RelayNode
+from .tree import duplex_transport_pair
+
+
+class HostedRelay:
+    """A relay node + pump task + joined viewers behind one join code."""
+
+    def __init__(
+        self,
+        code: str,
+        parent,
+        relay: RelayNode,
+        clock,
+        detach,
+        obs=None,
+        tick: float = 0.02,
+        close_when_empty: bool = False,
+        channel_config: ChannelConfig | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.code = code
+        #: The :class:`HostedSession` or :class:`HostedRelay` upstream.
+        self.parent = parent
+        self.relay = relay
+        self.clock = clock
+        #: Unhooks the relay from its upstream on close.
+        self._detach = detach
+        self.obs = (obs if obs is not None else NULL).scoped(session=code)
+        self.tick = tick
+        self.close_when_empty = close_when_empty
+        self.channel_config = channel_config or ChannelConfig(delay=0.01)
+        self._rng = rng or random.Random(hash(code) & 0xFFFF)
+        self.state = SessionState.OPEN
+        self.created_at = clock.now()
+        self.viewers: dict[str, Participant] = {}
+        self._had_viewer = False
+        self._tasks: list[asyncio.Task] = []
+        self.closed_event = asyncio.Event()
+        self.on_close = None  # set by the server: callback(code)
+
+    # -- Viewer lifecycle ---------------------------------------------------
+
+    def join(
+        self,
+        name: str,
+        channel_config: ChannelConfig | None = None,
+        rate_bps: int | None = None,
+        **participant_kwargs,
+    ) -> Participant:
+        """Wire one viewer's media path through this relay.
+
+        The participant's join PLI goes to the relay; the relay's PLI
+        valve turns a burst of joiners into at most one upstream full
+        refresh per ``pli_min_interval``.
+        """
+        if self.state is not SessionState.OPEN:
+            raise SessionClosed(self.code)
+        if name in self.viewers:
+            raise DuplicateParticipant(self.code, name)
+        cfg = channel_config or self.channel_config
+        relay_side, viewer_side = duplex_transport_pair(
+            cfg, self.clock, obs=self.obs
+        )
+        self.relay.add_downstream(name, relay_side, rate_bps=rate_bps)
+        participant = Participant(
+            name, viewer_side, clock=self.clock, obs=self.obs,
+            rng=random.Random(self._rng.randrange(1 << 30)),
+            **participant_kwargs,
+        )
+        participant.join()
+        self.viewers[name] = participant
+        self._had_viewer = True
+        if self.obs.enabled:
+            self.obs.event("server.relay_join", relay=self.code, peer=name)
+        return participant
+
+    def leave(self, name: str) -> None:
+        """Drop one viewer; idempotent."""
+        if self.viewers.pop(name, None) is None:
+            return
+        self.relay.remove_downstream(name)
+        if (
+            self.close_when_empty
+            and self._had_viewer
+            and not self.viewers
+            and self.state is SessionState.OPEN
+        ):
+            self.close(reason="empty")
+
+    @property
+    def participant_count(self) -> int:
+        return len(self.viewers)
+
+    # -- The pump task ------------------------------------------------------
+
+    def start(self, *, realtime: bool = False) -> list[asyncio.Task]:
+        if self._tasks:
+            raise RuntimeError(f"relay {self.code} already started")
+        self._tasks = [
+            asyncio.create_task(
+                self._pump(realtime), name=f"relay-{self.code}-pump"
+            ),
+        ]
+        return self._tasks
+
+    async def _pump(self, realtime: bool) -> None:
+        while self.state is SessionState.OPEN:
+            if self.parent.state is not SessionState.OPEN:
+                self.close(reason="parent_closed")
+                break
+            self.relay.pump()
+            for viewer in list(self.viewers.values()):
+                viewer.process_incoming()
+            if realtime:
+                await asyncio.sleep(self.tick)
+            else:
+                await asyncio.sleep(0)
+
+    # -- Teardown -----------------------------------------------------------
+
+    def close(self, reason: str = "closed") -> None:
+        """Stop the pump, detach upstream, unregister.  Idempotent."""
+        if self.state is not SessionState.OPEN:
+            return
+        self.state = SessionState.CLOSING
+        try:
+            self._detach()
+        except Exception:
+            pass  # upstream may already be torn down
+        self.viewers.clear()
+        self.state = SessionState.CLOSED
+        if self.obs.enabled:
+            self.obs.event("server.relay_closed", reason=reason)
+        self.closed_event.set()
+        for task in self._tasks:
+            if task is not asyncio.current_task():
+                task.cancel()
+        self._tasks = []
+        if self.on_close is not None:
+            self.on_close(self.code)
+
+    def snapshot(self) -> dict:
+        """One JSON-friendly row for ``SessionServer.relays()``."""
+        return {
+            "code": self.code,
+            "state": self.state.value,
+            "parent": self.parent.code,
+            "viewers": sorted(self.viewers),
+            "uptime": self.clock.now() - self.created_at,
+            **self.relay.snapshot(),
+        }
+
+
+def attach_hosted_relay(
+    parent,
+    code: str,
+    clock,
+    relay_id: str | None = None,
+    channel_config: ChannelConfig | None = None,
+    rate_bps: int | None = None,
+    relay_config=None,
+    obs=None,
+    tick: float = 0.02,
+    close_when_empty: bool = False,
+    rng: random.Random | None = None,
+) -> HostedRelay:
+    """Build the relay + upstream hop for one ``host_relay`` call.
+
+    ``parent`` is the :class:`HostedSession` (root hop: the AH sees one
+    ``is_group`` destination) or another :class:`HostedRelay` (interior
+    hop: the parent relay sees one downstream).
+    """
+    if parent.state is not SessionState.OPEN:
+        raise SessionClosed(parent.code)
+    rid = relay_id or f"relay-{code.lower()}"
+    cfg = channel_config or ChannelConfig(delay=0.01)
+    upstream_side, relay_side = duplex_transport_pair(cfg, clock, obs=obs)
+    if isinstance(parent, HostedSession):
+        parent.ah.add_participant(
+            rid, upstream_side, rate_bps=rate_bps, is_group=True
+        )
+        detach = lambda: parent.ah.remove_participant(rid)  # noqa: E731
+    elif isinstance(parent, HostedRelay):
+        parent.relay.add_downstream(rid, upstream_side, rate_bps=rate_bps)
+        detach = lambda: parent.relay.remove_downstream(rid)  # noqa: E731
+    else:
+        raise TypeError(
+            "a relay chains under a HostedSession or another HostedRelay, "
+            f"not {type(parent).__name__}"
+        )
+    node = RelayNode(
+        rid, relay_side, clock=clock, config=relay_config,
+        rng=rng, obs=obs,
+    )
+    return HostedRelay(
+        code, parent, node, clock, detach,
+        obs=obs, tick=tick, close_when_empty=close_when_empty,
+        channel_config=cfg, rng=rng,
+    )

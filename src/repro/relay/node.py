@@ -1,0 +1,525 @@
+"""The relay node: terminate feedback locally, forward media transparently.
+
+A :class:`RelayNode` sits between an upstream source (the AH, or a
+parent relay) and N downstream consumers (participants, or child
+relays).  Media flows through **unmodified** — same SSRC, same
+sequence numbers, same timestamps — so every viewer in an arbitrarily
+deep tree observes the identical RTP stream and converges to the same
+screen state as a directly-attached participant.
+
+What the relay changes is the *feedback* plane.  Downstream NACKs and
+PLIs terminate here:
+
+* A NACK whose packets are still in the relay's
+  :class:`~repro.sharing.retransmit.RetransmitCache` is served
+  locally — the upstream never hears about it
+  (``relay.absorbed_nacks``).
+* A cache miss enrols the requester in a per-sequence waiter set and
+  escalates **once** through the relay's own
+  :class:`~repro.sharing.recovery.RecoveryManager`: a thousand viewers
+  NACKing the same lost packet produce exactly one upstream NACK (plus
+  capped retries), not a thousand (``relay.nacks_deduplicated``).
+  When the repair arrives it is re-forwarded only to the waiters.
+* PLIs are rate-limited: at most one upstream PLI per
+  ``pli_min_interval`` regardless of how many viewers panic at once
+  (``relay.plis_suppressed``).
+* Receiver reports and SDES from downstream are absorbed entirely.
+
+HIP (input) packets from downstream flow upstream verbatim — the relay
+is transparent to the control plane, so floor control still happens at
+the AH.  Upstream RTCP (the AH's SRs) fans out to every downstream so
+leaf participants can keep estimating end-to-end latency.
+
+Each downstream may carry its own token-bucket rate tier (section 4.3
+of the paper applies per subtree): packets that exceed the tier queue
+in FIFO order and drain as tokens refill; NACK retransmissions bypass
+the limiter, exactly as the AH's own scheduler does.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.errors import ProtocolError
+from ..net.ratecontrol import TokenBucket
+from ..obs.clockutil import resolve_clock
+from ..obs.instrumentation import resolve_obs
+from ..rtp.clock import DEFAULT_CLOCK_RATE
+from ..rtp.feedback import GenericNack, PictureLossIndication, aggregated_nacks
+from ..rtp.packet import RtpPacket
+from ..rtp.reports import from_ntp
+from ..rtp.rtcp import SenderReport, decode_compound
+from ..rtp.sequence import SequenceExtender
+from ..rtp.session import RtpReceiver, generate_ssrc
+from ..sharing.config import PT_REMOTING
+from ..sharing.recovery import (
+    DEFAULT_BACKOFF,
+    DEFAULT_INITIAL_INTERVAL,
+    DEFAULT_MAX_ATTEMPTS,
+    RecoveryManager,
+)
+from ..sharing.retransmit import RetransmitCache
+from ..sharing.transport import PacketTransport, is_rtcp
+
+
+@dataclass(frozen=True, slots=True)
+class RelayConfig:
+    """Tuning knobs for one relay node."""
+
+    #: Encoded packets kept for local NACK service.  Bigger caches
+    #: absorb NACKs further into the past; the AH-side default (2048)
+    #: is doubled because a relay answers for many receivers at once.
+    retransmit_cache_packets: int = 4096
+    #: Upstream NACK retry schedule (mirrors the participant's).
+    nack_retry_interval: float = DEFAULT_INITIAL_INTERVAL
+    nack_backoff: float = DEFAULT_BACKOFF
+    nack_max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    #: Minimum spacing between upstream PLIs, however many downstream
+    #: PLIs arrive (the anti-storm valve).
+    pli_min_interval: float = 1.0
+    #: Per-downstream FIFO depth while a rate tier is throttling;
+    #: overflow drops the oldest queued packet (NACK recovery repairs
+    #: the hole downstream).
+    forward_queue_packets: int = 1024
+    #: Extended sequence numbers remembered for duplicate suppression.
+    forwarded_window: int = 4096
+    #: Media clock rate for hop-latency estimation.
+    clock_rate: int = DEFAULT_CLOCK_RATE
+
+    def __post_init__(self) -> None:
+        if self.retransmit_cache_packets < 0:
+            raise ValueError("retransmit_cache_packets cannot be negative")
+        if self.pli_min_interval < 0:
+            raise ValueError("pli_min_interval cannot be negative")
+        if self.forward_queue_packets < 1:
+            raise ValueError("forward_queue_packets must be >= 1")
+        if self.forwarded_window < 1:
+            raise ValueError("forwarded_window must be >= 1")
+        if self.clock_rate <= 0:
+            raise ValueError("clock_rate must be positive")
+
+
+@dataclass(slots=True)
+class RelayDownstream:
+    """One downstream consumer (a participant or a child relay)."""
+
+    downstream_id: str
+    transport: PacketTransport
+    limiter: TokenBucket | None = None
+    #: FIFO of encoded packets awaiting rate-tier tokens.
+    queue: deque = field(default_factory=deque)
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    retransmits_served: int = 0
+    queue_drops: int = 0
+
+
+class RelayNode:
+    """One relay: upstream transport in, N downstream transports out."""
+
+    def __init__(
+        self,
+        relay_id: str,
+        upstream: PacketTransport,
+        clock=None,
+        config: RelayConfig | None = None,
+        rng: random.Random | None = None,
+        obs=None,
+        now=None,
+        instrumentation=None,
+    ) -> None:
+        self.id = relay_id
+        self.upstream = upstream
+        self.config = config or RelayConfig()
+        self._now = resolve_clock(clock, now, "RelayNode", default=lambda: 0.0)
+        self.obs = resolve_obs(obs, instrumentation, "RelayNode").scoped(
+            peer=relay_id, side="relay"
+        )
+        r = rng or random.Random(0)
+        #: Our RTCP identity when we originate upstream feedback.
+        self.ssrc = generate_ssrc(r)
+        #: The media SSRC we are relaying (learned from the stream).
+        self.media_ssrc = 0
+        self.receiver = RtpReceiver(
+            clock_rate=self.config.clock_rate, now=self._now,
+            instrumentation=self.obs,
+        )
+        self.cache = RetransmitCache(
+            self.config.retransmit_cache_packets, instrumentation=self.obs
+        )
+        self.recovery = RecoveryManager(
+            now=self._now,
+            initial_interval=self.config.nack_retry_interval,
+            backoff=self.config.nack_backoff,
+            max_attempts=self.config.nack_max_attempts,
+            instrumentation=self.obs,
+        )
+        #: Extended-sequence view of the forwarded stream, shared by the
+        #: duplicate filter and the waiter table.
+        self._extender = SequenceExtender()
+        #: Extended seqs already fanned out (bounded by forwarded_window).
+        self._forwarded: set[int] = set()
+        #: Extended seq → downstream ids still waiting for it (cache
+        #: misses pending upstream recovery).
+        self._wanted: dict[int, set[str]] = {}
+        self.downstreams: dict[str, RelayDownstream] = {}
+        self._last_upstream_pli = float("-inf")
+        self._last_sr: tuple[float, int] | None = None
+
+        self.packets_forwarded = 0
+        self.duplicates_dropped = 0
+        self.malformed_dropped = 0
+        self.nacks_received = 0
+        self.absorbed_nacks = 0
+        self.nacks_deduplicated = 0
+        self.upstream_nacks = 0
+        self.upstream_nacked_seqs = 0
+        self.plis_received = 0
+        self.upstream_plis = 0
+        self.plis_suppressed = 0
+        self.hip_forwarded = 0
+        self.gave_up = 0
+
+        obs_ = self.obs
+        self._c_forwarded = obs_.counter("relay.forwarded_packets")
+        self._c_fwd_bytes = obs_.counter("relay.forwarded_bytes")
+        self._c_duplicates = obs_.counter("relay.duplicates_dropped")
+        self._c_malformed = obs_.counter("relay.malformed_dropped")
+        self._c_nacks_in = obs_.counter("relay.nacks_received")
+        self._c_absorbed = obs_.counter("relay.absorbed_nacks")
+        self._c_deduped = obs_.counter("relay.nacks_deduplicated")
+        self._c_up_nacks = obs_.counter("relay.upstream_nacks")
+        self._c_up_seqs = obs_.counter("relay.upstream_nacked_seqs")
+        self._c_plis_in = obs_.counter("relay.plis_received")
+        self._c_up_plis = obs_.counter("relay.upstream_plis")
+        self._c_plis_suppressed = obs_.counter("relay.plis_suppressed")
+        self._c_retx_served = obs_.counter("relay.retransmits_served")
+        self._c_queue_drops = obs_.counter("relay.queue_drops")
+        self._c_hip = obs_.counter("relay.hip_forwarded")
+        self._c_gave_up = obs_.counter("relay.gave_up")
+        self._g_downstreams = obs_.gauge("relay.downstreams")
+        self._h_hop = obs_.histogram("relay.hop_seconds")
+
+    # -- Topology ----------------------------------------------------------
+
+    def add_downstream(
+        self,
+        downstream_id: str,
+        transport: PacketTransport,
+        rate_bps: int | None = None,
+    ) -> RelayDownstream:
+        """Attach one consumer, optionally inside a rate tier."""
+        if downstream_id in self.downstreams:
+            raise ValueError(
+                f"downstream {downstream_id!r} already attached"
+            )
+        limiter = (
+            TokenBucket(
+                rate_bps, now=self._now,
+                instrumentation=self.obs.scoped(downstream=downstream_id),
+            )
+            if rate_bps
+            else None
+        )
+        downstream = RelayDownstream(downstream_id, transport, limiter)
+        self.downstreams[downstream_id] = downstream
+        self._g_downstreams.set(len(self.downstreams))
+        return downstream
+
+    def remove_downstream(self, downstream_id: str) -> None:
+        if self.downstreams.pop(downstream_id, None) is None:
+            return
+        for waiters in self._wanted.values():
+            waiters.discard(downstream_id)
+        self._g_downstreams.set(len(self.downstreams))
+
+    @property
+    def downstream_count(self) -> int:
+        return len(self.downstreams)
+
+    @property
+    def upstream_closed(self) -> bool:
+        return self.upstream.closed
+
+    # -- The pump ----------------------------------------------------------
+
+    def pump(self) -> int:
+        """One service round: upstream in, feedback in, escalate, drain.
+
+        Returns the number of upstream packets processed (media and
+        RTCP), so callers can loop until quiescent.
+        """
+        processed = self._pump_upstream()
+        self._pump_downstream()
+        self._poll_escalation()
+        self._drain_queues()
+        return processed
+
+    def _pump_upstream(self) -> int:
+        processed = 0
+        for raw in self.upstream.receive_packets():
+            processed += 1
+            if is_rtcp(raw):
+                self._handle_upstream_rtcp(raw)
+            else:
+                self._handle_upstream_rtp(raw)
+        return processed
+
+    def _pump_downstream(self) -> None:
+        departed = []
+        for downstream in list(self.downstreams.values()):
+            for raw in downstream.transport.receive_packets():
+                if is_rtcp(raw):
+                    self._handle_downstream_rtcp(downstream, raw)
+                else:
+                    # HIP input: the relay is transparent to the
+                    # control plane — forward upstream verbatim so
+                    # floor control stays at the AH.
+                    self.upstream.send_packet(raw)
+                    self.hip_forwarded += 1
+                    self._c_hip.inc()
+            if downstream.transport.closed:
+                departed.append(downstream.downstream_id)
+        for downstream_id in departed:
+            self.remove_downstream(downstream_id)
+
+    # -- Upstream media ----------------------------------------------------
+
+    def _handle_upstream_rtp(self, raw: bytes) -> None:
+        try:
+            packet = RtpPacket.decode(raw)
+        except ProtocolError:
+            self.malformed_dropped += 1
+            self._c_malformed.inc()
+            return
+        if packet.payload_type != PT_REMOTING:
+            return
+        self.media_ssrc = packet.ssrc
+        seq = packet.sequence_number
+        self.recovery.note_arrival(seq)
+        self.receiver.receive(packet)
+        ext = self._extender.extend(seq)
+        waiters = self._wanted.pop(ext, None)
+        if ext in self._forwarded:
+            # Already fanned out once.  Re-forward only to waiters
+            # whose copy aged out of the cache; otherwise this is
+            # upstream duplicate noise and it stops here.
+            if waiters:
+                self.cache.store(seq, raw)
+                for downstream_id in waiters:
+                    downstream = self.downstreams.get(downstream_id)
+                    if downstream is not None:
+                        self._serve_retransmit(downstream, raw)
+            else:
+                self.duplicates_dropped += 1
+                self._c_duplicates.inc()
+            return
+        self._forwarded.add(ext)
+        self._trim_forwarded(ext)
+        self.cache.store(seq, raw)
+        spans = self.obs.spans
+        if spans.enabled:
+            span_id = spans.resolve(packet.ssrc, seq)
+            if span_id is not None:
+                spans.mark(span_id, "relay")
+        self._observe_hop_latency(packet.timestamp)
+        for downstream in list(self.downstreams.values()):
+            self._deliver(downstream, raw)
+        self.packets_forwarded += 1
+        self._c_forwarded.inc()
+        self._c_fwd_bytes.inc(len(raw))
+
+    def _handle_upstream_rtcp(self, raw: bytes) -> None:
+        try:
+            messages = decode_compound(raw)
+        except ProtocolError:
+            self.malformed_dropped += 1
+            self._c_malformed.inc()
+            return
+        for message in messages:
+            if isinstance(message, SenderReport):
+                self._last_sr = (
+                    from_ntp(message.ntp_timestamp), message.rtp_timestamp
+                )
+        # Fan the AH's RTCP to every downstream: leaf participants use
+        # the SRs for latency estimation exactly as on a direct path.
+        for downstream in list(self.downstreams.values()):
+            self._deliver(downstream, raw)
+
+    def _trim_forwarded(self, newest_ext: int) -> None:
+        if len(self._forwarded) <= 2 * self.config.forwarded_window:
+            return
+        horizon = newest_ext - self.config.forwarded_window
+        self._forwarded = {e for e in self._forwarded if e >= horizon}
+
+    def _observe_hop_latency(self, rtp_timestamp: int) -> None:
+        """Source-capture → this-hop-forward delay via the SR map."""
+        if self._last_sr is None:
+            return
+        sr_wall, sr_rtp = self._last_sr
+        diff = (rtp_timestamp - sr_rtp) & 0xFFFF_FFFF
+        if diff >= 1 << 31:
+            diff -= 1 << 32
+        sent_wall = sr_wall + diff / self.config.clock_rate
+        latency = self._now() - sent_wall
+        if 0.0 <= latency < 60.0:
+            self._h_hop.observe(latency)
+
+    # -- Downstream feedback -----------------------------------------------
+
+    def _handle_downstream_rtcp(
+        self, downstream: RelayDownstream, raw: bytes
+    ) -> None:
+        try:
+            messages = decode_compound(raw)
+        except ProtocolError:
+            self.malformed_dropped += 1
+            self._c_malformed.inc()
+            return
+        for message in messages:
+            if isinstance(message, GenericNack):
+                self._handle_nack(downstream, message)
+            elif isinstance(message, PictureLossIndication):
+                self.plis_received += 1
+                self._c_plis_in.inc()
+                self._request_upstream_pli()
+            # RRs and SDES are absorbed: the upstream never sees
+            # per-viewer reception reports.
+
+    def _handle_nack(
+        self, downstream: RelayDownstream, nack: GenericNack
+    ) -> None:
+        self.nacks_received += 1
+        self._c_nacks_in.inc()
+        for seq in nack.sequence_numbers():
+            encoded = self.cache.lookup(seq)
+            if encoded is not None:
+                self._serve_retransmit(downstream, encoded)
+                self.absorbed_nacks += 1
+                self._c_absorbed.inc()
+                continue
+            # Cache miss: remember who wants it; the recovery machine
+            # escalates each missing seq upstream exactly once (then on
+            # its own retry schedule), however many viewers ask.
+            ext = self._extender.extend(seq)
+            waiters = self._wanted.get(ext)
+            if waiters is None:
+                self._wanted[ext] = {downstream.downstream_id}
+            else:
+                waiters.add(downstream.downstream_id)
+                self.nacks_deduplicated += 1
+                self._c_deduped.inc()
+
+    def _request_upstream_pli(self) -> None:
+        now = self._now()
+        if now - self._last_upstream_pli < self.config.pli_min_interval:
+            self.plis_suppressed += 1
+            self._c_plis_suppressed.inc()
+            return
+        self._last_upstream_pli = now
+        pli = PictureLossIndication(self.ssrc, self.media_ssrc)
+        self.upstream.send_packet(pli.encode())
+        self.upstream_plis += 1
+        self._c_up_plis.inc()
+
+    # -- Escalation --------------------------------------------------------
+
+    def _poll_escalation(self) -> None:
+        """Advance the single upstream recovery machine.
+
+        Its missing set is the union of the relay's own reception gaps
+        and every cache-missed downstream request — one state machine,
+        so one upstream NACK per missing packet regardless of fan-in.
+        """
+        missing = set(self.receiver.missing_sequence_numbers())
+        missing.update(ext & 0xFFFF for ext in self._wanted)
+        if not missing and not self.recovery.pending:
+            return
+        actions = self.recovery.poll(missing)
+        if actions.nack_now:
+            for nack in aggregated_nacks(
+                self.ssrc, self.media_ssrc, actions.nack_now
+            ):
+                self.upstream.send_packet(nack.encode())
+                self.upstream_nacks += 1
+                self._c_up_nacks.inc()
+            self.upstream_nacked_seqs += len(actions.nack_now)
+            self._c_up_seqs.inc(len(actions.nack_now))
+        if actions.gave_up:
+            for seq in actions.gave_up:
+                self.receiver.gaps.acknowledge(seq)
+                self._wanted.pop(self._extender.extend(seq), None)
+            self.gave_up += len(actions.gave_up)
+            self._c_gave_up.inc(len(actions.gave_up))
+            # Retries exhausted: the subtree can only heal via a full
+            # refresh, which the PLI valve still rate-limits.
+            self._request_upstream_pli()
+
+    # -- Downstream delivery -----------------------------------------------
+
+    def _deliver(self, downstream: RelayDownstream, raw: bytes) -> None:
+        if downstream.limiter is not None and (
+            downstream.queue
+            or not downstream.limiter.try_consume(len(raw))
+        ):
+            downstream.queue.append(raw)
+            if len(downstream.queue) > self.config.forward_queue_packets:
+                downstream.queue.popleft()
+                downstream.queue_drops += 1
+                self._c_queue_drops.inc()
+            return
+        self._send_now(downstream, raw)
+
+    def _serve_retransmit(
+        self, downstream: RelayDownstream, raw: bytes
+    ) -> None:
+        # Retransmissions bypass the rate tier, matching the AH's own
+        # scheduler: repair latency beats strict pacing.
+        self._send_now(downstream, raw)
+        downstream.retransmits_served += 1
+        self._c_retx_served.inc()
+
+    def _send_now(self, downstream: RelayDownstream, raw: bytes) -> None:
+        downstream.transport.send_packet(raw)
+        downstream.packets_sent += 1
+        downstream.bytes_sent += len(raw)
+
+    def _drain_queues(self) -> None:
+        for downstream in list(self.downstreams.values()):
+            limiter = downstream.limiter
+            queue = downstream.queue
+            while queue:
+                raw = queue[0]
+                if limiter is not None and not limiter.try_consume(len(raw)):
+                    break
+                queue.popleft()
+                self._send_now(downstream, raw)
+
+    # -- Introspection -----------------------------------------------------
+
+    @property
+    def bytes_forwarded(self) -> int:
+        return sum(d.bytes_sent for d in self.downstreams.values())
+
+    def snapshot(self) -> dict:
+        """Flat counters for reports and the hosted-relay describe()."""
+        return {
+            "relay_id": self.id,
+            "downstreams": len(self.downstreams),
+            "packets_forwarded": self.packets_forwarded,
+            "duplicates_dropped": self.duplicates_dropped,
+            "nacks_received": self.nacks_received,
+            "absorbed_nacks": self.absorbed_nacks,
+            "nacks_deduplicated": self.nacks_deduplicated,
+            "upstream_nacks": self.upstream_nacks,
+            "upstream_nacked_seqs": self.upstream_nacked_seqs,
+            "plis_received": self.plis_received,
+            "upstream_plis": self.upstream_plis,
+            "plis_suppressed": self.plis_suppressed,
+            "hip_forwarded": self.hip_forwarded,
+            "gave_up": self.gave_up,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+        }

@@ -1,0 +1,216 @@
+"""Topology builders: wire relay trees over the simulated network.
+
+The cascade rule is uniform: a :class:`~repro.relay.node.RelayNode`
+takes any :class:`~repro.sharing.transport.PacketTransport` as its
+upstream, so the same node works directly under the AH or under
+another relay, to any depth.  These helpers create the duplex lossy
+channel for one hop, register the downstream end on the parent, and
+hand back the attached node (or participant).
+
+:class:`RelayTree` is a convenience container for benchmarks and
+integration tests: it remembers the relays level by level so one
+``pump()`` call services the whole cascade in topological order
+(parents first — a packet can traverse every zero-delay hop in a
+single round).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..net.channel import ChannelConfig, FaultProfile, duplex_lossy
+from ..sharing.ah import ApplicationHost
+from ..sharing.participant import Participant
+from ..sharing.transport import DatagramTransport
+from .node import RelayConfig, RelayNode
+
+
+def duplex_transport_pair(
+    config: ChannelConfig,
+    now,
+    obs=None,
+    faults: FaultProfile | None = None,
+    back_faults: FaultProfile | None = None,
+) -> tuple[DatagramTransport, DatagramTransport]:
+    """One simulated UDP association: (upstream side, downstream side)."""
+    link = duplex_lossy(
+        config, now, instrumentation=obs, faults=faults,
+        back_faults=back_faults,
+    )
+    upstream_side = DatagramTransport(link.forward, link.backward)
+    downstream_side = DatagramTransport(link.backward, link.forward)
+    return upstream_side, downstream_side
+
+
+def attach_relay_to_ah(
+    ah: ApplicationHost,
+    relay_id: str,
+    clock,
+    channel_config: ChannelConfig | None = None,
+    rate_bps: int | None = None,
+    relay_config: RelayConfig | None = None,
+    rng=None,
+    obs=None,
+    faults: FaultProfile | None = None,
+) -> RelayNode:
+    """Hang a relay directly under the AH (the tree root hop).
+
+    The AH sees the relay as one ``is_group`` destination — one RTP
+    session, one retransmit cache entry stream, one rate tier —
+    however many viewers sit in the subtree behind it.
+    """
+    cfg = channel_config or ChannelConfig(delay=0.01)
+    ah_side, relay_side = duplex_transport_pair(
+        cfg, clock, obs=obs, faults=faults
+    )
+    ah.add_participant(relay_id, ah_side, rate_bps=rate_bps, is_group=True)
+    return RelayNode(
+        relay_id, relay_side, clock=clock, config=relay_config,
+        rng=rng, obs=obs,
+    )
+
+
+def attach_relay_to_relay(
+    parent: RelayNode,
+    relay_id: str,
+    clock,
+    channel_config: ChannelConfig | None = None,
+    rate_bps: int | None = None,
+    relay_config: RelayConfig | None = None,
+    rng=None,
+    obs=None,
+    faults: FaultProfile | None = None,
+) -> RelayNode:
+    """Chain a child relay under ``parent`` (one interior tree hop)."""
+    cfg = channel_config or ChannelConfig(delay=0.01)
+    parent_side, child_side = duplex_transport_pair(
+        cfg, clock, obs=obs, faults=faults
+    )
+    parent.add_downstream(relay_id, parent_side, rate_bps=rate_bps)
+    return RelayNode(
+        relay_id, child_side, clock=clock, config=relay_config,
+        rng=rng, obs=obs,
+    )
+
+
+def attach_viewer(
+    relay: RelayNode,
+    viewer_id: str,
+    clock,
+    channel_config: ChannelConfig | None = None,
+    rate_bps: int | None = None,
+    obs=None,
+    faults: FaultProfile | None = None,
+    join: bool = True,
+    **participant_kwargs,
+) -> Participant:
+    """Attach a leaf :class:`Participant` under ``relay``.
+
+    ``join=True`` (default) sends the participant's join PLI at once;
+    the relay's PLI valve forwards the first one upstream, so a batch
+    of simultaneous joiners costs the AH a single full refresh.
+    """
+    cfg = channel_config or ChannelConfig(delay=0.01)
+    relay_side, viewer_side = duplex_transport_pair(
+        cfg, clock, obs=obs, faults=faults
+    )
+    relay.add_downstream(viewer_id, relay_side, rate_bps=rate_bps)
+    participant = Participant(
+        viewer_id, viewer_side, clock=clock, obs=obs, **participant_kwargs
+    )
+    if join:
+        participant.join()
+    return participant
+
+
+@dataclass
+class RelayTree:
+    """A built cascade: the AH, relays by level, and leaf participants."""
+
+    ah: ApplicationHost
+    #: ``levels[0]`` hangs off the AH; ``levels[i]`` off ``levels[i-1]``.
+    levels: list[list[RelayNode]] = field(default_factory=list)
+    viewers: list[Participant] = field(default_factory=list)
+
+    @property
+    def relays(self) -> list[RelayNode]:
+        return [relay for level in self.levels for relay in level]
+
+    @property
+    def leaves(self) -> list[RelayNode]:
+        return self.levels[-1] if self.levels else []
+
+    def pump(self) -> int:
+        """Service every relay once, parents before children."""
+        processed = 0
+        for level in self.levels:
+            for relay in level:
+                processed += relay.pump()
+        return processed
+
+    def pump_viewers(self) -> int:
+        applied = 0
+        for viewer in self.viewers:
+            applied += viewer.process_incoming()
+        return applied
+
+
+def build_relay_tree(
+    ah: ApplicationHost,
+    clock,
+    fanouts: tuple[int, ...] = (2, 2),
+    viewers_per_leaf: int = 2,
+    channel_config: ChannelConfig | None = None,
+    relay_config: RelayConfig | None = None,
+    rate_bps: int | None = None,
+    viewer_faults: FaultProfile | None = None,
+    obs=None,
+    rng=None,
+    **participant_kwargs,
+) -> RelayTree:
+    """Build a uniform tree: ``fanouts[i]`` relays per level-``i`` parent.
+
+    ``fanouts=(2, 3)`` puts 2 relays under the AH and 3 under each of
+    those (6 leaves); ``viewers_per_leaf`` participants then hang off
+    every leaf relay.  ``viewer_faults`` impairs only the last hop —
+    the classic relay payoff: loss near the edge is repaired from the
+    leaf relay's cache without upstream traffic.
+    """
+    base = channel_config or ChannelConfig(delay=0.01)
+    links = iter(range(0, 1 << 30, 2))
+
+    def link_config() -> ChannelConfig:
+        # Each hop gets its own seed pair so loss realisations are
+        # independent across links (duplex_lossy burns seed and seed+1).
+        return dataclasses.replace(base, seed=base.seed + next(links))
+
+    tree = RelayTree(ah)
+    parents: list[RelayNode] | None = None
+    for depth, fanout in enumerate(fanouts):
+        level: list[RelayNode] = []
+        if parents is None:
+            for i in range(fanout):
+                level.append(attach_relay_to_ah(
+                    ah, f"relay-0-{i}", clock,
+                    channel_config=link_config(), rate_bps=rate_bps,
+                    relay_config=relay_config, rng=rng, obs=obs,
+                ))
+        else:
+            for p_index, parent in enumerate(parents):
+                for i in range(fanout):
+                    level.append(attach_relay_to_relay(
+                        parent, f"relay-{depth}-{p_index}-{i}", clock,
+                        channel_config=link_config(), rate_bps=rate_bps,
+                        relay_config=relay_config, rng=rng, obs=obs,
+                    ))
+        tree.levels.append(level)
+        parents = level
+    for leaf_index, leaf in enumerate(tree.leaves):
+        for i in range(viewers_per_leaf):
+            tree.viewers.append(attach_viewer(
+                leaf, f"viewer-{leaf_index}-{i}", clock,
+                channel_config=link_config(), obs=obs,
+                faults=viewer_faults, **participant_kwargs,
+            ))
+    return tree

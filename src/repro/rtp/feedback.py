@@ -133,6 +133,24 @@ def nacks_for(sender_ssrc: int, media_ssrc: int,
     return GenericNack(sender_ssrc, media_ssrc, entries)
 
 
+def aggregated_nacks(sender_ssrc: int, media_ssrc: int,
+                     missing: Iterable[int]) -> list[GenericNack]:
+    """Pack ``missing`` into as few Generic NACKs as the cap allows.
+
+    A relay aggregating feedback from thousands of downstream viewers
+    can legitimately exceed :data:`MAX_NACK_ENTRIES` in one report;
+    a single oversized NACK would be rejected (and quarantined) at the
+    upstream decoder, so the entries are chunked into multiple
+    packets, each within the cap.  Returns ``[]`` when empty.
+    """
+    entries = pack_nack_entries(list(missing))
+    return [
+        GenericNack(sender_ssrc, media_ssrc,
+                    entries[i:i + MAX_NACK_ENTRIES])
+        for i in range(0, len(entries), MAX_NACK_ENTRIES)
+    ]
+
+
 def decode_feedback(packet: bytes, pt: int, fmt: int):
     """Decode one feedback packet body (called from rtcp.decode_compound)."""
     if len(packet) < 12:

@@ -23,6 +23,15 @@ from .errors import DuplicateJoinCode, UnknownJoinCode
 #: Unambiguous join-code alphabet (31 symbols, no 0/O, 1/I/L).
 CODE_ALPHABET = "23456789ABCDEFGHJKMNPQRSTUVWXYZ"
 
+#: Canonicalisation of the confusable classes the alphabet excludes:
+#: a pinned code may contain them, and a human transcribing ``0`` as
+#: ``O`` (or ``1``/``l`` as ``I``) must still resolve to the same key.
+_CONFUSABLES = str.maketrans({"0": "O", "1": "I", "L": "I"})
+
+#: Characters a *normalised* code may contain: the unambiguous
+#: alphabet plus the canonical representative of each confusable class.
+_ALLOWED = frozenset(CODE_ALPHABET) | {"O", "I"}
+
 
 class SessionRegistry:
     """Join-code keyed map of hosted sessions."""
@@ -57,19 +66,40 @@ class SessionRegistry:
 
     @staticmethod
     def normalise(code: str) -> str:
-        """Join codes are case-insensitive and dash/space tolerant."""
-        return code.replace("-", "").replace(" ", "").upper()
+        """Join codes are case-insensitive, dash/space tolerant, and
+        confusable-folded (``0``→``O``, ``1``/``L``→``I``), so any
+        transcription a human could plausibly produce resolves to the
+        same registry key."""
+        return (
+            code.replace("-", "").replace(" ", "")
+            .upper()
+            .translate(_CONFUSABLES)
+        )
 
     # -- CRUD ---------------------------------------------------------------
 
     def register(self, session, code: str | None = None) -> str:
-        """Add ``session`` under ``code`` (or a freshly issued one)."""
+        """Add ``session`` under ``code`` (or a freshly issued one).
+
+        Pinned codes are normalised (which folds the ``0/O`` and
+        ``1/I/L`` confusable classes to one representative each, so a
+        pinned ``"HELL0"`` and a user-typed ``"HELLO"`` meet at the
+        same key) and then validated: anything still outside the
+        join-code alphabet has no unambiguous transcription and is
+        rejected rather than registered as an untypeable session.
+        """
         if code is None:
             code = self.issue_code()
         else:
             code = self.normalise(code)
             if not code:
                 raise ValueError("join code cannot be empty")
+            bad = sorted(set(code) - _ALLOWED)
+            if bad:
+                raise ValueError(
+                    f"join code {code!r} uses unmappable characters"
+                    f" outside the join-code alphabet: {''.join(bad)!r}"
+                )
             if code in self._sessions:
                 raise DuplicateJoinCode(code)
         self._sessions[code] = session

@@ -206,6 +206,87 @@ class SessionServer:
         """The hosted session behind ``code`` (:class:`UnknownJoinCode`)."""
         return self.registry.lookup(code)
 
+    # -- Relay hosting -------------------------------------------------------
+
+    def host_relay(
+        self,
+        parent_code: str,
+        code: str | None = None,
+        relay_id: str | None = None,
+        channel_config: ChannelConfig | None = None,
+        rate_bps: int | None = None,
+        relay_config=None,
+        close_when_empty: bool = False,
+    ) -> str:
+        """Hang a relay under ``parent_code``; returns the relay's code.
+
+        ``parent_code`` may name a hosted session (the relay becomes
+        one ``is_group`` destination of its AH) or another hosted relay
+        (cascading one level deeper).  The relay registers in the same
+        join-code namespace and is pumped by its own task; viewers then
+        join it with :meth:`join_relay`.  ``rate_bps`` puts the whole
+        subtree inside one token-bucket tier at the upstream hop.
+        """
+        # Imported here: repro.relay imports this package for the
+        # HostedSession duck-type contract.
+        from ...relay.hosted import attach_hosted_relay
+
+        if not self._running:
+            raise ServerError("server not started (use `async with` or start())")
+        parent = self.registry.lookup(parent_code)
+        issued = (
+            self.registry.normalise(code) if code is not None
+            else self.registry.issue_code()
+        )
+        hosted = attach_hosted_relay(
+            parent,
+            issued,
+            self.clock,
+            relay_id=relay_id,
+            channel_config=channel_config or self.channel_config,
+            rate_bps=rate_bps,
+            relay_config=relay_config,
+            obs=self.obs,
+            tick=self.tick,
+            close_when_empty=close_when_empty,
+            rng=random.Random(self._rng.randrange(1 << 30)),
+        )
+        self.registry.register(hosted, issued)
+        hosted.on_close = self.registry.remove
+        hosted.start(realtime=self.realtime)
+        if self.obs.enabled:
+            self.obs.event(
+                "server.relay_hosted", relay=issued, parent=parent.code
+            )
+        return issued
+
+    def relay(self, code: str):
+        """The :class:`~repro.relay.hosted.HostedRelay` behind ``code``."""
+        from ...relay.hosted import HostedRelay
+
+        entry = self.registry.lookup(code)
+        if not isinstance(entry, HostedRelay):
+            raise ServerError(f"join code {code!r} names a session, not a relay")
+        return entry
+
+    def join_relay(self, code: str, name: str, **kwargs) -> Participant:
+        """Wire ``name``'s media through the relay behind ``code``.
+
+        Relays are media-plane endpoints: no SIP handshake runs (the
+        root session's front door owns signalling), so this is
+        synchronous — the returned participant converges as the
+        server's pumps run.
+        """
+        return self.relay(code).join(name, **kwargs)
+
+    def leave_relay(self, code: str, name: str) -> None:
+        """Drop ``name`` from the relay behind ``code``; idempotent."""
+        try:
+            hosted = self.relay(code)
+        except UnknownJoinCode:
+            return
+        hosted.leave(name)
+
     # -- The signalling front door ------------------------------------------
 
     async def join(
@@ -306,6 +387,16 @@ class SessionServer:
             code: session.snapshot()
             for code, session in self.registry
             if isinstance(session, HostedSession)
+        }
+
+    def relays(self) -> dict[str, dict]:
+        """The ``server.relays`` snapshot: one row per hosted relay."""
+        from ...relay.hosted import HostedRelay
+
+        return {
+            code: entry.snapshot()
+            for code, entry in self.registry
+            if isinstance(entry, HostedRelay)
         }
 
     async def until(self, predicate, timeout: float = 10.0) -> None:

@@ -64,3 +64,26 @@ class TestMulticastGroup:
         group.subscribe("p1")
         group.subscribe("p2")
         assert group.subscriber_ids() == ["p1", "p2"]
+
+    def test_unsubscribe_during_fan_out(self, clock):
+        # A delivery side effect that drops a subscriber mid-fan-out
+        # (a relay reacting to a departed viewer) must not blow up the
+        # iteration with "dictionary changed size during iteration".
+        group = MulticastGroup(ChannelConfig(delay=0), clock.now)
+        a = group.subscribe("a")
+        group.subscribe("b")
+        c = group.subscribe("c")
+
+        original_send = a.send
+
+        def departing_send(datagram):
+            group.unsubscribe("b")
+            return original_send(datagram)
+
+        a.send = departing_send
+        assert group.send(b"x") == 3  # snapshot still serves everyone
+        assert group.subscriber_count == 2
+        assert group.send(b"y") == 2  # next fan-out omits the departed
+        clock.advance(1)
+        assert a.receive_ready() == [b"x", b"y"]
+        assert c.receive_ready() == [b"x", b"y"]

@@ -19,7 +19,10 @@ from repro.net.channel import FaultProfile
 from repro.net.simulator import Simulation
 from repro.obs import Instrumentation
 from repro.obs.report import run_scenario
-from repro.obs.spans import STAGES
+from repro.obs.spans import OPTIONAL_STAGES, STAGES
+
+#: Stages every *direct* (relay-free) session must populate.
+REQUIRED_STAGES = tuple(s for s in STAGES if s not in OPTIONAL_STAGES)
 from repro.rtp.clock import SimulatedClock
 from repro.sharing.ah import ApplicationHost
 from repro.sharing.config import SharingConfig
@@ -46,11 +49,11 @@ class TestRecoveredSpans:
         recovered = _recovered_spans(burst_obs)
         assert recovered, "burst scenario produced no recovered updates"
         for span in recovered:
-            missing = [s for s in STAGES if s not in span.stages]
+            missing = [s for s in REQUIRED_STAGES if s not in span.stages]
             assert not missing, (
                 f"update {span.update_id} recovered but lost stages {missing}"
             )
-            for stage in STAGES:
+            for stage in REQUIRED_STAGES:
                 t0, t1 = span.stages[stage]
                 assert t0 <= t1
             assert span.e2e_seconds() > 0
@@ -59,7 +62,7 @@ class TestRecoveredSpans:
 
     def test_histograms_populated_for_every_stage(self, burst_obs):
         registry = burst_obs.registry
-        for stage in STAGES:
+        for stage in REQUIRED_STAGES:
             h = registry.get("update.stage_seconds", stage=stage)
             assert h is not None and h.count > 0, stage
         yes = registry.get("update.e2e_seconds", recovered="yes")
@@ -88,7 +91,7 @@ class TestRecoveredSpans:
         assert events
         assert all(e["args"]["recovered"] for e in events)
         stages_seen = {e["name"] for e in events}
-        assert set(STAGES) <= stages_seen
+        assert set(REQUIRED_STAGES) <= stages_seen
 
 
 class TestGiveUpTracing:

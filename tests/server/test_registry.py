@@ -80,6 +80,36 @@ class TestRegistration:
         with pytest.raises(ValueError):
             registry.register(object(), "  -")
 
+    def test_pinned_zero_and_oh_meet_at_the_same_key(self):
+        # A room pinned with "0" must be reachable by a user who
+        # transcribed it as "O" — the unambiguous-alphabet guarantee.
+        registry = SessionRegistry(rng=random.Random(5))
+        session = object()
+        registry.register(session, "HELL0")
+        assert registry.lookup("HELLO") is session
+        assert registry.lookup("hell0") is session
+        with pytest.raises(DuplicateJoinCode):
+            registry.register(object(), "HELLO")
+
+    def test_pinned_one_ell_and_eye_meet_at_the_same_key(self):
+        registry = SessionRegistry(rng=random.Random(5))
+        session = object()
+        registry.register(session, "MA1N22")
+        assert registry.lookup("MAIN22") is session
+        assert registry.lookup("MAlN22") is session  # lowercase L
+        assert registry.lookup("MALN22") is session
+
+    def test_pinned_code_with_unmappable_characters_rejected(self):
+        registry = SessionRegistry(rng=random.Random(5))
+        for bad in ("ROOM*2", "CAFÉ22", "A_B_C_"):
+            with pytest.raises(ValueError):
+                registry.register(object(), bad)
+
+    def test_pinned_code_empty_after_normalise_rejected(self):
+        registry = SessionRegistry(rng=random.Random(5))
+        with pytest.raises(ValueError):
+            registry.register(object(), "--- ---")
+
     def test_registry_feeds_server_sessions_gauge(self):
         obs = Instrumentation()
         registry = SessionRegistry(rng=random.Random(5), obs=obs)
