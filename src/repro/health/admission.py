@@ -1,0 +1,127 @@
+"""Admission control and the graceful-degradation ladder.
+
+Overload at the hosting tier is handled in two stages, cheapest first:
+
+1. **Degrade** — past ``degrade_at`` of the participant capacity, the
+   server downgrades every hosted relay's downstream rate tiers by
+   ``degrade_rate_factor`` (token buckets refill slower; updates
+   queue and coalesce at the relays).  Existing viewers get a slower
+   picture; nobody is disconnected and joins still succeed.
+2. **Shed** — at 100% of ``max_participants`` (or ``max_sessions``),
+   new joins (or hosts) are refused with
+   :class:`~repro.sharing.server.errors.ServerOverloaded`.  Refusing
+   *new* work is the last resort, and it protects every session
+   already admitted.
+
+Load falling back below ``degrade_at`` restores the original tiers.
+Capacities of ``None`` disable that axis entirely (the historical
+behaviour).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..obs.instrumentation import NULL
+
+
+class AdmissionDecision(enum.Enum):
+    ADMIT = "admit"
+    SHED = "shed"
+
+
+#: Ordered load levels for the ``health.load_level`` gauge.
+LOAD_LEVELS = ("ok", "degraded", "overloaded")
+
+
+@dataclass(frozen=True, slots=True)
+class OverloadConfig:
+    """Capacity knobs for one :class:`AdmissionControl`."""
+
+    #: Hosted sessions + relays admitted at once (None = unlimited).
+    max_sessions: int | None = None
+    #: Participants (front-door + relay viewers) admitted at once.
+    max_participants: int | None = None
+    #: Fraction of ``max_participants`` where rate-tier degradation
+    #: begins.
+    degrade_at: float = 0.8
+    #: Multiplier applied to relay downstream rate tiers while
+    #: degraded.
+    degrade_rate_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_sessions is not None and self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if self.max_participants is not None and self.max_participants < 1:
+            raise ValueError("max_participants must be >= 1")
+        if not 0.0 < self.degrade_at <= 1.0:
+            raise ValueError("degrade_at must be in (0, 1]")
+        if not 0.0 < self.degrade_rate_factor <= 1.0:
+            raise ValueError("degrade_rate_factor must be in (0, 1]")
+
+
+class AdmissionControl:
+    """Stateless capacity checks plus shed/degrade accounting."""
+
+    def __init__(
+        self,
+        config: OverloadConfig | None = None,
+        instrumentation=None,
+    ) -> None:
+        self.config = config or OverloadConfig()
+        self.sessions_shed = 0
+        self.joins_shed = 0
+        obs = instrumentation if instrumentation is not None else NULL
+        self._obs = obs
+        self._c_sessions_shed = obs.counter("health.sessions_shed")
+        self._c_joins_shed = obs.counter("health.joins_shed")
+        self._g_load = obs.gauge("health.load_level")
+
+    def admit_session(self, current_sessions: int) -> AdmissionDecision:
+        limit = self.config.max_sessions
+        if limit is not None and current_sessions >= limit:
+            self.sessions_shed += 1
+            self._c_sessions_shed.inc()
+            if self._obs.enabled:
+                self._obs.event(
+                    "health.session_shed", sessions=current_sessions,
+                    limit=limit,
+                )
+            return AdmissionDecision.SHED
+        return AdmissionDecision.ADMIT
+
+    def admit_join(self, current_participants: int) -> AdmissionDecision:
+        limit = self.config.max_participants
+        if limit is not None and current_participants >= limit:
+            self.joins_shed += 1
+            self._c_joins_shed.inc()
+            if self._obs.enabled:
+                self._obs.event(
+                    "health.join_shed", participants=current_participants,
+                    limit=limit,
+                )
+            return AdmissionDecision.SHED
+        return AdmissionDecision.ADMIT
+
+    def load_level(self, current_participants: int) -> str:
+        """Where ``current_participants`` sits on the ladder."""
+        limit = self.config.max_participants
+        if limit is None:
+            level = "ok"
+        elif current_participants >= limit:
+            level = "overloaded"
+        elif current_participants >= self.config.degrade_at * limit:
+            level = "degraded"
+        else:
+            level = "ok"
+        self._g_load.set(LOAD_LEVELS.index(level))
+        return level
+
+    def snapshot(self) -> dict:
+        return {
+            "max_sessions": self.config.max_sessions,
+            "max_participants": self.config.max_participants,
+            "sessions_shed": self.sessions_shed,
+            "joins_shed": self.joins_shed,
+        }

@@ -1,0 +1,235 @@
+"""Silence → suspect → dead liveness tracking.
+
+A :class:`LivenessTracker` watches one set of peers (a session's
+participants, a relay's downstreams, a relay's single upstream) and
+classifies each by how long it has been silent:
+
+* **ALIVE** — heard from within ``suspect_after`` seconds;
+* **SUSPECT** — silent for ``suspect_after``..``dead_after`` seconds
+  (the peer may be behind a loss burst or a stalled link — keep
+  serving it, but stop counting on it);
+* **DEAD** — silent past ``dead_after``: the owner should evict/prune
+  the peer and reclaim its state.
+
+"Heard from" is deliberately cheap and protocol-agnostic: the owner
+calls :meth:`note_alive` whenever *anything* arrives from the peer —
+media, an RTCP receiver report, a NACK, a HIP input packet, an RFC
+6263-style keepalive.  A healthy path always carries at least RTCP
+(participants report continuously) or fanned-down sender reports, so
+silence genuinely means death, partition, or a stalled link.
+
+:meth:`poll` is edge-triggered: each call returns only the peers that
+*newly* transitioned, so owners can evict exactly once.  Dead peers
+stay tracked (still silent, not re-reported) until :meth:`forget` —
+the owner forgets on eviction.  A peer that speaks again after being
+suspected (or even declared dead, if the owner kept it) transitions
+back to ALIVE and counts as a revival.
+
+All times come from the injected clock, so the thresholds are virtual
+seconds under the simulator and wall seconds in realtime mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..obs.clockutil import as_now
+from ..obs.instrumentation import NULL
+
+
+class PeerState(enum.Enum):
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+@dataclass(frozen=True, slots=True)
+class LivenessConfig:
+    """Silence thresholds, in clock seconds."""
+
+    #: Silence after which a peer is suspected.
+    suspect_after: float = 2.0
+    #: Silence after which a peer is declared dead.
+    dead_after: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.suspect_after <= 0:
+            raise ValueError("suspect_after must be positive")
+        if self.dead_after <= self.suspect_after:
+            raise ValueError("dead_after must exceed suspect_after")
+
+
+@dataclass(slots=True)
+class PeerLiveness:
+    """Tracked state for one peer."""
+
+    peer: str
+    last_seen: float
+    state: PeerState = PeerState.ALIVE
+    suspected_at: float | None = None
+    died_at: float | None = None
+
+    def silence(self, now: float) -> float:
+        return now - self.last_seen
+
+
+@dataclass(slots=True)
+class LivenessReport:
+    """Edge-triggered transitions from one :meth:`LivenessTracker.poll`."""
+
+    #: Peers that newly crossed the suspect threshold.
+    newly_suspect: list[str] = field(default_factory=list)
+    #: Peers that newly crossed the dead threshold (evict these).
+    newly_dead: list[str] = field(default_factory=list)
+    #: Previously suspect/dead peers heard from since the last poll.
+    revived: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.newly_suspect or self.newly_dead or self.revived)
+
+
+class LivenessTracker:
+    """Last-seen bookkeeping with suspect/dead thresholds for one owner."""
+
+    def __init__(
+        self,
+        now,
+        config: LivenessConfig | None = None,
+        instrumentation=None,
+    ) -> None:
+        self._now = as_now(now)
+        self.config = config or LivenessConfig()
+        self._peers: dict[str, PeerLiveness] = {}
+        #: Peers revived since the last poll (reported edge-triggered).
+        self._revived: list[str] = []
+        self.suspects = 0
+        self.deaths = 0
+        self.revivals = 0
+        obs = instrumentation if instrumentation is not None else NULL
+        self._obs = obs
+        self._c_suspects = obs.counter("health.peers_suspected")
+        self._c_deaths = obs.counter("health.peers_died")
+        self._c_revivals = obs.counter("health.peers_revived")
+        self._g_tracked = obs.gauge("health.peers_tracked")
+
+    # -- Inputs ------------------------------------------------------------
+
+    def track(self, peer: str) -> None:
+        """Start watching ``peer`` (last seen = now).  Idempotent."""
+        if peer not in self._peers:
+            self._peers[peer] = PeerLiveness(peer, self._now())
+            self._g_tracked.set(len(self._peers))
+
+    def note_alive(self, peer: str) -> None:
+        """Record that something arrived from ``peer`` just now.
+
+        Untracked peers are auto-tracked, so owners can feed every
+        ingress without checking membership first.
+        """
+        entry = self._peers.get(peer)
+        now = self._now()
+        if entry is None:
+            self._peers[peer] = PeerLiveness(peer, now)
+            self._g_tracked.set(len(self._peers))
+            return
+        entry.last_seen = now
+        if entry.state is not PeerState.ALIVE:
+            entry.state = PeerState.ALIVE
+            entry.suspected_at = None
+            entry.died_at = None
+            self.revivals += 1
+            self._c_revivals.inc()
+            self._revived.append(peer)
+
+    def forget(self, peer: str) -> None:
+        """Stop watching ``peer`` (evicted, or left normally)."""
+        if self._peers.pop(peer, None) is not None:
+            self._g_tracked.set(len(self._peers))
+
+    # -- The threshold sweep -----------------------------------------------
+
+    def poll(self) -> LivenessReport:
+        """Advance every peer against the thresholds; report transitions.
+
+        Edge-triggered: a peer appears in ``newly_suspect`` /
+        ``newly_dead`` on exactly one poll.  Dead peers remain tracked
+        (and silent) until the owner calls :meth:`forget`.
+        """
+        now = self._now()
+        report = LivenessReport(revived=self._revived)
+        self._revived = []
+        cfg = self.config
+        for entry in self._peers.values():
+            if entry.state is PeerState.DEAD:
+                continue
+            silence = now - entry.last_seen
+            if silence >= cfg.dead_after:
+                entry.state = PeerState.DEAD
+                entry.died_at = now
+                self.deaths += 1
+                self._c_deaths.inc()
+                report.newly_dead.append(entry.peer)
+                if self._obs.enabled:
+                    self._obs.event(
+                        "health.peer_dead", peer=entry.peer,
+                        silence=silence,
+                    )
+            elif silence >= cfg.suspect_after:
+                if entry.state is PeerState.ALIVE:
+                    entry.state = PeerState.SUSPECT
+                    entry.suspected_at = now
+                    self.suspects += 1
+                    self._c_suspects.inc()
+                    report.newly_suspect.append(entry.peer)
+                    if self._obs.enabled:
+                        self._obs.event(
+                            "health.peer_suspect", peer=entry.peer,
+                            silence=silence,
+                        )
+        return report
+
+    # -- Introspection -----------------------------------------------------
+
+    def state_of(self, peer: str) -> PeerState | None:
+        entry = self._peers.get(peer)
+        return entry.state if entry is not None else None
+
+    def last_seen(self, peer: str) -> float | None:
+        entry = self._peers.get(peer)
+        return entry.last_seen if entry is not None else None
+
+    def died_at(self, peer: str) -> float | None:
+        """When ``peer`` crossed the dead threshold (None if not dead)."""
+        entry = self._peers.get(peer)
+        return entry.died_at if entry is not None else None
+
+    def peers_in(self, state: PeerState) -> list[str]:
+        return sorted(
+            p for p, e in self._peers.items() if e.state is state
+        )
+
+    @property
+    def tracked(self) -> int:
+        return len(self._peers)
+
+    def snapshot(self) -> dict:
+        """Flat counters for describe()/report rows."""
+        return {
+            "tracked": len(self._peers),
+            "alive": sum(
+                1 for e in self._peers.values()
+                if e.state is PeerState.ALIVE
+            ),
+            "suspect": sum(
+                1 for e in self._peers.values()
+                if e.state is PeerState.SUSPECT
+            ),
+            "dead": sum(
+                1 for e in self._peers.values()
+                if e.state is PeerState.DEAD
+            ),
+            "suspects": self.suspects,
+            "deaths": self.deaths,
+            "revivals": self.revivals,
+        }

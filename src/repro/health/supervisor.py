@@ -1,0 +1,152 @@
+"""Crash-restart supervision for per-session asyncio task groups.
+
+A :class:`~repro.sharing.server.session.HostedSession`'s pumps are
+plain asyncio tasks; before this module an uncaught exception in one
+of them killed the task silently and the session wedged — signalling
+stopped draining, media stopped flowing, and nothing was recorded.
+
+:class:`TaskSupervisor` wraps each pump coroutine *factory* in a
+supervision loop: a crash is counted and logged
+(``health.task_crashes``), the loop backs off exponentially and calls
+the factory again (``health.task_restarts``), and after
+``max_restarts`` consecutive crashes it gives up
+(``health.task_give_ups``) and invokes the owner's ``on_give_up``
+callback — for a hosted session, closing it with
+``reason="supervisor_give_up"`` so its participants are shed cleanly
+instead of hanging forever.
+
+Cancellation and normal return are *not* crashes: both end the
+supervision loop quietly, so the existing teardown paths (session
+``close()`` cancelling its tasks) behave exactly as before.  A clean
+stretch of ``reset_after`` seconds on the restarted task resets the
+consecutive-crash counter, so a session that crashes once a day never
+reaches give-up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Awaitable, Callable
+
+from ..obs.instrumentation import NULL
+
+
+@dataclass(frozen=True, slots=True)
+class RestartPolicy:
+    """Backoff schedule for one supervised task."""
+
+    #: Wall-clock pause before the first restart.
+    initial_backoff: float = 0.01
+    #: Multiplier per consecutive crash.
+    backoff_factor: float = 2.0
+    #: Consecutive crashes tolerated before giving up.
+    max_restarts: int = 3
+    #: A restarted task surviving this long (wall seconds) resets the
+    #: consecutive-crash counter.
+    reset_after: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.initial_backoff < 0:
+            raise ValueError("initial_backoff cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts cannot be negative")
+        if self.reset_after <= 0:
+            raise ValueError("reset_after must be positive")
+
+    def backoff(self, consecutive_crashes: int) -> float:
+        """Pause before restart number ``consecutive_crashes``."""
+        return self.initial_backoff * (
+            self.backoff_factor ** max(0, consecutive_crashes - 1)
+        )
+
+
+class TaskSupervisor:
+    """Creates supervised asyncio tasks with crash-restart semantics."""
+
+    def __init__(
+        self,
+        policy: RestartPolicy | None = None,
+        instrumentation=None,
+    ) -> None:
+        self.policy = policy or RestartPolicy()
+        self.crashes = 0
+        self.restarts = 0
+        self.give_ups = 0
+        obs = instrumentation if instrumentation is not None else NULL
+        self._obs = obs
+        self._c_crashes = obs.counter("health.task_crashes")
+        self._c_restarts = obs.counter("health.task_restarts")
+        self._c_give_ups = obs.counter("health.task_give_ups")
+
+    def supervise(
+        self,
+        factory: Callable[[], Awaitable[None]],
+        name: str,
+        on_give_up: Callable[[BaseException], None] | None = None,
+    ) -> asyncio.Task:
+        """Run ``factory()`` under supervision; returns the outer task.
+
+        ``factory`` must be re-callable: each (re)start calls it for a
+        fresh coroutine.  ``on_give_up`` fires once, with the final
+        exception, when the restart budget is exhausted.
+        """
+        return asyncio.create_task(
+            self._run(factory, name, on_give_up), name=name
+        )
+
+    async def _run(
+        self,
+        factory: Callable[[], Awaitable[None]],
+        name: str,
+        on_give_up: Callable[[BaseException], None] | None,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        consecutive = 0
+        while True:
+            started = loop.time()
+            try:
+                await factory()
+                return  # clean exit: supervision over
+            except asyncio.CancelledError:
+                raise  # teardown path, not a crash
+            except Exception as exc:
+                if loop.time() - started >= self.policy.reset_after:
+                    consecutive = 0
+                consecutive += 1
+                self.crashes += 1
+                self._c_crashes.inc()
+                if self._obs.enabled:
+                    self._obs.event(
+                        "health.task_crashed", task=name,
+                        error=type(exc).__name__,
+                        consecutive=consecutive,
+                    )
+                if consecutive > self.policy.max_restarts:
+                    self.give_ups += 1
+                    self._c_give_ups.inc()
+                    if self._obs.enabled:
+                        self._obs.event(
+                            "health.task_gave_up", task=name,
+                            error=type(exc).__name__,
+                            crashes=consecutive,
+                        )
+                    if on_give_up is not None:
+                        on_give_up(exc)
+                    return
+                self.restarts += 1
+                self._c_restarts.inc()
+                pause = self.policy.backoff(consecutive)
+                if pause > 0:
+                    await asyncio.sleep(pause)
+                else:
+                    await asyncio.sleep(0)
+
+    def snapshot(self) -> dict:
+        return {
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "give_ups": self.give_ups,
+        }

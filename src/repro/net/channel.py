@@ -163,17 +163,24 @@ class LossyChannel:
         self.datagrams_sent = 0
         self.datagrams_dropped = 0
         self.datagrams_dropped_burst = 0
+        self.datagrams_dropped_partition = 0
         self.datagrams_oversize = 0
         self.datagrams_duplicated = 0
         self.datagrams_reordered = 0
         self.bytes_sent = 0
         self._faults: FaultProfile | None = None
         self._gilbert: GilbertElliott | None = None
+        #: Chaos switches (see partition()/stall()/heal()).
+        self._partitioned = False
+        self._stalled = False
         obs = instrumentation if instrumentation is not None else NULL
         self._c_sent = obs.counter("channel.datagrams_sent")
         self._c_bytes = obs.counter("channel.bytes_sent")
         self._c_dropped = obs.counter("channel.datagrams_dropped")
         self._c_dropped_burst = obs.counter("channel.datagrams_dropped_burst")
+        self._c_dropped_partition = obs.counter(
+            "channel.datagrams_dropped_partition"
+        )
         self._c_oversize = obs.counter("channel.datagrams_oversize")
         self._c_duplicated = obs.counter("channel.datagrams_duplicated")
         self._c_reordered = obs.counter("channel.datagrams_reordered")
@@ -197,6 +204,40 @@ class LossyChannel:
             GilbertElliott(profile, self._rng) if profile is not None else None
         )
 
+    # -- Chaos switches ----------------------------------------------------
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned
+
+    @property
+    def stalled(self) -> bool:
+        return self._stalled
+
+    def partition(self) -> None:
+        """Hard partition: every datagram sent from now on is dropped.
+
+        Unlike a 100%-loss :class:`FaultProfile` this is a scripted
+        *state*, not a probabilistic process — the chaos schedules in
+        :class:`~repro.net.simulator.Simulation` flip it on and off
+        deterministically.  Datagrams already in flight still arrive
+        (they left before the cut)."""
+        self._partitioned = True
+
+    def stall(self) -> None:
+        """Stall delivery: arrivals are withheld until :meth:`heal`.
+
+        Models a bufferbloated/frozen path: the sender keeps sending
+        (nothing is dropped), but :meth:`receive_ready` yields nothing
+        while stalled; healing floods out everything whose arrival
+        time has passed."""
+        self._stalled = True
+
+    def heal(self) -> None:
+        """Clear partition and stall states."""
+        self._partitioned = False
+        self._stalled = False
+
     def send(self, datagram: bytes) -> bool:
         """Queue a datagram; returns False when it was dropped."""
         self.datagrams_sent += 1
@@ -206,6 +247,12 @@ class LossyChannel:
         if len(datagram) > self.config.mtu:
             self.datagrams_oversize += 1
             self._c_oversize.inc()
+            return False
+        if self._partitioned:
+            self.datagrams_dropped += 1
+            self.datagrams_dropped_partition += 1
+            self._c_dropped.inc()
+            self._c_dropped_partition.inc()
             return False
         if self._rng.random() < self.config.loss_rate:
             self.datagrams_dropped += 1
@@ -256,6 +303,8 @@ class LossyChannel:
 
     def receive_ready(self) -> list[bytes]:
         """Datagrams whose arrival time has passed, in arrival order."""
+        if self._stalled:
+            return []
         now = self._now()
         out: list[bytes] = []
         while self._in_flight and self._in_flight[0][0] <= now:
@@ -364,6 +413,24 @@ class DuplexChannel:
 
     forward: LossyChannel | ReliableChannel
     backward: LossyChannel | ReliableChannel
+
+    def _each(self, verb: str) -> None:
+        for side in (self.forward, self.backward):
+            method = getattr(side, verb, None)
+            if method is not None:
+                method()
+
+    def partition(self) -> None:
+        """Cut both directions (see :meth:`LossyChannel.partition`)."""
+        self._each("partition")
+
+    def stall(self) -> None:
+        """Stall both directions (see :meth:`LossyChannel.stall`)."""
+        self._each("stall")
+
+    def heal(self) -> None:
+        """Clear partition/stall on both directions."""
+        self._each("heal")
 
 
 def duplex_lossy(

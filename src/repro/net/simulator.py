@@ -108,6 +108,39 @@ class Simulation:
         )
         self._scripted_counter += 1
 
+    # -- Chaos scripting ---------------------------------------------------
+    #
+    # Deterministic failure events on the simulated timeline.  Targets
+    # are duck-typed: anything with ``crash()`` can be crashed, and
+    # anything with ``partition()``/``stall()``/``heal()`` — a
+    # :class:`~repro.net.channel.LossyChannel`, a
+    # :class:`~repro.net.channel.DuplexChannel`, or a relay tree link —
+    # can be cut, frozen and healed.  Combined with
+    # :meth:`~repro.net.channel.LossyChannel.set_faults` schedules this
+    # is the whole chaos vocabulary ``bench_chaos.py`` uses.
+
+    def crash_at(self, time: float, node) -> None:
+        """Kill ``node`` (anything with ``crash()``) at ``time``."""
+        self.at(time, node.crash)
+
+    def partition_at(self, time: float, target,
+                     duration: float | None = None) -> None:
+        """Cut ``target`` at ``time``; auto-heal after ``duration``."""
+        self.at(time, target.partition)
+        if duration is not None:
+            self.at(time + duration, target.heal)
+
+    def stall_at(self, time: float, target,
+                 duration: float | None = None) -> None:
+        """Freeze ``target``'s delivery at ``time``; optionally heal."""
+        self.at(time, target.stall)
+        if duration is not None:
+            self.at(time + duration, target.heal)
+
+    def heal_at(self, time: float, target) -> None:
+        """Clear ``target``'s partition/stall at ``time``."""
+        self.at(time, target.heal)
+
     # -- Stepping ---------------------------------------------------------
 
     def step(self) -> None:

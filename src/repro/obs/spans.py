@@ -51,6 +51,7 @@ STAGES = (
     "send",
     "network",
     "relay",
+    "failover",
     "receive",
     "reassemble",
     "decode",
@@ -58,9 +59,10 @@ STAGES = (
 )
 
 #: Stages only present on some topologies: a direct AH→participant
-#: session has no ``relay`` hop, so completeness checks must not
-#: demand these.
-OPTIONAL_STAGES = ("relay",)
+#: session has no ``relay`` hop, and ``failover`` appears only on the
+#: first update a re-parented relay forwards after its parent died —
+#: so completeness checks must not demand these.
+OPTIONAL_STAGES = ("relay", "failover")
 
 #: Why a span was abandoned, for the ``spans.abandoned`` counter family.
 ABANDON_REASONS = (

@@ -44,8 +44,12 @@ class HostedRelay:
         close_when_empty: bool = False,
         channel_config: ChannelConfig | None = None,
         rng: random.Random | None = None,
+        supervisor=None,
     ) -> None:
         self.code = code
+        #: Optional :class:`~repro.health.supervisor.TaskSupervisor`
+        #: wrapping the pump in a crash-restart loop.
+        self.supervisor = supervisor
         #: The :class:`HostedSession` or :class:`HostedRelay` upstream.
         self.parent = parent
         self.relay = relay
@@ -123,11 +127,20 @@ class HostedRelay:
     def start(self, *, realtime: bool = False) -> list[asyncio.Task]:
         if self._tasks:
             raise RuntimeError(f"relay {self.code} already started")
-        self._tasks = [
-            asyncio.create_task(
-                self._pump(realtime), name=f"relay-{self.code}-pump"
-            ),
-        ]
+        name = f"relay-{self.code}-pump"
+        if self.supervisor is not None:
+            self._tasks = [
+                self.supervisor.supervise(
+                    lambda: self._pump(realtime), name,
+                    on_give_up=lambda exc: self.close(
+                        reason="supervisor_give_up"
+                    ),
+                )
+            ]
+        else:
+            self._tasks = [
+                asyncio.create_task(self._pump(realtime), name=name),
+            ]
         return self._tasks
 
     async def _pump(self, realtime: bool) -> None:
@@ -190,6 +203,7 @@ def attach_hosted_relay(
     tick: float = 0.02,
     close_when_empty: bool = False,
     rng: random.Random | None = None,
+    supervisor=None,
 ) -> HostedRelay:
     """Build the relay + upstream hop for one ``host_relay`` call.
 
@@ -222,5 +236,5 @@ def attach_hosted_relay(
     return HostedRelay(
         code, parent, node, clock, detach,
         obs=obs, tick=tick, close_when_empty=close_when_empty,
-        channel_config=cfg, rng=rng,
+        channel_config=cfg, rng=rng, supervisor=supervisor,
     )

@@ -43,13 +43,18 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..core.errors import ProtocolError
+from ..health.liveness import LivenessConfig, LivenessTracker, PeerState
 from ..net.ratecontrol import TokenBucket
 from ..obs.clockutil import resolve_clock
 from ..obs.instrumentation import resolve_obs
 from ..rtp.clock import DEFAULT_CLOCK_RATE
 from ..rtp.feedback import GenericNack, PictureLossIndication, aggregated_nacks
 from ..rtp.packet import RtpPacket
-from ..rtp.reports import from_ntp
+from ..rtp.reports import (
+    DEFAULT_INTERVAL as RTCP_DEFAULT_INTERVAL,
+    RtcpReporter,
+    from_ntp,
+)
 from ..rtp.rtcp import SenderReport, decode_compound
 from ..rtp.sequence import SequenceExtender
 from ..rtp.session import RtpReceiver, generate_ssrc
@@ -60,6 +65,7 @@ from ..sharing.recovery import (
     DEFAULT_MAX_ATTEMPTS,
     RecoveryManager,
 )
+from ..sharing.quarantine import QuarantinePolicy
 from ..sharing.retransmit import RetransmitCache
 from ..sharing.transport import PacketTransport, is_rtcp
 
@@ -87,6 +93,26 @@ class RelayConfig:
     forwarded_window: int = 4096
     #: Media clock rate for hop-latency estimation.
     clock_rate: int = DEFAULT_CLOCK_RATE
+    #: Silence thresholds for upstream/downstream liveness; None keeps
+    #: the historical behaviour (no silence-driven pruning, upstream
+    #: death only visible through ``upstream.closed``).
+    liveness: LivenessConfig | None = None
+    #: Upstream RTCP heartbeat pacing.  None picks the RFC 3550 5 s
+    #: default — unless ``liveness`` is set, in which case the interval
+    #: shrinks to ``dead_after / 3`` so the parent hears roughly three
+    #: heartbeats per dead window (the reporter jitters each interval
+    #: by 0.5–1.5x, so the worst-case gap stays under ``dead_after``).
+    #: Liveness thresholds shorter than the heartbeat interval declare
+    #: healthy-but-quiet peers dead; keep ``dead_after`` above it.
+    rtcp_interval: float | None = None
+    #: Downstream-feedback quarantine knobs (mirror
+    #: :class:`~repro.sharing.config.SharingConfig`): a downstream
+    #: exceeding ``rejection_budget`` malformed packets inside
+    #: ``rejection_window`` seconds is ignored for
+    #: ``quarantine_cooldown`` seconds.
+    rejection_budget: int = 16
+    rejection_window: float = 5.0
+    quarantine_cooldown: float = 30.0
 
     def __post_init__(self) -> None:
         if self.retransmit_cache_packets < 0:
@@ -99,6 +125,17 @@ class RelayConfig:
             raise ValueError("forwarded_window must be >= 1")
         if self.clock_rate <= 0:
             raise ValueError("clock_rate must be positive")
+        if self.rtcp_interval is not None and self.rtcp_interval <= 0:
+            raise ValueError("rtcp_interval must be positive")
+
+    @property
+    def heartbeat_interval(self) -> float:
+        """The effective upstream RTCP pacing (see ``rtcp_interval``)."""
+        if self.rtcp_interval is not None:
+            return self.rtcp_interval
+        if self.liveness is not None:
+            return self.liveness.dead_after / 3.0
+        return RTCP_DEFAULT_INTERVAL
 
 
 @dataclass(slots=True)
@@ -110,6 +147,8 @@ class RelayDownstream:
     limiter: TokenBucket | None = None
     #: FIFO of encoded packets awaiting rate-tier tokens.
     queue: deque = field(default_factory=deque)
+    #: The configured tier, before any overload degradation scaling.
+    base_rate_bps: int | None = None
     packets_sent: int = 0
     bytes_sent: int = 0
     retransmits_served: int = 0
@@ -156,6 +195,17 @@ class RelayNode:
             max_attempts=self.config.nack_max_attempts,
             instrumentation=self.obs,
         )
+        #: Periodic upstream receiver reports: the relay's own RTCP
+        #: presence on the parent link.  Beyond protocol correctness
+        #: this is the *liveness heartbeat* — a healthy relay with idle
+        #: downstreams would otherwise send nothing upstream and look
+        #: dead to the parent's silence thresholds.
+        self.reporter = RtcpReporter(
+            self._now, receiver=self.receiver,
+            cname=f"relay/{relay_id}", rng=r,
+            interval=self.config.heartbeat_interval,
+            instrumentation=self.obs,
+        )
         #: Extended-sequence view of the forwarded stream, shared by the
         #: duplicate filter and the waiter table.
         self._extender = SequenceExtender()
@@ -167,8 +217,44 @@ class RelayNode:
         self.downstreams: dict[str, RelayDownstream] = {}
         self._last_upstream_pli = float("-inf")
         self._last_sr: tuple[float, int] | None = None
+        #: Downstream feedback quarantine (same policy every other
+        #: ingress point uses).
+        self.quarantine = QuarantinePolicy(
+            now=self._now,
+            budget=self.config.rejection_budget,
+            window=self.config.rejection_window,
+            cooldown=self.config.quarantine_cooldown,
+            instrumentation=self.obs,
+        )
+        live_cfg = self.config.liveness
+        #: Silence-driven pruning of dead downstreams.
+        self.downstream_liveness = (
+            LivenessTracker(self._now, live_cfg, instrumentation=self.obs)
+            if live_cfg is not None else None
+        )
+        #: Parent-death detection (drives failover in the tree layer).
+        self.upstream_liveness = (
+            LivenessTracker(
+                self._now, live_cfg,
+                instrumentation=self.obs.scoped(link="upstream"),
+            )
+            if live_cfg is not None else None
+        )
+        if self.upstream_liveness is not None:
+            self.upstream_liveness.track("upstream")
+        #: True once :meth:`crash` ran (chaos scripting): the node is
+        #: dead — pump() is a no-op and transports are closed.
+        self.crashed = False
+        #: Current overload degradation factor on downstream tiers.
+        self.rate_scale = 1.0
+        #: Failover interval awaiting its span mark: set by
+        #: :meth:`replace_upstream`, consumed by the first forwarded
+        #: update through the new parent.
+        self._pending_failover: float | None = None
 
         self.packets_forwarded = 0
+        self.downstreams_pruned = 0
+        self.failovers = 0
         self.duplicates_dropped = 0
         self.malformed_dropped = 0
         self.nacks_received = 0
@@ -201,6 +287,12 @@ class RelayNode:
         self._c_gave_up = obs_.counter("relay.gave_up")
         self._g_downstreams = obs_.gauge("relay.downstreams")
         self._h_hop = obs_.histogram("relay.hop_seconds")
+        self._c_pruned = {
+            reason: obs_.counter("relay.downstream_pruned", reason=reason)
+            for reason in ("closed", "dead")
+        }
+        self._c_failovers = obs_.counter("health.failovers")
+        self._c_upstream_dead = obs_.counter("health.upstream_dead")
 
     # -- Topology ----------------------------------------------------------
 
@@ -223,17 +315,126 @@ class RelayNode:
             if rate_bps
             else None
         )
-        downstream = RelayDownstream(downstream_id, transport, limiter)
+        downstream = RelayDownstream(
+            downstream_id, transport, limiter, base_rate_bps=rate_bps
+        )
+        if limiter is not None and self.rate_scale != 1.0:
+            # Joining a degraded relay puts you straight on the
+            # degraded tier.
+            limiter.rate_bps = max(1, int(rate_bps * self.rate_scale))
         self.downstreams[downstream_id] = downstream
+        if self.downstream_liveness is not None:
+            self.downstream_liveness.track(downstream_id)
         self._g_downstreams.set(len(self.downstreams))
         return downstream
 
     def remove_downstream(self, downstream_id: str) -> None:
-        if self.downstreams.pop(downstream_id, None) is None:
+        downstream = self.downstreams.pop(downstream_id, None)
+        if downstream is None:
             return
-        for waiters in self._wanted.values():
+        downstream.queue.clear()
+        for ext in list(self._wanted):
+            waiters = self._wanted[ext]
             waiters.discard(downstream_id)
+            if not waiters:
+                # Nobody else wants the packet: stop escalating for it.
+                del self._wanted[ext]
+        self.quarantine.forget(downstream_id)
+        if self.downstream_liveness is not None:
+            self.downstream_liveness.forget(downstream_id)
         self._g_downstreams.set(len(self.downstreams))
+
+    def _prune_downstream(self, downstream_id: str, reason: str) -> None:
+        """Evict one downstream the relay gave up on (closed or dead)."""
+        if downstream_id not in self.downstreams:
+            return
+        self.remove_downstream(downstream_id)
+        self.downstreams_pruned += 1
+        self._c_pruned[reason].inc()
+        if self.obs.enabled:
+            self.obs.event(
+                "relay.downstream_pruned",
+                downstream=downstream_id, reason=reason,
+            )
+
+    def scale_rate_tiers(self, factor: float) -> None:
+        """Scale every downstream tier (overload degradation ladder).
+
+        ``factor`` multiplies the *configured* rates, so repeated calls
+        do not compound and ``factor=1.0`` restores the original tiers.
+        Downstreams without a tier are unaffected.
+        """
+        if factor <= 0:
+            raise ValueError("rate scale factor must be positive")
+        self.rate_scale = factor
+        for downstream in self.downstreams.values():
+            if downstream.limiter is not None and downstream.base_rate_bps:
+                downstream.limiter.rate_bps = max(
+                    1, int(downstream.base_rate_bps * factor)
+                )
+
+    def crash(self) -> None:
+        """Chaos hook: the relay process dies right now.
+
+        The node stops pumping and closes its transports.  Datagram
+        peers have no FIN to observe — parents and children notice the
+        death only through liveness silence, exactly as on a real UDP
+        path."""
+        self.crashed = True
+        self.upstream.close()
+        for downstream in self.downstreams.values():
+            downstream.transport.close()
+
+    def replace_upstream(
+        self, transport: PacketTransport,
+        failover_started: float | None = None,
+    ) -> None:
+        """Re-parent onto a new upstream path (failover).
+
+        Resets upstream liveness, forces a PLI through regardless of
+        the valve (the new parent must serve a full refresh so the
+        orphaned subtree resyncs), and remembers the failover interval:
+        the first update forwarded through the new parent carries a
+        ``failover`` span stage from detection to that forward.
+        """
+        now = self._now()
+        self.upstream = transport
+        # The new parent is a new RTP sender — fresh SSRC and sequence
+        # space — so the old stream's receive state must not chase the
+        # new one: reset gap tracking, recovery, duplicate suppression
+        # and the retransmit cache (16-bit seq lookups would otherwise
+        # collide across streams and serve stale packets).
+        self.receiver = RtpReceiver(
+            clock_rate=self.config.clock_rate, now=self._now,
+            instrumentation=self.obs,
+        )
+        self.recovery = RecoveryManager(
+            now=self._now,
+            initial_interval=self.config.nack_retry_interval,
+            backoff=self.config.nack_backoff,
+            max_attempts=self.config.nack_max_attempts,
+            instrumentation=self.obs,
+        )
+        self.reporter.receiver = self.receiver
+        self.cache = RetransmitCache(
+            self.config.retransmit_cache_packets, instrumentation=self.obs
+        )
+        self._extender = SequenceExtender()
+        self._forwarded.clear()
+        self._wanted.clear()
+        if self.upstream_liveness is not None:
+            self.upstream_liveness.forget("upstream")
+            self.upstream_liveness.track("upstream")
+        self.failovers += 1
+        self._c_failovers.inc()
+        self._pending_failover = (
+            failover_started if failover_started is not None else now
+        )
+        # A failover resync outranks the anti-storm valve.
+        self._last_upstream_pli = float("-inf")
+        self._request_upstream_pli()
+        if self.obs.enabled:
+            self.obs.event("health.failover", relay=self.id)
 
     @property
     def downstream_count(self) -> int:
@@ -251,16 +452,24 @@ class RelayNode:
         Returns the number of upstream packets processed (media and
         RTCP), so callers can loop until quiescent.
         """
+        if self.crashed:
+            return 0
         processed = self._pump_upstream()
         self._pump_downstream()
         self._poll_escalation()
         self._drain_queues()
+        report = self.reporter.poll()
+        if report is not None:
+            self.upstream.send_packet(report)
+        self._poll_liveness()
         return processed
 
     def _pump_upstream(self) -> int:
         processed = 0
         for raw in self.upstream.receive_packets():
             processed += 1
+            if self.upstream_liveness is not None:
+                self.upstream_liveness.note_alive("upstream")
             if is_rtcp(raw):
                 self._handle_upstream_rtcp(raw)
             else:
@@ -270,7 +479,19 @@ class RelayNode:
     def _pump_downstream(self) -> None:
         departed = []
         for downstream in list(self.downstreams.values()):
-            for raw in downstream.transport.receive_packets():
+            quarantined = self.quarantine.is_quarantined(
+                downstream.downstream_id
+            )
+            packets = downstream.transport.receive_packets()
+            if packets and self.downstream_liveness is not None:
+                self.downstream_liveness.note_alive(
+                    downstream.downstream_id
+                )
+            for raw in packets:
+                if quarantined:
+                    # Drain but ignore: a quarantined downstream still
+                    # proves liveness, but its feedback is untrusted.
+                    continue
                 if is_rtcp(raw):
                     self._handle_downstream_rtcp(downstream, raw)
                 else:
@@ -283,7 +504,35 @@ class RelayNode:
             if downstream.transport.closed:
                 departed.append(downstream.downstream_id)
         for downstream_id in departed:
-            self.remove_downstream(downstream_id)
+            self._prune_downstream(downstream_id, "closed")
+
+    def _poll_liveness(self) -> None:
+        """Silence-driven eviction: prune dead downstreams, flag a dead
+        parent for the tree layer's failover machinery."""
+        if self.downstream_liveness is not None:
+            report = self.downstream_liveness.poll()
+            for downstream_id in report.newly_dead:
+                self._prune_downstream(downstream_id, "dead")
+        if self.upstream_liveness is not None:
+            report = self.upstream_liveness.poll()
+            if "upstream" in report.newly_dead:
+                self._c_upstream_dead.inc()
+                if self.obs.enabled:
+                    self.obs.event("health.upstream_dead", relay=self.id)
+
+    @property
+    def upstream_dead(self) -> bool:
+        """True when the parent path is known dead (silence or close).
+
+        ``upstream.closed`` only fires for stream transports and local
+        closes; on datagram paths death is visible purely through the
+        liveness tracker's silence thresholds.
+        """
+        if self.upstream.closed:
+            return True
+        if self.upstream_liveness is None:
+            return False
+        return self.upstream_liveness.state_of("upstream") is PeerState.DEAD
 
     # -- Upstream media ----------------------------------------------------
 
@@ -324,6 +573,14 @@ class RelayNode:
             span_id = spans.resolve(packet.ssrc, seq)
             if span_id is not None:
                 spans.mark(span_id, "relay")
+                if self._pending_failover is not None:
+                    # First update through the new parent: the failover
+                    # stage spans detection → this forward.
+                    spans.mark(
+                        span_id, "failover",
+                        start=self._pending_failover, end=self._now(),
+                    )
+        self._pending_failover = None
         self._observe_hop_latency(packet.timestamp)
         for downstream in list(self.downstreams.values()):
             self._deliver(downstream, raw)
@@ -374,9 +631,12 @@ class RelayNode:
     ) -> None:
         try:
             messages = decode_compound(raw)
-        except ProtocolError:
+        except ProtocolError as exc:
             self.malformed_dropped += 1
             self._c_malformed.inc()
+            self.quarantine.record_rejection(
+                downstream.downstream_id, "relay-rtcp", exc
+            )
             return
         for message in messages:
             if isinstance(message, GenericNack):
@@ -508,6 +768,12 @@ class RelayNode:
         return {
             "relay_id": self.id,
             "downstreams": len(self.downstreams),
+            "downstreams_pruned": self.downstreams_pruned,
+            "failovers": self.failovers,
+            "rate_scale": self.rate_scale,
+            "crashed": self.crashed,
+            "upstream_dead": self.upstream_dead,
+            "quarantined": self.quarantine.quarantined_peers,
             "packets_forwarded": self.packets_forwarded,
             "duplicates_dropped": self.duplicates_dropped,
             "nacks_received": self.nacks_received,

@@ -12,14 +12,25 @@ integration tests: it remembers the relays level by level so one
 ``pump()`` call services the whole cascade in topological order
 (parents first — a packet can traverse every zero-delay hop in a
 single round).
+
+The tree also owns **failover**: it records each relay's parent and
+upstream rate tier, so when a relay's parent dies (crash or partition,
+detected through upstream liveness silence), :meth:`RelayTree.pump`
+re-parents the orphan onto its nearest alive ancestor — normally the
+grandparent, ultimately the AH.  The orphan keeps its whole subtree:
+children and viewers never notice, and the forced PLI resync through
+the new parent repairs whatever the dead hop swallowed.  Pump order
+stays valid because an orphan only ever moves *up* the tree.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..net.channel import ChannelConfig, FaultProfile, duplex_lossy
+from ..obs.instrumentation import NULL
 from ..sharing.ah import ApplicationHost
 from ..sharing.participant import Participant
 from ..sharing.transport import DatagramTransport
@@ -132,6 +143,18 @@ class RelayTree:
     #: ``levels[0]`` hangs off the AH; ``levels[i]`` off ``levels[i-1]``.
     levels: list[list[RelayNode]] = field(default_factory=list)
     viewers: list[Participant] = field(default_factory=list)
+    #: The shared clock, needed to wire replacement links on failover.
+    clock: object | None = None
+    obs: object = NULL
+    #: relay id → parent relay id (None = directly under the AH).
+    parent_of: dict[str, str | None] = field(default_factory=dict)
+    #: Rate tier each relay's upstream link was attached with.
+    upstream_rate: dict[str, int | None] = field(default_factory=dict)
+    #: Fresh channel config per new link (seeded independently);
+    #: defaults to a plain 10 ms hop when unset.
+    link_config: Callable[[], ChannelConfig] | None = None
+    #: Failover log: ``(orphan_id, new_parent_id_or_None)`` in order.
+    failover_log: list[tuple[str, str | None]] = field(default_factory=list)
 
     @property
     def relays(self) -> list[RelayNode]:
@@ -141,8 +164,28 @@ class RelayTree:
     def leaves(self) -> list[RelayNode]:
         return self.levels[-1] if self.levels else []
 
-    def pump(self) -> int:
-        """Service every relay once, parents before children."""
+    @property
+    def nodes(self) -> dict[str, RelayNode]:
+        return {relay.id: relay for relay in self.relays}
+
+    def register(
+        self,
+        relay: RelayNode,
+        parent: RelayNode | None,
+        rate_bps: int | None = None,
+    ) -> None:
+        """Record ``relay``'s position for failover bookkeeping."""
+        self.parent_of[relay.id] = parent.id if parent is not None else None
+        self.upstream_rate[relay.id] = rate_bps
+
+    def pump(self, failover: bool = True) -> int:
+        """Service every relay once, parents before children.
+
+        With ``failover`` (the default) orphaned relays are re-parented
+        first, so the same round already pumps them on their new path.
+        """
+        if failover:
+            self.failover_orphans()
         processed = 0
         for level in self.levels:
             for relay in level:
@@ -154,6 +197,63 @@ class RelayTree:
         for viewer in self.viewers:
             applied += viewer.process_incoming()
         return applied
+
+    # -- Failover ----------------------------------------------------------
+
+    def _nearest_alive_ancestor(
+        self, relay_id: str, nodes: dict[str, RelayNode]
+    ) -> str | None:
+        """Climb ``parent_of`` past dead relays; None means the AH."""
+        ancestor = self.parent_of.get(relay_id)
+        while ancestor is not None:
+            node = nodes.get(ancestor)
+            if node is not None and not node.crashed and not node.upstream_dead:
+                return ancestor
+            ancestor = self.parent_of.get(ancestor)
+        return None
+
+    def failover_orphans(self) -> list[str]:
+        """Re-parent every relay whose upstream path is dead.
+
+        Each orphan gets a fresh duplex link to its nearest alive
+        ancestor (grandparent, great-grandparent, … the AH as the
+        root fallback), keeping its original rate tier.
+        :meth:`RelayNode.replace_upstream` then forces the PLI resync
+        and stamps the ``failover`` span stage.  Returns the ids that
+        failed over this call.
+        """
+        if self.clock is None:
+            return []
+        nodes = self.nodes
+        healed: list[str] = []
+        for relay in self.relays:
+            if relay.crashed or not relay.upstream_dead:
+                continue
+            started = None
+            if relay.upstream_liveness is not None:
+                started = relay.upstream_liveness.died_at("upstream")
+            new_parent_id = self._nearest_alive_ancestor(relay.id, nodes)
+            cfg = (
+                self.link_config() if self.link_config is not None
+                else ChannelConfig(delay=0.01)
+            )
+            parent_side, child_side = duplex_transport_pair(
+                cfg, self.clock, obs=self.obs
+            )
+            rate = self.upstream_rate.get(relay.id)
+            if new_parent_id is None:
+                self.ah.add_participant(
+                    relay.id, parent_side, rate_bps=rate, is_group=True
+                )
+            else:
+                nodes[new_parent_id].add_downstream(
+                    relay.id, parent_side, rate_bps=rate
+                )
+            relay.replace_upstream(child_side, failover_started=started)
+            self.parent_of[relay.id] = new_parent_id
+            self.failover_log.append((relay.id, new_parent_id))
+            healed.append(relay.id)
+        return healed
 
 
 def build_relay_tree(
@@ -185,25 +285,33 @@ def build_relay_tree(
         # independent across links (duplex_lossy burns seed and seed+1).
         return dataclasses.replace(base, seed=base.seed + next(links))
 
-    tree = RelayTree(ah)
+    tree = RelayTree(
+        ah, clock=clock,
+        obs=obs if obs is not None else NULL,
+        link_config=link_config,
+    )
     parents: list[RelayNode] | None = None
     for depth, fanout in enumerate(fanouts):
         level: list[RelayNode] = []
         if parents is None:
             for i in range(fanout):
-                level.append(attach_relay_to_ah(
+                relay = attach_relay_to_ah(
                     ah, f"relay-0-{i}", clock,
                     channel_config=link_config(), rate_bps=rate_bps,
                     relay_config=relay_config, rng=rng, obs=obs,
-                ))
+                )
+                tree.register(relay, None, rate_bps=rate_bps)
+                level.append(relay)
         else:
             for p_index, parent in enumerate(parents):
                 for i in range(fanout):
-                    level.append(attach_relay_to_relay(
+                    relay = attach_relay_to_relay(
                         parent, f"relay-{depth}-{p_index}-{i}", clock,
                         channel_config=link_config(), rate_bps=rate_bps,
                         relay_config=relay_config, rng=rng, obs=obs,
-                    ))
+                    )
+                    tree.register(relay, parent, rate_bps=rate_bps)
+                    level.append(relay)
         tree.levels.append(level)
         parents = level
     for leaf_index, leaf in enumerate(tree.leaves):

@@ -17,6 +17,7 @@ from ..apps.base import AppHost
 from ..codecs.base import CodecRegistry, default_registry
 from ..codecs.cache import EncodeCache
 from ..core.errors import ProtocolError
+from ..health.liveness import LivenessConfig, LivenessTracker
 from ..net.ratecontrol import TokenBucket
 from ..obs.clockutil import resolve_clock
 from ..obs.instrumentation import NULL, resolve_obs
@@ -64,6 +65,7 @@ class ApplicationHost:
         now=None,
         obs=None,
         instrumentation=None,
+        liveness: LivenessConfig | None = None,
     ) -> None:
         self.config = config or SharingConfig()
         self.registry = registry or default_registry()
@@ -111,14 +113,25 @@ class ApplicationHost:
                 pid, "hip", exc
             ),
         )
+        #: Silence-driven participant eviction (opt-in): any arriving
+        #: packet proves liveness; healthy paths always carry at least
+        #: RTCP or keepalives, so silence past the thresholds means the
+        #: peer died or the path partitioned.
+        self.liveness = (
+            LivenessTracker(self._now, liveness, instrumentation=self.obs)
+            if liveness is not None
+            else None
+        )
         self.sessions: dict[str, AhSession] = {}
         #: Message type → handler(participant_id, payload, packet) for
         #: registered HIP-stream extension types (section 9).
         self.extension_handlers: dict = {}
         self.plis_received = 0
         self.nacks_received = 0
+        self.participants_evicted = 0
         self._c_plis = self.obs.counter("ah.plis_received")
         self._c_nacks = self.obs.counter("ah.nacks_received")
+        self._c_evicted = self.obs.counter("health.participants_evicted")
 
     # -- Participant management ------------------------------------------------
 
@@ -172,6 +185,8 @@ class ApplicationHost:
             is_group,
         )
         self.sessions[participant_id] = session
+        if self.liveness is not None:
+            self.liveness.track(participant_id)
         if transport.reliable:
             scheduler.submit_full_refresh()
         return session
@@ -179,6 +194,8 @@ class ApplicationHost:
     def remove_participant(self, participant_id: str) -> None:
         self.sessions.pop(participant_id, None)
         self.quarantine.forget(participant_id)
+        if self.liveness is not None:
+            self.liveness.forget(participant_id)
 
     # -- Desktop sharing ---------------------------------------------------
 
@@ -227,7 +244,10 @@ class ApplicationHost:
             quarantined = self.quarantine.is_quarantined(
                 session.participant_id
             )
-            for raw in session.transport.receive_packets():
+            packets = session.transport.receive_packets()
+            if packets and self.liveness is not None:
+                self.liveness.note_alive(session.participant_id)
+            for raw in packets:
                 if quarantined:
                     continue  # drain but ignore until the cool-down ends
                 if is_rtcp(raw):
@@ -238,6 +258,26 @@ class ApplicationHost:
                 departed.append(session.participant_id)
         for participant_id in departed:
             self.remove_participant(participant_id)
+
+    def poll_liveness(self) -> list[str]:
+        """Evict participants silent past the dead threshold.
+
+        Returns the evicted ids so the signalling layer above (the
+        session core) can drop the matching calls.  No-op without a
+        configured tracker.
+        """
+        if self.liveness is None:
+            return []
+        report = self.liveness.poll()
+        for participant_id in report.newly_dead:
+            self.remove_participant(participant_id)
+            self.participants_evicted += 1
+            self._c_evicted.inc()
+            if self.obs.enabled:
+                self.obs.event(
+                    "health.participant_evicted", peer=participant_id
+                )
+        return report.newly_dead
 
     def _handle_rtp(self, session: AhSession, raw: bytes) -> None:
         try:

@@ -92,6 +92,7 @@ class Participant:
         screen_height: int = 1024,
         ah_supports_retransmissions: bool = True,
         reorder_wait: float = 0.25,
+        rtcp_interval: float | None = None,
         nack_retry_interval: float = 0.2,
         nack_backoff: float = 2.0,
         nack_max_attempts: int = 4,
@@ -153,12 +154,17 @@ class Participant:
         self.pli_retry_interval = 1.0
         self._last_pli_time = float("-inf")
         #: Periodic RTCP: RRs on the remoting stream, SRs for HIP.
+        #: These double as the liveness heartbeat — when the AH or a
+        #: relay runs silence-driven eviction, its ``dead_after`` must
+        #: exceed this pacing (``rtcp_interval`` None keeps the RFC
+        #: 3550 5 s default).
         self.reporter = RtcpReporter(
             self._now,
             sender=self.hip_sender,
             receiver=self.receiver,
             cname=f"participant/{participant_id}",
             rng=r,
+            **({} if rtcp_interval is None else {"interval": rtcp_interval}),
             instrumentation=self._obs,
         )
         #: Decode-time geometry validation against the negotiated

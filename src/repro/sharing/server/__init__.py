@@ -21,6 +21,7 @@ from .errors import (
     DuplicateParticipant,
     JoinFailed,
     ServerError,
+    ServerOverloaded,
     SessionClosed,
     UnknownJoinCode,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "JoinFailed",
     "JoinedParticipant",
     "ServerError",
+    "ServerOverloaded",
     "SessionClosed",
     "SessionCore",
     "SessionRegistry",

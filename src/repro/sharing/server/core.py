@@ -257,6 +257,27 @@ class SessionCore:
             if call.participant is not None:
                 call.participant.process_incoming()
 
+    def poll_liveness(self) -> list[str]:
+        """Evict dead-silent participants and drop their calls.
+
+        The AH's tracker decides who is dead (no packets past the
+        configured threshold); this layer reclaims the signalling
+        state.  A dead peer cannot complete a BYE handshake, so the
+        call is dropped directly and its watchers see ``"evicted"``.
+        No-op when the AH has no liveness tracker configured.
+        """
+        evicted = self.ah.poll_liveness()
+        for name in evicted:
+            call = self._calls.pop(name, None)
+            if call is not None:
+                call.participant = None
+                self._c_leaves.inc()
+                if self.obs is not None and self.obs.enabled:
+                    self.obs.event("session.evicted", peer=name)
+                for watcher in call.watchers:
+                    watcher("evicted", call)
+        return evicted
+
     def poll_rtcp(self) -> None:
         """Give AH-side RTCP reports a send opportunity.
 
@@ -279,6 +300,7 @@ class SessionCore:
         self.pump_signalling()
         self.ah.advance(dt)
         self.clock.advance(dt)
-        for call in self._calls.values():
+        for call in list(self._calls.values()):
             if call.participant is not None:
                 call.participant.process_incoming()
+        self.poll_liveness()

@@ -51,6 +51,25 @@ class SessionClosed(ServerError):
         self.code = code
 
 
+class ServerOverloaded(ServerError):
+    """Admission control refused new work: a capacity limit is reached.
+
+    Shedding *new* sessions/joins is the overload ladder's last rung —
+    it protects every session already admitted.  Existing participants
+    are never disconnected by overload; at most their relay rate tiers
+    are degraded first.
+    """
+
+    def __init__(self, what: str, current: int, limit: int) -> None:
+        super().__init__(
+            f"server overloaded: {what} capacity reached "
+            f"({current}/{limit})"
+        )
+        self.what = what
+        self.current = current
+        self.limit = limit
+
+
 class JoinFailed(ServerError):
     """Signalling toward the session ended without establishing media.
 

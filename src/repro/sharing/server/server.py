@@ -29,12 +29,21 @@ import asyncio
 import random
 import time
 
+from ...health.admission import AdmissionControl, AdmissionDecision, OverloadConfig
+from ...health.liveness import LivenessConfig
+from ...health.supervisor import RestartPolicy, TaskSupervisor
 from ...net.channel import ChannelConfig
 from ...obs.instrumentation import NULL, resolve_obs
 from ...rtp.clock import SimulatedClock
 from ..config import SharingConfig
 from ..participant import Participant
-from .errors import JoinFailed, ServerError, SessionClosed, UnknownJoinCode
+from .errors import (
+    JoinFailed,
+    ServerError,
+    ServerOverloaded,
+    SessionClosed,
+    UnknownJoinCode,
+)
 from .registry import SessionRegistry
 from .session import HostedSession, SessionState
 
@@ -82,6 +91,10 @@ class SessionServer:
         instrumentation=None,
         cooperative_budget: int | None = 256,
         join_timeout: float = 5.0,
+        overload: OverloadConfig | None = None,
+        restart_policy: RestartPolicy | None = None,
+        liveness: LivenessConfig | None = None,
+        supervise: bool = True,
     ) -> None:
         self.realtime = realtime
         if clock is not None:
@@ -100,6 +113,18 @@ class SessionServer:
         self.cooperative_budget = cooperative_budget
         #: Wall-clock bound on one join handshake.
         self.join_timeout = join_timeout
+        #: Capacity checks + the degrade/shed overload ladder.
+        self.admission = AdmissionControl(overload, instrumentation=self.obs)
+        #: Crash-restart supervision shared by every hosted task group.
+        self.supervisor = (
+            TaskSupervisor(restart_policy, instrumentation=self.obs)
+            if supervise
+            else None
+        )
+        #: Silence thresholds handed to every hosted AH (None keeps
+        #: eviction off, the historical behaviour).
+        self.liveness_config = liveness
+        self._load_level = "ok"
         self._running = False
         self._clock_task: asyncio.Task | None = None
         self._c_joins = self.obs.counter("server.joins")
@@ -155,6 +180,69 @@ class SessionServer:
             self.clock.advance(self.tick)
             await asyncio.sleep(0)
 
+    # -- Overload protection ------------------------------------------------
+
+    def participant_count(self) -> int:
+        """Participants across every hosted session and relay."""
+        return sum(
+            entry.participant_count for _code, entry in self.registry
+        )
+
+    def session_count(self) -> int:
+        """Hosted entries (sessions + relays) currently registered."""
+        return sum(1 for _ in self.registry)
+
+    @property
+    def load_level(self) -> str:
+        """Where the server sits on the ladder: ok/degraded/overloaded."""
+        return self._load_level
+
+    def _admit_session(self) -> None:
+        current = self.session_count()
+        if self.admission.admit_session(current) is AdmissionDecision.SHED:
+            raise ServerOverloaded(
+                "session", current, self.admission.config.max_sessions
+            )
+
+    def _admit_join(self) -> None:
+        current = self.participant_count()
+        if self.admission.admit_join(current) is AdmissionDecision.SHED:
+            raise ServerOverloaded(
+                "participant", current, self.admission.config.max_participants
+            )
+
+    def _refresh_load(self) -> str:
+        """Re-evaluate the ladder; (un)degrade relay tiers on changes.
+
+        Degradation scales every hosted relay's downstream token-bucket
+        tiers by ``degrade_rate_factor`` — viewers get a slower picture
+        but stay connected; returning below ``degrade_at`` restores the
+        configured tiers.  Idempotent per level, so calling after every
+        join/leave is cheap.
+        """
+        level = self.admission.load_level(self.participant_count())
+        if level == self._load_level:
+            return level
+        previous, self._load_level = self._load_level, level
+        factor = (
+            1.0 if level == "ok"
+            else self.admission.config.degrade_rate_factor
+        )
+        for _code, entry in self.registry:
+            node = getattr(entry, "relay", None)
+            if node is not None:
+                node.scale_rate_tiers(factor)
+        if self.obs.enabled:
+            self.obs.event(
+                "server.load_level", level=level, previous=previous
+            )
+        return level
+
+    def _entry_closed(self, code: str) -> None:
+        """on_close hook: unregister, then re-evaluate the ladder."""
+        self.registry.remove(code)
+        self._refresh_load()
+
     # -- Hosting ------------------------------------------------------------
 
     def host(
@@ -175,6 +263,7 @@ class SessionServer:
         """
         if not self._running:
             raise ServerError("server not started (use `async with` or start())")
+        self._admit_session()
         # host() runs synchronously on the loop, so issuing the code and
         # registering below cannot interleave with another host().
         issued = (
@@ -194,9 +283,11 @@ class SessionServer:
             cooperative_budget=self.cooperative_budget,
             close_when_empty=close_when_empty,
             tick=self.tick,
+            liveness=self.liveness_config,
+            supervisor=self.supervisor,
         )
         self.registry.register(session, issued)
-        session.on_close = self.registry.remove
+        session.on_close = self._entry_closed
         session.start(realtime=self.realtime)
         if self.obs.enabled:
             self.obs.event("server.session_hosted", session=issued)
@@ -233,6 +324,7 @@ class SessionServer:
 
         if not self._running:
             raise ServerError("server not started (use `async with` or start())")
+        self._admit_session()
         parent = self.registry.lookup(parent_code)
         issued = (
             self.registry.normalise(code) if code is not None
@@ -250,9 +342,10 @@ class SessionServer:
             tick=self.tick,
             close_when_empty=close_when_empty,
             rng=random.Random(self._rng.randrange(1 << 30)),
+            supervisor=self.supervisor,
         )
         self.registry.register(hosted, issued)
-        hosted.on_close = self.registry.remove
+        hosted.on_close = self._entry_closed
         hosted.start(realtime=self.realtime)
         if self.obs.enabled:
             self.obs.event(
@@ -275,9 +368,13 @@ class SessionServer:
         Relays are media-plane endpoints: no SIP handshake runs (the
         root session's front door owns signalling), so this is
         synchronous — the returned participant converges as the
-        server's pumps run.
+        server's pumps run.  Raises :class:`ServerOverloaded` when the
+        participant capacity is exhausted.
         """
-        return self.relay(code).join(name, **kwargs)
+        self._admit_join()
+        participant = self.relay(code).join(name, **kwargs)
+        self._refresh_load()
+        return participant
 
     def leave_relay(self, code: str, name: str) -> None:
         """Drop ``name`` from the relay behind ``code``; idempotent."""
@@ -286,6 +383,7 @@ class SessionServer:
         except UnknownJoinCode:
             return
         hosted.leave(name)
+        self._refresh_load()
 
     # -- The signalling front door ------------------------------------------
 
@@ -302,8 +400,11 @@ class SessionServer:
         the session's signalling pump and resolves once the media path
         is wired.  Raises :class:`UnknownJoinCode`,
         :class:`DuplicateParticipant`, or :class:`JoinFailed` (covering
-        the BYE-during-join race and handshake timeouts).
+        the BYE-during-join race and handshake timeouts).  Raises
+        :class:`ServerOverloaded` when the participant capacity is
+        exhausted — capacity protects the sessions already admitted.
         """
+        self._admit_join()
         session = self.session(code)
         started = time.monotonic()
         peer = session.add_peer(name, prefer_transport)  # may raise
@@ -337,6 +438,7 @@ class SessionServer:
         participant = session.core.participant_for(name)
         assert participant is not None
         self._c_joins.inc()
+        self._refresh_load()
         self._h_join_wall.observe(time.monotonic() - started)
         if self.obs.enabled:
             self.obs.event("server.join", session=session.code, peer=name)
@@ -366,6 +468,7 @@ class SessionServer:
         session.core.hang_up(name)
         session.drop_peer(name)
         self._c_leaves.inc()
+        self._refresh_load()
         if self.obs.enabled:
             self.obs.event("server.leave", session=session.code, peer=name)
         # Let the session's pumps deliver the BYE and run cleanup.
@@ -399,16 +502,41 @@ class SessionServer:
             if isinstance(entry, HostedRelay)
         }
 
+    def health(self) -> dict:
+        """The server-tier health snapshot (load, shedding, restarts)."""
+        row = {
+            "load_level": self._load_level,
+            "sessions": self.session_count(),
+            "participants": self.participant_count(),
+            **self.admission.snapshot(),
+        }
+        if self.supervisor is not None:
+            row["supervisor"] = self.supervisor.snapshot()
+        return row
+
     async def until(self, predicate, timeout: float = 10.0) -> None:
-        """Run the server until ``predicate()`` is true (wall timeout).
+        """Run the server until ``predicate()`` is true.
 
         The await itself is what lets the session tasks run; tests and
         benchmarks use this instead of hand-rolled pump loops.
+
+        ``timeout`` is measured against the *server clock* — virtual
+        seconds in the default mode (however fast the hardware pumps
+        them), wall seconds in realtime mode.  A wall-clock backstop of
+        ``max(timeout, 60)`` seconds still fires when virtual time is
+        parked (server not started, clock pump cancelled) so a wedged
+        predicate cannot spin forever.
         """
-        deadline = time.monotonic() + timeout
+        deadline = self.clock.now() + timeout
+        wall_deadline = time.monotonic() + max(timeout, 60.0)
         while not predicate():
-            if time.monotonic() > deadline:
+            if self.clock.now() >= deadline:
                 raise asyncio.TimeoutError(
                     "predicate not reached within timeout"
+                )
+            if time.monotonic() > wall_deadline:
+                raise asyncio.TimeoutError(
+                    "predicate not reached within wall-clock backstop "
+                    "(virtual clock parked?)"
                 )
             await asyncio.sleep(0)

@@ -23,6 +23,8 @@ import asyncio
 import enum
 import random
 
+from ...health.liveness import LivenessConfig
+from ...health.supervisor import TaskSupervisor
 from ...obs.instrumentation import NULL
 from ..ah import ApplicationHost
 from ..config import SharingConfig
@@ -55,6 +57,8 @@ class HostedSession:
         close_when_empty: bool = True,
         tick: float = 0.02,
         rtcp_interval: float = 0.25,
+        liveness: LivenessConfig | None = None,
+        supervisor: TaskSupervisor | None = None,
     ) -> None:
         self.code = code
         self.clock = clock
@@ -62,6 +66,9 @@ class HostedSession:
         #: ``session=<code>``.
         self.obs = (obs if obs is not None else NULL).scoped(session=code)
         self._rng = rng or random.Random(hash(code) & 0xFFFF)
+        #: Crash-restart supervision for the pump tasks (None = bare
+        #: tasks, the historical behaviour).
+        self.supervisor = supervisor
         self.ah = ApplicationHost(
             screen_width=screen_width,
             screen_height=screen_height,
@@ -69,6 +76,7 @@ class HostedSession:
             clock=clock,
             rng=self._rng,
             obs=self.obs,
+            liveness=liveness,
         )
         self.core = SessionCore(
             self.ah,
@@ -122,21 +130,36 @@ class HostedSession:
     # -- The task group -----------------------------------------------------
 
     def start(self, *, realtime: bool = False) -> list[asyncio.Task]:
-        """Spawn the session's tasks on the running loop."""
+        """Spawn the session's tasks on the running loop.
+
+        With a supervisor, each pump runs inside a crash-restart loop:
+        an uncaught exception restarts the pump with backoff instead of
+        silently wedging the session, and exhausting the restart budget
+        closes the session cleanly (``reason="supervisor_give_up"``).
+        """
         if self._tasks:
             raise RuntimeError(f"session {self.code} already started")
         name = f"session-{self.code}"
-        self._tasks = [
-            asyncio.create_task(
-                self._signalling_pump(), name=f"{name}-signalling"
-            ),
-            asyncio.create_task(
-                self._media_pump(realtime), name=f"{name}-media"
-            ),
-            asyncio.create_task(
-                self._rtcp_timer(realtime), name=f"{name}-rtcp"
-            ),
+        pumps = [
+            (f"{name}-signalling", self._signalling_pump),
+            (f"{name}-media", lambda: self._media_pump(realtime)),
+            (f"{name}-rtcp", lambda: self._rtcp_timer(realtime)),
         ]
+        if self.supervisor is not None:
+            give_up = lambda exc: self.close(  # noqa: E731
+                reason="supervisor_give_up"
+            )
+            self._tasks = [
+                self.supervisor.supervise(
+                    factory, task_name, on_give_up=give_up
+                )
+                for task_name, factory in pumps
+            ]
+        else:
+            self._tasks = [
+                asyncio.create_task(factory(), name=task_name)
+                for task_name, factory in pumps
+            ]
         return self._tasks
 
     async def _signalling_pump(self) -> None:
@@ -160,6 +183,10 @@ class HostedSession:
             # dt=0 rounds still run: they drain transports mid-handshake
             # and flush the initial full sync while the clock is parked.
             self.core.media_round(dt)
+            # Silence-driven eviction (no-op unless liveness is
+            # configured); the signalling pump notices the emptied
+            # session and applies close_when_empty.
+            self.core.poll_liveness()
             if realtime:
                 await asyncio.sleep(self.tick)
             else:
@@ -221,7 +248,7 @@ class HostedSession:
 
     def snapshot(self) -> dict:
         """One JSON-friendly row for ``SessionServer.sessions()``."""
-        return {
+        row = {
             "code": self.code,
             "state": self.state.value,
             "participants": sorted(self.core.call_names()),
@@ -230,3 +257,6 @@ class HostedSession:
             "bytes_sent": self.ah.total_bytes_sent(),
             "packets_sent": self.ah.total_packets_sent(),
         }
+        if self.ah.liveness is not None:
+            row["liveness"] = self.ah.liveness.snapshot()
+        return row

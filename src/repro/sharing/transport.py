@@ -54,6 +54,9 @@ class PacketTransport(abc.ABC):
         """True once the path is permanently down (peer disconnected)."""
         return False
 
+    def close(self) -> None:
+        """Shut this side of the path down; default transports ignore it."""
+
 
 class DatagramTransport(PacketTransport):
     """One side of a simulated UDP association (a lossy channel pair)."""
@@ -63,12 +66,29 @@ class DatagramTransport(PacketTransport):
     def __init__(self, outbound: LossyChannel, inbound: LossyChannel) -> None:
         self._out = outbound
         self._in = inbound
+        self._closed = False
 
     def send_packet(self, packet: bytes) -> bool:
+        if self._closed:
+            return False
         return self._out.send(packet)
 
     def receive_packets(self) -> list[bytes]:
+        if self._closed:
+            return []
         return self._in.receive_ready()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Locally close this side (process death / explicit shutdown).
+
+        UDP has no FIN: the *peer's* transport object stays open and
+        only notices through silence — which is exactly what the
+        liveness tier is for."""
+        self._closed = True
 
 
 class StreamTransport(PacketTransport):
@@ -80,13 +100,25 @@ class StreamTransport(PacketTransport):
         self._out = outbound
         self._in = inbound
         self._deframer = StreamDeframer()
+        self._closed = False
 
     def send_packet(self, packet: bytes) -> bool:
+        if self._closed:
+            return False
         return self._out.send(frame(packet))
 
     def receive_packets(self) -> list[bytes]:
+        if self._closed:
+            return []
         data = self._in.receive_ready()
         return self._deframer.feed(data) if data else []
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        self._closed = True
 
     def backlog_bytes(self) -> int:
         return self._out.backlog_bytes()

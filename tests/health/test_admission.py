@@ -1,0 +1,85 @@
+"""AdmissionControl behaviour: capacity checks and the load ladder."""
+
+import pytest
+
+from repro.health import AdmissionControl, AdmissionDecision, OverloadConfig
+from repro.health.admission import LOAD_LEVELS
+from repro.obs import Instrumentation
+
+
+class TestSessions:
+    def test_under_limit_admits(self):
+        ac = AdmissionControl(OverloadConfig(max_sessions=2))
+        assert ac.admit_session(1) is AdmissionDecision.ADMIT
+        assert ac.sessions_shed == 0
+
+    def test_at_limit_sheds_and_counts(self):
+        ac = AdmissionControl(OverloadConfig(max_sessions=2))
+        assert ac.admit_session(2) is AdmissionDecision.SHED
+        assert ac.sessions_shed == 1
+
+    def test_none_means_unlimited(self):
+        ac = AdmissionControl(OverloadConfig())
+        assert ac.admit_session(10_000) is AdmissionDecision.ADMIT
+
+
+class TestJoins:
+    def test_at_capacity_sheds(self):
+        ac = AdmissionControl(OverloadConfig(max_participants=10))
+        assert ac.admit_join(9) is AdmissionDecision.ADMIT
+        assert ac.admit_join(10) is AdmissionDecision.SHED
+        assert ac.joins_shed == 1
+
+
+class TestLadder:
+    def test_levels_by_occupancy(self):
+        ac = AdmissionControl(
+            OverloadConfig(max_participants=10, degrade_at=0.8)
+        )
+        assert ac.load_level(0) == "ok"
+        assert ac.load_level(7) == "ok"
+        assert ac.load_level(8) == "degraded"
+        assert ac.load_level(10) == "overloaded"
+
+    def test_no_capacity_axis_is_always_ok(self):
+        ac = AdmissionControl(OverloadConfig())
+        assert ac.load_level(1_000_000) == "ok"
+
+    def test_gauge_tracks_ladder_index(self):
+        obs = Instrumentation()
+        ac = AdmissionControl(
+            OverloadConfig(max_participants=10), instrumentation=obs
+        )
+        ac.load_level(9)
+        gauge = obs.registry.get("health.load_level")
+        assert gauge.value == LOAD_LEVELS.index("degraded")
+        ac.load_level(2)
+        assert gauge.value == LOAD_LEVELS.index("ok")
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        OverloadConfig(max_sessions=0)
+    with pytest.raises(ValueError):
+        OverloadConfig(max_participants=0)
+    with pytest.raises(ValueError):
+        OverloadConfig(degrade_at=0.0)
+    with pytest.raises(ValueError):
+        OverloadConfig(degrade_at=1.5)
+    with pytest.raises(ValueError):
+        OverloadConfig(degrade_rate_factor=0.0)
+
+
+def test_snapshot_rolls_up_shed_counts():
+    ac = AdmissionControl(
+        OverloadConfig(max_sessions=1, max_participants=1)
+    )
+    ac.admit_session(1)
+    ac.admit_join(1)
+    ac.admit_join(1)
+    assert ac.snapshot() == {
+        "max_sessions": 1,
+        "max_participants": 1,
+        "sessions_shed": 1,
+        "joins_shed": 2,
+    }

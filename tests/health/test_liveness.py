@@ -1,0 +1,137 @@
+"""LivenessTracker unit behaviour: thresholds, edges, revival."""
+
+import pytest
+
+from repro.health import LivenessConfig, LivenessTracker, PeerState
+from repro.obs import Instrumentation
+
+
+@pytest.fixture
+def tracker(clock):
+    return LivenessTracker(
+        clock, LivenessConfig(suspect_after=2.0, dead_after=6.0)
+    )
+
+
+class TestThresholds:
+    def test_fresh_peer_is_alive(self, clock, tracker):
+        tracker.track("p")
+        assert tracker.state_of("p") is PeerState.ALIVE
+        assert not tracker.poll()
+
+    def test_silence_walks_alive_suspect_dead(self, clock, tracker):
+        tracker.track("p")
+        clock.advance(2.0)
+        report = tracker.poll()
+        assert report.newly_suspect == ["p"]
+        assert tracker.state_of("p") is PeerState.SUSPECT
+        clock.advance(4.0)
+        report = tracker.poll()
+        assert report.newly_dead == ["p"]
+        assert tracker.state_of("p") is PeerState.DEAD
+        assert tracker.died_at("p") == pytest.approx(6.0)
+
+    def test_jump_straight_to_dead_skips_suspect_edge(self, clock, tracker):
+        # A poll gap longer than both thresholds reports only death.
+        tracker.track("p")
+        clock.advance(10.0)
+        report = tracker.poll()
+        assert report.newly_dead == ["p"]
+        assert report.newly_suspect == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LivenessConfig(suspect_after=0.0)
+        with pytest.raises(ValueError):
+            LivenessConfig(suspect_after=5.0, dead_after=5.0)
+
+
+class TestEdgeTriggering:
+    def test_dead_peer_reported_exactly_once(self, clock, tracker):
+        tracker.track("p")
+        clock.advance(6.0)
+        assert tracker.poll().newly_dead == ["p"]
+        clock.advance(60.0)
+        assert not tracker.poll()
+        assert tracker.tracked == 1  # stays tracked until forget
+
+    def test_suspect_reported_exactly_once(self, clock, tracker):
+        tracker.track("p")
+        clock.advance(2.0)
+        assert tracker.poll().newly_suspect == ["p"]
+        clock.advance(1.0)
+        assert not tracker.poll()
+
+
+class TestRevival:
+    def test_suspect_speaking_revives(self, clock, tracker):
+        tracker.track("p")
+        clock.advance(3.0)
+        tracker.poll()
+        tracker.note_alive("p")
+        report = tracker.poll()
+        assert report.revived == ["p"]
+        assert tracker.state_of("p") is PeerState.ALIVE
+        assert tracker.revivals == 1
+
+    def test_dead_peer_kept_by_owner_can_revive(self, clock, tracker):
+        tracker.track("p")
+        clock.advance(6.0)
+        tracker.poll()
+        tracker.note_alive("p")
+        assert tracker.state_of("p") is PeerState.ALIVE
+        assert tracker.died_at("p") is None
+
+    def test_alive_chatter_is_not_a_revival(self, clock, tracker):
+        tracker.track("p")
+        tracker.note_alive("p")
+        assert not tracker.poll()
+        assert tracker.revivals == 0
+
+
+class TestMembership:
+    def test_note_alive_auto_tracks(self, clock, tracker):
+        tracker.note_alive("new")
+        assert tracker.state_of("new") is PeerState.ALIVE
+
+    def test_forget_stops_reporting(self, clock, tracker):
+        tracker.track("p")
+        tracker.forget("p")
+        clock.advance(60.0)
+        assert not tracker.poll()
+        assert tracker.state_of("p") is None
+        tracker.forget("p")  # idempotent
+
+    def test_peers_in_buckets_by_state(self, clock, tracker):
+        tracker.track("a")
+        clock.advance(3.0)
+        tracker.track("b")
+        tracker.poll()
+        assert tracker.peers_in(PeerState.SUSPECT) == ["a"]
+        assert tracker.peers_in(PeerState.ALIVE) == ["b"]
+
+
+def test_metrics_and_snapshot(clock):
+    obs = Instrumentation(clock=clock.now)
+    tracker = LivenessTracker(
+        clock, LivenessConfig(suspect_after=1.0, dead_after=2.0),
+        instrumentation=obs,
+    )
+    tracker.track("a")
+    tracker.track("b")
+    clock.advance(1.0)
+    tracker.note_alive("b")
+    tracker.poll()  # a suspect
+    tracker.note_alive("a")  # revival
+    clock.advance(2.0)
+    tracker.poll()  # both dead
+    snap = tracker.snapshot()
+    assert snap["tracked"] == 2
+    assert snap["dead"] == 2
+    assert snap["suspects"] == 1
+    assert snap["revivals"] == 1
+    assert snap["deaths"] == 2
+    assert obs.registry.get("health.peers_died").value == 2
+    assert obs.registry.get("health.peers_suspected").value == 1
+    assert obs.registry.get("health.peers_revived").value == 1
+    assert obs.registry.get("health.peers_tracked").value == 2

@@ -1,0 +1,159 @@
+"""TaskSupervisor behaviour: restart, backoff, give-up, teardown."""
+
+import asyncio
+
+import pytest
+
+from repro.health import RestartPolicy, TaskSupervisor
+from repro.obs import Instrumentation
+
+FAST = RestartPolicy(initial_backoff=0.0, max_restarts=3, reset_after=5.0)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRestart:
+    def test_crash_restarts_until_clean_exit(self):
+        sup = TaskSupervisor(FAST)
+        attempts = []
+
+        async def pump():
+            attempts.append(len(attempts))
+            if len(attempts) < 3:
+                raise RuntimeError("boom")
+
+        async def main():
+            await sup.supervise(pump, "pump")
+
+        run(main())
+        assert attempts == [0, 1, 2]
+        assert sup.crashes == 2
+        assert sup.restarts == 2
+        assert sup.give_ups == 0
+
+    def test_clean_return_is_not_a_crash(self):
+        sup = TaskSupervisor(FAST)
+
+        async def pump():
+            return None
+
+        async def main():
+            await sup.supervise(pump, "pump")
+
+        run(main())
+        assert sup.snapshot() == {"crashes": 0, "restarts": 0, "give_ups": 0}
+
+
+class TestGiveUp:
+    def test_exhausted_budget_fires_on_give_up_with_final_error(self):
+        sup = TaskSupervisor(RestartPolicy(initial_backoff=0.0,
+                                           max_restarts=2))
+        seen = []
+
+        async def pump():
+            raise RuntimeError("persistent")
+
+        async def main():
+            await sup.supervise(pump, "pump", on_give_up=seen.append)
+
+        run(main())
+        # max_restarts=2 tolerates 2 restarts: 3 crashes total.
+        assert sup.crashes == 3
+        assert sup.restarts == 2
+        assert sup.give_ups == 1
+        assert len(seen) == 1
+        assert isinstance(seen[0], RuntimeError)
+
+    def test_zero_restarts_means_one_strike(self):
+        sup = TaskSupervisor(RestartPolicy(initial_backoff=0.0,
+                                           max_restarts=0))
+
+        async def pump():
+            raise ValueError("no")
+
+        async def main():
+            await sup.supervise(pump, "pump")
+
+        run(main())
+        assert sup.crashes == 1
+        assert sup.restarts == 0
+        assert sup.give_ups == 1
+
+
+class TestTeardown:
+    def test_cancellation_passes_through_without_restart(self):
+        sup = TaskSupervisor(FAST)
+        started = asyncio.Event()
+
+        async def pump():
+            started.set()
+            await asyncio.sleep(3600)
+
+        async def main():
+            task = sup.supervise(pump, "pump")
+            await started.wait()
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        run(main())
+        assert sup.snapshot() == {"crashes": 0, "restarts": 0, "give_ups": 0}
+
+
+class TestPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RestartPolicy(initial_backoff=0.1, backoff_factor=2.0)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RestartPolicy(initial_backoff=-1.0)
+        with pytest.raises(ValueError):
+            RestartPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RestartPolicy(max_restarts=-1)
+        with pytest.raises(ValueError):
+            RestartPolicy(reset_after=0.0)
+
+    def test_long_clean_stretch_resets_consecutive_counter(self):
+        sup = TaskSupervisor(
+            RestartPolicy(initial_backoff=0.0, max_restarts=1,
+                          reset_after=0.0001)
+        )
+        attempts = []
+
+        async def pump():
+            attempts.append(len(attempts))
+            if len(attempts) >= 4:
+                return
+            await asyncio.sleep(0.01)  # survive past reset_after
+            raise RuntimeError("periodic")
+
+        async def main():
+            await sup.supervise(pump, "pump")
+
+        run(main())
+        # Three crashes but never two *consecutive* ones: no give-up.
+        assert sup.crashes == 3
+        assert sup.give_ups == 0
+
+
+def test_metrics_flow_to_instrumentation():
+    obs = Instrumentation()
+    sup = TaskSupervisor(RestartPolicy(initial_backoff=0.0, max_restarts=1),
+                         instrumentation=obs)
+
+    async def pump():
+        raise RuntimeError("boom")
+
+    async def main():
+        await sup.supervise(pump, "pump")
+
+    run(main())
+    assert obs.registry.get("health.task_crashes").value == 2
+    assert obs.registry.get("health.task_restarts").value == 1
+    assert obs.registry.get("health.task_give_ups").value == 1

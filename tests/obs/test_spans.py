@@ -125,5 +125,5 @@ class TestNullTracker:
 def test_stage_catalogue_is_the_pipeline_order():
     assert STAGES == (
         "schedule", "encode", "fragment", "send", "network",
-        "relay", "receive", "reassemble", "decode", "apply",
+        "relay", "failover", "receive", "reassemble", "decode", "apply",
     )

@@ -176,3 +176,66 @@ class TestTeardown:
                 with pytest.raises(SessionClosed):
                     hosted.join("late")
         run(scenario())
+
+
+class TestCloseRaces:
+    def test_parent_close_racing_concurrent_join_relay(self):
+        """A join_relay racing the parent-session close must either
+        land (and then be torn down by the cascade) or raise a clean
+        error — never wedge the registry or leak the relay."""
+        async def scenario():
+            async with SessionServer() as server:
+                for close_first in (True, False):
+                    code, _, _ = await hosted_editor(server)
+                    relay_code = server.host_relay(code)
+
+                    async def closer():
+                        if not close_first:
+                            await asyncio.sleep(0)
+                        server.close_session(code)
+
+                    async def joiner():
+                        if close_first:
+                            await asyncio.sleep(0)
+                        try:
+                            server.join_relay(relay_code, "late")
+                        except (UnknownJoinCode, SessionClosed):
+                            pass
+
+                    await asyncio.gather(closer(), joiner())
+                    hosted = None
+                    try:
+                        hosted = server.relay(relay_code)
+                    except UnknownJoinCode:
+                        pass
+                    if hosted is not None:
+                        await asyncio.wait_for(
+                            hosted.closed_event.wait(), 5.0
+                        )
+                    assert code not in server.codes()
+                    assert relay_code not in server.codes()
+        run(scenario())
+
+    def test_parent_close_racing_viewer_bye(self):
+        """leave_relay (the BYE path) racing the cascade stays
+        idempotent: whichever side removes the viewer first, both
+        finish and the registry ends clean."""
+        async def scenario():
+            async with SessionServer() as server:
+                code, _, _ = await hosted_editor(server)
+                relay_code = server.host_relay(code)
+                server.join_relay(relay_code, "viewer")
+
+                async def closer():
+                    server.close_session(code)
+
+                async def leaver():
+                    await asyncio.sleep(0)
+                    server.leave_relay(relay_code, "viewer")
+
+                await asyncio.gather(closer(), leaver())
+                await server.until(
+                    lambda: relay_code not in server.codes(), timeout=10,
+                )
+                assert server.health()["participants"] == 0
+        run(scenario())

@@ -130,3 +130,55 @@ class TestFeedbackIsolation:
             # The relay hop sits inside the network window.
             assert span.stages["send"][0] <= t0 <= t1
             assert t0 <= span.stages["receive"][1]
+
+
+class TestFailover:
+    LIVE_KW = dict(suspect_after=0.4, dead_after=1.0)
+
+    def _grow_tree(self, clock, ah):
+        from repro.health import LivenessConfig
+        from repro.relay import RelayConfig
+
+        return build_relay_tree(
+            ah, clock, fanouts=(2, 2), viewers_per_leaf=2,
+            channel_config=ChannelConfig(delay=0.005, seed=21),
+            relay_config=RelayConfig(
+                liveness=LivenessConfig(**self.LIVE_KW)
+            ),
+            rtcp_interval=0.3,  # viewer heartbeat < dead_after
+        )
+
+    def test_crashed_parent_reparents_subtree_onto_the_ah(
+        self, clock, shared_ah
+    ):
+        ah, editor = shared_ah
+        tree = self._grow_tree(clock, ah)
+        victim = tree.levels[0][0]
+        orphans = [
+            leaf for leaf in tree.leaves
+            if tree.parent_of[leaf.id] == victim.id
+        ]
+        drive(ah, tree, clock, 60, edit_at=(10,), editor=editor)
+        assert all(v.converged_with(ah.windows) for v in tree.viewers)
+
+        victim.crash()
+        # Silence must cross dead_after before the orphans move.
+        drive(ah, tree, clock, 80, editor=editor)
+        for leaf in orphans:
+            assert tree.parent_of[leaf.id] is None  # grandparent = AH
+            assert leaf.failovers == 1
+            assert leaf.id in ah.sessions
+        moved = {orphan_id for orphan_id, _ in tree.failover_log}
+        assert moved == {leaf.id for leaf in orphans}
+
+        # Post-failover edits reach the orphaned subtree's viewers.
+        drive(ah, tree, clock, 200, edit_at=(10,), editor=editor)
+        assert all(v.converged_with(ah.windows) for v in tree.viewers)
+
+    def test_healthy_subtrees_never_fail_over(self, clock, shared_ah):
+        ah, editor = shared_ah
+        tree = self._grow_tree(clock, ah)
+        drive(ah, tree, clock, 300, edit_at=(10, 120), editor=editor)
+        assert tree.failover_log == []
+        assert all(r.failovers == 0 for r in tree.relays)
+        assert all(v.converged_with(ah.windows) for v in tree.viewers)

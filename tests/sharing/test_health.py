@@ -1,0 +1,86 @@
+"""AH-side liveness: packet arrivals → last-seen state → eviction."""
+
+import pytest
+
+from repro.health import LivenessConfig, PeerState
+from repro.net.channel import ChannelConfig
+from repro.obs import Instrumentation
+from repro.relay.tree import duplex_transport_pair
+from repro.rtp.feedback import PictureLossIndication
+from repro.sharing.ah import ApplicationHost
+
+LIVE = LivenessConfig(suspect_after=1.0, dead_after=3.0)
+
+
+@pytest.fixture
+def ah(clock):
+    return ApplicationHost(clock=clock, liveness=LIVE)
+
+
+def attach(ah, clock, name):
+    ah_side, far_side = duplex_transport_pair(
+        ChannelConfig(delay=0.0), clock.now
+    )
+    ah.add_participant(name, ah_side)
+    return far_side
+
+
+def chatter() -> bytes:
+    return PictureLossIndication(0x0BAD_F00D, 0).encode()
+
+
+class TestTracking:
+    def test_no_config_means_no_tracker(self, clock):
+        ah = ApplicationHost(clock=clock)
+        assert ah.liveness is None
+        assert ah.poll_liveness() == []
+
+    def test_any_arriving_packet_counts_as_alive(self, clock, ah):
+        far = attach(ah, clock, "alice")
+        clock.advance(2.0)
+        far.send_packet(chatter())
+        ah.process_incoming()
+        ah.poll_liveness()
+        assert ah.liveness.state_of("alice") is PeerState.ALIVE
+
+    def test_normal_leave_stops_tracking(self, clock, ah):
+        attach(ah, clock, "alice")
+        ah.remove_participant("alice")
+        clock.advance(60.0)
+        assert ah.poll_liveness() == []
+        assert ah.participants_evicted == 0
+
+
+class TestEviction:
+    def test_dead_silence_evicts_the_participant(self, clock, ah):
+        attach(ah, clock, "alice")
+        clock.advance(LIVE.dead_after)
+        evicted = ah.poll_liveness()
+        assert evicted == ["alice"]
+        assert "alice" not in ah.sessions
+        assert ah.participants_evicted == 1
+        # Edge-triggered: the eviction is reported exactly once.
+        clock.advance(60.0)
+        assert ah.poll_liveness() == []
+
+    def test_chatty_peer_outlives_a_quiet_one(self, clock, ah):
+        quiet = attach(ah, clock, "quiet")
+        chatty = attach(ah, clock, "chatty")
+        for _ in range(3):
+            clock.advance(LIVE.dead_after / 2)
+            chatty.send_packet(chatter())
+            ah.process_incoming()
+            ah.poll_liveness()
+        assert "chatty" in ah.sessions
+        assert "quiet" not in ah.sessions
+
+    def test_eviction_metric_and_snapshot(self, clock):
+        obs = Instrumentation(clock=clock.now)
+        ah = ApplicationHost(clock=clock, liveness=LIVE, obs=obs)
+        attach(ah, clock, "alice")
+        clock.advance(LIVE.dead_after)
+        ah.poll_liveness()
+        assert obs.registry.get(
+            "health.participants_evicted"
+        ).value == 1
+        assert ah.liveness.snapshot()["deaths"] == 1
