@@ -2,20 +2,31 @@
 
 Screen content repeats: a toolbar repaint, a blinking cursor cell, or
 the same damage rectangle fanned out to N destinations all produce
-byte-identical pixel blocks.  Encoding is deterministic (codec
-selection included), so the encoded payload can be keyed by the pixel
-content itself and shared across every per-destination
-:class:`~repro.sharing.encoder.FrameEncoder` of a session.
+byte-identical pixel blocks.  Encoding is deterministic given the
+session's codec parameters, so the encoded payload can be keyed by the
+pixel content plus those parameters and shared across every
+per-destination :class:`~repro.sharing.encoder.FrameEncoder` of a
+session — N destinations collapse to one encode per changed block.
 
-The cache is a bounded LRU.  Keys hash the raw pixel bytes plus the
-array shape (two blocks with equal bytes but different geometry encode
-differently).  Values keep the selected codec's payload type alongside
-the encoded bytes because the receive side needs it to pick a decoder.
+The cache is a bounded LRU.  Keys hash the raw pixel bytes, the array
+geometry (two blocks with equal bytes but different shapes encode
+differently), and an opaque ``params`` token contributed by the caller
+(codec names, quality, filter mode — anything that changes the encoded
+bytes).  Hashing is zero-copy: contiguous blocks feed the digest
+through the buffer protocol, rect views feed their (contiguous) rows
+one at a time, and only a pathological non-contiguous-row layout
+touches a single bounded per-thread row workspace.  A hit-path lookup
+therefore never materialises a full-frame copy.
+
+Values keep the selected codec's payload type alongside the encoded
+bytes because the receive side needs it to pick a decoder.
 """
 
 from __future__ import annotations
 
 import hashlib
+import struct
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -24,6 +35,17 @@ import numpy as np
 #: collision probability negligible (~2^-64 at billions of entries)
 #: while halving key storage vs the full digest.
 _DIGEST_SIZE = 16
+
+_local = threading.local()
+
+
+def _row_workspace(nbytes: int) -> np.ndarray:
+    """One reusable per-thread row buffer for non-contiguous-row input."""
+    ws = getattr(_local, "row_workspace", None)
+    if ws is None or ws.nbytes < nbytes:
+        ws = np.empty(nbytes, dtype=np.uint8)
+        _local.row_workspace = ws
+    return ws
 
 
 class EncodeCache:
@@ -41,12 +63,35 @@ class EncodeCache:
         return len(self._entries)
 
     @staticmethod
-    def key(pixels: np.ndarray) -> bytes:
-        """Content address of an update's pixel block."""
-        digest = hashlib.blake2b(
-            np.ascontiguousarray(pixels), digest_size=_DIGEST_SIZE
-        )
-        digest.update(repr(pixels.shape).encode())
+    def key(pixels: np.ndarray, params: bytes = b"") -> bytes:
+        """Content address of an update's pixel block.
+
+        ``params`` is the caller's encode-parameter token; blocks with
+        equal pixels but different codec parameters must not share an
+        entry.  The pixel bytes reach the digest without a full-frame
+        copy: whole contiguous arrays go straight through the buffer
+        protocol, and the rect views the damage pipeline produces hash
+        row by row (each row of a sliced RGBA view is contiguous).
+        """
+        digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+        digest.update(struct.pack("!B", pixels.ndim))
+        digest.update(struct.pack(f"!{pixels.ndim}q", *pixels.shape))
+        digest.update(params)
+        if pixels.flags.c_contiguous:
+            digest.update(pixels)
+        elif pixels.size:
+            first = pixels[0]
+            if first.flags.c_contiguous:
+                for row in pixels:
+                    digest.update(row)
+            else:
+                ws = _row_workspace(first.nbytes)
+                row_out = np.frombuffer(
+                    ws, dtype=pixels.dtype, count=first.size
+                ).reshape(first.shape)
+                for row in pixels:
+                    np.copyto(row_out, row)
+                    digest.update(ws[: first.nbytes])
         return digest.digest()
 
     def get(self, key: bytes) -> tuple[int, bytes] | None:

@@ -148,6 +148,57 @@ def _unblockify(blocks: np.ndarray, h: int, w: int) -> np.ndarray:
     )
 
 
+def block_band_rows(height: int, bands: int) -> list[tuple[int, int]]:
+    """Partition ``height`` pixel rows into ≤ ``bands`` block-aligned bands.
+
+    Every band boundary except the last lands on a multiple of
+    :data:`BLOCK`, so each band covers whole 8×8 block rows and bands
+    can be DCT-coded independently with byte-identical output.
+    """
+    if bands < 1:
+        raise ValueError("band count must be positive")
+    block_rows = -(-height // BLOCK)
+    bands = min(bands, block_rows)
+    per_band = -(-block_rows // bands)
+    spans = []
+    for start in range(0, block_rows, per_band):
+        y0 = start * BLOCK
+        y1 = min((start + per_band) * BLOCK, height)
+        spans.append((y0, y1))
+    return spans
+
+
+def plane_band_coefficients(
+    pixels: np.ndarray, quality: int, y0: int = 0, y1: int | None = None
+) -> list[bytes]:
+    """Quantised zigzag coefficient bytes for pixel rows ``[y0, y1)``.
+
+    ``y0`` (and ``y1``, unless it is the image height) must be
+    block-aligned.  Returns ``[y, cb, cr]`` byte strings for the band's
+    blocks in raster order: concatenating each channel's bands in order
+    reproduces the whole-image plane stream byte for byte, because 8×8
+    blocks never cross a block-aligned band boundary and the edge
+    padding a band applies is the padding the full image would apply.
+    """
+    if y1 is None:
+        y1 = pixels.shape[0]
+    if y0 % BLOCK:
+        raise ValueError(f"band start {y0} is not block-aligned")
+    luma_q, chroma_q = _scaled_tables(quality)
+    ycc = _rgb_to_ycbcr(pixels[y0:y1, :, :3])
+    planes_out: list[bytes] = []
+    for channel in range(3):
+        table = luma_q if channel == 0 else chroma_q
+        plane = _pad_to_blocks(ycc[:, :, channel])
+        blocks = _blockify(plane)
+        # Batched 2-D DCT: T @ block @ T'  for every block at once.
+        coeffs = np.einsum("ij,njk,lk->nil", _DCT, blocks, _DCT)
+        quantised = np.round(coeffs / table).astype(np.int16)
+        flat = quantised.reshape(-1, BLOCK * BLOCK)[:, _ZIGZAG]
+        planes_out.append(flat.astype("<i2").tobytes())
+    return planes_out
+
+
 class LossyDctCodec(ImageCodec):
     """JPEG-shaped lossy codec: block DCT + quantisation + zlib entropy."""
 
@@ -163,18 +214,7 @@ class LossyDctCodec(ImageCodec):
     def encode(self, pixels: np.ndarray) -> bytes:
         _check_pixels(pixels)
         h, w = pixels.shape[:2]
-        luma_q, chroma_q = _scaled_tables(self.quality)
-        ycc = _rgb_to_ycbcr(pixels[:, :, :3])
-        planes_out: list[bytes] = []
-        for channel in range(3):
-            table = luma_q if channel == 0 else chroma_q
-            plane = _pad_to_blocks(ycc[:, :, channel])
-            blocks = _blockify(plane)
-            # Batched 2-D DCT: T @ block @ T'  for every block at once.
-            coeffs = np.einsum("ij,njk,lk->nil", _DCT, blocks, _DCT)
-            quantised = np.round(coeffs / table).astype(np.int16)
-            flat = quantised.reshape(-1, BLOCK * BLOCK)[:, _ZIGZAG]
-            planes_out.append(flat.astype("<i2").tobytes())
+        planes_out = plane_band_coefficients(pixels, self.quality)
         body = zlib.compress(b"".join(planes_out), 6)
         return _HEADER.pack(w, h, self.quality) + body
 
@@ -197,6 +237,16 @@ class LossyDctCodec(ImageCodec):
         plane_bytes = n_blocks * BLOCK * BLOCK * 2
         raw = bounded_decompress(data[_HEADER.size:], plane_bytes * 3,
                                  "entropy stage")
+        # Declared dims × payload length must agree exactly before any
+        # reshape: an undersized or oversized plane stream must surface
+        # as the ProtocolError taxonomy, never as a numpy ValueError.
+        if len(raw) != plane_bytes * 3:
+            raise CodecError(
+                f"plane stream is {len(raw)} bytes; dimensions {w}x{h} "
+                f"declare {plane_bytes * 3}",
+                reason="truncated" if len(raw) < plane_bytes * 3
+                else "overflow",
+            )
         luma_q, chroma_q = _scaled_tables(quality)
         planes = []
         for channel in range(3):

@@ -74,14 +74,25 @@ class _Workspace:
         self.i16b = np.empty(shape, dtype=np.int16)
         self.scores = np.empty((len(ALL_FILTERS), height), dtype=np.int64)
 
-    def predictors(self, rows: np.ndarray) -> None:
-        """Fill the a (left), b (up), c (up-left) planes, zero padded."""
+    def predictors(self, rows: np.ndarray,
+                   prev_row: np.ndarray | None = None) -> None:
+        """Fill the a (left), b (up), c (up-left) planes, zero padded.
+
+        ``prev_row`` supplies the raw scanline above ``rows[0]`` when
+        the rows are a band cut out of a larger image; ``None`` keeps
+        the image-start semantics (zero predecessors).
+        """
         a, b, c = self.a, self.b, self.c
         a[:, :BPP] = 0
         a[:, BPP:] = rows[:, :-BPP]
-        b[0] = 0
+        if prev_row is None:
+            b[0] = 0
+            c[0] = 0
+        else:
+            b[0] = prev_row
+            c[0, :BPP] = 0
+            c[0, BPP:] = prev_row[:-BPP]
         b[1:] = rows[:-1]
-        c[0] = 0
         c[1:, :BPP] = 0
         c[1:, BPP:] = rows[:-1, :-BPP]
 
@@ -179,6 +190,7 @@ def filter_image(
     rows: np.ndarray,
     adaptive_filter: bool = True,
     fixed_filter: int = FILTER_NONE,
+    prev_row: np.ndarray | None = None,
 ) -> np.ndarray:
     """Filter all scanlines of an image in one vectorised pass.
 
@@ -188,11 +200,18 @@ def filter_image(
     ``adaptive_filter`` the per-row winner is the minimum-sum-of-
     absolute-differences candidate (libpng's MSAD heuristic), resolved
     for all rows with one argmin.
+
+    ``prev_row`` makes the call band-composable: filtering rows
+    ``[y0:y1)`` of an image with ``prev_row=rows_full[y0-1]`` yields
+    exactly rows ``[y0:y1)`` of the whole-image result, because every
+    predictor (and the per-row MSAD choice) only ever reaches one raw
+    row up.  Bands therefore reassemble into a byte-identical scanline
+    stream.
     """
     height, stride = rows.shape
     out = np.empty((height, 1 + stride), dtype=np.uint8)
     ws = _workspaces.get(height, stride)
-    ws.predictors(rows)
+    ws.predictors(rows, prev_row)
     if not adaptive_filter:
         out[:, 0] = fixed_filter
         _candidate_into(fixed_filter, rows, ws, out[:, 1:])

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..bfcp.messages import floor_release, floor_request, floor_request_status
+from ..codecs.lossy import LossyDctCodec
 from ..codecs.png.encoder import encode_png
 from ..core.fragmentation import fragment_update
 from ..core.hip import (
@@ -162,6 +163,15 @@ def _png() -> list[bytes]:
     ]
 
 
+def _lossy() -> list[bytes]:
+    # Block-aligned and ragged dims: mutations of the header's declared
+    # geometry must trip the dims-vs-payload validation, not numpy.
+    return [
+        LossyDctCodec(75).encode(_pixels(16, 16)),
+        LossyDctCodec(30).encode(_pixels(9, 5)),
+    ]
+
+
 def build_corpus() -> dict[str, list[bytes]]:
     """Surface name → list of valid encoded packets."""
     return {
@@ -173,4 +183,5 @@ def build_corpus() -> dict[str, list[bytes]]:
         "sip": _sip(),
         "bfcp": _bfcp(),
         "png": _png(),
+        "lossy": _lossy(),
     }

@@ -10,6 +10,7 @@ anything else as a hardening bug.  Drivers therefore contain **no**
 from __future__ import annotations
 
 from ..bfcp.messages import BfcpMessage
+from ..codecs.lossy import LossyDctCodec
 from ..codecs.png.decoder import decode_png
 from ..core.header import COMMON_HEADER_LEN, CommonHeader
 from ..core.hip import KeyTypedAssembler, decode_hip
@@ -78,6 +79,10 @@ def drive_png(data: bytes) -> None:
     decode_png(data)
 
 
+def drive_lossy(data: bytes) -> None:
+    LossyDctCodec().decode(data)
+
+
 #: Surface name → (corpus key, driver).
 SURFACE_DRIVERS = {
     "remoting": ("remoting", drive_remoting),
@@ -88,4 +93,5 @@ SURFACE_DRIVERS = {
     "sip": ("sip", drive_sip),
     "bfcp": ("bfcp", drive_bfcp),
     "png": ("png", drive_png),
+    "lossy": ("lossy", drive_lossy),
 }

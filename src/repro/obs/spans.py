@@ -47,6 +47,7 @@ from ..rtp.sequence import SequenceExtender
 STAGES = (
     "schedule",
     "encode",
+    "parallel_encode",
     "fragment",
     "send",
     "network",
@@ -59,10 +60,11 @@ STAGES = (
 )
 
 #: Stages only present on some topologies: a direct AH→participant
-#: session has no ``relay`` hop, and ``failover`` appears only on the
-#: first update a re-parented relay forwards after its parent died —
-#: so completeness checks must not demand these.
-OPTIONAL_STAGES = ("relay", "failover")
+#: session has no ``relay`` hop, ``failover`` appears only on the
+#: first update a re-parented relay forwards after its parent died,
+#: and ``parallel_encode`` marks only updates the worker pool encoded
+#: — so completeness checks must not demand these.
+OPTIONAL_STAGES = ("relay", "failover", "parallel_encode")
 
 #: Why a span was abandoned, for the ``spans.abandoned`` counter family.
 ABANDON_REASONS = (

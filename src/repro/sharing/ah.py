@@ -82,6 +82,18 @@ class ApplicationHost:
             if self.config.encode_cache_entries
             else None
         )
+        #: One worker-process encode pool for the whole session (opt-in
+        #: via ``encode_workers``); shared by every per-destination
+        #: encoder like the cache.  Owned here: :meth:`close` tears it
+        #: down, and the hosting layer supervises its ``watch()`` loop.
+        self.encode_pool = None
+        if self.config.encode_workers:
+            from ..codecs.parallel import EncodePool
+
+            workers = self.config.encode_workers
+            self.encode_pool = EncodePool(
+                0 if workers < 0 else workers, obs=self.obs
+            )
 
         self.windows = WindowManager(screen_width, screen_height)
         self.apps = AppHost(self.windows)
@@ -160,6 +172,7 @@ class ApplicationHost:
         encoder = FrameEncoder(
             sender, self.registry, self.config, self._now,
             instrumentation=obs, cache=self.encode_cache,
+            pool=self.encode_pool,
         )
         limiter = (
             TokenBucket(rate_bps, now=self._now, instrumentation=obs)
@@ -330,6 +343,13 @@ class ApplicationHost:
                     )
                 if self.config.retransmissions:
                     session.scheduler.retransmit(message.sequence_numbers())
+
+    # -- Lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release host-owned process resources (the encode pool)."""
+        if self.encode_pool is not None:
+            self.encode_pool.close()
 
     # -- Introspection -------------------------------------------------------------------
 

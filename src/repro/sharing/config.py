@@ -65,6 +65,13 @@ class SharingConfig:
     #: (identical update pixel blocks reuse one encode across all
     #: destinations; docs/PERFORMANCE.md).  0 disables caching.
     encode_cache_entries: int = 256
+    #: Worker processes for the parallel encode pool
+    #: (:class:`repro.codecs.parallel.EncodePool`).  0 keeps every
+    #: encode in-process (the default — pools are opt-in); -1 sizes the
+    #: pool to the machine (cpu_count - 1).
+    encode_workers: int = 0
+    #: Bands per parallel-encoded update.  0 means one band per worker.
+    encode_bands: int = 0
 
     def __post_init__(self) -> None:
         if self.max_rtp_payload < 64:
@@ -85,3 +92,7 @@ class SharingConfig:
             raise ValueError("desktop bounds must be positive")
         if self.encode_cache_entries < 0:
             raise ValueError("encode cache size cannot be negative")
+        if self.encode_workers < -1:
+            raise ValueError("encode workers must be >= -1")
+        if self.encode_bands < 0:
+            raise ValueError("encode bands cannot be negative")

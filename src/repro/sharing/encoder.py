@@ -50,6 +50,7 @@ class FrameEncoder:
         now,
         instrumentation=None,
         cache: EncodeCache | None = None,
+        pool=None,
     ) -> None:
         self.sender = sender
         self.registry = registry
@@ -64,6 +65,20 @@ class FrameEncoder:
         #: Session-wide content-addressed cache (shared across the
         #: per-destination encoders; see ApplicationHost).
         self.cache = cache
+        #: Session-wide :class:`repro.codecs.parallel.EncodePool`
+        #: (shared like the cache); None keeps encodes in-process.
+        self.pool = pool
+        self._bands = config.encode_bands or None
+        # The cache key must cover everything that changes encoded
+        # bytes: codec choice inputs and the codecs' own parameters.
+        # It is identical for every destination of a session, so the
+        # N-destination fan-out still collapses to one encode.
+        eligible = [self.selector.lossless]
+        if self.selector.lossy is not None:
+            eligible.append(self.selector.lossy)
+        self._cache_params = repr(
+            [(c.name, sorted(vars(c).items())) for c in eligible]
+        ).encode()
         self._obs = instrumentation if instrumentation is not None else NULL
         self._spans = self._obs.spans
         self.stats = self._obs.traffic_stats()
@@ -129,9 +144,13 @@ class FrameEncoder:
             # The schedule stage covers capture/damage until encoding
             # starts, measured against the session clock.
             spans.mark(sid, "schedule", start=capture_time)
-        payload_type, data = self._encode_pixels(update.pixels)
+        payload_type, data, parallel = self._encode_pixels(update.pixels)
         if sid is not None:
             spans.mark(sid, "encode")
+            if parallel:
+                # Optional stage: present only on updates the worker
+                # pool actually encoded (shares the encode interval).
+                spans.mark(sid, "parallel_encode")
         fragments = fragment_update(
             MSG_REGION_UPDATE,
             update.window_id,
@@ -172,27 +191,67 @@ class FrameEncoder:
             )
         return out
 
-    def _encode_pixels(self, pixels: np.ndarray) -> tuple[int, bytes]:
+    def _encode_pixels(self, pixels: np.ndarray) -> tuple[int, bytes, bool]:
         """Select a codec and encode, going through the shared cache.
 
         Codec selection is a pure function of the pixels (and session
         config), so identical blocks — repeated damage, or the same
         update fanned out to every destination — reuse one encode.
+        Returns ``(payload_type, data, parallel)`` where ``parallel``
+        records whether the worker pool carried the encode.
         """
         cache = self.cache
         if cache is None:
             codec = self.selector.select(pixels)
-            return codec.payload_type, codec.encode(pixels)
-        key = cache.key(pixels)
+            return (codec.payload_type, *self._codec_encode(codec, pixels))
+        key = cache.key(pixels, self._cache_params)
         entry = cache.get(key)
         if entry is not None:
             self._c_cache_hit.inc()
-            return entry
+            return (*entry, False)
         codec = self.selector.select(pixels)
-        data = codec.encode(pixels)
+        data, parallel = self._codec_encode(codec, pixels)
         cache.put(key, codec.payload_type, data)
         self._c_cache_miss.inc()
-        return codec.payload_type, data
+        return codec.payload_type, data, parallel
+
+    def _codec_encode(self, codec, pixels: np.ndarray) -> tuple[bytes, bool]:
+        """Encode via the worker pool when one is attached and the
+        codec has a band-parallel form; otherwise in-process."""
+        pool = self.pool
+        if pool is not None and not pool.closed:
+            from ..codecs.lossy import LossyDctCodec
+            from ..codecs.parallel import (
+                encode_lossy_parallel,
+                encode_png_parallel,
+            )
+            from ..codecs.png import PngCodec
+
+            if type(codec) is PngCodec:
+                if pixels.shape[0] >= pool.min_parallel_rows:
+                    return (
+                        encode_png_parallel(
+                            pixels,
+                            pool,
+                            compression_level=codec.compression_level,
+                            adaptive_filter=codec.adaptive_filter,
+                            fixed_filter=codec.fixed_filter,
+                            bands=self._bands,
+                        ),
+                        True,
+                    )
+            elif type(codec) is LossyDctCodec:
+                if pixels.shape[0] >= pool.min_parallel_rows:
+                    return (
+                        encode_lossy_parallel(
+                            pixels,
+                            pool,
+                            quality=codec.quality,
+                            bands=self._bands,
+                        ),
+                        True,
+                    )
+        return codec.encode(pixels), False
 
     def encode_pointer(
         self, pointer: PointerOp, capture_time: float

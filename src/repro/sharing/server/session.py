@@ -145,6 +145,11 @@ class HostedSession:
             (f"{name}-media", lambda: self._media_pump(realtime)),
             (f"{name}-rtcp", lambda: self._rtcp_timer(realtime)),
         ]
+        if self.ah.encode_pool is not None:
+            # The pool self-heals on use, but the watch loop respawns
+            # crashed workers during idle gaps too; it rides the same
+            # supervision as the pumps.
+            pumps.append((f"{name}-encode-pool", self._pool_watch))
         if self.supervisor is not None:
             give_up = lambda exc: self.close(  # noqa: E731
                 reason="supervisor_give_up"
@@ -192,6 +197,12 @@ class HostedSession:
             else:
                 await asyncio.sleep(0)
 
+    async def _pool_watch(self) -> None:
+        pool = self.ah.encode_pool
+        while self.state is SessionState.OPEN and not pool.closed:
+            pool.ensure_workers()
+            await asyncio.sleep(0.5)
+
     async def _rtcp_timer(self, realtime: bool) -> None:
         while self.state is SessionState.OPEN:
             now = self.clock.now()
@@ -235,6 +246,7 @@ class HostedSession:
             except Exception:
                 pass
         self.peers.clear()
+        self.ah.close()  # terminates the encode pool's workers + shm
         self.state = SessionState.CLOSED
         if self.obs.enabled:
             self.obs.event("server.session_closed", reason=reason)

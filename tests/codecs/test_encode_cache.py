@@ -78,6 +78,42 @@ class TestEncodeCache:
         with pytest.raises(ValueError):
             EncodeCache(max_entries=-1)
 
+    def test_key_depends_on_params(self):
+        a = _pixels(1)
+        assert EncodeCache.key(a, b"png:6") == EncodeCache.key(a, b"png:6")
+        assert EncodeCache.key(a, b"png:6") != EncodeCache.key(a, b"png:9")
+        assert EncodeCache.key(a) != EncodeCache.key(a, b"png:6")
+
+    def test_key_of_view_matches_contiguous_copy(self):
+        frame = _pixels(5, shape=(64, 64, 4))
+        view = frame[8:40, 16:48]  # a damage rect: non-contiguous
+        assert not view.flags.c_contiguous
+        assert EncodeCache.key(view) == EncodeCache.key(view.copy())
+
+    def test_key_handles_sliced_channels(self):
+        # Rows themselves non-contiguous: the bounded-workspace path.
+        frame = _pixels(6, shape=(32, 32, 4))
+        view = frame[:, ::2]
+        assert not view[0].flags.c_contiguous
+        assert EncodeCache.key(view) == EncodeCache.key(
+            np.ascontiguousarray(view)
+        )
+
+    def test_key_never_copies_the_frame(self):
+        """Hit-path lookups must not materialise a full-frame copy."""
+        import tracemalloc
+
+        frame = _pixels(7, shape=(512, 512, 4))  # 1 MiB
+        view = frame[1:509, 3:500]  # non-contiguous damage rect
+        EncodeCache.key(frame)  # warm hashlib/workspace allocations
+        EncodeCache.key(view)
+        tracemalloc.start()
+        EncodeCache.key(frame)
+        EncodeCache.key(view)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak < view[0].nbytes * 8  # a few rows, not a frame
+
 
 def _encoder(cache, obs=None):
     clock = SimulatedClock()
@@ -113,6 +149,41 @@ class TestFrameEncoderCaching:
         enc_b.encode_update(UpdateOp(1, 0, 0, pixels), 0.0)
         assert cache.misses == 1
         assert cache.hits == 1
+
+    def test_misses_flat_as_destinations_scale(self):
+        """N destinations collapse to exactly one encode per block."""
+        cache = EncodeCache()
+        encoders = [_encoder(cache) for _ in range(8)]
+        pixels = _pixels(25)
+        for encoder in encoders:
+            encoder.encode_update(UpdateOp(1, 0, 0, pixels), 0.0)
+        assert cache.misses == 1
+        assert cache.hits == 7
+
+    def test_different_codec_params_do_not_share_entries(self):
+        from repro.codecs.base import CodecRegistry
+        from repro.codecs.lossy import LossyDctCodec
+        from repro.codecs.png import PngCodec
+
+        cache = EncodeCache()
+        clock = SimulatedClock()
+        encoders = []
+        for level in (1, 9):
+            registry = CodecRegistry()
+            registry.register(PngCodec(compression_level=level))
+            registry.register(LossyDctCodec())
+            encoders.append(
+                FrameEncoder(
+                    RtpSender(PT_REMOTING, now=clock.now), registry,
+                    SharingConfig(), clock.now, cache=cache,
+                )
+            )
+        pixels = _pixels(26)
+        for encoder in encoders:
+            encoder.encode_update(UpdateOp(1, 0, 0, pixels), 0.0)
+        # Same pixels, different compression level: distinct entries.
+        assert cache.misses == 2
+        assert cache.hits == 0
 
     def test_no_cache_still_encodes(self):
         encoder = _encoder(None)

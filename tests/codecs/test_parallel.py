@@ -1,0 +1,253 @@
+"""Parallel encode pool: byte-identity, crash tolerance, teardown."""
+
+from __future__ import annotations
+
+import glob
+import struct
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.lossy import LossyDctCodec, block_band_rows, plane_band_coefficients
+from repro.codecs.parallel import (
+    EncodePool,
+    adler32_combine,
+    deflate_band,
+    encode_lossy_parallel,
+    encode_png_parallel,
+    row_bands,
+    zlib_header,
+)
+from repro.codecs.png.decoder import decode_png
+from repro.codecs.png.encoder import encode_png, filtered_scanlines
+from repro.obs.instrumentation import Instrumentation
+from repro.surface.damage import TileDiffer, band_spans, band_tile_changes
+
+
+def _pixels(seed: int, h: int, w: int) -> np.ndarray:
+    return np.random.default_rng(seed).integers(
+        0, 256, size=(h, w, 4), dtype=np.uint8
+    )
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with EncodePool(2, task_timeout=60.0) as p:
+        yield p
+
+
+class TestDeflateAlgebra:
+    def test_adler32_combine_matches_zlib(self):
+        rng = np.random.default_rng(0)
+        for la, lb in [(0, 1), (1, 0), (1000, 70000), (65521, 65521)]:
+            a = rng.integers(0, 256, la, dtype=np.uint8).tobytes()
+            b = rng.integers(0, 256, lb, dtype=np.uint8).tobytes()
+            assert adler32_combine(
+                zlib.adler32(a), zlib.adler32(b), len(b)
+            ) == zlib.adler32(a + b)
+
+    def test_zlib_header_matches_every_level(self):
+        for level in range(10):
+            assert zlib_header(level) == zlib.compress(b"x", level)[:2]
+
+    def test_band_members_form_one_zlib_stream(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, 100_000, dtype=np.uint8).tobytes()
+        spans = row_bands(len(data), 4)
+        members = [
+            deflate_band(data[a:b], 6, final=(b == len(data)))
+            for a, b in spans
+        ]
+        stream = (
+            zlib_header(6)
+            + b"".join(members)
+            + struct.pack("!I", zlib.adler32(data))
+        )
+        assert zlib.decompress(stream) == data
+
+    def test_row_bands_partition_exactly(self):
+        for height in (1, 2, 7, 128, 481):
+            for bands in (1, 2, 3, 8, 1000):
+                spans = row_bands(height, bands)
+                assert spans[0][0] == 0
+                assert spans[-1][1] == height
+                assert len(spans) <= bands
+                for (_, e), (s, _) in zip(spans, spans[1:]):
+                    assert e == s
+
+    def test_block_band_rows_are_block_aligned(self):
+        for height in (1, 8, 9, 100, 481):
+            spans = block_band_rows(height, 3)
+            assert spans[-1][1] == height
+            for y0, _ in spans:
+                assert y0 % 8 == 0
+
+
+class TestPngByteIdentity:
+    @settings(
+        max_examples=20, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        h=st.integers(1, 40),
+        w=st.integers(1, 24),
+        bands=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    def test_scanline_stream_identical(self, pool, h, w, bands, seed):
+        px = _pixels(seed, h, w)
+        parallel = pool.filtered_scanline_bands(px, bands=bands)
+        assert parallel == filtered_scanlines(px).tobytes()
+
+    def test_scanline_stream_identical_fixed_filter(self, pool):
+        from repro.codecs.png.filters import FILTER_PAETH
+
+        px = _pixels(7, 33, 17)
+        parallel = pool.filtered_scanline_bands(
+            px, adaptive_filter=False, fixed_filter=FILTER_PAETH, bands=3
+        )
+        serial = filtered_scanlines(
+            px, adaptive_filter=False, fixed_filter=FILTER_PAETH
+        )
+        assert parallel == serial.tobytes()
+
+    @settings(
+        max_examples=15, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        h=st.integers(1, 40),
+        w=st.integers(1, 24),
+        bands=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    def test_parallel_png_round_trips(self, pool, h, w, bands, seed):
+        px = _pixels(seed, h, w)
+        out = encode_png_parallel(px, pool, bands=bands)
+        assert np.array_equal(decode_png(out), decode_png(encode_png(px)))
+
+    def test_one_row_frame(self, pool):
+        px = _pixels(3, 1, 64)
+        out = encode_png_parallel(px, pool, bands=4)
+        assert np.array_equal(decode_png(out), px)
+
+    def test_no_pool_falls_back_to_serial_bytes(self):
+        px = _pixels(4, 16, 16)
+        assert encode_png_parallel(px, None) == encode_png(px)
+
+
+class TestLossyByteIdentity:
+    @settings(
+        max_examples=15, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        h=st.integers(1, 40),
+        w=st.integers(1, 24),
+        bands=st.integers(1, 6),
+        quality=st.sampled_from([10, 50, 90]),
+        seed=st.integers(0, 100),
+    )
+    def test_plane_bytes_identical(self, pool, h, w, bands, quality, seed):
+        px = _pixels(seed, h, w)
+        parallel = pool.lossy_plane_bands(px, quality, bands=bands)
+        serial = plane_band_coefficients(px, quality)
+        assert parallel == serial
+
+    def test_parallel_lossy_decodes_like_serial(self, pool):
+        codec = LossyDctCodec(60)
+        px = _pixels(5, 37, 21)
+        out = encode_lossy_parallel(px, pool, quality=60, bands=3)
+        assert np.array_equal(codec.decode(out), codec.decode(codec.encode(px)))
+
+    def test_no_pool_falls_back_to_serial_bytes(self):
+        px = _pixels(6, 16, 16)
+        assert encode_lossy_parallel(px, None, quality=70) == LossyDctCodec(
+            70
+        ).encode(px)
+
+
+class TestDiffBands:
+    def test_band_partition_matches_whole_image(self):
+        rng = np.random.default_rng(9)
+        prev = rng.integers(0, 256, (100, 70, 4), dtype=np.uint8)
+        cur = prev.copy()
+        cur[5:9, 60:64] ^= 0xFF
+        cur[95:100, 0:3] ^= 0xFF
+        prev32 = prev.view(np.uint32)[:, :, 0]
+        cur32 = cur.view(np.uint32)[:, :, 0]
+        whole = band_tile_changes(prev32, cur32, 0, 100, 16)
+        for bands in (2, 3, 7):
+            spans = band_spans(100, 16, bands)
+            parts = [
+                band_tile_changes(prev32, cur32, y0, y1, 16)
+                for y0, y1 in spans
+            ]
+            assert np.array_equal(np.concatenate(parts), whole)
+
+    def test_pooled_differ_matches_plain(self, pool):
+        rng = np.random.default_rng(10)
+        plain = TileDiffer(64, 64, tile=16)
+        pooled = TileDiffer(64, 64, tile=16, bands=3, pool=pool)
+        fb = pool.frame_buffer(64, 64)
+        assert fb is not None
+        for step in range(4):
+            fb.array[:] = 0
+            fb.array[step * 10 : step * 10 + 8, :, 1] = 200 + step
+            a = plain.diff(fb.copy())
+            b = pooled.diff(fb)
+            assert a.rects == b.rects
+
+
+class TestPoolLifecycle:
+    def test_close_is_idempotent_and_unlinks_shm(self):
+        pool = EncodePool(2)
+        px = _pixels(11, 130, 20)
+        encode_png_parallel(px, pool, bands=2)
+        names = [f.block.shm._name for f in pool._frames]
+        if pool._staging is not None:
+            names.append(pool._staging.shm._name)
+        pool.close()
+        pool.close()
+        assert pool.snapshot() == {
+            "workers": 0, "worker_crashes": 0, "fallbacks": 0, "shm_bytes": 0,
+        }
+        for name in names:
+            assert not glob.glob(f"/dev/shm{name}")
+
+    def test_closed_pool_still_encodes_in_process(self):
+        pool = EncodePool(1)
+        pool.close()
+        px = _pixels(12, 16, 16)
+        assert encode_png_parallel(px, pool) == encode_png(px)
+
+    def test_crashed_worker_recovers(self):
+        with EncodePool(2) as pool:
+            px = _pixels(13, 200, 30)
+            first = encode_png_parallel(px, pool, bands=2)
+            for handle in pool._handles:
+                handle.process.kill()
+                handle.process.join()
+            # Every worker is gone: the dispatch notices, respawns, and
+            # the frame still comes out correct (possibly in-process).
+            second = encode_png_parallel(px, pool, bands=2)
+            assert np.array_equal(decode_png(second), decode_png(first))
+            assert pool.ensure_workers() == 2
+
+    def test_metrics_flow_through_instrumentation(self):
+        obs = Instrumentation()
+        with EncodePool(1, obs=obs) as pool:
+            encode_png_parallel(_pixels(14, 150, 20), pool, bands=2)
+            assert obs.registry.total("encode.bands") == 2
+            assert obs.registry.total("encode.workers") == 1
+            assert obs.registry.total("encode.shm_bytes") > 0
+            assert obs.registry.total("encode.pool_saturated") == 1
+        assert obs.registry.total("encode.workers") == 0
+        assert obs.registry.total("encode.shm_bytes") == 0
+
+    def test_workers_clamped_to_at_least_one(self):
+        with EncodePool(0) as pool:
+            assert pool.workers >= 1

@@ -124,6 +124,7 @@ class TestNullTracker:
 
 def test_stage_catalogue_is_the_pipeline_order():
     assert STAGES == (
-        "schedule", "encode", "fragment", "send", "network",
-        "relay", "failover", "receive", "reassemble", "decode", "apply",
+        "schedule", "encode", "parallel_encode", "fragment", "send",
+        "network", "relay", "failover", "receive", "reassemble", "decode",
+        "apply",
     )
